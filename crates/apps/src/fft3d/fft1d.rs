@@ -1,0 +1,171 @@
+//! Iterative radix-2 Cooley–Tukey FFT (built from scratch — the paper's
+//! 3D-FFT benchmark needs no external FFT library).
+
+use super::complex::C64;
+
+/// Precomputed twiddle factors for transforms of length `n` (power of 2).
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Twiddles for the forward transform: `w[k] = e^{-2πik/n}`, k < n/2.
+    fwd: Vec<C64>,
+    /// Conjugates for the inverse.
+    inv: Vec<C64>,
+    /// Bit-reversal permutation.
+    rev: Vec<u32>,
+}
+
+impl FftPlan {
+    /// Build a plan for length-`n` transforms.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two, got {n}");
+        let fwd: Vec<C64> = (0..n / 2)
+            .map(|k| C64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
+            .collect();
+        let inv = fwd.iter().map(|w| C64::new(w.re, -w.im)).collect();
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        FftPlan { n, fwd, inv, rev }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// In-place forward FFT.
+    pub fn forward(&self, data: &mut [C64]) {
+        self.transform(data, true);
+    }
+
+    /// In-place inverse FFT (includes the 1/n normalization).
+    pub fn inverse(&self, data: &mut [C64]) {
+        self.transform(data, false);
+        let s = 1.0 / self.n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(s);
+        }
+    }
+
+    fn transform(&self, data: &mut [C64], forward: bool) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "buffer length must equal plan length");
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        let tw = if forward { &self.fwd } else { &self.inv };
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            let mut base = 0;
+            while base < n {
+                for k in 0..half {
+                    let w = tw[k * step];
+                    let u = data[base + k];
+                    let v = data[base + k + half] * w;
+                    data[base + k] = u + v;
+                    data[base + k + half] = u - v;
+                }
+                base += len;
+            }
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::Xorshift;
+
+    fn naive_dft(x: &[C64]) -> Vec<C64> {
+        let n = x.len();
+        (0..n)
+            .map(|k| {
+                let mut acc = C64::zero();
+                for (j, &v) in x.iter().enumerate() {
+                    acc = acc
+                        + v * C64::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let mut rng = Xorshift::new(7);
+        for n in [2usize, 4, 8, 16, 32] {
+            let plan = FftPlan::new(n);
+            let mut x: Vec<C64> =
+                (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+            let expect = naive_dft(&x);
+            plan.forward(&mut x);
+            for (a, b) in x.iter().zip(&expect) {
+                assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_of_forward_is_identity() {
+        let mut rng = Xorshift::new(3);
+        let plan = FftPlan::new(64);
+        let orig: Vec<C64> =
+            (0..64).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        let mut x = orig.clone();
+        plan.forward(&mut x);
+        plan.inverse(&mut x);
+        for (a, b) in x.iter().zip(&orig) {
+            assert!((a.re - b.re).abs() < 1e-12 && (a.im - b.im).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let plan = FftPlan::new(8);
+        let mut x = vec![C64::zero(); 8];
+        x[0] = C64::new(1.0, 0.0);
+        plan.forward(&mut x);
+        for v in &x {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut rng = Xorshift::new(11);
+        let plan = FftPlan::new(32);
+        let x: Vec<C64> = (0..32).map(|_| C64::new(rng.next_f64(), 0.0)).collect();
+        let e_time: f64 = x.iter().map(|v| v.norm_sq()).sum();
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        let e_freq: f64 = y.iter().map(|v| v.norm_sq()).sum::<f64>() / 32.0;
+        assert!((e_time - e_freq).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = FftPlan::new(12);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn roundtrip_random(vals in proptest::collection::vec(-1e3f64..1e3, 16)) {
+            let plan = FftPlan::new(16);
+            let orig: Vec<C64> = vals.iter().map(|&v| C64::new(v, -v * 0.5)).collect();
+            let mut x = orig.clone();
+            plan.forward(&mut x);
+            plan.inverse(&mut x);
+            for (a, b) in x.iter().zip(&orig) {
+                proptest::prop_assert!((a.re - b.re).abs() < 1e-8);
+                proptest::prop_assert!((a.im - b.im).abs() < 1e-8);
+            }
+        }
+    }
+}

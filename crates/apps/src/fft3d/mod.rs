@@ -1,0 +1,180 @@
+//! NAS 3D-FFT benchmark: solve ∂u/∂t = α∇²u with forward/inverse 3D FFTs.
+//!
+//! Structure (as in NAS FT): the initial grid is transformed to frequency
+//! space once; each iteration multiplies by the evolution factor
+//! `exp(-4π²α t |k̄|²)` and inverse-transforms, producing a checksum over a
+//! fixed set of grid points. The computation decomposes into slabs: z-slabs
+//! for the spatial grid `A[z][y][x]` (x and y FFTs are plane-local) and
+//! x-slabs for the frequency grid `B[x][y][z]` (z FFTs are row-local),
+//! connected by a global transpose — the communication phase.
+//!
+//! Per Table 1 of the paper, the OpenMP version uses only `parallel do`.
+
+pub mod complex;
+pub mod fft1d;
+mod mpi;
+mod omp;
+mod seq;
+mod tmk_v;
+
+pub use mpi::run_mpi;
+pub use omp::run_omp;
+pub use seq::run_seq;
+pub use tmk_v::run_tmk;
+
+use crate::common::Xorshift;
+use complex::C64;
+
+/// Problem definition.
+#[derive(Debug, Clone, Copy)]
+pub struct FftConfig {
+    /// Grid extent in x (power of two).
+    pub nx: usize,
+    /// Grid extent in y (power of two).
+    pub ny: usize,
+    /// Grid extent in z (power of two).
+    pub nz: usize,
+    /// Evolution/inverse-FFT iterations.
+    pub iters: usize,
+    /// Diffusion coefficient α.
+    pub alpha: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Use write-without-fetch for the transpose pushes in the DSM
+    /// versions (the paper's cited compiler optimization; see the
+    /// `fft_push` ablation for its effect).
+    pub writer_push: bool,
+}
+
+impl FftConfig {
+    /// The paper-scale workload (Table 1's 3D-FFT row).
+    pub fn paper() -> Self {
+        FftConfig { nx: 64, ny: 64, nz: 32, iters: 6, alpha: 1e-6, seed: 314159, writer_push: true }
+    }
+
+    /// Small instance for tests.
+    pub fn test() -> Self {
+        FftConfig { nx: 16, ny: 16, nz: 8, iters: 3, alpha: 1e-6, seed: 314159, writer_push: true }
+    }
+
+    /// Total grid points.
+    pub fn total(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Panics unless the grid divides evenly over `nodes` slabs in both
+    /// decompositions.
+    pub fn check_divisible(&self, nodes: usize) {
+        assert_eq!(self.nz % nodes, 0, "nz={} not divisible by {nodes} nodes", self.nz);
+        assert_eq!(self.nx % nodes, 0, "nx={} not divisible by {nodes} nodes", self.nx);
+    }
+}
+
+/// Index into the spatial layout `A[z][y][x]`.
+#[inline]
+pub fn a_idx(cfg: &FftConfig, z: usize, y: usize, x: usize) -> usize {
+    (z * cfg.ny + y) * cfg.nx + x
+}
+
+/// Index into the frequency layout `B[x][y][z]`.
+#[inline]
+pub fn b_idx(cfg: &FftConfig, x: usize, y: usize, z: usize) -> usize {
+    (x * cfg.ny + y) * cfg.nz + z
+}
+
+/// Deterministically generate spatial plane `z` of the initial condition
+/// (identical in every implementation, parallelizable by plane).
+pub fn init_plane(cfg: &FftConfig, z: usize) -> Vec<C64> {
+    let mut rng = Xorshift::new(cfg.seed ^ (z as u64).wrapping_mul(0x9E3779B97F4A7C15).max(1));
+    (0..cfg.ny * cfg.nx).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+}
+
+/// Per-dimension evolution factors for ONE time step:
+/// `e_d[k] = exp(-4π²α k̄²)` with `k̄` the signed frequency. The full
+/// factor is separable: `e(kx,ky,kz) = ex[kx]·ey[ky]·ez[kz]`.
+pub fn evolution_tables(cfg: &FftConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let table = |n: usize| -> Vec<f64> {
+        (0..n)
+            .map(|k| {
+                let kk = if k > n / 2 { k as f64 - n as f64 } else { k as f64 };
+                (-4.0 * std::f64::consts::PI.powi(2) * cfg.alpha * kk * kk).exp()
+            })
+            .collect()
+    };
+    (table(cfg.nx), table(cfg.ny), table(cfg.nz))
+}
+
+/// The fixed grid points sampled by each iteration's checksum.
+pub fn checksum_points(cfg: &FftConfig) -> Vec<usize> {
+    let n = cfg.total();
+    (0..1024usize.min(n)).map(|j| (j.wrapping_mul(17) + 3) % n).collect()
+}
+
+/// Fold per-iteration checksums (re, im pairs) into one digest.
+pub fn checksum_digest(sums: &[(f64, f64)]) -> f64 {
+    crate::common::digest_f64(
+        &sums.iter().flat_map(|&(r, i)| [r, i]).collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layouts_are_bijective() {
+        let cfg = FftConfig::test();
+        let mut seen = vec![false; cfg.total()];
+        for z in 0..cfg.nz {
+            for y in 0..cfg.ny {
+                for x in 0..cfg.nx {
+                    let i = a_idx(&cfg, z, y, x);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // B layout too.
+        seen.fill(false);
+        for x in 0..cfg.nx {
+            for y in 0..cfg.ny {
+                for z in 0..cfg.nz {
+                    let i = b_idx(&cfg, x, y, z);
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn init_plane_is_deterministic_and_distinct() {
+        let cfg = FftConfig::test();
+        let a = init_plane(&cfg, 0);
+        let b = init_plane(&cfg, 0);
+        let c = init_plane(&cfg, 1);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), cfg.nx * cfg.ny);
+    }
+
+    #[test]
+    fn evolution_symmetric_and_decaying() {
+        let cfg = FftConfig::test();
+        let (ex, _, _) = evolution_tables(&cfg);
+        assert_eq!(ex[0], 1.0, "DC mode does not decay");
+        // Conjugate symmetry of frequencies: k and n-k decay equally.
+        assert!((ex[1] - ex[cfg.nx - 1]).abs() < 1e-15);
+        assert!(ex[cfg.nx / 2] < ex[1]);
+    }
+
+    #[test]
+    fn checksum_points_in_bounds() {
+        let cfg = FftConfig::test();
+        let pts = checksum_points(&cfg);
+        assert!(!pts.is_empty());
+        assert!(pts.iter().all(|&p| p < cfg.total()));
+    }
+}

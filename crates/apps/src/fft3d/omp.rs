@@ -1,0 +1,157 @@
+//! OpenMP version of the 3D-FFT: `parallel do` only (Table 1).
+//!
+//! Transposes use the *writer-push* layout: each producer writes its
+//! stripes directly into the consumer's slab of the destination array, so
+//! a consumer fault on one of its pages fetches the diffs of all writers
+//! in one (parallel) round — the page-based-DSM analogue of the MPI
+//! all-to-all, and the way hand-tuned TreadMarks codes arranged their
+//! transposes.
+
+use super::complex::C64;
+use super::fft1d::FftPlan;
+use super::{
+    a_idx, b_idx, checksum_digest, checksum_points, evolution_tables, seq::fft_plane, FftConfig,
+};
+use crate::common::{Report, VersionKind};
+use nomp::{OmpConfig, Schedule};
+
+/// Run the OpenMP/DSM version on `sys.threads()` workstations.
+pub fn run_omp(cfg: &FftConfig, sys: OmpConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.threads();
+    let out = nomp::run(sys, move |omp| {
+        cfg.check_divisible(omp.num_threads());
+        let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+        let total = cfg.total();
+        // Shared arrays: frequency grid V (x-slabs) and spatial scratch
+        // A2 (z-slabs); both written cross-node by the transposes.
+        let v = omp.malloc_vec::<C64>(total);
+        let a2 = omp.malloc_vec::<C64>(total);
+        let sums = omp.malloc_vec::<f64>(cfg.iters * 2);
+
+        // Phase 1: init + 2D-FFT owned z-planes locally, then push the
+        // transposed stripes into every x-slab of V.
+        omp.parallel_for_chunks(Schedule::Static, 0..nz, move |t, zr| {
+            let plan_x = FftPlan::new(nx);
+            let plan_y = FftPlan::new(ny);
+            let zsl = zr.len();
+            let mut planes: Vec<Vec<C64>> = Vec::with_capacity(zsl);
+            for z in zr.clone() {
+                let mut plane = super::init_plane(&cfg, z);
+                fft_plane(&cfg, &mut plane, &plan_x, &plan_y, true);
+                planes.push(plane);
+            }
+            let mut seg = vec![C64::zero(); zsl];
+            for x in 0..nx {
+                for y in 0..ny {
+                    for (dz, plane) in planes.iter().enumerate() {
+                        seg[dz] = plane[y * nx + x];
+                    }
+                    if cfg.writer_push {
+                        t.write_slice_push(&v, b_idx(&cfg, x, y, zr.start), &seg);
+                    } else {
+                        t.write_slice(&v, b_idx(&cfg, x, y, zr.start), &seg);
+                    }
+                }
+            }
+        });
+
+        // Phase 2: z-FFT on the owned V slab (one fault round per page,
+        // batching every writer's diffs).
+        omp.parallel_for_chunks(Schedule::Static, 0..nx, move |t, xr| {
+            let plan_z = FftPlan::new(nz);
+            let lo = b_idx(&cfg, xr.start, 0, 0);
+            let hi = b_idx(&cfg, xr.end, 0, 0);
+            t.view_mut(&v, lo..hi, |slab| {
+                for row in slab.chunks_mut(nz) {
+                    plan_z.forward(row);
+                }
+            });
+        });
+
+        for it in 1..=cfg.iters {
+            // Phase 3a: evolve + inverse z-FFT on the owned V slab, then
+            // push the back-transposed stripes into every z-slab of A2.
+            omp.parallel_for_chunks(Schedule::Static, 0..nx, move |t, xr| {
+                let plan_z = FftPlan::new(nz);
+                let (ex, ey, ez) = evolution_tables(&cfg);
+                let lo = b_idx(&cfg, xr.start, 0, 0);
+                let hi = b_idx(&cfg, xr.end, 0, 0);
+                let xstart = xr.start;
+                let mut scratch: Vec<C64> = t.view_mut(&v, lo..hi, |slab| {
+                    for (dx, xblock) in slab.chunks_mut(ny * nz).enumerate() {
+                        let fx = ex[xstart + dx];
+                        for (y, row) in xblock.chunks_mut(nz).enumerate() {
+                            let fxy = fx * ey[y];
+                            for (z, c) in row.iter_mut().enumerate() {
+                                *c = c.scale(fxy * ez[z]);
+                            }
+                        }
+                    }
+                    slab.to_vec()
+                });
+                for row in scratch.chunks_mut(nz) {
+                    plan_z.inverse(row);
+                }
+                let xsl = xr.len();
+                let mut seg = vec![C64::zero(); xsl];
+                for z in 0..nz {
+                    for y in 0..ny {
+                        for dx in 0..xsl {
+                            seg[dx] = scratch[(dx * ny + y) * nz + z];
+                        }
+                        if cfg.writer_push {
+                            t.write_slice_push(&a2, a_idx(&cfg, z, y, xr.start), &seg);
+                        } else {
+                            t.write_slice(&a2, a_idx(&cfg, z, y, xr.start), &seg);
+                        }
+                    }
+                }
+            });
+
+            // Phase 3b: 2D inverse FFT on the owned A2 planes + partial
+            // checksum, combined in a critical section.
+            let points = checksum_points(&cfg);
+            omp.parallel_for_chunks(Schedule::Static, 0..nz, move |t, zr| {
+                let plan_x = FftPlan::new(nx);
+                let plan_y = FftPlan::new(ny);
+                let lo = zr.start * ny * nx;
+                let hi = zr.end * ny * nx;
+                let mut slab = t.read_slice(&a2, lo..hi);
+                let mut part = (0.0f64, 0.0f64);
+                for (dz, plane) in slab.chunks_mut(ny * nx).enumerate() {
+                    let z = zr.start + dz;
+                    fft_plane(&cfg, plane, &plan_x, &plan_y, false);
+                    for &p in &points {
+                        let pz = p / (ny * nx);
+                        if pz == z {
+                            let off = p - pz * ny * nx;
+                            part.0 += plane[off].re;
+                            part.1 += plane[off].im;
+                        }
+                    }
+                }
+                t.critical_named("fft_sums", |t| {
+                    let base = (it - 1) * 2;
+                    let cur0 = t.read(&sums, base);
+                    let cur1 = t.read(&sums, base + 1);
+                    t.write(&sums, base, cur0 + part.0);
+                    t.write(&sums, base + 1, cur1 + part.1);
+                });
+            });
+        }
+
+        let flat = omp.read_slice(&sums, 0..cfg.iters * 2);
+        flat.chunks(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>()
+    });
+
+    Report {
+        app: "3D-FFT",
+        version: VersionKind::Omp,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: checksum_digest(&out.result),
+    }
+}

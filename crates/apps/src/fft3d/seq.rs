@@ -1,0 +1,170 @@
+//! Sequential 3D-FFT baseline (speedup denominator for Figure 5).
+
+use super::complex::C64;
+use super::fft1d::FftPlan;
+use super::{a_idx, b_idx, checksum_digest, checksum_points, evolution_tables, FftConfig};
+use crate::common::{time_sequential, Report, VersionKind};
+
+/// Full sequential computation; returns per-iteration checksums.
+pub fn compute_seq(cfg: &FftConfig) -> Vec<(f64, f64)> {
+    let (nx, ny, nz) = (cfg.nx, cfg.ny, cfg.nz);
+    let plan_x = FftPlan::new(nx);
+    let plan_y = FftPlan::new(ny);
+    let plan_z = FftPlan::new(nz);
+
+    // Initialize A[z][y][x].
+    let mut a: Vec<C64> = Vec::with_capacity(cfg.total());
+    for z in 0..nz {
+        a.extend(super::init_plane(cfg, z));
+    }
+
+    // Forward: x rows + y columns per z-plane, then transpose and z rows.
+    for z in 0..nz {
+        fft_plane(cfg, &mut a[z * ny * nx..(z + 1) * ny * nx], &plan_x, &plan_y, true);
+    }
+    let mut v = vec![C64::zero(); cfg.total()]; // B layout, running frequency data
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                v[b_idx(cfg, x, y, z)] = a[a_idx(cfg, z, y, x)];
+            }
+        }
+    }
+    let mut row = vec![C64::zero(); nz];
+    for x in 0..nx {
+        for y in 0..ny {
+            let base = (x * ny + y) * nz;
+            row.copy_from_slice(&v[base..base + nz]);
+            plan_z.forward(&mut row);
+            v[base..base + nz].copy_from_slice(&row);
+        }
+    }
+
+    // Iterations: evolve in frequency space, inverse transform, checksum.
+    let (ex, ey, ez) = evolution_tables(cfg);
+    let points = checksum_points(cfg);
+    let mut sums = Vec::with_capacity(cfg.iters);
+    let mut w = vec![C64::zero(); cfg.total()];
+    let mut a2 = vec![C64::zero(); cfg.total()];
+    for _t in 1..=cfg.iters {
+        // v *= e (one step per iteration => cumulative factor e^t).
+        for x in 0..nx {
+            for y in 0..ny {
+                let f_xy = ex[x] * ey[y];
+                let base = (x * ny + y) * nz;
+                for z in 0..nz {
+                    v[base + z] = v[base + z].scale(f_xy * ez[z]);
+                }
+            }
+        }
+        w.copy_from_slice(&v);
+        // Inverse: z rows in B layout, transpose back, y + x per plane.
+        for x in 0..nx {
+            for y in 0..ny {
+                let base = (x * ny + y) * nz;
+                row.copy_from_slice(&w[base..base + nz]);
+                plan_z.inverse(&mut row);
+                w[base..base + nz].copy_from_slice(&row);
+            }
+        }
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    a2[a_idx(cfg, z, y, x)] = w[b_idx(cfg, x, y, z)];
+                }
+            }
+        }
+        for z in 0..nz {
+            fft_plane(cfg, &mut a2[z * ny * nx..(z + 1) * ny * nx], &plan_x, &plan_y, false);
+        }
+        let mut s = (0.0, 0.0);
+        for &p in &points {
+            s.0 += a2[p].re;
+            s.1 += a2[p].im;
+        }
+        sums.push(s);
+    }
+    sums
+}
+
+/// 2D FFT (x rows then y columns) of one z-plane `[y][x]`, forward or
+/// inverse. Shared by all implementations.
+pub fn fft_plane(cfg: &FftConfig, plane: &mut [C64], plan_x: &FftPlan, plan_y: &FftPlan, fwd: bool) {
+    let (nx, ny) = (cfg.nx, cfg.ny);
+    debug_assert_eq!(plane.len(), nx * ny);
+    for y in 0..ny {
+        let row = &mut plane[y * nx..(y + 1) * nx];
+        if fwd {
+            plan_x.forward(row);
+        } else {
+            plan_x.inverse(row);
+        }
+    }
+    let mut col = vec![C64::zero(); ny];
+    for x in 0..nx {
+        for y in 0..ny {
+            col[y] = plane[y * nx + x];
+        }
+        if fwd {
+            plan_y.forward(&mut col);
+        } else {
+            plan_y.inverse(&mut col);
+        }
+        for y in 0..ny {
+            plane[y * nx + x] = col[y];
+        }
+    }
+}
+
+/// Run and time the sequential version.
+pub fn run_seq(cfg: &FftConfig, compute_scale: f64) -> Report {
+    let cfg = *cfg;
+    let (sums, vt_ns) = time_sequential(compute_scale, move || compute_seq(&cfg));
+    Report {
+        app: "3D-FFT",
+        version: VersionKind::Seq,
+        nodes: 1,
+        vt_ns,
+        msgs: 0,
+        bytes: 0,
+        checksum: checksum_digest(&sums),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evolution_shrinks_checksums_toward_dc() {
+        // Diffusion damps high frequencies; the field should smooth out
+        // and checksums should stay finite and change between iterations.
+        let cfg = FftConfig::test();
+        let sums = compute_seq(&cfg);
+        assert_eq!(sums.len(), cfg.iters);
+        for w in sums.windows(2) {
+            assert_ne!(w[0], w[1], "iterations must differ");
+        }
+        assert!(sums.iter().all(|s| s.0.is_finite() && s.1.is_finite()));
+    }
+
+    #[test]
+    fn zero_alpha_first_iteration_reproduces_input() {
+        // With alpha = 0 the evolution factor is 1, so the first inverse
+        // transform must reproduce the initial grid exactly.
+        let mut cfg = FftConfig::test();
+        cfg.alpha = 0.0;
+        cfg.iters = 1;
+        let sums = compute_seq(&cfg);
+        // Compute the expected checksum directly from the initial data.
+        let mut a: Vec<C64> = Vec::new();
+        for z in 0..cfg.nz {
+            a.extend(super::super::init_plane(&cfg, z));
+        }
+        let pts = checksum_points(&cfg);
+        let expect: (f64, f64) =
+            pts.iter().fold((0.0, 0.0), |s, &p| (s.0 + a[p].re, s.1 + a[p].im));
+        assert!((sums[0].0 - expect.0).abs() < 1e-8, "{} vs {}", sums[0].0, expect.0);
+        assert!((sums[0].1 - expect.1).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,24 @@
+//! # now-apps — the five SC'98 evaluation applications
+//!
+//! Each application exists in four versions (Table 1 of the paper):
+//! sequential, OpenMP (`nomp` directives over the DSM), hand-coded
+//! TreadMarks (`tmk` API), and MPI (`nowmpi`), all verified to produce
+//! the same results and all reporting the timing/traffic numbers that
+//! Figure 5 and Table 2 are built from.
+//!
+//! | App | Parallelism style | Synchronization |
+//! |---|---|---|
+//! | [`sweep3d`] | pipelined wavefronts | semaphores (proposed directive) |
+//! | [`fft3d`] | data parallel (`parallel do`) | barriers only |
+//! | [`water`] | coarse-grained owner-computes | barriers |
+//! | [`tsp`] | task parallel, priority queue | critical sections |
+//! | [`qsort`] | task queue | critical + condition variable |
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod fft3d;
+pub mod qsort;
+pub mod sweep3d;
+pub mod tsp;
+pub mod water;

@@ -1,0 +1,110 @@
+//! OpenMP version of QSORT — the paper's Figure 4 task queue, verbatim:
+//! `parallel` region + `critical` + one condition variable.
+
+use super::{bubble_sort, partition, sorted_digest, QsortConfig};
+use crate::common::{Report, VersionKind};
+use nomp::{critical_id, OmpConfig, OmpThread, SharedVec};
+
+const CV: u32 = 0;
+
+/// Task queue in one shared region: `q[0]` = count, `q[1]` = nwait,
+/// tasks from `q[2]` — a lock tenure touches a single page group, not
+/// three separate regions (the locality tuning hand-written TreadMarks
+/// programs applied).
+#[derive(Clone, Copy)]
+struct Queue {
+    q: SharedVec<u64>,
+}
+
+impl Queue {
+    fn lock() -> u32 {
+        critical_id("task_queue")
+    }
+
+    /// The paper's `EnQueue` (Figure 4): push under `critical`, signal if
+    /// anyone is waiting. Must be called while *not* holding the lock.
+    fn enqueue(&self, t: &mut OmpThread<'_>, lo: usize, hi: usize) {
+        let q = self.q;
+        t.critical(Self::lock(), |t| {
+            let c = t.read(&q, 0);
+            assert!((c as usize) + 2 < q.len(), "task queue overflow");
+            t.write(&q, c as usize + 2, ((lo as u64) << 32) | hi as u64);
+            t.write(&q, 0, c + 1);
+            if t.read(&q, 1) > 0 {
+                t.cond_signal(Self::lock(), CV);
+            }
+        });
+    }
+
+    /// The paper's `DeQueue` (Figure 4): block on the condition variable
+    /// until a task appears or every thread is waiting (termination).
+    fn dequeue(&self, t: &mut OmpThread<'_>) -> Option<(usize, usize)> {
+        let q = self.q;
+        let nthreads = t.num_threads() as u64;
+        t.critical(Self::lock(), |t| {
+            while t.read(&q, 0) == 0 && t.read(&q, 1) < nthreads {
+                let w = t.read(&q, 1) + 1;
+                t.write(&q, 1, w);
+                if w == nthreads {
+                    t.cond_broadcast(Self::lock(), CV);
+                } else {
+                    t.cond_wait(Self::lock(), CV);
+                    let w2 = t.read(&q, 1);
+                    if w2 != nthreads {
+                        t.write(&q, 1, w2 - 1);
+                    }
+                }
+            }
+            let c = t.read(&q, 0);
+            if c > 0 {
+                t.write(&q, 0, c - 1);
+                let packed = t.read(&q, c as usize + 1);
+                Some(((packed >> 32) as usize, (packed & 0xffff_ffff) as usize))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Run the OpenMP/DSM version.
+pub fn run_omp(cfg: &QsortConfig, sys: OmpConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.threads();
+    let out = nomp::run(sys, move |omp| {
+        let n = cfg.n;
+        let cap = 2 * n / cfg.bubble_threshold.max(1) + 64;
+        let data = omp.malloc_vec::<i32>(n);
+        let q = Queue { q: omp.malloc_vec::<u64>(cap + 2) };
+        let input = super::gen_input(&cfg);
+        omp.write_slice(&data, 0, &input);
+        // Seed the queue with the whole array (sequential section).
+        omp.write(&q.q, 2, (0u64 << 32) | n as u64);
+        omp.write(&q.q, 0, 1);
+
+        omp.parallel(move |t| {
+            while let Some((lo, hi)) = q.dequeue(t) {
+                if hi - lo <= cfg.bubble_threshold {
+                    t.view_mut(&data, lo..hi, |v| bubble_sort(v));
+                } else {
+                    let s = t.view_mut(&data, lo..hi, |v| partition(v));
+                    q.enqueue(t, lo, lo + s);
+                    q.enqueue(t, lo + s, hi);
+                }
+            }
+        });
+
+        let sorted = omp.read_slice(&data, 0..n);
+        sorted_digest(&sorted)
+    });
+
+    Report {
+        app: "QSORT",
+        version: VersionKind::Omp,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result,
+    }
+}

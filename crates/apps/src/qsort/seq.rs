@@ -1,0 +1,37 @@
+//! Sequential QSORT baseline.
+
+use super::{gen_input, quicksort, sorted_digest, QsortConfig};
+use crate::common::{time_sequential, Report, VersionKind};
+
+/// Run and time the sequential version.
+pub fn run_seq(cfg: &QsortConfig, compute_scale: f64) -> Report {
+    let cfg = *cfg;
+    let (digest, vt_ns) = time_sequential(compute_scale, move || {
+        let mut v = gen_input(&cfg);
+        quicksort(&mut v, cfg.bubble_threshold);
+        sorted_digest(&v)
+    });
+    Report {
+        app: "QSORT",
+        version: VersionKind::Seq,
+        nodes: 1,
+        vt_ns,
+        msgs: 0,
+        bytes: 0,
+        checksum: digest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_matches_std_sort_digest() {
+        let cfg = QsortConfig::test();
+        let r = run_seq(&cfg, 1.0);
+        let mut v = gen_input(&cfg);
+        v.sort_unstable();
+        assert_eq!(r.checksum, sorted_digest(&v));
+    }
+}

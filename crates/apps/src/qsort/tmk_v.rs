@@ -1,0 +1,101 @@
+//! Hand-coded TreadMarks version of QSORT: same Figure 4 task queue
+//! expressed directly against the Tmk lock/condvar API.
+
+use super::{bubble_sort, partition, sorted_digest, QsortConfig};
+use crate::common::{Report, VersionKind};
+use tmk::{SharedVec, Tmk, TmkConfig};
+
+const QLOCK: u32 = 9;
+const CV: u32 = 0;
+
+/// Single-region task queue: `q[0]` = count, `q[1]` = nwait, tasks from
+/// `q[2]` (one page group per lock tenure).
+#[derive(Clone, Copy)]
+struct Queue {
+    q: SharedVec<u64>,
+}
+
+impl Queue {
+    fn enqueue(&self, t: &mut Tmk, lo: usize, hi: usize) {
+        let q = self.q;
+        t.lock_acquire(QLOCK);
+        let c = t.read(&q, 0);
+        assert!((c as usize) + 2 < q.len(), "task queue overflow");
+        t.write(&q, c as usize + 2, ((lo as u64) << 32) | hi as u64);
+        t.write(&q, 0, c + 1);
+        if t.read(&q, 1) > 0 {
+            t.cond_signal(QLOCK, CV);
+        }
+        t.lock_release(QLOCK);
+    }
+
+    fn dequeue(&self, t: &mut Tmk) -> Option<(usize, usize)> {
+        let q = self.q;
+        let nthreads = t.nprocs() as u64;
+        t.lock_acquire(QLOCK);
+        while t.read(&q, 0) == 0 && t.read(&q, 1) < nthreads {
+            let w = t.read(&q, 1) + 1;
+            t.write(&q, 1, w);
+            if w == nthreads {
+                t.cond_broadcast(QLOCK, CV);
+            } else {
+                t.cond_wait(QLOCK, CV);
+                let w2 = t.read(&q, 1);
+                if w2 != nthreads {
+                    t.write(&q, 1, w2 - 1);
+                }
+            }
+        }
+        let c = t.read(&q, 0);
+        let task = if c > 0 {
+            t.write(&q, 0, c - 1);
+            let packed = t.read(&q, c as usize + 1);
+            Some(((packed >> 32) as usize, (packed & 0xffff_ffff) as usize))
+        } else {
+            None
+        };
+        t.lock_release(QLOCK);
+        task
+    }
+}
+
+/// Run the hand-coded DSM version.
+pub fn run_tmk(cfg: &QsortConfig, sys: TmkConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.nodes();
+    let out = tmk::run_system(sys, move |tmk| {
+        let n = cfg.n;
+        let cap = 2 * n / cfg.bubble_threshold.max(1) + 64;
+        let data = tmk.malloc_vec::<i32>(n);
+        let q = Queue { q: tmk.malloc_vec::<u64>(cap + 2) };
+        let input = super::gen_input(&cfg);
+        tmk.write_slice(&data, 0, &input);
+        tmk.write(&q.q, 2, n as u64);
+        tmk.write(&q.q, 0, 1);
+
+        tmk.parallel(0, move |t| {
+            while let Some((lo, hi)) = q.dequeue(t) {
+                if hi - lo <= cfg.bubble_threshold {
+                    t.view_mut(&data, lo..hi, |v| bubble_sort(v));
+                } else {
+                    let s = t.view_mut(&data, lo..hi, |v| partition(v));
+                    q.enqueue(t, lo, lo + s);
+                    q.enqueue(t, lo + s, hi);
+                }
+            }
+        });
+
+        let sorted = tmk.read_slice(&data, 0..n);
+        sorted_digest(&sorted)
+    });
+
+    Report {
+        app: "QSORT",
+        version: VersionKind::Tmk,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result,
+    }
+}

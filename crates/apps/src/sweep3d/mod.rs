@@ -1,0 +1,244 @@
+//! ASCI Sweep3D: one-group, time-independent discrete-ordinates (Sn)
+//! neutron transport on a 3D Cartesian grid.
+//!
+//! For every octant (sweep direction) and every angle, the solver sweeps
+//! the grid in wavefront order: each cell's angular flux ψ depends on the
+//! upwind neighbors in x, y and z. Cell updates accumulate the scalar
+//! flux φ += w·ψ.
+//!
+//! Parallelization (as in the paper): the y dimension is divided into one
+//! column per workstation and the sweep is *pipelined* along x-blocks —
+//! thread t must wait for its upwind neighbor's boundary plane for block
+//! b before computing it, expressed with the paper's proposed
+//! `sema_signal`/`sema_wait` directives (Table 1: `parallel region` +
+//! semaphore). The z dimension stays local, so the only cross-thread
+//! dependency is the y boundary plane per (angle, x, z).
+
+mod mpi;
+mod omp;
+mod pipeline;
+mod seq;
+mod tmk_v;
+
+pub use mpi::run_mpi;
+pub use omp::run_omp;
+pub use seq::run_seq;
+pub use tmk_v::run_tmk;
+
+use crate::common::digest_f64;
+
+/// Total cross section σ.
+pub const SIGMA: f64 = 1.2;
+
+/// Problem definition.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Grid extent in x.
+    pub nx: usize,
+    /// Grid extent in y (the decomposed dimension).
+    pub ny: usize,
+    /// Grid extent in z.
+    pub nz: usize,
+    /// Discrete angles per octant.
+    pub n_ang: usize,
+    /// Pipeline stages along x.
+    pub x_blocks: usize,
+    /// Outer sweep repetitions.
+    pub n_sweeps: usize,
+}
+
+impl SweepConfig {
+    /// Paper-scale workload (Table 1's Sweep3D row: 50³ grid).
+    pub fn paper() -> Self {
+        SweepConfig { nx: 50, ny: 50, nz: 50, n_ang: 6, x_blocks: 10, n_sweeps: 1 }
+    }
+
+    /// Small instance for tests.
+    pub fn test() -> Self {
+        SweepConfig { nx: 12, ny: 12, nz: 10, n_ang: 2, x_blocks: 3, n_sweeps: 1 }
+    }
+
+    /// Grid cells.
+    pub fn cells(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Flux array index for `(x, y, z)` — layout `[y][z][x]`, so one
+    /// thread's y-rows are contiguous.
+    #[inline]
+    pub fn idx(&self, x: usize, y: usize, z: usize) -> usize {
+        (y * self.nz + z) * self.nx + x
+    }
+}
+
+/// A sweep direction: `true` = ascending coordinate order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Octant {
+    /// x direction.
+    pub sx: bool,
+    /// y direction (the pipeline direction).
+    pub sy: bool,
+    /// z direction.
+    pub sz: bool,
+}
+
+/// The eight octants in a fixed global order (identical in every
+/// implementation, so per-cell accumulation order matches bit-for-bit).
+pub fn octants() -> [Octant; 8] {
+    let mut out = [Octant { sx: true, sy: true, sz: true }; 8];
+    for (i, o) in out.iter_mut().enumerate() {
+        o.sx = i & 1 == 0;
+        o.sy = i & 2 == 0;
+        o.sz = i & 4 == 0;
+    }
+    out
+}
+
+/// Angle `a`'s direction cosines and quadrature weight.
+#[inline]
+pub fn angle(cfg: &SweepConfig, a: usize) -> (f64, f64, f64, f64) {
+    let n = cfg.n_ang as f64;
+    let mu = (a as f64 + 0.5) / n;
+    let eta = (n - a as f64) / (n + 1.0) + 0.1;
+    let xi = 0.25 + 0.5 * (a as f64 + 0.5) / n;
+    let w = 1.0 / (8.0 * n);
+    (mu, eta, xi, w)
+}
+
+/// The fixed external source term (closed form: no array to distribute).
+#[inline]
+pub fn source(x: usize, y: usize, z: usize) -> f64 {
+    1.0 + 0.1 * (((x * 73 + y * 37 + z * 91) % 17) as f64)
+}
+
+/// Coordinates of one dimension in octant order.
+pub fn dim_order(n: usize, ascending: bool) -> Vec<usize> {
+    if ascending {
+        (0..n).collect()
+    } else {
+        (0..n).rev().collect()
+    }
+}
+
+/// Sweep one x-block for all angles of one octant over the y-rows `ys`
+/// (already in octant order; `ys[0]` is the most upwind row this worker
+/// owns).
+///
+/// * `psix` — `[a][yl][z]` carry of ψ across x (persists across blocks
+///   within an octant; zero it at octant start).
+/// * `iface_in` — `[a][x][z]` incoming y-boundary ψ produced by the
+///   upwind neighbor (`None` ⇒ vacuum boundary).
+/// * `iface_out` — same layout, outgoing boundary for the downwind
+///   neighbor (`None` ⇒ last worker).
+/// * `flux` — full-grid scalar flux, only this worker's rows are touched.
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_block(
+    cfg: &SweepConfig,
+    oct: Octant,
+    xr: &[usize],
+    ys: &[usize],
+    psix: &mut [f64],
+    iface_in: Option<&[f64]>,
+    iface_out: Option<&mut [f64]>,
+    flux: &mut [f64],
+) {
+    let (nx, nz) = (cfg.nx, cfg.nz);
+    let zs = dim_order(nz, oct.sz);
+    let mut carry_y = vec![0.0f64; nz];
+    let mut out = iface_out;
+    for a in 0..cfg.n_ang {
+        let (mu, eta, xi, w) = angle(cfg, a);
+        let denom = SIGMA + mu + eta + xi;
+        for &x in xr {
+            // Incoming y-boundary for this (a, x) column.
+            match iface_in {
+                Some(buf) => {
+                    let base = (a * nx + x) * nz;
+                    carry_y.copy_from_slice(&buf[base..base + nz]);
+                }
+                None => carry_y.fill(0.0),
+            }
+            for (yl, &y) in ys.iter().enumerate() {
+                let psix_row = &mut psix[(a * ys.len() + yl) * nz..(a * ys.len() + yl + 1) * nz];
+                let mut psi_z = 0.0f64;
+                for &z in &zs {
+                    let inc_x = psix_row[z];
+                    let inc_y = carry_y[z];
+                    let psi =
+                        (source(x, y, z) + mu * inc_x + eta * inc_y + xi * psi_z) / denom;
+                    flux[cfg.idx(x, y, z)] += w * psi;
+                    psix_row[z] = psi;
+                    carry_y[z] = psi;
+                    psi_z = psi;
+                }
+            }
+            if let Some(buf) = out.as_deref_mut() {
+                let base = (a * nx + x) * nz;
+                buf[base..base + nz].copy_from_slice(&carry_y);
+            }
+        }
+    }
+}
+
+/// Digest of the final flux field (cross-version verification value).
+pub fn flux_digest(flux: &[f64]) -> f64 {
+    let total: f64 = flux.iter().sum();
+    let sampled: Vec<f64> =
+        flux.iter().step_by((flux.len() / 509).max(1)).copied().collect();
+    digest_f64(&sampled) + total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn octants_cover_all_sign_combinations() {
+        let os = octants();
+        let mut seen = std::collections::HashSet::new();
+        for o in os {
+            seen.insert((o.sx, o.sy, o.sz));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn angles_are_positive_and_weighted() {
+        let cfg = SweepConfig::test();
+        let mut wsum = 0.0;
+        for a in 0..cfg.n_ang {
+            let (mu, eta, xi, w) = angle(&cfg, a);
+            assert!(mu > 0.0 && eta > 0.0 && xi > 0.0 && w > 0.0);
+            wsum += w;
+        }
+        assert!((wsum - 1.0 / 8.0).abs() < 1e-12, "octant weights sum to 1/8");
+    }
+
+    #[test]
+    fn dim_order_directions() {
+        assert_eq!(dim_order(3, true), vec![0, 1, 2]);
+        assert_eq!(dim_order(3, false), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn sweep_produces_positive_bounded_flux() {
+        let cfg = SweepConfig::test();
+        let flux = seq::compute_seq(&cfg);
+        assert!(flux.iter().all(|&f| f > 0.0), "positive source ⇒ positive flux");
+        // ψ ≤ max source / σ · (1 + ...) — loose sanity bound.
+        let max_src = 1.0 + 0.1 * 16.0;
+        let bound = max_src / SIGMA * 8.0; // 8 octants, weights sum to 1
+        assert!(flux.iter().all(|&f| f < bound), "flux blew past physical bound");
+    }
+
+    #[test]
+    fn block_split_does_not_change_result() {
+        // Sweeping in 1 block vs several must be bit-identical: the
+        // pipeline changes scheduling, not math.
+        let mut one = SweepConfig::test();
+        one.x_blocks = 1;
+        let mut many = SweepConfig::test();
+        many.x_blocks = 4;
+        assert_eq!(seq::compute_seq(&one), seq::compute_seq(&many));
+    }
+}

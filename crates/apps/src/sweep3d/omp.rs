@@ -1,0 +1,32 @@
+//! OpenMP version of Sweep3D: one `parallel` region; pipeline expressed
+//! with the paper's proposed `sema_signal`/`sema_wait` directives.
+
+use super::pipeline::{dsm_worker, edge_len};
+use super::{flux_digest, SweepConfig};
+use crate::common::{Report, VersionKind};
+use nomp::OmpConfig;
+
+/// Run the OpenMP/DSM version.
+pub fn run_omp(cfg: &SweepConfig, sys: OmpConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.threads();
+    let out = nomp::run(sys, move |omp| {
+        let p = omp.num_threads();
+        let flux = omp.malloc_vec::<f64>(cfg.cells());
+        let iface = omp.malloc_vec::<f64>(edge_len(&cfg) * p.saturating_sub(1).max(1));
+        omp.parallel(move |t| {
+            dsm_worker(t, &cfg, flux, iface);
+        });
+        let f = omp.read_slice(&flux, 0..cfg.cells());
+        flux_digest(&f)
+    });
+    Report {
+        app: "Sweep3D",
+        version: VersionKind::Omp,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result,
+    }
+}

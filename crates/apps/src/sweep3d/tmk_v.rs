@@ -1,0 +1,33 @@
+//! Hand-coded TreadMarks version of Sweep3D (single fork, explicit
+//! semaphores — same pipeline as the OpenMP version without the
+//! directive layer).
+
+use super::pipeline::{dsm_worker, edge_len};
+use super::{flux_digest, SweepConfig};
+use crate::common::{Report, VersionKind};
+use tmk::TmkConfig;
+
+/// Run the hand-coded DSM version.
+pub fn run_tmk(cfg: &SweepConfig, sys: TmkConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.nodes();
+    let out = tmk::run_system(sys, move |tmk| {
+        let p = tmk.nprocs();
+        let flux = tmk.malloc_vec::<f64>(cfg.cells());
+        let iface = tmk.malloc_vec::<f64>(edge_len(&cfg) * p.saturating_sub(1).max(1));
+        tmk.parallel(0, move |t| {
+            dsm_worker(t, &cfg, flux, iface);
+        });
+        let f = tmk.read_slice(&flux, 0..cfg.cells());
+        flux_digest(&f)
+    });
+    Report {
+        app: "Sweep3D",
+        version: VersionKind::Tmk,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result,
+    }
+}

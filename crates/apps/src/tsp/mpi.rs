@@ -1,0 +1,189 @@
+//! MPI version of TSP: master-worker branch and bound.
+//!
+//! Rank 0 owns the priority queue and pool; workers request tours and
+//! send back expanded children and bound improvements, piggybacked on the
+//! work-request message. The master interleaves serving requests with
+//! working on tours itself so all ranks compute.
+
+use super::{expand, gen_distances, remaining, solve_exhaustive, Tour, TspConfig};
+use crate::common::{Report, VersionKind};
+use nowmpi::{MpiConfig, MpiRank};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const TAG_REQ: i32 = 41; // worker -> master: [best, ntours, tours...]
+const TAG_TASK: i32 = 42; // master -> worker: [best, tour]
+const TAG_DONE: i32 = 43; // master -> worker: [best]
+
+fn pack_tour(out: &mut Vec<u32>, t: &Tour) {
+    out.push(t.len);
+    out.push(t.bound);
+    out.push(t.path.len() as u32);
+    out.extend(t.path.iter().map(|&c| c as u32));
+}
+
+fn unpack_tour(buf: &[u32]) -> (Tour, usize) {
+    let k = buf[2] as usize;
+    (
+        Tour {
+            len: buf[0],
+            bound: buf[1],
+            path: buf[3..3 + k].iter().map(|&c| c as u8).collect(),
+        },
+        3 + k,
+    )
+}
+
+/// Run the message-passing version.
+pub fn run_mpi(cfg: &TspConfig, sys: MpiConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.ranks();
+    let out = nowmpi::run_mpi(sys, move |mpi| {
+        let dist = gen_distances(&cfg);
+        if mpi.size() == 1 {
+            return super::seq::compute_seq(&cfg);
+        }
+        if mpi.rank() == 0 {
+            master(mpi, &dist, &cfg)
+        } else {
+            tsp_worker(mpi, &dist, &cfg)
+        }
+    });
+
+    let best = out.results[0];
+    Report {
+        app: "TSP",
+        version: VersionKind::Mpi,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: best as f64,
+    }
+}
+
+/// Process one tour: either finish it exhaustively or expand it.
+/// Returns (new best candidate, children to enqueue).
+fn process(dist: &[u32], cfg: &TspConfig, tour: &Tour, best: u32) -> (u32, Vec<Tour>) {
+    if tour.bound >= best {
+        return (best, Vec::new());
+    }
+    if remaining(cfg.n_cities, tour) <= cfg.exhaustive_at {
+        (solve_exhaustive(dist, cfg.n_cities, tour, best), Vec::new())
+    } else {
+        let kids =
+            expand(dist, cfg.n_cities, tour).into_iter().filter(|c| c.bound < best).collect();
+        (best, kids)
+    }
+}
+
+fn master(mpi: &mut MpiRank, dist: &[u32], cfg: &TspConfig) -> u32 {
+    let p = mpi.size();
+    let mut best = u32::MAX;
+    let mut heap: BinaryHeap<Reverse<(u32, u64)>> = BinaryHeap::new();
+    let mut pool: Vec<Tour> = Vec::new();
+    let mut waiting: Vec<bool> = vec![false; p];
+    let push = |heap: &mut BinaryHeap<Reverse<(u32, u64)>>, pool: &mut Vec<Tour>, t: Tour| {
+        heap.push(Reverse((t.bound, pool.len() as u64)));
+        pool.push(t);
+    };
+    push(&mut heap, &mut pool, Tour { path: vec![0], len: 0, bound: 0 });
+
+    loop {
+        // Drain worker requests (merge bounds + enqueue their children).
+        let drain = |mpi: &mut MpiRank,
+                     heap: &mut BinaryHeap<Reverse<(u32, u64)>>,
+                     pool: &mut Vec<Tour>,
+                     best: &mut u32,
+                     waiting: &mut [bool],
+                     block: bool|
+         -> bool {
+            let mut got = false;
+            loop {
+                if !block && mpi.iprobe().is_none() {
+                    return got;
+                }
+                let (buf, st) = mpi.recv_from::<u32>(nowmpi::ANY_SOURCE, TAG_REQ);
+                *best = (*best).min(buf[0]);
+                let ntours = buf[1] as usize;
+                let mut off = 2;
+                for _ in 0..ntours {
+                    let (t, used) = unpack_tour(&buf[off..]);
+                    off += used;
+                    if t.bound < *best {
+                        heap.push(Reverse((t.bound, pool.len() as u64)));
+                        pool.push(t);
+                    }
+                }
+                waiting[st.source] = true;
+                got = true;
+                if block {
+                    return true;
+                }
+            }
+        };
+        drain(mpi, &mut heap, &mut pool, &mut best, &mut waiting, false);
+
+        // Hand tours to waiting workers.
+        for w in 1..p {
+            if waiting[w] {
+                if let Some(Reverse((bound, idx))) = heap.pop() {
+                    if bound >= best {
+                        continue; // pruned; try next heap entry for w
+                    }
+                    let mut msg = vec![best];
+                    pack_tour(&mut msg, &pool[idx as usize]);
+                    mpi.send(w, TAG_TASK, &msg);
+                    waiting[w] = false;
+                }
+            }
+        }
+
+        match heap.pop() {
+            Some(Reverse((bound, idx))) => {
+                if bound >= best {
+                    continue;
+                }
+                // Master works on one tour itself.
+                let tour = pool[idx as usize].clone();
+                let (nb, kids) = process(dist, cfg, &tour, best);
+                best = nb;
+                for k in kids {
+                    push(&mut heap, &mut pool, k);
+                }
+            }
+            None => {
+                if waiting.iter().skip(1).all(|&w| w) {
+                    // No work anywhere and every worker is blocked: done.
+                    for w in 1..p {
+                        mpi.send(w, TAG_DONE, &[best]);
+                    }
+                    return best;
+                }
+                // Workers are still busy; block for their next request.
+                drain(mpi, &mut heap, &mut pool, &mut best, &mut waiting, true);
+            }
+        }
+    }
+}
+
+fn tsp_worker(mpi: &mut MpiRank, dist: &[u32], cfg: &TspConfig) -> u32 {
+    let mut best = u32::MAX;
+    let mut outbox: Vec<Tour> = Vec::new();
+    loop {
+        let mut req = vec![best, outbox.len() as u32];
+        for t in outbox.drain(..) {
+            pack_tour(&mut req, &t);
+        }
+        mpi.send(0, TAG_REQ, &req);
+        let (buf, st) = mpi.recv_from::<u32>(0, nowmpi::ANY_TAG);
+        best = best.min(buf[0]);
+        if st.tag == TAG_DONE {
+            return best;
+        }
+        let (tour, _) = unpack_tour(&buf[1..]);
+        let (nb, kids) = process(dist, cfg, &tour, best);
+        best = nb;
+        outbox = kids;
+    }
+}

@@ -1,0 +1,41 @@
+//! OpenMP version of TSP: `parallel` region + `critical` (Table 1).
+
+use super::shared::{worker, TspShared};
+use super::{gen_distances, Tour, TspConfig};
+use crate::common::{Report, VersionKind};
+use nomp::{critical_id, OmpConfig};
+
+/// Pool capacity for the shared tour pool.
+pub(super) const POOL_CAP: usize = 8192;
+
+/// Run the OpenMP/DSM version.
+pub fn run_omp(cfg: &TspConfig, sys: OmpConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.threads();
+    let out = nomp::run(sys, move |omp| {
+        let dist = gen_distances(&cfg);
+        let s = TspShared::create(omp, cfg.n_cities, POOL_CAP);
+        // Seed with the root tour (sequential section).
+        let root = Tour { path: vec![0], len: 0, bound: 0 };
+        let slot = s.alloc_slot(omp).expect("fresh pool");
+        s.store_tour(omp, slot, &root);
+        s.heap_push(omp, 0, slot);
+
+        let lock = critical_id("tsp");
+        let dist_cl = dist.clone();
+        omp.parallel_sized(dist.len() * 4, move |t| {
+            worker(t, &s, lock, &dist_cl, &cfg);
+        });
+        s.best.get(omp)
+    });
+
+    Report {
+        app: "TSP",
+        version: VersionKind::Omp,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result as f64,
+    }
+}

@@ -1,0 +1,70 @@
+//! Sequential TSP baseline: same branch-and-bound with a local
+//! priority queue.
+
+use super::{expand, gen_distances, remaining, solve_exhaustive, Tour, TspConfig};
+use crate::common::{time_sequential, Report, VersionKind};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Solve the instance sequentially; returns the optimal tour length.
+pub fn compute_seq(cfg: &TspConfig) -> u32 {
+    let n = cfg.n_cities;
+    let dist = gen_distances(cfg);
+    let mut best = u32::MAX;
+    let mut heap: BinaryHeap<Reverse<(u32, u64)>> = BinaryHeap::new();
+    let mut pool: Vec<Tour> = Vec::new();
+    let root = Tour { path: vec![0], len: 0, bound: 0 };
+    pool.push(root);
+    heap.push(Reverse((0, 0)));
+    while let Some(Reverse((bound, idx))) = heap.pop() {
+        if bound >= best {
+            continue;
+        }
+        let tour = pool[idx as usize].clone();
+        if remaining(n, &tour) <= cfg.exhaustive_at {
+            best = solve_exhaustive(&dist, n, &tour, best);
+        } else {
+            for ch in expand(&dist, n, &tour) {
+                if ch.bound < best {
+                    heap.push(Reverse((ch.bound, pool.len() as u64)));
+                    pool.push(ch);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Run and time the sequential version.
+pub fn run_seq(cfg: &TspConfig, compute_scale: f64) -> Report {
+    let cfg = *cfg;
+    let (best, vt_ns) = time_sequential(compute_scale, move || compute_seq(&cfg));
+    Report {
+        app: "TSP",
+        version: VersionKind::Seq,
+        nodes: 1,
+        vt_ns,
+        msgs: 0,
+        bytes: 0,
+        checksum: best as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_and_bound_matches_pure_exhaustive() {
+        let cfg = TspConfig { n_cities: 8, exhaustive_at: 3, seed: 123 };
+        let bb = compute_seq(&cfg);
+        let dist = gen_distances(&cfg);
+        let brute = solve_exhaustive(
+            &dist,
+            8,
+            &Tour { path: vec![0], len: 0, bound: 0 },
+            u32::MAX,
+        );
+        assert_eq!(bb, brute);
+    }
+}

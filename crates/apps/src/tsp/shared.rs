@@ -1,0 +1,278 @@
+//! Shared-memory data structures for TSP: the tour pool, the priority
+//! queue (binary min-heap keyed by lower bound), the free-slot stack and
+//! the current best length — all living in DSM space, exactly the
+//! structures the paper lists ("a pool of partially evaluated tours, a
+//! priority queue containing pointers to tours in the pool, a stack of
+//! pointers to unused tour elements, and the current shortest path").
+//!
+//! All methods assume the caller holds the TSP critical section.
+
+use super::Tour;
+use tmk::{SharedScalar, SharedVec, Tmk};
+
+/// Handles to the shared TSP state (plain copyable descriptors).
+#[derive(Clone, Copy)]
+pub struct TspShared {
+    /// Tour pool: `cap` slots of `stride` u32s.
+    pub pool: SharedVec<u32>,
+    /// Free-slot stack.
+    pub free: SharedVec<u32>,
+    /// Number of entries on the free stack.
+    pub free_count: SharedScalar<u32>,
+    /// Binary min-heap of `(bound << 32) | slot`.
+    pub heap: SharedVec<u64>,
+    /// Heap size.
+    pub heap_count: SharedScalar<u32>,
+    /// Best complete tour length found so far.
+    pub best: SharedScalar<u32>,
+    /// Idle-thread counter (termination detection).
+    pub idle: SharedScalar<u32>,
+    /// u32s per pool slot.
+    pub stride: usize,
+}
+
+impl TspShared {
+    /// Allocate and initialize the shared state on the master.
+    pub fn create(t: &mut Tmk, n_cities: usize, cap: usize) -> Self {
+        let stride = 3 + n_cities;
+        let s = TspShared {
+            pool: t.malloc_vec::<u32>(cap * stride),
+            free: t.malloc_vec::<u32>(cap),
+            free_count: t.malloc_scalar::<u32>(0),
+            heap: t.malloc_vec::<u64>(cap),
+            heap_count: t.malloc_scalar::<u32>(0),
+            best: t.malloc_scalar::<u32>(u32::MAX),
+            idle: t.malloc_scalar::<u32>(0),
+            stride,
+        };
+        // All slots start free (stack of descending indices so slot 0
+        // pops first — cosmetic determinism).
+        let free_init: Vec<u32> = (0..cap as u32).rev().collect();
+        t.write_slice(&s.free, 0, &free_init);
+        s.free_count.set(t, cap as u32);
+        s
+    }
+
+    /// Pop a free pool slot, if any.
+    pub fn alloc_slot(&self, t: &mut Tmk) -> Option<u32> {
+        let c = self.free_count.get(t);
+        if c == 0 {
+            return None;
+        }
+        self.free_count.set(t, c - 1);
+        Some(t.read(&self.free, (c - 1) as usize))
+    }
+
+    /// Return a slot to the free stack.
+    pub fn release_slot(&self, t: &mut Tmk, slot: u32) {
+        let c = self.free_count.get(t);
+        t.write(&self.free, c as usize, slot);
+        self.free_count.set(t, c + 1);
+    }
+
+    /// Serialize a tour into a pool slot.
+    pub fn store_tour(&self, t: &mut Tmk, slot: u32, tour: &Tour) {
+        let mut buf = Vec::with_capacity(self.stride);
+        buf.push(tour.len);
+        buf.push(tour.bound);
+        buf.push(tour.path.len() as u32);
+        buf.extend(tour.path.iter().map(|&c| c as u32));
+        buf.resize(self.stride, 0);
+        t.write_slice(&self.pool, slot as usize * self.stride, &buf);
+    }
+
+    /// Deserialize a tour from a pool slot.
+    pub fn load_tour(&self, t: &mut Tmk, slot: u32) -> Tour {
+        let base = slot as usize * self.stride;
+        let buf = t.read_slice(&self.pool, base..base + self.stride);
+        let k = buf[2] as usize;
+        Tour {
+            len: buf[0],
+            bound: buf[1],
+            path: buf[3..3 + k].iter().map(|&c| c as u8).collect(),
+        }
+    }
+
+    /// Push `(bound, slot)` onto the min-heap.
+    pub fn heap_push(&self, t: &mut Tmk, bound: u32, slot: u32) {
+        let mut i = self.heap_count.get(t) as usize;
+        assert!(i < self.heap.len(), "TSP heap overflow");
+        self.heap_count.set(t, i as u32 + 1);
+        let key = ((bound as u64) << 32) | slot as u64;
+        t.write(&self.heap, i, key);
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = t.read(&self.heap, parent);
+            let iv = t.read(&self.heap, i);
+            if pv <= iv {
+                break;
+            }
+            t.write(&self.heap, parent, iv);
+            t.write(&self.heap, i, pv);
+            i = parent;
+        }
+    }
+
+    /// Pop the most promising `(bound, slot)`, if any.
+    pub fn heap_pop(&self, t: &mut Tmk) -> Option<(u32, u32)> {
+        let size = self.heap_count.get(t) as usize;
+        if size == 0 {
+            return None;
+        }
+        let top = t.read(&self.heap, 0);
+        let last = t.read(&self.heap, size - 1);
+        self.heap_count.set(t, size as u32 - 1);
+        let size = size - 1;
+        if size > 0 {
+            t.write(&self.heap, 0, last);
+            let mut i = 0usize;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut m = i;
+                let mut mv = t.read(&self.heap, i);
+                if l < size {
+                    let lv = t.read(&self.heap, l);
+                    if lv < mv {
+                        m = l;
+                        mv = lv;
+                    }
+                }
+                if r < size {
+                    let rv = t.read(&self.heap, r);
+                    if rv < mv {
+                        m = r;
+                        mv = rv;
+                    }
+                }
+                if m == i {
+                    break;
+                }
+                let iv = t.read(&self.heap, i);
+                t.write(&self.heap, i, mv);
+                t.write(&self.heap, m, iv);
+                i = m;
+            }
+        }
+        Some(((top >> 32) as u32, (top & 0xffff_ffff) as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmk::TmkConfig;
+
+    #[test]
+    fn pool_and_heap_roundtrip_single_node() {
+        let out = tmk::run_system(TmkConfig::fast_test(1), |t| {
+            let s = TspShared::create(t, 8, 16);
+            let tour = Tour { path: vec![0, 3, 5], len: 42, bound: 77 };
+            let slot = s.alloc_slot(t).unwrap();
+            s.store_tour(t, slot, &tour);
+            assert_eq!(s.load_tour(t, slot), tour);
+
+            // Heap orders by bound.
+            s.heap_push(t, 50, 1);
+            s.heap_push(t, 10, 2);
+            s.heap_push(t, 30, 3);
+            s.heap_push(t, 20, 4);
+            let order: Vec<u32> = std::iter::from_fn(|| s.heap_pop(t).map(|(b, _)| b)).collect();
+            assert_eq!(order, vec![10, 20, 30, 50]);
+
+            // Free list accounting.
+            s.release_slot(t, slot);
+            let mut count = 0;
+            while s.alloc_slot(t).is_some() {
+                count += 1;
+            }
+            assert_eq!(count, 16);
+            0u8
+        });
+        assert_eq!(out.result, 0);
+    }
+}
+
+/// The branch-and-bound worker loop run by every thread in the
+/// shared-memory versions. `lock` names the critical section (a raw Tmk
+/// lock for the hand-coded version, `critical_id("tsp")` for OpenMP).
+///
+/// Faithful to the paper: the dequeue and the enqueues of the expanded
+/// children share one critical section; exhaustive solving of deep tours
+/// happens outside it; termination is detected with an idle counter and
+/// busy-waiting (no condition variables — §6, TSP).
+pub fn worker(t: &mut Tmk, s: &TspShared, lock: u32, dist: &[u32], cfg: &super::TspConfig) {
+    use super::{expand, remaining, solve_exhaustive};
+    let n = cfg.n_cities;
+    let nthreads = t.nprocs() as u32;
+    let mut am_idle = false;
+    loop {
+        t.lock_acquire(lock);
+        match s.heap_pop(t) {
+            Some((bound, slot)) => {
+                if am_idle {
+                    let i = s.idle.get(t);
+                    s.idle.set(t, i - 1);
+                    am_idle = false;
+                }
+                let best_now = s.best.get(t);
+                let tour = s.load_tour(t, slot);
+                s.release_slot(t, slot);
+                if bound >= best_now {
+                    t.lock_release(lock);
+                    continue;
+                }
+                if remaining(n, &tour) <= cfg.exhaustive_at {
+                    t.lock_release(lock);
+                    let found = solve_exhaustive(dist, n, &tour, best_now);
+                    if found < best_now {
+                        t.lock_acquire(lock);
+                        if found < s.best.get(t) {
+                            s.best.set(t, found);
+                        }
+                        t.lock_release(lock);
+                    }
+                } else {
+                    // Expand + enqueue inside the same critical section.
+                    let mut overflow = Vec::new();
+                    for ch in expand(dist, n, &tour) {
+                        if ch.bound < s.best.get(t) {
+                            match s.alloc_slot(t) {
+                                Some(cs) => {
+                                    s.store_tour(t, cs, &ch);
+                                    s.heap_push(t, ch.bound, cs);
+                                }
+                                None => overflow.push(ch),
+                            }
+                        }
+                    }
+                    let best_now = s.best.get(t);
+                    t.lock_release(lock);
+                    // Pool exhausted (rare): finish those children here.
+                    for ch in overflow {
+                        let found = solve_exhaustive(dist, n, &ch, best_now);
+                        if found < best_now {
+                            t.lock_acquire(lock);
+                            if found < s.best.get(t) {
+                                s.best.set(t, found);
+                            }
+                            t.lock_release(lock);
+                        }
+                    }
+                }
+            }
+            None => {
+                if !am_idle {
+                    let i = s.idle.get(t);
+                    s.idle.set(t, i + 1);
+                    am_idle = true;
+                }
+                let done = s.idle.get(t) == nthreads;
+                t.lock_release(lock);
+                if done {
+                    break;
+                }
+                t.spin_hint();
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Hand-coded TreadMarks version of TSP.
+
+use super::omp::POOL_CAP;
+use super::shared::{worker, TspShared};
+use super::{gen_distances, Tour, TspConfig};
+use crate::common::{Report, VersionKind};
+use tmk::TmkConfig;
+
+const TSP_LOCK: u32 = 13;
+
+/// Run the hand-coded DSM version.
+pub fn run_tmk(cfg: &TspConfig, sys: TmkConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.nodes();
+    let out = tmk::run_system(sys, move |tmk| {
+        let dist = gen_distances(&cfg);
+        let s = TspShared::create(tmk, cfg.n_cities, POOL_CAP);
+        let root = Tour { path: vec![0], len: 0, bound: 0 };
+        let slot = s.alloc_slot(tmk).expect("fresh pool");
+        s.store_tour(tmk, slot, &root);
+        s.heap_push(tmk, 0, slot);
+
+        let dist_cl = dist.clone();
+        tmk.parallel(dist.len() * 4, move |t| {
+            worker(t, &s, TSP_LOCK, &dist_cl, &cfg);
+        });
+        s.best.get(tmk)
+    });
+
+    Report {
+        app: "TSP",
+        version: VersionKind::Tmk,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: out.result as f64,
+    }
+}

@@ -1,0 +1,286 @@
+//! SPLASH-2–style Water: molecular dynamics of water molecules.
+//!
+//! Each molecule has three sites (O, H, H). A velocity-Verlet step
+//! computes intra-molecular forces (harmonic O–H bonds and an H–H angle
+//! spring) and inter-molecular forces (O–O Lennard-Jones between all
+//! pairs). As in the paper, the parallel versions statically divide the
+//! molecule array into contiguous blocks and use *owner-computes with
+//! double computation*: each thread computes the full force on its own
+//! molecules by summing over all others, which needs only barriers for
+//! synchronization (Table 1: `parallel do`/`region` + `barrier`).
+
+mod mpi;
+mod omp;
+mod seq;
+mod tmk_v;
+
+pub use mpi::run_mpi;
+pub use omp::run_omp;
+pub use seq::run_seq;
+pub use tmk_v::run_tmk;
+
+use crate::common::{digest_f64, Xorshift};
+
+/// One water molecule: positions, velocities and accelerations for the
+/// three sites (O first).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Molecule {
+    /// Site positions `[site][xyz]`.
+    pub pos: [[f64; 3]; 3],
+    /// Site velocities.
+    pub vel: [[f64; 3]; 3],
+    /// Site accelerations from the last force evaluation.
+    pub acc: [[f64; 3]; 3],
+}
+
+tmk::impl_shareable!(Molecule);
+
+/// Site masses: O then the two H.
+pub const MASS: [f64; 3] = [16.0, 1.0, 1.0];
+/// O–H bond spring constant.
+pub const K_BOND: f64 = 50.0;
+/// O–H equilibrium length.
+pub const R_BOND: f64 = 0.25;
+/// H–H angle-proxy spring constant.
+pub const K_ANGLE: f64 = 20.0;
+/// H–H equilibrium distance.
+pub const R_HH: f64 = 0.39;
+/// Lennard-Jones σ for O–O.
+pub const LJ_SIGMA: f64 = 1.5;
+/// Lennard-Jones ε for O–O.
+pub const LJ_EPS: f64 = 0.05;
+
+/// Problem definition.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterConfig {
+    /// Number of molecules.
+    pub n_mol: usize,
+    /// Time steps.
+    pub steps: usize,
+    /// Integration step.
+    pub dt: f64,
+    /// Workload seed (initial velocities).
+    pub seed: u64,
+}
+
+impl WaterConfig {
+    /// Paper-scale workload (Table 1's Water row: 512 molecules).
+    pub fn paper() -> Self {
+        WaterConfig { n_mol: 512, steps: 5, dt: 2e-3, seed: 2718 }
+    }
+
+    /// Small instance for tests.
+    pub fn test() -> Self {
+        WaterConfig { n_mol: 64, steps: 2, dt: 2e-3, seed: 2718 }
+    }
+}
+
+/// Deterministic initial state: molecules on a cubic lattice with small
+/// random velocities (identical in every implementation).
+pub fn init_molecules(cfg: &WaterConfig) -> Vec<Molecule> {
+    let side = (cfg.n_mol as f64).cbrt().ceil() as usize;
+    let spacing = 1.8;
+    let mut rng = Xorshift::new(cfg.seed);
+    let mut out = Vec::with_capacity(cfg.n_mol);
+    'outer: for ix in 0..side {
+        for iy in 0..side {
+            for iz in 0..side {
+                if out.len() == cfg.n_mol {
+                    break 'outer;
+                }
+                let o = [ix as f64 * spacing, iy as f64 * spacing, iz as f64 * spacing];
+                let mut m = Molecule::default();
+                m.pos[0] = o;
+                m.pos[1] = [o[0] + R_BOND, o[1], o[2]];
+                m.pos[2] = [o[0] - 0.08, o[1] + R_BOND - 0.02, o[2]];
+                for site in 0..3 {
+                    for d in 0..3 {
+                        m.vel[site][d] = (rng.next_f64() - 0.5) * 0.05;
+                    }
+                }
+                out.push(m);
+            }
+        }
+    }
+    out
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn norm(v: [f64; 3]) -> f64 {
+    (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]).sqrt()
+}
+
+/// Harmonic spring force on site `a` toward equilibrium distance `r0`
+/// from site `b`; returns (force-on-a, potential/2 attributed here).
+fn spring(a: [f64; 3], b: [f64; 3], k: f64, r0: f64) -> ([f64; 3], f64) {
+    let d = sub(a, b);
+    let r = norm(d).max(1e-12);
+    let mag = -k * (r - r0) / r;
+    ([mag * d[0], mag * d[1], mag * d[2]], 0.25 * k * (r - r0) * (r - r0))
+}
+
+/// Intra-molecular forces and potential energy of one molecule.
+pub fn intra_force(m: &Molecule) -> ([[f64; 3]; 3], f64) {
+    let mut f = [[0.0; 3]; 3];
+    let mut pe = 0.0;
+    for h in [1usize, 2] {
+        let (fh, e) = spring(m.pos[h], m.pos[0], K_BOND, R_BOND);
+        for d in 0..3 {
+            f[h][d] += fh[d];
+            f[0][d] -= fh[d];
+        }
+        pe += 2.0 * e; // both half-potentials of the pair live here
+    }
+    let (fhh, e) = spring(m.pos[1], m.pos[2], K_ANGLE, R_HH);
+    for d in 0..3 {
+        f[1][d] += fhh[d];
+        f[2][d] -= fhh[d];
+    }
+    pe += 2.0 * e;
+    (f, pe)
+}
+
+/// O–O Lennard-Jones force on molecule `i` from molecule `j`, plus the
+/// half-potential attributed to `i` (owner-computes double counting).
+pub fn inter_force_on(mi: &Molecule, mj: &Molecule) -> ([f64; 3], f64) {
+    let d = sub(mi.pos[0], mj.pos[0]);
+    let r2 = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).max(1e-6);
+    let s2 = LJ_SIGMA * LJ_SIGMA / r2;
+    let s6 = s2 * s2 * s2;
+    let s12 = s6 * s6;
+    // F = 24ε (2 s^12 − s^6) / r² · d
+    let mag = 24.0 * LJ_EPS * (2.0 * s12 - s6) / r2;
+    ([mag * d[0], mag * d[1], mag * d[2]], 2.0 * LJ_EPS * (s12 - s6))
+}
+
+/// Position half of velocity Verlet for a block of molecules.
+pub fn predict_block(block: &mut [Molecule], dt: f64) {
+    for m in block {
+        for s in 0..3 {
+            for d in 0..3 {
+                m.pos[s][d] += m.vel[s][d] * dt + 0.5 * m.acc[s][d] * dt * dt;
+            }
+        }
+    }
+}
+
+/// Force + velocity half of velocity Verlet, owner-computes: update the
+/// molecules `my` (at global offset `off`) against the full position
+/// snapshot `all`. Returns (kinetic, potential) energy contributions of
+/// this block. Per-molecule accumulation order is identical in every
+/// version (ascending j), so results match the sequential run closely.
+pub fn force_block(all: &[Molecule], my: &mut [Molecule], off: usize, dt: f64) -> (f64, f64) {
+    let mut ke = 0.0;
+    let mut pe = 0.0;
+    for (k, m) in my.iter_mut().enumerate() {
+        let gi = off + k;
+        let (mut f, e_intra) = intra_force(m);
+        pe += e_intra;
+        for (gj, other) in all.iter().enumerate() {
+            if gj == gi {
+                continue;
+            }
+            let (fo, e) = inter_force_on(m, other);
+            for d in 0..3 {
+                f[0][d] += fo[d];
+            }
+            pe += e;
+        }
+        for s in 0..3 {
+            for d in 0..3 {
+                let new_acc = f[s][d] / MASS[s];
+                m.vel[s][d] += 0.5 * (m.acc[s][d] + new_acc) * dt;
+                m.acc[s][d] = new_acc;
+                ke += 0.5 * MASS[s] * m.vel[s][d] * m.vel[s][d];
+            }
+        }
+    }
+    (ke, pe)
+}
+
+/// Digest of per-step energies plus final positions (cross-version
+/// verification value).
+pub fn water_checksum(energies: &[(f64, f64)], final_pos: &[Molecule]) -> f64 {
+    let mut xs: Vec<f64> = energies.iter().flat_map(|&(k, p)| [k, p]).collect();
+    for m in final_pos {
+        xs.push(m.pos[0][0] + m.pos[1][1] + m.pos[2][2]);
+    }
+    digest_f64(&xs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_is_deterministic() {
+        let cfg = WaterConfig::test();
+        assert_eq!(init_molecules(&cfg), init_molecules(&cfg));
+        assert_eq!(init_molecules(&cfg).len(), cfg.n_mol);
+    }
+
+    #[test]
+    fn spring_force_points_toward_equilibrium() {
+        // Stretched bond: force on `a` pulls it toward `b`.
+        let (f, pe) = spring([1.0, 0.0, 0.0], [0.0, 0.0, 0.0], 10.0, 0.5);
+        assert!(f[0] < 0.0, "stretched spring pulls back");
+        assert!(pe > 0.0);
+        // At equilibrium: no force, no energy.
+        let (f0, pe0) = spring([0.5, 0.0, 0.0], [0.0, 0.0, 0.0], 10.0, 0.5);
+        assert!(f0[0].abs() < 1e-12 && pe0 < 1e-15);
+    }
+
+    #[test]
+    fn lj_repulsive_close_attractive_far() {
+        let mut a = Molecule::default();
+        let mut b = Molecule::default();
+        a.pos[0] = [0.0; 3];
+        b.pos[0] = [LJ_SIGMA * 0.9, 0.0, 0.0]; // closer than σ: repulsion
+        let (f, _) = inter_force_on(&a, &b);
+        assert!(f[0] < 0.0, "a pushed away from b (negative x)");
+        b.pos[0] = [LJ_SIGMA * 2.0, 0.0, 0.0]; // beyond minimum: attraction
+        let (f, _) = inter_force_on(&a, &b);
+        assert!(f[0] > 0.0, "a pulled toward b");
+    }
+
+    #[test]
+    fn newtons_third_law_for_pairs() {
+        let mut a = Molecule::default();
+        let mut b = Molecule::default();
+        a.pos[0] = [0.1, 0.2, -0.3];
+        b.pos[0] = [1.3, -0.4, 0.8];
+        let (fab, _) = inter_force_on(&a, &b);
+        let (fba, _) = inter_force_on(&b, &a);
+        for d in 0..3 {
+            assert!((fab[d] + fba[d]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn intra_forces_sum_to_zero() {
+        let cfg = WaterConfig::test();
+        let m = init_molecules(&cfg)[0];
+        let (f, _) = intra_force(&m);
+        for d in 0..3 {
+            let total: f64 = (0..3).map(|s| f[s][d]).sum();
+            assert!(total.abs() < 1e-12, "internal forces must not translate the molecule");
+        }
+    }
+
+    #[test]
+    fn energy_stays_finite_over_steps() {
+        let cfg = WaterConfig { n_mol: 27, steps: 10, dt: 2e-3, seed: 5 };
+        let mut mols = init_molecules(&cfg);
+        for _ in 0..cfg.steps {
+            predict_block(&mut mols, cfg.dt);
+            let snapshot = mols.clone();
+            let (ke, pe) = force_block(&snapshot, &mut mols, 0, cfg.dt);
+            assert!(ke.is_finite() && pe.is_finite());
+            assert!(ke >= 0.0);
+        }
+    }
+}

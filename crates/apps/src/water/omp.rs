@@ -1,0 +1,64 @@
+//! OpenMP version of Water: `parallel do` for the position update,
+//! coarse-grained `parallel` region (owner-computes) for the forces —
+//! exactly the directive mix of Table 1.
+
+use super::{predict_block, water_checksum, Molecule, WaterConfig};
+use crate::common::{Report, VersionKind};
+use nomp::{OmpConfig, Schedule};
+
+/// Run the OpenMP/DSM version.
+pub fn run_omp(cfg: &WaterConfig, sys: OmpConfig) -> Report {
+    let cfg = *cfg;
+    let nodes = sys.threads();
+    let out = nomp::run(sys, move |omp| {
+        let n = cfg.n_mol;
+        let mols = omp.malloc_vec::<Molecule>(n);
+        let energy = omp.malloc_vec::<f64>(2);
+
+        // Master initializes the shared array (paged in on first use).
+        let init = super::init_molecules(&cfg);
+        omp.write_slice(&mols, 0, &init);
+
+        let mut energies = Vec::with_capacity(cfg.steps);
+        for _ in 0..cfg.steps {
+            // Position half: parallel do over molecule blocks.
+            omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
+                t.view_mut(&mols, r, |block| predict_block(block, cfg.dt));
+            });
+
+            // Force half: coarse-grained region, owner-computes with
+            // double computation (barriers only — no per-molecule locks).
+            omp.write_slice(&energy, 0, &[0.0, 0.0]);
+            omp.parallel(move |t| {
+                let me = t.thread_num();
+                let p = t.num_threads();
+                let block = Schedule::static_block(n, p, me);
+                let snapshot = t.read_slice(&mols, 0..n);
+                let mut my = snapshot[block.clone()].to_vec();
+                let (ke, pe) = super::force_block(&snapshot, &mut my, block.start, cfg.dt);
+                t.write_slice(&mols, block.start, &my);
+                t.critical_named("water_energy", |t| {
+                    let k0 = t.read(&energy, 0);
+                    let p0 = t.read(&energy, 1);
+                    t.write(&energy, 0, k0 + ke);
+                    t.write(&energy, 1, p0 + pe);
+                });
+            });
+            let e = omp.read_slice(&energy, 0..2);
+            energies.push((e[0], e[1]));
+        }
+        let final_mols = omp.read_slice(&mols, 0..n);
+        (energies, final_mols)
+    });
+
+    let (energies, mols) = out.result;
+    Report {
+        app: "Water",
+        version: VersionKind::Omp,
+        nodes,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        checksum: water_checksum(&energies, &mols),
+    }
+}

@@ -1,0 +1,46 @@
+//! Sequential Water baseline.
+
+use super::{
+    force_block, init_molecules, predict_block, water_checksum, Molecule, WaterConfig,
+};
+use crate::common::{time_sequential, Report, VersionKind};
+
+/// Full sequential computation: per-step (kinetic, potential) energies
+/// and the final state.
+pub fn compute_seq(cfg: &WaterConfig) -> (Vec<(f64, f64)>, Vec<Molecule>) {
+    let mut mols = init_molecules(cfg);
+    let mut energies = Vec::with_capacity(cfg.steps);
+    for _ in 0..cfg.steps {
+        predict_block(&mut mols, cfg.dt);
+        let snapshot = mols.clone();
+        energies.push(force_block(&snapshot, &mut mols, 0, cfg.dt));
+    }
+    (energies, mols)
+}
+
+/// Run and time the sequential version.
+pub fn run_seq(cfg: &WaterConfig, compute_scale: f64) -> Report {
+    let cfg = *cfg;
+    let ((energies, mols), vt_ns) = time_sequential(compute_scale, move || compute_seq(&cfg));
+    Report {
+        app: "Water",
+        version: VersionKind::Seq,
+        nodes: 1,
+        vt_ns,
+        msgs: 0,
+        bytes: 0,
+        checksum: water_checksum(&energies, &mols),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_runs_and_checksums() {
+        let r = run_seq(&WaterConfig::test(), 1.0);
+        assert!(r.checksum.is_finite());
+        assert!(r.vt_ns > 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Cross-version verification: for every application, the OpenMP,
+//! hand-coded TreadMarks and MPI versions must produce the same result as
+//! the sequential baseline (Figure 5's correctness precondition).
+
+use now_apps::{fft3d, qsort, sweep3d, tsp, water};
+use nomp::OmpConfig;
+use nowmpi::MpiConfig;
+use tmk::TmkConfig;
+
+fn close(a: f64, b: f64, tol: f64, what: &str) {
+    let denom = a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        ((a - b) / denom).abs() <= tol,
+        "{what}: {a} vs {b} (rel {:.3e} > {tol:.1e})",
+        ((a - b) / denom).abs()
+    );
+}
+
+#[test]
+fn fft_all_versions_agree() {
+    let cfg = fft3d::FftConfig::test();
+    let seq = fft3d::run_seq(&cfg, 1.0);
+    for nodes in [2usize, 4] {
+        let omp = fft3d::run_omp(&cfg, OmpConfig::fast_test(nodes));
+        let tmkr = fft3d::run_tmk(&cfg, TmkConfig::fast_test(nodes));
+        let mpi = fft3d::run_mpi(&cfg, MpiConfig::fast_test(nodes));
+        close(omp.checksum, seq.checksum, 1e-9, "fft omp");
+        close(tmkr.checksum, seq.checksum, 1e-9, "fft tmk");
+        close(mpi.checksum, seq.checksum, 1e-9, "fft mpi");
+        assert!(omp.msgs > 0 && tmkr.msgs > 0 && mpi.msgs > 0);
+    }
+}
+
+#[test]
+fn water_all_versions_agree() {
+    let cfg = water::WaterConfig::test();
+    let seq = water::run_seq(&cfg, 1.0);
+    for nodes in [2usize, 3] {
+        let omp = water::run_omp(&cfg, OmpConfig::fast_test(nodes));
+        let tmkr = water::run_tmk(&cfg, TmkConfig::fast_test(nodes));
+        let mpi = water::run_mpi(&cfg, MpiConfig::fast_test(nodes));
+        close(omp.checksum, seq.checksum, 1e-9, "water omp");
+        close(tmkr.checksum, seq.checksum, 1e-9, "water tmk");
+        close(mpi.checksum, seq.checksum, 1e-9, "water mpi");
+    }
+}
+
+#[test]
+fn sweep3d_all_versions_agree() {
+    let cfg = sweep3d::SweepConfig::test();
+    let seq = sweep3d::run_seq(&cfg, 1.0);
+    for nodes in [2usize, 4] {
+        let omp = sweep3d::run_omp(&cfg, OmpConfig::fast_test(nodes));
+        let tmkr = sweep3d::run_tmk(&cfg, TmkConfig::fast_test(nodes));
+        let mpi = sweep3d::run_mpi(&cfg, MpiConfig::fast_test(nodes));
+        close(omp.checksum, seq.checksum, 1e-9, "sweep omp");
+        close(tmkr.checksum, seq.checksum, 1e-9, "sweep tmk");
+        close(mpi.checksum, seq.checksum, 1e-9, "sweep mpi");
+        assert!(omp.msgs > 0, "pipeline must use the network");
+    }
+}
+
+#[test]
+fn qsort_all_versions_agree() {
+    let cfg = qsort::QsortConfig::test();
+    let seq = qsort::run_seq(&cfg, 1.0);
+    for nodes in [2usize, 3] {
+        let omp = qsort::run_omp(&cfg, OmpConfig::fast_test(nodes));
+        let tmkr = qsort::run_tmk(&cfg, TmkConfig::fast_test(nodes));
+        let mpi = qsort::run_mpi(&cfg, MpiConfig::fast_test(nodes));
+        assert_eq!(omp.checksum, seq.checksum, "qsort omp digest");
+        assert_eq!(tmkr.checksum, seq.checksum, "qsort tmk digest");
+        assert_eq!(mpi.checksum, seq.checksum, "qsort mpi digest");
+    }
+}
+
+#[test]
+fn tsp_all_versions_agree() {
+    let cfg = tsp::TspConfig::test();
+    let seq = tsp::run_seq(&cfg, 1.0);
+    for nodes in [2usize, 3] {
+        let omp = tsp::run_omp(&cfg, OmpConfig::fast_test(nodes));
+        let tmkr = tsp::run_tmk(&cfg, TmkConfig::fast_test(nodes));
+        let mpi = tsp::run_mpi(&cfg, MpiConfig::fast_test(nodes));
+        assert_eq!(omp.checksum, seq.checksum, "tsp omp optimum");
+        assert_eq!(tmkr.checksum, seq.checksum, "tsp tmk optimum");
+        assert_eq!(mpi.checksum, seq.checksum, "tsp mpi optimum");
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of whole protocol operations (host cost of the
+//! simulator — how expensive it is to *run* the reproduction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_system_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator_host_cost");
+    g.sample_size(10);
+    g.bench_function("barrier_x20_4nodes", |b| {
+        b.iter(|| {
+            tmk::run_system(tmk::TmkConfig::fast_test(4), |tmk| {
+                tmk.parallel(0, |t| {
+                    for _ in 0..20 {
+                        t.barrier();
+                    }
+                });
+            })
+        })
+    });
+    g.bench_function("lock_chain_x50_2nodes", |b| {
+        b.iter(|| {
+            tmk::run_system(tmk::TmkConfig::fast_test(2), |tmk| {
+                let c = tmk.malloc_scalar::<u64>(0);
+                tmk.parallel(0, move |t| {
+                    for _ in 0..50 {
+                        t.lock_acquire(3);
+                        let v = c.get(t);
+                        c.set(t, v + 1);
+                        t.lock_release(3);
+                    }
+                });
+            })
+        })
+    });
+    g.bench_function("page_fault_roundtrip_x64", |b| {
+        b.iter(|| {
+            tmk::run_system(tmk::TmkConfig::fast_test(2), |tmk| {
+                let v = tmk.malloc_vec::<u64>(64 * 512);
+                tmk.parallel(0, move |t| {
+                    if t.proc_id() == 0 {
+                        t.view_mut(&v, 0..64 * 512, |c| c.fill(7));
+                    }
+                });
+                tmk.parallel(0, move |t| {
+                    if t.proc_id() == 1 {
+                        let s = t.read_slice(&v, 0..64 * 512);
+                        assert_eq!(s[0], 7);
+                    }
+                });
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_system_ops);
+criterion_main!(benches);

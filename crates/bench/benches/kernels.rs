@@ -1,0 +1,89 @@
+//! Criterion microbenchmarks of the computational kernels the simulator
+//! and applications are built from (host performance, not virtual time).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    let twin = vec![0u8; 4096];
+    let mut sparse = twin.clone();
+    for i in (0..4096).step_by(97) {
+        sparse[i] = 1;
+    }
+    let dense = vec![0xAAu8; 4096];
+    g.bench_function("create_sparse_4k", |b| {
+        b.iter(|| tmk::Diff::create(black_box(&twin), black_box(&sparse)))
+    });
+    g.bench_function("create_dense_4k", |b| {
+        b.iter(|| tmk::Diff::create(black_box(&twin), black_box(&dense)))
+    });
+    let d = tmk::Diff::create(&twin, &sparse);
+    g.bench_function("apply_sparse_4k", |b| {
+        b.iter_batched(
+            || twin.clone(),
+            |mut page| d.apply(black_box(&mut page)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    use now_apps::fft3d::complex::C64;
+    use now_apps::fft3d::fft1d::FftPlan;
+    let mut g = c.benchmark_group("fft1d");
+    for n in [64usize, 256] {
+        let plan = FftPlan::new(n);
+        let data: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| plan.forward(black_box(&mut d)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_kernels(c: &mut Criterion) {
+    use now_apps::common::Xorshift;
+    let mut g = c.benchmark_group("qsort_kernels");
+    let mut rng = Xorshift::new(5);
+    let data: Vec<i32> = (0..1024).map(|_| (rng.next_u64() & 0xffff) as i32).collect();
+    g.bench_function("bubble_1024", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| now_apps::qsort::bubble_sort(black_box(&mut d)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("partition_1024", |b| {
+        b.iter_batched(
+            || data.clone(),
+            |mut d| now_apps::qsort::partition(black_box(&mut d)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_vc(c: &mut Criterion) {
+    let mut a = tmk::VectorClock::zero(8);
+    let mut b8 = tmk::VectorClock::zero(8);
+    for i in 0..8 {
+        a.0[i] = (i * 7) as u32;
+        b8.0[i] = (i * 5 + 3) as u32;
+    }
+    c.bench_function("vector_clock_merge_8", |b| {
+        b.iter(|| {
+            let mut x = black_box(a.clone());
+            x.merge(black_box(&b8));
+            x
+        })
+    });
+}
+
+criterion_group!(benches, bench_diff, bench_fft, bench_sort_kernels, bench_vc);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! `cargo bench` entry point that regenerates the paper's artifacts at
+//! reduced ("quick") scale — Table 1, Figure 5, Table 2, the §7
+//! microbenchmarks and the Figures 1–4 ablations. Full-scale runs:
+//! `cargo run -p now-bench --release --bin paper_tables`.
+
+fn main() {
+    // Criterion passes --bench/--test flags; ignore them.
+    let mut campaign = now_bench::tables::Campaign::quick();
+    campaign.nodes = 4;
+    println!("# paper_quick: reduced-scale regeneration of all paper artifacts");
+    now_bench::micro::characteristics(campaign.nodes);
+    now_bench::tables::table1(&campaign);
+    let fig5 = now_bench::tables::figure5(&campaign);
+    now_bench::tables::table2(&campaign, Some(&fig5));
+    now_bench::ablation::pipeline_ablation(10);
+    now_bench::ablation::taskqueue_ablation(32);
+}

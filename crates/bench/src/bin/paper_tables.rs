@@ -1,0 +1,71 @@
+//! Regenerate the paper's tables and figures.
+//!
+//! ```text
+//! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
+//! experiments: table1 table2 figure5 micro pipeline taskqueue
+//!              pagesize fft_push scale_sweep all   (default: all)
+//! ```
+
+use now_bench::{ablation, micro, tables};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut campaign =
+        if args.iter().any(|a| a == "--quick") { tables::Campaign::quick() } else { tables::Campaign::paper() };
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => {}
+            "--nodes" => {
+                campaign.nodes =
+                    it.next().and_then(|v| v.parse().ok()).expect("--nodes N");
+            }
+            "--scale" => {
+                campaign.compute_scale =
+                    it.next().and_then(|v| v.parse().ok()).expect("--scale S");
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.push("all".into());
+    }
+    let want = |k: &str| wanted.iter().any(|w| w == k || w == "all");
+
+    println!(
+        "# OpenMP on Networks of Workstations — experiment harness\n\
+         # nodes={} compute_scale={} workloads={}",
+        campaign.nodes,
+        campaign.compute_scale,
+        if args.iter().any(|a| a == "--quick") { "quick" } else { "paper" }
+    );
+
+    if want("micro") {
+        micro::characteristics(campaign.nodes);
+    }
+    if want("table1") {
+        tables::table1(&campaign);
+    }
+    if want("figure5") || want("table2") {
+        let fig5 = tables::figure5(&campaign);
+        if want("table2") {
+            tables::table2(&campaign, Some(&fig5));
+        }
+    }
+    if want("pipeline") {
+        ablation::pipeline_ablation(20);
+    }
+    if want("taskqueue") {
+        ablation::taskqueue_ablation(64);
+    }
+    if want("pagesize") {
+        ablation::page_size_ablation();
+    }
+    if want("fft_push") {
+        ablation::fft_push_ablation(campaign.nodes);
+    }
+    if want("scale_sweep") {
+        tables::scale_sweep(&campaign, &[15.0, 60.0, 240.0]);
+    }
+}

@@ -1,0 +1,49 @@
+//! Plain-text table formatting for experiment output.
+
+/// Print a header + rows as an aligned text table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(header.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format seconds with 3 significant decimals.
+pub fn secs(vt_ns: u64) -> String {
+    format!("{:.3}", vt_ns as f64 / 1e9)
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(1_500_000_000), "1.500");
+        assert_eq!(f2(3.14159), "3.14");
+        // print_table must not panic on ragged input.
+        print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
+    }
+}

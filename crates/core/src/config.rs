@@ -1,0 +1,102 @@
+//! OpenMP runtime configuration.
+
+use tmk::TmkConfig;
+
+/// Configuration for an OpenMP-on-NOW program.
+#[derive(Debug, Clone)]
+pub struct OmpConfig {
+    /// The underlying DSM + interconnect configuration.
+    pub tmk: TmkConfig,
+    /// Default chunk size for `Schedule::Dynamic` when unspecified.
+    pub default_dynamic_chunk: usize,
+}
+
+impl OmpConfig {
+    /// Paper platform defaults (8 nodes unless overridden).
+    pub fn paper(nodes: usize) -> Self {
+        OmpConfig { tmk: TmkConfig::paper(nodes), default_dynamic_chunk: 16 }
+    }
+
+    /// Near-zero-cost functional-test configuration.
+    pub fn fast_test(nodes: usize) -> Self {
+        OmpConfig { tmk: TmkConfig::fast_test(nodes), default_dynamic_chunk: 16 }
+    }
+
+    /// Number of OpenMP threads (one per workstation, as in the paper).
+    pub fn threads(&self) -> usize {
+        self.tmk.nodes()
+    }
+}
+
+impl From<TmkConfig> for OmpConfig {
+    fn from(tmk: TmkConfig) -> Self {
+        OmpConfig { tmk, default_dynamic_chunk: 16 }
+    }
+}
+
+/// Loop scheduling policies for `parallel for`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Contiguous blocks of ~n/p iterations (OpenMP `schedule(static)`).
+    Static,
+    /// Round-robin chunks of the given size (`schedule(static, chunk)`).
+    StaticChunk(usize),
+    /// First-come-first-served chunks from a shared counter
+    /// (`schedule(dynamic, chunk)`); on software DSM each grab costs a
+    /// lock transfer, which is exactly why the paper's applications prefer
+    /// static partitioning.
+    Dynamic(usize),
+    /// Exponentially shrinking chunks (`schedule(guided, min_chunk)`).
+    Guided(usize),
+}
+
+impl Schedule {
+    /// Iterations of `0..total` assigned to `tid` under a static policy.
+    /// (Dynamic policies consult the shared counter at run time instead.)
+    pub fn static_block(total: usize, nthreads: usize, tid: usize) -> std::ops::Range<usize> {
+        let per = total / nthreads;
+        let rem = total % nthreads;
+        let lo = tid * per + tid.min(rem);
+        let hi = lo + per + usize::from(tid < rem);
+        lo..hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_blocks_partition_exactly() {
+        for total in [0usize, 1, 7, 8, 100, 101] {
+            for p in [1usize, 2, 3, 8] {
+                let mut covered = vec![false; total];
+                let mut prev_end = 0;
+                for tid in 0..p {
+                    let r = Schedule::static_block(total, p, tid);
+                    assert_eq!(r.start, prev_end, "blocks must be contiguous");
+                    prev_end = r.end;
+                    for i in r {
+                        assert!(!covered[i]);
+                        covered[i] = true;
+                    }
+                }
+                assert_eq!(prev_end, total);
+                assert!(covered.iter().all(|&c| c));
+            }
+        }
+    }
+
+    #[test]
+    fn static_block_balance() {
+        // 10 iterations over 4 threads: sizes 3,3,2,2.
+        let sizes: Vec<usize> =
+            (0..4).map(|t| Schedule::static_block(10, 4, t).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn config_threads_tracks_nodes() {
+        assert_eq!(OmpConfig::fast_test(5).threads(), 5);
+    }
+}

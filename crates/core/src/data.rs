@@ -1,0 +1,89 @@
+//! `threadprivate` storage.
+//!
+//! OpenMP `threadprivate` common blocks are global (they persist across
+//! parallel regions) but private per thread. In this runtime every OpenMP
+//! thread is one long-lived OS thread per workstation, so Rust's
+//! `thread_local!` storage gives exactly these semantics. The handle below
+//! adds per-instance keys so multiple `threadprivate` "blocks" of the same
+//! type coexist.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+thread_local! {
+    static STORE: RefCell<HashMap<(u64, TypeId), Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+static NEXT_KEY: AtomicU64 = AtomicU64::new(1);
+
+/// A `threadprivate` variable of type `T`: each OpenMP thread gets its own
+/// lazily-initialized copy that persists across parallel regions.
+///
+/// ```
+/// use nomp::ThreadPrivate;
+/// let counter: ThreadPrivate<u64> = ThreadPrivate::new(|| 0);
+/// counter.with(|c| *c += 1);
+/// assert_eq!(counter.with(|c| *c), 1);
+/// ```
+pub struct ThreadPrivate<T: 'static> {
+    key: u64,
+    init: fn() -> T,
+}
+
+impl<T: 'static> Clone for ThreadPrivate<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: 'static> Copy for ThreadPrivate<T> {}
+
+impl<T: 'static> ThreadPrivate<T> {
+    /// Declare a threadprivate variable with a per-thread initializer.
+    pub fn new(init: fn() -> T) -> Self {
+        ThreadPrivate { key: NEXT_KEY.fetch_add(1, Ordering::Relaxed), init }
+    }
+
+    /// Access this thread's copy.
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        STORE.with(|s| {
+            let mut map = s.borrow_mut();
+            let slot = map
+                .entry((self.key, TypeId::of::<T>()))
+                .or_insert_with(|| Box::new((self.init)()));
+            f(slot.downcast_mut::<T>().expect("threadprivate type mismatch"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_instances() {
+        let a: ThreadPrivate<u64> = ThreadPrivate::new(|| 10);
+        let b: ThreadPrivate<u64> = ThreadPrivate::new(|| 20);
+        a.with(|v| *v += 1);
+        assert_eq!(a.with(|v| *v), 11);
+        assert_eq!(b.with(|v| *v), 20);
+    }
+
+    #[test]
+    fn per_thread_copies() {
+        let tp: ThreadPrivate<u64> = ThreadPrivate::new(|| 0);
+        tp.with(|v| *v = 5);
+        let h = std::thread::spawn(move || tp.with(|v| *v));
+        assert_eq!(h.join().unwrap(), 0, "other thread sees a fresh copy");
+        assert_eq!(tp.with(|v| *v), 5);
+    }
+
+    #[test]
+    fn persists_across_regions_on_same_thread() {
+        let tp: ThreadPrivate<Vec<u32>> = ThreadPrivate::new(Vec::new);
+        tp.with(|v| v.push(1));
+        tp.with(|v| v.push(2));
+        assert_eq!(tp.with(|v| v.clone()), vec![1, 2]);
+    }
+}

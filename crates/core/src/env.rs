@@ -1,0 +1,296 @@
+//! The master-side OpenMP execution environment.
+
+use crate::config::{OmpConfig, Schedule};
+use crate::forloop::LoopPlan;
+use crate::reduction::{RedOp, Reduce};
+use crate::thread::{OmpThread, RUNTIME_LOCK_BASE};
+use std::ops::{Deref, DerefMut, Range};
+use std::sync::Arc;
+use tmk::{RunOutcome, Tmk};
+
+/// The sequential (master) context of an OpenMP program.
+///
+/// Dereferences to the master's [`Tmk`] handle for shared-memory
+/// allocation and access in sequential sections; parallel constructs fork
+/// regions onto all workstations.
+pub struct Env<'t> {
+    pub(crate) t: &'t mut Tmk,
+    pub(crate) cfg: OmpConfig,
+    loop_seq: u32,
+}
+
+impl Deref for Env<'_> {
+    type Target = Tmk;
+    fn deref(&self) -> &Tmk {
+        self.t
+    }
+}
+impl DerefMut for Env<'_> {
+    fn deref_mut(&mut self) -> &mut Tmk {
+        self.t
+    }
+}
+
+/// Run an OpenMP program: bring up the DSM system and execute `f` as the
+/// master's sequential code.
+pub fn run<R, F>(cfg: OmpConfig, f: F) -> RunOutcome<R>
+where
+    R: Send + 'static,
+    F: FnOnce(&mut Env) -> R + Send + 'static,
+{
+    let tmk_cfg = cfg.tmk.clone();
+    tmk::run_system(tmk_cfg, move |t| {
+        let mut env = Env { t, cfg, loop_seq: 0 };
+        f(&mut env)
+    })
+}
+
+impl Env<'_> {
+    /// Number of OpenMP threads (one per workstation).
+    pub fn num_threads(&self) -> usize {
+        self.t.nprocs()
+    }
+
+    /// A fresh runtime-internal lock id (for loop counters, reductions).
+    fn next_runtime_lock(&mut self) -> u32 {
+        self.loop_seq = self.loop_seq.wrapping_add(1);
+        RUNTIME_LOCK_BASE + (self.loop_seq & 0x0fff)
+    }
+
+    /// `!$omp parallel` … `!$omp end parallel`.
+    ///
+    /// By-value captures of `body` are the firstprivate environment;
+    /// shared data must be `SharedVec`/`SharedScalar` handles (the
+    /// paper's Modification 1, enforced by construction). An implicit
+    /// barrier joins the region.
+    pub fn parallel(&mut self, body: impl Fn(&mut OmpThread<'_>) + Send + Sync + 'static) {
+        self.parallel_sized(0, body);
+    }
+
+    /// [`Env::parallel`] with an explicit modeled firstprivate payload
+    /// size in bytes (added to the fork message).
+    pub fn parallel_sized(
+        &mut self,
+        payload_bytes: usize,
+        body: impl Fn(&mut OmpThread<'_>) + Send + Sync + 'static,
+    ) {
+        self.t.parallel(payload_bytes, move |t| {
+            let mut th = OmpThread::new(t);
+            body(&mut th);
+        });
+    }
+
+    /// `!$omp parallel do`: fork a region executing `body(i)` for every
+    /// `i` in `range` under the given schedule, with the implicit
+    /// end-of-loop barrier.
+    pub fn parallel_for(
+        &mut self,
+        sched: Schedule,
+        range: Range<usize>,
+        body: impl Fn(&mut OmpThread<'_>, usize) + Send + Sync + 'static,
+    ) {
+        self.parallel_for_chunks(sched, range, move |th, r| {
+            for i in r {
+                body(th, i);
+            }
+        });
+    }
+
+    /// Chunk-granularity `parallel do`: `body` receives whole iteration
+    /// ranges, letting applications use bulk shared-memory views per chunk
+    /// (the idiomatic pattern on a page-based DSM).
+    pub fn parallel_for_chunks(
+        &mut self,
+        sched: Schedule,
+        range: Range<usize>,
+        body: impl Fn(&mut OmpThread<'_>, Range<usize>) + Send + Sync + 'static,
+    ) {
+        let counter = self.loop_counter_for(sched);
+        let plan = LoopPlan::new(sched, range, counter);
+        let body = Arc::new(body);
+        self.parallel(move |th| {
+            plan.run(th, &mut |th: &mut OmpThread<'_>, r: Range<usize>| body(th, r));
+        });
+    }
+
+    /// The configured default chunk for `Schedule::Dynamic(0)`.
+    pub fn default_dynamic_chunk(&self) -> usize {
+        self.cfg.default_dynamic_chunk
+    }
+
+    fn loop_counter_for(&mut self, sched: Schedule) -> Option<(tmk::SharedScalar<u64>, u32)> {
+        match sched {
+            Schedule::Dynamic(_) | Schedule::Guided(_) => {
+                let c = self.t.malloc_scalar::<u64>(0);
+                let lock = self.next_runtime_lock();
+                Some((c, lock))
+            }
+            _ => None,
+        }
+    }
+
+    /// `!$omp parallel do reduction(op:acc)`: every thread reduces into a
+    /// private accumulator seeded with the identity; partial results are
+    /// combined in a critical section at region end. Returns the reduced
+    /// value (also visible to later regions via shared memory semantics).
+    pub fn parallel_reduce<T: Reduce>(
+        &mut self,
+        sched: Schedule,
+        range: Range<usize>,
+        op: RedOp,
+        body: impl Fn(&mut OmpThread<'_>, usize, &mut T) + Send + Sync + 'static,
+    ) -> T {
+        let acc = self.t.malloc_scalar::<T>(T::identity(op));
+        let lock = self.next_runtime_lock();
+        let counter = self.loop_counter_for(sched);
+        let plan = LoopPlan::new(sched, range, counter);
+        let body = Arc::new(body);
+        self.parallel(move |th| {
+            let mut local = T::identity(op);
+            plan.run(th, &mut |th: &mut OmpThread<'_>, r: Range<usize>| {
+                for i in r {
+                    body(th, i, &mut local);
+                }
+            });
+            th.critical(lock, |th| {
+                let cur = acc.get(th);
+                let next = T::combine(op, cur, local);
+                acc.set(th, next);
+            });
+        });
+        acc.get(self.t)
+    }
+
+    /// Array reduction (`reduction` extended to arrays — the paper's
+    /// extension of the standard): each thread gets a private slice seeded
+    /// with the identity; slices are combined element-wise at region end.
+    pub fn parallel_reduce_vec<T: Reduce>(
+        &mut self,
+        len: usize,
+        op: RedOp,
+        body: impl Fn(&mut OmpThread<'_>, &mut [T]) + Send + Sync + 'static,
+    ) -> Vec<T> {
+        assert!(len > 0, "array reduction over empty array");
+        let acc = self.t.malloc_vec::<T>(len);
+        let init = vec![T::identity(op); len];
+        self.t.write_slice(&acc, 0, &init);
+        let lock = self.next_runtime_lock();
+        self.parallel(move |th| {
+            let mut local = vec![T::identity(op); len];
+            body(th, &mut local);
+            th.critical(lock, |th| {
+                th.view_mut(&acc, 0..len, |global| {
+                    for (g, l) in global.iter_mut().zip(&local) {
+                        *g = T::combine(op, *g, *l);
+                    }
+                });
+            });
+        });
+        self.t.read_slice(&acc, 0..len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OmpConfig;
+
+    #[test]
+    fn parallel_runs_on_every_thread() {
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            let v = omp.malloc_vec::<u64>(3);
+            omp.parallel(move |t| {
+                let me = t.thread_num();
+                t.write(&v, me, me as u64 + 1);
+            });
+            omp.read_slice(&v, 0..3)
+        });
+        assert_eq!(out.result, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn firstprivate_via_capture() {
+        // A by-value capture plays the role of a firstprivate variable:
+        // same initial value on every thread, privately mutable.
+        let out = run(OmpConfig::fast_test(2), |omp| {
+            let seed = 17u64; // "firstprivate"
+            let v = omp.malloc_vec::<u64>(2);
+            omp.parallel(move |t| {
+                let mut x = seed; // private copy initialized from master
+                x += t.thread_num() as u64;
+                let me = t.thread_num();
+                t.write(&v, me, x);
+            });
+            omp.read_slice(&v, 0..2)
+        });
+        assert_eq!(out.result, vec![17, 18]);
+    }
+
+    #[test]
+    fn scalar_reduction_sum() {
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            omp.parallel_reduce(Schedule::Static, 0..1000, RedOp::Sum, |_t, i, acc: &mut u64| {
+                *acc += i as u64;
+            })
+        });
+        assert_eq!(out.result, 499_500);
+    }
+
+    #[test]
+    fn scalar_reduction_max_dynamic_schedule() {
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            omp.parallel_reduce(Schedule::Dynamic(8), 0..100, RedOp::Max, |_t, i, acc: &mut i64| {
+                let val = ((i as i64) * 37) % 91;
+                *acc = (*acc).max(val);
+            })
+        });
+        let expect = (0..100i64).map(|i| (i * 37) % 91).max().unwrap();
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn array_reduction() {
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            omp.parallel_reduce_vec(4, RedOp::Sum, |t, acc: &mut [u64]| {
+                // Every thread contributes its id+1 to every slot.
+                let c = t.thread_num() as u64 + 1;
+                for a in acc.iter_mut() {
+                    *a += c;
+                }
+            })
+        });
+        assert_eq!(out.result, vec![6, 6, 6, 6]); // 1+2+3
+    }
+
+    #[test]
+    fn master_and_single() {
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            let v = omp.malloc_vec::<u64>(2);
+            omp.parallel(move |t| {
+                t.master(|t| t.write(&v, 0, 7));
+                t.single(|t| t.write(&v, 1, 9));
+                // After single's barrier everyone sees the value.
+                assert_eq!(t.read(&v, 1), 9);
+            });
+            omp.read_slice(&v, 0..2)
+        });
+        assert_eq!(out.result, vec![7, 9]);
+    }
+
+    #[test]
+    fn critical_named_mutual_exclusion() {
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            let c = omp.malloc_scalar::<u64>(0);
+            omp.parallel(move |t| {
+                for _ in 0..10 {
+                    t.critical_named("ctr", |t| {
+                        let v = c.get(t);
+                        c.set(t, v + 1);
+                    });
+                }
+            });
+            c.get(omp)
+        });
+        assert_eq!(out.result, 40);
+    }
+}

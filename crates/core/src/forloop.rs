@@ -1,0 +1,177 @@
+//! Work-sharing loop drivers: how `parallel do` iterations reach threads.
+//!
+//! Static policies are pure arithmetic (no traffic). Dynamic and guided
+//! policies draw chunks from a shared counter protected by a runtime lock;
+//! on software DSM every grab is a lock transfer plus a page fetch, which
+//! is why the paper's applications all use static partitioning — the cost
+//! difference is measurable with the `sync_ablation` bench.
+
+use crate::config::Schedule;
+use crate::thread::OmpThread;
+use std::ops::Range;
+use tmk::SharedScalar;
+
+/// Run-time plan for executing one work-shared loop on one thread.
+#[derive(Clone)]
+pub(crate) enum LoopPlan {
+    /// Contiguous block per thread.
+    Static { start: usize, end: usize },
+    /// Round-robin chunks.
+    StaticChunk { start: usize, end: usize, chunk: usize },
+    /// Shared-counter chunking.
+    Shared {
+        start: usize,
+        end: usize,
+        counter: SharedScalar<u64>,
+        lock: u32,
+        policy: SharedPolicy,
+    },
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum SharedPolicy {
+    Dynamic { chunk: usize },
+    Guided { min_chunk: usize },
+}
+
+impl LoopPlan {
+    /// Build the plan for `range` under `sched`. `counter` must be
+    /// provided (pre-allocated, zeroed) for dynamic/guided schedules.
+    pub(crate) fn new(
+        sched: Schedule,
+        range: Range<usize>,
+        counter: Option<(SharedScalar<u64>, u32)>,
+    ) -> Self {
+        match sched {
+            Schedule::Static => LoopPlan::Static { start: range.start, end: range.end },
+            Schedule::StaticChunk(c) => {
+                LoopPlan::StaticChunk { start: range.start, end: range.end, chunk: c.max(1) }
+            }
+            Schedule::Dynamic(c) => {
+                let (counter, lock) = counter.expect("dynamic schedule needs a shared counter");
+                LoopPlan::Shared {
+                    start: range.start,
+                    end: range.end,
+                    counter,
+                    lock,
+                    policy: SharedPolicy::Dynamic { chunk: c.max(1) },
+                }
+            }
+            Schedule::Guided(m) => {
+                let (counter, lock) = counter.expect("guided schedule needs a shared counter");
+                LoopPlan::Shared {
+                    start: range.start,
+                    end: range.end,
+                    counter,
+                    lock,
+                    policy: SharedPolicy::Guided { min_chunk: m.max(1) },
+                }
+            }
+        }
+    }
+
+    /// Drive `body` over this thread's chunks.
+    pub(crate) fn run(
+        &self,
+        th: &mut OmpThread<'_>,
+        body: &mut dyn FnMut(&mut OmpThread<'_>, Range<usize>),
+    ) {
+        let (tid, p) = (th.thread_num(), th.num_threads());
+        match self {
+            LoopPlan::Static { start, end } => {
+                let total = end - start;
+                let b = Schedule::static_block(total, p, tid);
+                if !b.is_empty() {
+                    body(th, start + b.start..start + b.end);
+                }
+            }
+            LoopPlan::StaticChunk { start, end, chunk } => {
+                let total = end - start;
+                let mut lo = tid * chunk;
+                while lo < total {
+                    let hi = (lo + chunk).min(total);
+                    body(th, start + lo..start + hi);
+                    lo += p * chunk;
+                }
+            }
+            LoopPlan::Shared { start, end, counter, lock, policy } => {
+                let total = (end - start) as u64;
+                loop {
+                    let claim = th.critical(*lock, |th| {
+                        let cur = counter.get(th);
+                        if cur >= total {
+                            return None;
+                        }
+                        let remaining = total - cur;
+                        let len = match policy {
+                            SharedPolicy::Dynamic { chunk } => (*chunk as u64).min(remaining),
+                            SharedPolicy::Guided { min_chunk } => {
+                                (remaining / (2 * p as u64)).max(*min_chunk as u64).min(remaining)
+                            }
+                        };
+                        counter.set(th, cur + len);
+                        Some((cur, len))
+                    });
+                    match claim {
+                        None => break,
+                        Some((cur, len)) => {
+                            let lo = start + cur as usize;
+                            body(th, lo..lo + len as usize);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OmpConfig;
+    use crate::env::run;
+
+    fn collect_indices(sched: Schedule, n: usize, nodes: usize) -> Vec<u64> {
+        let out = run(OmpConfig::fast_test(nodes), move |omp| {
+            let hits = omp.malloc_vec::<u64>(n.max(1));
+            omp.parallel_for_chunks(sched, 0..n, move |t, r| {
+                for i in r {
+                    let v = t.read(&hits, i);
+                    t.write(&hits, i, v + 1);
+                }
+            });
+            omp.read_slice(&hits, 0..n)
+        });
+        out.result
+    }
+
+    #[test]
+    fn static_covers_all_once() {
+        let hits = collect_indices(Schedule::Static, 103, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn static_chunk_covers_all_once() {
+        let hits = collect_indices(Schedule::StaticChunk(5), 64, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn dynamic_covers_all_once() {
+        let hits = collect_indices(Schedule::Dynamic(7), 50, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn guided_covers_all_once() {
+        let hits = collect_indices(Schedule::Guided(2), 41, 2);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn empty_loop_is_fine() {
+        let hits = collect_indices(Schedule::Static, 0, 2);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! # nomp — OpenMP on networks of workstations
+//!
+//! The primary contribution of *"OpenMP on Networks of Workstations"*
+//! (Lu, Hu & Zwaenepoel, SC'98), as a Rust library: an OpenMP-style
+//! fork-join programming model compiled onto the [`tmk`] software
+//! distributed shared memory system, which in turn runs on a simulated
+//! workstation network.
+//!
+//! ## Directive mapping
+//!
+//! | OpenMP directive | Here |
+//! |---|---|
+//! | `parallel` / `end parallel` | [`Env::parallel`] / [`omp_parallel!`] |
+//! | `parallel do` + `schedule` | [`Env::parallel_for`] / [`omp_parallel_for!`] with [`Schedule`] |
+//! | `shared(v)` | `v` is a [`tmk::SharedVec`]/[`tmk::SharedScalar`] handle |
+//! | `private(v)` | any plain local inside the region closure (the default — Modification 1) |
+//! | `firstprivate(v)` | by-value (`move`) closure capture |
+//! | `threadprivate(v)` | [`ThreadPrivate`] |
+//! | `reduction(op: v)` | [`Env::parallel_reduce`]; arrays: [`Env::parallel_reduce_vec`] (the paper's extension) |
+//! | `critical [(name)]` | [`OmpThread::critical`] / [`omp_critical!`] |
+//! | `barrier` | [`OmpThread::barrier`](tmk::Tmk::barrier) / [`omp_barrier!`] |
+//! | `master` | [`OmpThread::master`] / [`omp_master!`] |
+//! | `flush` | [`tmk::Tmk::flush`] / [`omp_flush!`] — kept for the cost ablation |
+//! | *proposed* `sema_wait`/`sema_signal` | [`tmk::Tmk::sema_wait`]/[`sema_signal`](tmk::Tmk::sema_signal) |
+//! | *proposed* condition variables | [`OmpThread::cond_wait`]/[`cond_signal`](OmpThread::cond_signal)/[`cond_broadcast`](OmpThread::cond_broadcast) |
+//!
+//! The paper's two proposed modifications to the standard fall out of the
+//! embedding:
+//!
+//! 1. **Variables default to private.** Rust closures capture exactly what
+//!    they name; shared data must be an explicit `Shared*` handle placed
+//!    in DSM space. There is no way to share a stack variable by accident.
+//! 2. **Semaphores and condition variables replace `flush`.** Both are
+//!    first-class here, implemented with a small constant number of
+//!    messages, while `flush` (still available) broadcasts to all nodes.
+//!
+//! ## Example
+//!
+//! ```
+//! use nomp::{run, OmpConfig, RedOp, Schedule};
+//!
+//! let out = run(OmpConfig::fast_test(2), |omp| {
+//!     let a = omp.malloc_vec::<f64>(1000);
+//!     omp.parallel_for_chunks(Schedule::Static, 0..1000, move |t, r| {
+//!         t.view_mut(&a, r.clone(), |chunk| {
+//!             for (k, x) in chunk.iter_mut().enumerate() { *x = (r.start + k) as f64; }
+//!         });
+//!     });
+//!     omp.parallel_reduce(Schedule::Static, 0..1000, RedOp::Sum, move |t, i, acc: &mut f64| {
+//!         *acc += t.read(&a, i);
+//!     })
+//! });
+//! assert_eq!(out.result, 499_500.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod data;
+mod env;
+mod forloop;
+mod macros;
+mod reduction;
+mod thread;
+
+pub use config::{OmpConfig, Schedule};
+pub use data::ThreadPrivate;
+pub use env::{run, Env};
+pub use reduction::{RedOp, Reduce};
+pub use thread::{critical_id, OmpThread};
+
+// Re-export the substrate types applications touch directly.
+pub use tmk::{RunOutcome, Shareable, SharedScalar, SharedVec, Tmk, TmkConfig, TmkStats};

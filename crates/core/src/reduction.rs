@@ -1,0 +1,111 @@
+//! Reduction support (`reduction(op: var)`), including the paper's
+//! extension of reduction variables to arrays.
+
+use tmk::Shareable;
+
+/// Reduction operators supported by the directive layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    /// `+` reduction.
+    Sum,
+    /// `*` reduction.
+    Prod,
+    /// `min` reduction.
+    Min,
+    /// `max` reduction.
+    Max,
+}
+
+/// Element types usable as reduction accumulators.
+pub trait Reduce: Shareable {
+    /// The operator's identity element.
+    fn identity(op: RedOp) -> Self;
+    /// Combine two partial results.
+    fn combine(op: RedOp, a: Self, b: Self) -> Self;
+}
+
+macro_rules! impl_reduce_int {
+    ($($t:ty),*) => { $(
+        impl Reduce for $t {
+            fn identity(op: RedOp) -> Self {
+                match op {
+                    RedOp::Sum => 0,
+                    RedOp::Prod => 1,
+                    RedOp::Min => <$t>::MAX,
+                    RedOp::Max => <$t>::MIN,
+                }
+            }
+            fn combine(op: RedOp, a: Self, b: Self) -> Self {
+                match op {
+                    RedOp::Sum => a.wrapping_add(b),
+                    RedOp::Prod => a.wrapping_mul(b),
+                    RedOp::Min => a.min(b),
+                    RedOp::Max => a.max(b),
+                }
+            }
+        }
+    )* };
+}
+impl_reduce_int!(u8, i8, u16, i16, u32, i32, u64, i64, usize, isize);
+
+macro_rules! impl_reduce_float {
+    ($($t:ty),*) => { $(
+        impl Reduce for $t {
+            fn identity(op: RedOp) -> Self {
+                match op {
+                    RedOp::Sum => 0.0,
+                    RedOp::Prod => 1.0,
+                    RedOp::Min => <$t>::INFINITY,
+                    RedOp::Max => <$t>::NEG_INFINITY,
+                }
+            }
+            fn combine(op: RedOp, a: Self, b: Self) -> Self {
+                match op {
+                    RedOp::Sum => a + b,
+                    RedOp::Prod => a * b,
+                    RedOp::Min => a.min(b),
+                    RedOp::Max => a.max(b),
+                }
+            }
+        }
+    )* };
+}
+impl_reduce_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral() {
+        for op in [RedOp::Sum, RedOp::Prod, RedOp::Min, RedOp::Max] {
+            assert_eq!(i64::combine(op, i64::identity(op), 42), 42);
+            assert_eq!(f64::combine(op, f64::identity(op), 2.5), 2.5);
+        }
+    }
+
+    #[test]
+    fn combine_matches_operator() {
+        assert_eq!(u32::combine(RedOp::Sum, 3, 4), 7);
+        assert_eq!(u32::combine(RedOp::Prod, 3, 4), 12);
+        assert_eq!(u32::combine(RedOp::Min, 3, 4), 3);
+        assert_eq!(u32::combine(RedOp::Max, 3, 4), 4);
+        assert_eq!(f64::combine(RedOp::Max, -1.0, 2.0), 2.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn combine_is_associative_and_commutative_for_ints(
+            a in proptest::num::i64::ANY, b in proptest::num::i64::ANY, c in proptest::num::i64::ANY
+        ) {
+            for op in [RedOp::Sum, RedOp::Prod, RedOp::Min, RedOp::Max] {
+                let ab_c = i64::combine(op, i64::combine(op, a, b), c);
+                let a_bc = i64::combine(op, a, i64::combine(op, b, c));
+                proptest::prop_assert_eq!(ab_c, a_bc, "associativity {:?}", op);
+                let ab = i64::combine(op, a, b);
+                let ba = i64::combine(op, b, a);
+                proptest::prop_assert_eq!(ab, ba, "commutativity {:?}", op);
+            }
+        }
+    }
+}

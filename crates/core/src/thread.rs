@@ -1,0 +1,118 @@
+//! The per-thread context inside a parallel region.
+
+use std::ops::{Deref, DerefMut};
+use tmk::Tmk;
+
+/// Reserved lock-id range for named critical sections and runtime
+/// internals; application locks should use small ids.
+pub(crate) const NAMED_CRITICAL_BASE: u32 = 0x8000_0000;
+pub(crate) const RUNTIME_LOCK_BASE: u32 = 0xF000_0000;
+
+/// Map an OpenMP `critical` section name to a lock id (FNV-1a).
+pub fn critical_id(name: &str) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for b in name.bytes() {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    NAMED_CRITICAL_BASE | (h & 0x3fff_ffff)
+}
+
+/// Execution context of one OpenMP thread (one per workstation, as in the
+/// paper). Dereferences to the underlying [`Tmk`] handle, so all shared
+/// memory operations (`read`, `write`, `view_mut`, …) are available
+/// directly.
+pub struct OmpThread<'t> {
+    pub(crate) t: &'t mut Tmk,
+}
+
+impl Deref for OmpThread<'_> {
+    type Target = Tmk;
+    fn deref(&self) -> &Tmk {
+        self.t
+    }
+}
+impl DerefMut for OmpThread<'_> {
+    fn deref_mut(&mut self) -> &mut Tmk {
+        self.t
+    }
+}
+
+impl<'t> OmpThread<'t> {
+    pub(crate) fn new(t: &'t mut Tmk) -> Self {
+        OmpThread { t }
+    }
+
+    /// `omp_get_thread_num()`.
+    #[inline]
+    pub fn thread_num(&self) -> usize {
+        self.t.proc_id()
+    }
+
+    /// `omp_get_num_threads()`.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.t.nprocs()
+    }
+
+    /// `!$omp critical` with an explicit lock id.
+    pub fn critical<R>(&mut self, lock: u32, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.t.lock_acquire(lock);
+        let r = f(self);
+        self.t.lock_release(lock);
+        r
+    }
+
+    /// `!$omp critical (name)`.
+    pub fn critical_named<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.critical(critical_id(name), f)
+    }
+
+    /// `!$omp master`: run `f` on thread 0 only (no implied barrier).
+    pub fn master<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> Option<R> {
+        (self.thread_num() == 0).then(|| f(self))
+    }
+
+    /// `!$omp single` (master-executes variant): thread 0 runs `f`, then
+    /// everyone synchronizes at the implied barrier, so all threads see
+    /// the single section's updates.
+    pub fn single(&mut self, f: impl FnOnce(&mut Self)) {
+        if self.thread_num() == 0 {
+            f(self);
+        }
+        self.t.barrier();
+    }
+
+    /// `cond_wait(id)` inside the critical section `lock` — the paper's
+    /// proposed directive (§3.2.3): atomically releases the critical
+    /// section, blocks until signaled, re-enters before returning.
+    pub fn cond_wait(&mut self, lock: u32, cond: u32) {
+        self.t.cond_wait(lock, cond);
+    }
+
+    /// `cond_signal(id)`: wake one waiter (no-op when none).
+    pub fn cond_signal(&mut self, lock: u32, cond: u32) {
+        self.t.cond_signal(lock, cond);
+    }
+
+    /// `cond_broadcast(id)`: wake all waiters.
+    pub fn cond_broadcast(&mut self, lock: u32, cond: u32) {
+        self.t.cond_broadcast(lock, cond);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_ids_are_in_reserved_range_and_stable() {
+        let a = critical_id("queue");
+        let b = critical_id("queue");
+        let c = critical_id("other");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a >= NAMED_CRITICAL_BASE);
+        assert!(c >= NAMED_CRITICAL_BASE);
+    }
+}

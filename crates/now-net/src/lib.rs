@@ -1,0 +1,52 @@
+//! # now-net — a simulated network of workstations
+//!
+//! This crate stands in for the hardware testbed of *"OpenMP on Networks of
+//! Workstations"* (Lu, Hu & Zwaenepoel, SC'98): eight Pentium Pro
+//! workstations on switched 100 Mbps Ethernet. Each simulated workstation
+//! is an OS thread with a private address space; the interconnect is a
+//! full mesh of in-process channels.
+//!
+//! Two things make it a *simulation* rather than a toy:
+//!
+//! 1. **Virtual time.** Every node has a [`VirtualClock`]. Application
+//!    compute advances it by measured per-thread CPU time scaled to the
+//!    paper's 200 MHz Pentium Pro ([`NetworkConfig::compute_scale`]);
+//!    messages advance it by a calibrated latency/bandwidth/handler model
+//!    ([`NetworkConfig`]). Reported run times and speedups are virtual.
+//! 2. **Exact traffic accounting.** Every remote message is counted with
+//!    its modeled payload size ([`NetStats`]), reproducing the message and
+//!    megabyte columns of the paper's Table 2 by direct measurement.
+//!
+//! Higher layers — the `tmk` software DSM and the `nowmpi` message-passing
+//! library — run their full protocols over this substrate.
+//!
+//! ```
+//! use now_net::{Network, NetworkConfig, Wire};
+//!
+//! struct Hello;
+//! impl Wire for Hello {
+//!     fn wire_bytes(&self) -> usize { 5 }
+//! }
+//!
+//! let eps = Network::build::<Hello>(NetworkConfig::paper_udp(2));
+//! eps[0].send(1, Hello);
+//! let d = eps[1].recv();
+//! eps[1].charge_rx(&d);
+//! assert!(eps[1].clock().now() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod message;
+mod network;
+mod pod;
+mod stats;
+mod time;
+
+pub use config::NetworkConfig;
+pub use message::{Delivered, Envelope, Wire};
+pub use network::{Endpoint, Network};
+pub use pod::Pod;
+pub use stats::{NetStats, StatsSnapshot};
+pub use time::{thread_cpu_ns, ComputeMeter, MeterPause, VirtualClock};

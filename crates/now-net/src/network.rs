@@ -1,0 +1,305 @@
+//! The full-mesh interconnect: endpoints, send/receive, virtual-time
+//! stamping and traffic accounting.
+//!
+//! Topology: every node owns one MPMC inbox; every endpoint holds senders
+//! to all inboxes. A "message" is an in-process enum value — nothing is
+//! serialized — but each send pays the configured overheads on the virtual
+//! clocks and is counted against the traffic statistics, so timing and
+//! Table 2-style traffic numbers come out as if the payload had crossed a
+//! real wire.
+
+use crate::config::NetworkConfig;
+use crate::message::{Delivered, Envelope, Wire};
+use crate::stats::{NetStats, StatsSnapshot};
+use crate::time::VirtualClock;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Construction handle for one simulated network.
+pub struct Network;
+
+impl Network {
+    /// Build a network of `cfg.nodes` workstations, returning one
+    /// [`Endpoint`] per node.
+    pub fn build<M: Wire>(cfg: NetworkConfig) -> Vec<Endpoint<M>> {
+        let n = cfg.nodes;
+        assert!(n >= 1, "network needs at least one node");
+        let cfg = Arc::new(cfg);
+        let stats = Arc::new(NetStats::new(n));
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded::<Envelope<M>>();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders: Arc<[Sender<Envelope<M>>]> = senders.into();
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(id, receiver)| Endpoint {
+                id,
+                cfg: cfg.clone(),
+                clock: VirtualClock::new(),
+                senders: senders.clone(),
+                receiver,
+                stats: stats.clone(),
+            })
+            .collect()
+    }
+}
+
+/// One node's attachment to the network.
+///
+/// Cloning an endpoint shares the inbox (the clone receives from the same
+/// queue); by convention only the node's protocol service thread calls
+/// [`Endpoint::recv`], while any of the node's threads may send.
+pub struct Endpoint<M> {
+    id: usize,
+    cfg: Arc<NetworkConfig>,
+    clock: Arc<VirtualClock>,
+    senders: Arc<[Sender<Envelope<M>>]>,
+    receiver: Receiver<Envelope<M>>,
+    stats: Arc<NetStats>,
+}
+
+impl<M> Clone for Endpoint<M> {
+    fn clone(&self) -> Self {
+        Endpoint {
+            id: self.id,
+            cfg: self.cfg.clone(),
+            clock: self.clock.clone(),
+            senders: self.senders.clone(),
+            receiver: self.receiver.clone(),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<M: Wire> Endpoint<M> {
+    /// This node's id (0-based).
+    #[inline]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of nodes on this network.
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The cost model.
+    #[inline]
+    pub fn cfg(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// This node's virtual clock.
+    #[inline]
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    /// Shared traffic statistics for the whole network.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Reset traffic statistics (all nodes).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Send `msg` to node `dst`.
+    ///
+    /// Charges the sender's virtual CPU (`send_overhead_ns`, or
+    /// `local_delivery_ns` for self-sends), stamps the envelope with the
+    /// post-charge clock, and records traffic statistics for remote sends.
+    pub fn send(&self, dst: usize, msg: M) {
+        let bytes = msg.wire_bytes();
+        let send_vt = if dst == self.id {
+            self.clock.advance(self.cfg.local_delivery_ns)
+        } else {
+            self.stats.record_send(self.id, msg.kind(), bytes);
+            self.clock.advance(self.cfg.send_overhead_ns)
+        };
+        let env = Envelope { src: self.id, dst, send_vt, wire_bytes: bytes, msg };
+        // Receivers are never dropped while any endpoint is alive, so a
+        // send can only fail during teardown; losing messages then is fine.
+        let _ = self.senders[dst].send(env);
+    }
+
+    /// Blocking receive. Computes the arrival time from the cost model but
+    /// does **not** touch this node's clock — call [`Endpoint::charge_rx`]
+    /// (or raise the clock yourself) from whichever thread consumes the
+    /// message.
+    pub fn recv(&self) -> Delivered<M> {
+        let env = self.receiver.recv().expect("network endpoint disconnected");
+        self.deliver(env)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Delivered<M>> {
+        match self.receiver.try_recv() {
+            Ok(env) => Some(self.deliver(env)),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => panic!("network endpoint disconnected"),
+        }
+    }
+
+    /// Receive with a real-time timeout (service-loop shutdown polling).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Delivered<M>> {
+        match self.receiver.recv_timeout(timeout) {
+            Ok(env) => Some(self.deliver(env)),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => panic!("network endpoint disconnected"),
+        }
+    }
+
+    fn deliver(&self, env: Envelope<M>) -> Delivered<M> {
+        let arrival_vt = if env.src == self.id {
+            env.send_vt
+        } else {
+            env.send_vt + self.cfg.fly_time_ns(env.wire_bytes)
+        };
+        Delivered { src: env.src, arrival_vt, wire_bytes: env.wire_bytes, msg: env.msg }
+    }
+
+    /// Application-context receive: raise the node's clock to the
+    /// message's arrival time and charge the receive-handler CPU cost.
+    /// Returns the clock after charging.
+    pub fn charge_rx(&self, d: &Delivered<M>) -> u64 {
+        self.clock.raise_to(d.arrival_vt);
+        let cost =
+            if d.src == self.id { self.cfg.local_delivery_ns } else { self.cfg.handler_ns };
+        self.clock.advance(cost)
+    }
+
+    /// Service-context receive: the handler runs as soon as the CPU is
+    /// free after arrival, independent of the (possibly blocked)
+    /// application thread. Advances only the CPU timeline.
+    pub fn service_rx(&self, d: &Delivered<M>) -> u64 {
+        self.clock.service_enter(d.arrival_vt);
+        let cost =
+            if d.src == self.id { self.cfg.local_delivery_ns } else { self.cfg.handler_ns };
+        self.clock.service_advance(cost)
+    }
+
+    /// Service-context send (protocol replies): pays the send overhead on
+    /// the CPU timeline and stamps the envelope from it, so replies do not
+    /// wait for the application thread's own blocked operations.
+    pub fn send_service(&self, dst: usize, msg: M) {
+        let bytes = msg.wire_bytes();
+        let send_vt = if dst == self.id {
+            self.clock.service_advance(self.cfg.local_delivery_ns)
+        } else {
+            self.stats.record_send(self.id, msg.kind(), bytes);
+            self.clock.service_advance(self.cfg.send_overhead_ns)
+        };
+        let env = Envelope { src: self.id, dst, send_vt, wire_bytes: bytes, msg };
+        let _ = self.senders[dst].send(env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Blob(Vec<u8>);
+    impl Wire for Blob {
+        fn wire_bytes(&self) -> usize {
+            self.0.len()
+        }
+        fn kind(&self) -> &'static str {
+            "blob"
+        }
+    }
+
+    #[test]
+    fn point_to_point_delivery_and_timing() {
+        let eps = Network::build::<Blob>(NetworkConfig::paper_udp(2));
+        let (a, b) = (&eps[0], &eps[1]);
+        a.send(1, Blob(vec![0u8; 100]));
+        let d = b.recv();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.msg.0.len(), 100);
+        // Arrival is after the sender's post-overhead timestamp plus flight.
+        let expected = a.cfg().send_overhead_ns + a.cfg().fly_time_ns(100);
+        assert_eq!(d.arrival_vt, expected);
+        let after = b.charge_rx(&d);
+        assert_eq!(after, expected + b.cfg().handler_ns);
+    }
+
+    #[test]
+    fn self_send_is_cheap_and_uncounted() {
+        let eps = Network::build::<Blob>(NetworkConfig::paper_udp(2));
+        let a = &eps[0];
+        a.send(0, Blob(vec![1, 2, 3]));
+        let d = a.recv();
+        assert_eq!(d.src, 0);
+        assert_eq!(d.arrival_vt, a.cfg().local_delivery_ns);
+        assert_eq!(a.stats().total_msgs(), 0, "self-sends must not be counted");
+    }
+
+    #[test]
+    fn stats_count_remote_traffic() {
+        let eps = Network::build::<Blob>(NetworkConfig::fast_test(3));
+        eps[0].send(1, Blob(vec![0; 10]));
+        eps[0].send(2, Blob(vec![0; 20]));
+        eps[2].send(0, Blob(vec![0; 5]));
+        let s = eps[1].stats();
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 35);
+        assert_eq!(s.msgs, vec![2, 0, 1]);
+        assert_eq!(s.per_kind["blob"], (3, 35));
+    }
+
+    #[test]
+    fn clock_never_regresses_on_late_messages() {
+        let eps = Network::build::<Blob>(NetworkConfig::fast_test(2));
+        let (a, b) = (&eps[0], &eps[1]);
+        b.clock().advance(1_000_000); // receiver is already far ahead
+        a.send(1, Blob(vec![0; 1]));
+        let d = b.recv();
+        let after = b.charge_rx(&d);
+        assert!(after >= 1_000_000);
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let eps = Network::build::<Blob>(NetworkConfig::fast_test(2));
+        assert!(eps[1].try_recv().is_none());
+        assert!(eps[1].recv_timeout(Duration::from_millis(1)).is_none());
+        eps[0].send(1, Blob(vec![9]));
+        assert!(eps[1].recv_timeout(Duration::from_millis(100)).is_some());
+    }
+
+    #[test]
+    fn cloned_endpoint_shares_inbox() {
+        let eps = Network::build::<Blob>(NetworkConfig::fast_test(2));
+        let b2 = eps[1].clone();
+        eps[0].send(1, Blob(vec![1]));
+        assert!(b2.recv_timeout(Duration::from_millis(100)).is_some());
+        assert!(eps[1].try_recv().is_none(), "message consumed by clone");
+    }
+
+    #[test]
+    fn request_reply_round_trip_accumulates_rtt() {
+        let cfg = NetworkConfig::paper_udp(2);
+        let rtt = cfg.model_rtt_ns(1);
+        let eps = Network::build::<Blob>(cfg);
+        let (a, b) = (&eps[0], &eps[1]);
+        // a -> b request
+        a.send(1, Blob(vec![0]));
+        let d = b.recv();
+        b.charge_rx(&d);
+        // b -> a reply
+        b.send(0, Blob(vec![0]));
+        let d2 = a.recv();
+        let t = a.charge_rx(&d2);
+        assert_eq!(t, rtt, "round trip should equal the model RTT");
+    }
+}

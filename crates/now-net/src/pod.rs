@@ -1,0 +1,43 @@
+//! Plain-old-data marker trait shared by the DSM and MPI layers.
+
+/// Types whose values may cross the simulated wire (or live in DSM pages)
+/// as raw bytes.
+///
+/// # Safety
+///
+/// Implementors must be valid for any bit pattern another node could
+/// legitimately produce by writing values of the same type: the transport
+/// layers move raw bytes with no per-type validation. `Copy + 'static`
+/// types without references, pointers, or niche-constrained fields (e.g.
+/// `bool`, most enums) qualify.
+pub unsafe trait Pod: Copy + Send + 'static {}
+
+macro_rules! impl_pod_prim {
+    ($($t:ty),*) => { $(
+        // SAFETY: plain integers/floats are valid for all bit patterns.
+        unsafe impl Pod for $t {}
+    )* };
+}
+impl_pod_prim!(u8, i8, u16, i16, u32, i32, u64, i64, u128, i128, usize, isize, f32, f64);
+
+macro_rules! impl_pod_arr {
+    ($($n:literal),*) => { $(
+        // SAFETY: arrays of Pod are Pod.
+        unsafe impl<T: Pod> Pod for [T; $n] {}
+    )* };
+}
+impl_pod_arr!(1, 2, 3, 4, 5, 6, 7, 8, 16, 32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn takes_pod<T: Pod>() {}
+
+    #[test]
+    fn primitives_and_arrays_are_pod() {
+        takes_pod::<f64>();
+        takes_pod::<[f64; 3]>();
+        takes_pod::<[u32; 16]>();
+    }
+}

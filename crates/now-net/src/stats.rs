@@ -1,0 +1,155 @@
+//! Traffic accounting for the simulated interconnect.
+//!
+//! Counts remote messages and payload bytes per sending node and per
+//! message kind. Self-addressed messages (manager-local operations) never
+//! touch the wire and are not counted, matching how the paper reports
+//! network traffic in Table 2.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+#[derive(Debug, Default)]
+struct NodeCounters {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Shared, lock-light traffic counters for one network instance.
+#[derive(Debug)]
+pub struct NetStats {
+    per_node: Vec<NodeCounters>,
+    per_kind: Mutex<BTreeMap<&'static str, (u64, u64)>>,
+}
+
+impl NetStats {
+    /// Counters for a network of `nodes` workstations.
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            per_node: (0..nodes).map(|_| NodeCounters::default()).collect(),
+            per_kind: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Record one remote message of `bytes` payload sent by `src`.
+    #[inline]
+    pub fn record_send(&self, src: usize, kind: &'static str, bytes: usize) {
+        let c = &self.per_node[src];
+        c.msgs.fetch_add(1, Ordering::Relaxed);
+        c.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mut map = self.per_kind.lock();
+        let e = map.entry(kind).or_insert((0, 0));
+        e.0 += 1;
+        e.1 += bytes as u64;
+    }
+
+    /// Immutable snapshot of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            msgs: self.per_node.iter().map(|c| c.msgs.load(Ordering::Relaxed)).collect(),
+            bytes: self.per_node.iter().map(|c| c.bytes.load(Ordering::Relaxed)).collect(),
+            per_kind: self.per_kind.lock().clone(),
+        }
+    }
+
+    /// Zero all counters (between benchmark repetitions).
+    pub fn reset(&self) {
+        for c in &self.per_node {
+            c.msgs.store(0, Ordering::Relaxed);
+            c.bytes.store(0, Ordering::Relaxed);
+        }
+        self.per_kind.lock().clear();
+    }
+}
+
+/// Point-in-time copy of the traffic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Remote messages sent, per node.
+    pub msgs: Vec<u64>,
+    /// Payload bytes sent, per node.
+    pub bytes: Vec<u64>,
+    /// (messages, bytes) per message kind.
+    pub per_kind: BTreeMap<&'static str, (u64, u64)>,
+}
+
+impl StatsSnapshot {
+    /// Total remote messages across all nodes.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total payload bytes across all nodes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total payload in megabytes (10^6 bytes, as the paper's Table 2).
+    pub fn total_mbytes(&self) -> f64 {
+        self.total_bytes() as f64 / 1.0e6
+    }
+
+    /// Counter-wise difference `self - earlier` (for measuring a phase).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
+            a.iter().zip(b.iter().chain(std::iter::repeat(&0))).map(|(x, y)| x - y).collect()
+        };
+        let mut per_kind = self.per_kind.clone();
+        for (k, (m, b)) in &earlier.per_kind {
+            if let Some(e) = per_kind.get_mut(k) {
+                e.0 -= m;
+                e.1 -= b;
+            }
+        }
+        StatsSnapshot { msgs: sub(&self.msgs, &earlier.msgs), bytes: sub(&self.bytes, &earlier.bytes), per_kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let s = NetStats::new(3);
+        s.record_send(0, "a", 10);
+        s.record_send(0, "a", 20);
+        s.record_send(2, "b", 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.total_msgs(), 3);
+        assert_eq!(snap.total_bytes(), 35);
+        assert_eq!(snap.msgs, vec![2, 0, 1]);
+        assert_eq!(snap.per_kind["a"], (2, 30));
+        assert_eq!(snap.per_kind["b"], (1, 5));
+    }
+
+    #[test]
+    fn since_computes_phase_delta() {
+        let s = NetStats::new(2);
+        s.record_send(0, "x", 100);
+        let before = s.snapshot();
+        s.record_send(1, "x", 50);
+        s.record_send(1, "y", 7);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.total_msgs(), 2);
+        assert_eq!(delta.total_bytes(), 57);
+        assert_eq!(delta.per_kind["x"], (1, 50));
+        assert_eq!(delta.msgs, vec![0, 2]);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = NetStats::new(1);
+        s.record_send(0, "k", 9);
+        s.reset();
+        assert_eq!(s.snapshot().total_msgs(), 0);
+        assert!(s.snapshot().per_kind.is_empty());
+    }
+
+    #[test]
+    fn mbytes_uses_decimal_megabytes() {
+        let s = NetStats::new(1);
+        s.record_send(0, "k", 2_500_000);
+        assert!((s.snapshot().total_mbytes() - 2.5).abs() < 1e-9);
+    }
+}

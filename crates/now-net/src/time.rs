@@ -1,0 +1,308 @@
+//! Virtual time: per-node clocks and per-thread CPU metering.
+//!
+//! Every simulated workstation keeps a [`VirtualClock`] with **two**
+//! timelines:
+//!
+//! * `vt` — the application frontier: when the node's application thread
+//!   reaches its current point, *including* time spent blocked on remote
+//!   operations.
+//! * `cpu` — the CPU reservation: the latest instant at which the node's
+//!   processor is busy (application compute *or* protocol service
+//!   handling).
+//!
+//! The split matters because a node whose application thread is blocked
+//! or computing still serves incoming requests *immediately* — real
+//! TreadMarks handles them in a SIGIO handler that preempts the
+//! computation. Service work therefore runs on its own timeline (ordered
+//! FIFO among service events, starting no earlier than each request's
+//! arrival), and replies are stamped from it; folding service into the
+//! application clock would delay every reply behind the server's own
+//! waits/compute and falsely serialize the whole cluster. The (µs-scale)
+//! interference preemption causes the application is neglected.
+//!
+//! Application compute advances `vt` by *measured thread CPU time* scaled
+//! by [`crate::NetworkConfig::compute_scale`]. Clocks on different nodes
+//! are related only through message timestamps.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Clocks {
+    vt: u64,
+    cpu: u64,
+}
+
+/// A monotonically non-decreasing per-node virtual clock (nanoseconds),
+/// with separate application (`vt`) and CPU (`cpu`) timelines.
+#[derive(Debug, Default)]
+pub struct VirtualClock(Mutex<Clocks>);
+
+impl VirtualClock {
+    /// A fresh clock at t = 0.
+    pub fn new() -> Arc<Self> {
+        Arc::new(VirtualClock::default())
+    }
+
+    /// Current application virtual time in ns.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.0.lock().vt
+    }
+
+    /// Latest instant the node's CPU is reserved.
+    #[inline]
+    pub fn cpu_now(&self) -> u64 {
+        self.0.lock().cpu
+    }
+
+    /// Application-context CPU work of `ns`. Returns the new `vt`.
+    #[inline]
+    pub fn advance(&self, ns: u64) -> u64 {
+        let mut c = self.0.lock();
+        c.vt += ns;
+        c.vt
+    }
+
+    /// Raise the application frontier to at least `ns` (message arrival /
+    /// wakeup after blocking — consumes no CPU). Returns the new `vt`.
+    #[inline]
+    pub fn raise_to(&self, ns: u64) -> u64 {
+        let mut c = self.0.lock();
+        c.vt = c.vt.max(ns);
+        c.vt
+    }
+
+    /// Maximum modeled service backlog. The service thread processes
+    /// events in host order, which is uncorrelated with virtual time; an
+    /// unbounded cursor would let one virtually-far-ahead message delay
+    /// every later-processed (but virtually earlier) event to its
+    /// timestamp. Real queueing at a node's network stack is bounded by
+    /// its per-message handler costs, so a couple of milliseconds of
+    /// backlog captures genuine hot-spot contention without the artifact.
+    pub const SERVICE_BACKLOG_CAP_NS: u64 = 2_000_000;
+
+    /// Service-context: begin handling a request that arrived at
+    /// `arrival` — the handler preempts whatever the application thread
+    /// is doing, queueing only behind (a bounded window of) earlier
+    /// service work.
+    #[inline]
+    pub fn service_enter(&self, arrival: u64) {
+        let mut c = self.0.lock();
+        c.cpu = arrival.max(c.cpu.min(arrival + Self::SERVICE_BACKLOG_CAP_NS));
+    }
+
+    /// Service-context CPU work (request handling, diff creation, reply
+    /// send overhead). Returns the new `cpu` time, which is the timestamp
+    /// basis for replies.
+    #[inline]
+    pub fn service_advance(&self, ns: u64) -> u64 {
+        let mut c = self.0.lock();
+        c.cpu += ns;
+        c.cpu
+    }
+
+    /// Reset both timelines to zero (between benchmark repetitions).
+    pub fn reset(&self) {
+        *self.0.lock() = Clocks::default();
+    }
+}
+
+/// Reads the calling thread's CPU time.
+///
+/// Uses `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` so that measurements stay
+/// accurate when simulated nodes outnumber host cores (the scheduler's
+/// time-slicing is invisible to per-thread CPU clocks, unlike wall clocks).
+#[inline]
+pub fn thread_cpu_ns() -> u64 {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: `ts` is a valid, writable timespec; CLOCK_THREAD_CPUTIME_ID is
+    // supported on all Linux/glibc targets this crate builds for.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0);
+    (ts.tv_sec as u64) * 1_000_000_000 + ts.tv_nsec as u64
+}
+
+/// Meters the application compute of one node thread.
+///
+/// The owning thread calls [`ComputeMeter::charge`] on every runtime entry
+/// point: CPU time burned since the previous mark is converted to virtual
+/// time (scaled by `compute_scale`) and added to the node clock. Runtime
+/// internals then run "off the meter" until [`ComputeMeter::restart`] (or
+/// the [`MeterPause`] guard drops), so DSM/MPI bookkeeping is never
+/// mis-charged as application compute.
+#[derive(Debug)]
+pub struct ComputeMeter {
+    mark: u64,
+    scale: f64,
+    running: bool,
+}
+
+impl ComputeMeter {
+    /// Start metering with the given compute scale factor.
+    pub fn new(scale: f64) -> Self {
+        ComputeMeter { mark: thread_cpu_ns(), scale, running: true }
+    }
+
+    /// The configured compute scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Charge CPU burned since the last mark to `clock` and stop metering.
+    /// Returns the charged virtual nanoseconds.
+    pub fn charge(&mut self, clock: &VirtualClock) -> u64 {
+        if !self.running {
+            return 0;
+        }
+        self.running = false;
+        let now = thread_cpu_ns();
+        let burned = now.saturating_sub(self.mark);
+        let virt = (burned as f64 * self.scale) as u64;
+        if virt > 0 {
+            clock.advance(virt);
+        }
+        virt
+    }
+
+    /// Resume metering from the current CPU time.
+    pub fn restart(&mut self) {
+        self.mark = thread_cpu_ns();
+        self.running = true;
+    }
+
+    /// Whether the meter is currently accumulating application compute.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+}
+
+/// RAII helper: charge on creation, restart the meter on drop. Runtime
+/// entry points hold one of these across their body.
+pub struct MeterPause<'a> {
+    meter: &'a mut ComputeMeter,
+}
+
+impl<'a> MeterPause<'a> {
+    /// Charge outstanding compute to `clock` and pause `meter`.
+    pub fn new(meter: &'a mut ComputeMeter, clock: &VirtualClock) -> Self {
+        meter.charge(clock);
+        MeterPause { meter }
+    }
+}
+
+impl Drop for MeterPause<'_> {
+    fn drop(&mut self) {
+        self.meter.restart();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_monotonic_under_raise_and_advance() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(10);
+        c.raise_to(5); // lower than current: no-op
+        assert_eq!(c.now(), 10);
+        c.raise_to(100);
+        assert_eq!(c.now(), 100);
+        c.advance(1);
+        assert_eq!(c.now(), 101);
+    }
+
+    #[test]
+    fn service_work_does_not_stall_behind_blocked_app() {
+        let c = VirtualClock::new();
+        // App did 100 ns of work, then blocked until t=10_000.
+        c.advance(100);
+        c.raise_to(10_000);
+        // A request arriving at t=200 is served right away on the idle CPU.
+        c.service_enter(200);
+        let done = c.service_advance(50);
+        assert_eq!(done, 250, "service ran during the app's wait");
+        assert_eq!(c.now(), 10_000, "app frontier untouched by service work");
+    }
+
+    #[test]
+    fn service_preempts_app_compute() {
+        let c = VirtualClock::new();
+        // App computes until t=10_000 (in one metered segment)...
+        c.advance(10_000);
+        // ...but a request arriving at t=200 is still served at ~t=200:
+        // SIGIO preempts the computation.
+        c.service_enter(200);
+        let done = c.service_advance(50);
+        assert_eq!(done, 250);
+        // Back-to-back service work queues FIFO on the service timeline.
+        c.service_enter(100);
+        let done2 = c.service_advance(50);
+        assert_eq!(done2, 300);
+    }
+
+    #[test]
+    fn service_backlog_is_bounded() {
+        let c = VirtualClock::new();
+        // A virtually-far-ahead event pushes the cursor to t=100ms...
+        c.service_enter(100_000_000);
+        c.service_advance(50_000);
+        // ...but an event that arrived at t=1ms (processed later in host
+        // order) is NOT dragged to t=100ms: it queues behind at most the
+        // backlog cap.
+        c.service_enter(1_000_000);
+        let done = c.service_advance(50_000);
+        assert_eq!(done, 1_000_000 + VirtualClock::SERVICE_BACKLOG_CAP_NS + 50_000);
+    }
+
+    #[test]
+    fn thread_cpu_time_advances_with_work() {
+        let a = thread_cpu_ns();
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let b = thread_cpu_ns();
+        assert!(b > a, "cpu clock did not advance ({a} -> {b})");
+    }
+
+    #[test]
+    fn meter_charges_scaled_cpu() {
+        let clock = VirtualClock::new();
+        let mut meter = ComputeMeter::new(10.0);
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i.rotate_left(7));
+        }
+        std::hint::black_box(x);
+        let charged = meter.charge(&clock);
+        assert!(charged > 0);
+        assert_eq!(clock.now(), charged);
+        // Charging again without restart is a no-op.
+        assert_eq!(meter.charge(&clock), 0);
+        meter.restart();
+        assert!(meter.is_running());
+    }
+
+    #[test]
+    fn meter_pause_guard_restarts() {
+        let clock = VirtualClock::new();
+        let mut meter = ComputeMeter::new(1.0);
+        {
+            let _p = MeterPause::new(&mut meter, &clock);
+        }
+        assert!(meter.is_running());
+    }
+
+    #[test]
+    fn clock_reset() {
+        let c = VirtualClock::new();
+        c.advance(42);
+        c.reset();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.cpu_now(), 0);
+    }
+}

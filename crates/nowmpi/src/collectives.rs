@@ -1,0 +1,184 @@
+//! Collective operations over point-to-point messages.
+//!
+//! Algorithms are the classic ones MPICH used on Ethernet clusters:
+//! dissemination barrier, binomial-tree broadcast/reduce, and pairwise
+//! all-to-all. All collectives use reserved negative tags so they never
+//! collide with application traffic.
+
+use crate::comm::{bytes_of, vec_from, MpiRank, COLLECTIVE_TAG_BASE};
+use now_net::Pod;
+
+const TAG_BARRIER: i32 = COLLECTIVE_TAG_BASE - 1;
+const TAG_BCAST: i32 = COLLECTIVE_TAG_BASE - 2;
+const TAG_REDUCE: i32 = COLLECTIVE_TAG_BASE - 3;
+const TAG_GATHER: i32 = COLLECTIVE_TAG_BASE - 4;
+const TAG_ALLTOALL: i32 = COLLECTIVE_TAG_BASE - 5;
+const TAG_SCATTER: i32 = COLLECTIVE_TAG_BASE - 6;
+
+impl MpiRank {
+    /// `MPI_Barrier`: dissemination algorithm, ⌈log₂ p⌉ rounds.
+    pub fn barrier(&mut self) {
+        self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            let mut k = 1;
+            let mut round = 0;
+            while k < p {
+                let dst = (r + k) % p;
+                let src = (r + p - k) % p;
+                s.send_raw(dst, TAG_BARRIER - round * 64, vec![0u8; 1]);
+                let _ = s.recv_match_raw(src as i32, TAG_BARRIER - round * 64);
+                k <<= 1;
+                round += 1;
+            }
+        });
+    }
+
+    /// `MPI_Bcast`: binomial tree rooted at `root`.
+    pub fn bcast<T: Pod>(&mut self, root: usize, data: &mut Vec<T>) {
+        let out = self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            let vr = (r + p - root) % p; // virtual rank with root at 0
+            let mut buf = if r == root { Some(bytes_of(data)) } else { None };
+            // Receive from parent (highest set bit of vr).
+            if vr != 0 {
+                let parent_vr = vr & (vr - 1); // clear lowest set bit? see below
+                // Binomial tree: parent clears the *lowest* set bit.
+                let parent = (parent_vr + root) % p;
+                let bytes = s.recv_match_raw(parent as i32, TAG_BCAST);
+                buf = Some(bytes);
+            }
+            let bytes = buf.expect("bcast buffer");
+            // Forward to children: set bits above our lowest set bit.
+            let lowest = if vr == 0 { p.next_power_of_two() } else { vr & vr.wrapping_neg() };
+            let mut mask = 1;
+            while mask < lowest && mask < p {
+                let child_vr = vr | mask;
+                if child_vr != vr && child_vr < p {
+                    let child = (child_vr + root) % p;
+                    s.send_raw(child, TAG_BCAST, bytes.clone());
+                }
+                mask <<= 1;
+            }
+            vec_from::<T>(&bytes)
+        });
+        *data = out;
+    }
+
+    /// `MPI_Reduce`: binomial-tree reduction to `root`; returns
+    /// `Some(result)` on the root, `None` elsewhere.
+    pub fn reduce<T: Pod>(
+        &mut self,
+        root: usize,
+        local: &[T],
+        op: impl Fn(T, T) -> T,
+    ) -> Option<Vec<T>> {
+        let out = self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            let vr = (r + p - root) % p;
+            let mut acc: Vec<T> = local.to_vec();
+            let mut mask = 1;
+            while mask < p {
+                if vr & mask != 0 {
+                    // Send to the partner that clears this bit, then done.
+                    let parent = ((vr & !mask) + root) % p;
+                    s.send_raw(parent, TAG_REDUCE, bytes_of(&acc));
+                    return None;
+                }
+                let child_vr = vr | mask;
+                if child_vr < p {
+                    let child = (child_vr + root) % p;
+                    let theirs: Vec<T> = vec_from(&s.recv_match_raw(child as i32, TAG_REDUCE));
+                    assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                    for (a, b) in acc.iter_mut().zip(theirs) {
+                        *a = op(*a, b);
+                    }
+                }
+                mask <<= 1;
+            }
+            Some(acc)
+        });
+        out
+    }
+
+    /// `MPI_Allreduce` = reduce to 0 + broadcast.
+    pub fn allreduce<T: Pod>(&mut self, local: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
+        let reduced = self.reduce(0, local, op);
+        let mut data = reduced.unwrap_or_else(|| vec![local[0]; local.len()]);
+        self.bcast(0, &mut data);
+        data
+    }
+
+    /// `MPI_Gather`: concatenate equal-sized contributions at `root`
+    /// (rank order). Returns `Some` on the root.
+    pub fn gather<T: Pod>(&mut self, root: usize, local: &[T]) -> Option<Vec<T>> {
+        self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            if r == root {
+                let mut out = Vec::with_capacity(local.len() * p);
+                for src in 0..p {
+                    if src == r {
+                        out.extend_from_slice(local);
+                    } else {
+                        let theirs: Vec<T> = vec_from(&s.recv_match_raw(src as i32, TAG_GATHER));
+                        out.extend(theirs);
+                    }
+                }
+                Some(out)
+            } else {
+                s.send_raw(root, TAG_GATHER, bytes_of(local));
+                None
+            }
+        })
+    }
+
+    /// `MPI_Allgather` = gather at 0 + broadcast.
+    pub fn allgather<T: Pod>(&mut self, local: &[T]) -> Vec<T> {
+        let gathered = self.gather(0, local);
+        let mut data = gathered.unwrap_or_default();
+        self.bcast(0, &mut data);
+        data
+    }
+
+    /// `MPI_Scatter`: root splits `data` into `size()` equal parts;
+    /// everyone receives their part.
+    pub fn scatter<T: Pod>(&mut self, root: usize, data: Option<&[T]>) -> Vec<T> {
+        self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            if r == root {
+                let data = data.expect("root must provide scatter data");
+                assert_eq!(data.len() % p, 0, "scatter data not divisible by ranks");
+                let per = data.len() / p;
+                for dst in 0..p {
+                    if dst != r {
+                        s.send_raw(dst, TAG_SCATTER, bytes_of(&data[dst * per..(dst + 1) * per]));
+                    }
+                }
+                data[r * per..(r + 1) * per].to_vec()
+            } else {
+                vec_from(&s.recv_match_raw(root as i32, TAG_SCATTER))
+            }
+        })
+    }
+
+    /// `MPI_Alltoall`: `data` holds `size()` equal blocks; block `i` goes
+    /// to rank `i`. Returns the received blocks in rank order. Pairwise
+    /// exchange, p−1 rounds.
+    pub fn alltoall<T: Pod>(&mut self, data: &[T]) -> Vec<T> {
+        self.metered(|s| {
+            let (r, p) = (s.rank(), s.size());
+            assert_eq!(data.len() % p, 0, "alltoall data not divisible by ranks");
+            let per = data.len() / p;
+            let mut out: Vec<T> = Vec::with_capacity(data.len());
+            out.extend_from_slice(data); // placeholder layout
+            out[r * per..(r + 1) * per].copy_from_slice(&data[r * per..(r + 1) * per]);
+            for off in 1..p {
+                let dst = (r + off) % p;
+                let src = (r + p - off) % p;
+                s.send_raw(dst, TAG_ALLTOALL, bytes_of(&data[dst * per..(dst + 1) * per]));
+                let theirs: Vec<T> = vec_from(&s.recv_match_raw(src as i32, TAG_ALLTOALL));
+                out[src * per..(src + 1) * per].copy_from_slice(&theirs);
+            }
+            out
+        })
+    }
+}

@@ -1,0 +1,45 @@
+//! MPI layer configuration.
+
+use now_net::NetworkConfig;
+
+/// Configuration for an MPI run.
+#[derive(Debug, Clone)]
+pub struct MpiConfig {
+    /// Interconnect cost model. The paper's MPI baseline is MPICH over
+    /// TCP, which is slightly slower per message and per byte than
+    /// TreadMarks' UDP path.
+    pub net: NetworkConfig,
+    /// Modeled MPI envelope overhead per message (communicator, tag,
+    /// matching headers) in addition to transport headers.
+    pub envelope_bytes: usize,
+}
+
+impl MpiConfig {
+    /// Paper platform: MPICH over TCP, ~8.8 MB/s max bandwidth.
+    pub fn paper(nodes: usize) -> Self {
+        MpiConfig { net: NetworkConfig::paper_tcp(nodes), envelope_bytes: 16 }
+    }
+
+    /// Near-zero-cost functional-test configuration.
+    pub fn fast_test(nodes: usize) -> Self {
+        MpiConfig { net: NetworkConfig::fast_test(nodes), envelope_bytes: 16 }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.net.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        assert_eq!(MpiConfig::paper(8).ranks(), 8);
+        let tcp = MpiConfig::paper(2).net;
+        let udp = NetworkConfig::paper_udp(2);
+        assert!(tcp.bandwidth_bps < udp.bandwidth_bps, "TCP path is the slower one");
+    }
+}

@@ -1,0 +1,32 @@
+//! # nowmpi — an MPI subset over the simulated workstation network
+//!
+//! The baseline the SC'98 paper compares against: message passing (MPICH
+//! over TCP on the same 100 Mbps switched Ethernet). This crate provides
+//! typed point-to-point communication and the collectives the five
+//! applications need, running over the same [`now_net`] substrate as the
+//! DSM, so run times and traffic statistics are directly comparable.
+//!
+//! SPMD model: [`run_mpi`] starts one rank per workstation, all executing
+//! the same function.
+//!
+//! ```
+//! use nowmpi::{run_mpi, MpiConfig};
+//!
+//! let out = run_mpi(MpiConfig::fast_test(4), |mpi| {
+//!     let mine = vec![mpi.rank() as u64 + 1];
+//!     let sum = mpi.allreduce(&mine, |a, b| a + b);
+//!     sum[0]
+//! });
+//! assert!(out.results.iter().all(|&s| s == 1 + 2 + 3 + 4));
+//! ```
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod comm;
+mod config;
+mod system;
+
+pub use comm::{MpiRank, Status, ANY_SOURCE, ANY_TAG};
+pub use config::MpiConfig;
+pub use system::{run_mpi, MpiOutcome};

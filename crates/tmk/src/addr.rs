@@ -1,0 +1,165 @@
+//! The global shared address space.
+//!
+//! TreadMarks gives all processes one shared virtual address range; shared
+//! objects are carved out of it by `Tmk_malloc`. We model the range as a
+//! flat 64-bit space starting at 0, bump-allocated in page-aligned regions.
+//! Page ids are therefore dense (`addr >> page_shift`), which lets per-node
+//! page tables be plain vectors.
+//!
+//! The allocation table is process-global (shared by all simulated nodes
+//! behind an `RwLock`). Real TreadMarks distributes allocation metadata at
+//! startup/fork; treating it as ambient metadata is a simulation shortcut
+//! that costs no protocol messages — allocation is not part of the
+//! evaluated protocol (see DESIGN.md §3).
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Identifier of one allocated shared region.
+pub type RegionId = u32;
+
+/// A page number in the global space (`addr >> page_shift`).
+pub type PageId = usize;
+
+/// Metadata for one `Tmk_malloc`'d region.
+#[derive(Debug, Clone)]
+pub struct RegionInfo {
+    /// Region id (dense, in allocation order).
+    pub id: RegionId,
+    /// First byte address (page aligned).
+    pub base: u64,
+    /// Requested length in bytes.
+    pub bytes: usize,
+}
+
+/// Process-global allocation table shared by every simulated node.
+#[derive(Debug)]
+pub struct AllocTable {
+    page_shift: u32,
+    inner: RwLock<AllocInner>,
+}
+
+#[derive(Debug, Default)]
+struct AllocInner {
+    next: u64,
+    regions: Vec<RegionInfo>,
+}
+
+impl AllocTable {
+    /// Create an empty table for pages of `1 << page_shift` bytes.
+    pub fn new(page_shift: u32) -> Arc<Self> {
+        Arc::new(AllocTable { page_shift, inner: RwLock::new(AllocInner::default()) })
+    }
+
+    /// Page size in bytes.
+    pub fn page_size(&self) -> usize {
+        1usize << self.page_shift
+    }
+
+    /// log2 of the page size.
+    pub fn page_shift(&self) -> u32 {
+        self.page_shift
+    }
+
+    /// Allocate `bytes` of shared memory; returns the region descriptor.
+    /// The region starts page-aligned, and its pages are not shared with
+    /// any other region (no allocator-induced false sharing across
+    /// regions; false sharing *within* a region is the application's
+    /// layout, as on the real system).
+    pub fn alloc(&self, bytes: usize) -> RegionInfo {
+        assert!(bytes > 0, "zero-sized shared allocation");
+        let page = self.page_size() as u64;
+        let mut g = self.inner.write();
+        let base = g.next;
+        let id = g.regions.len() as RegionId;
+        let span = (bytes as u64).div_ceil(page) * page;
+        g.next = base + span;
+        let info = RegionInfo { id, base, bytes };
+        g.regions.push(info.clone());
+        info
+    }
+
+    /// End of the allocated space (exclusive), page aligned.
+    pub fn high_water(&self) -> u64 {
+        self.inner.read().next
+    }
+
+    /// Total pages allocated so far.
+    pub fn total_pages(&self) -> usize {
+        (self.high_water() >> self.page_shift) as usize
+    }
+
+    /// Page id containing `addr`.
+    #[inline]
+    pub fn page_of(&self, addr: u64) -> PageId {
+        (addr >> self.page_shift) as PageId
+    }
+
+    /// Byte range `[start, end)` expressed as an inclusive page id range.
+    pub fn pages_of_range(&self, start: u64, len: usize) -> std::ops::RangeInclusive<PageId> {
+        debug_assert!(len > 0);
+        self.page_of(start)..=self.page_of(start + len as u64 - 1)
+    }
+
+    /// Look up the region containing `addr` (for diagnostics).
+    pub fn region_of(&self, addr: u64) -> Option<RegionInfo> {
+        let g = self.inner.read();
+        let idx = g.regions.partition_point(|r| r.base <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let r = &g.regions[idx - 1];
+        let page = self.page_size() as u64;
+        let span = (r.bytes as u64).div_ceil(page) * page;
+        (addr < r.base + span).then(|| r.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_page_aligned_and_disjoint() {
+        let t = AllocTable::new(12);
+        let a = t.alloc(100);
+        let b = t.alloc(5000);
+        let c = t.alloc(4096);
+        assert_eq!(a.base, 0);
+        assert_eq!(b.base, 4096, "100-byte region still occupies one page");
+        assert_eq!(c.base, 4096 + 8192, "5000 bytes round up to two pages");
+        assert_eq!(t.total_pages(), 4);
+    }
+
+    #[test]
+    fn page_math() {
+        let t = AllocTable::new(12);
+        let _ = t.alloc(4096 * 3);
+        assert_eq!(t.page_of(0), 0);
+        assert_eq!(t.page_of(4095), 0);
+        assert_eq!(t.page_of(4096), 1);
+        assert_eq!(t.pages_of_range(0, 4096), 0..=0);
+        assert_eq!(t.pages_of_range(4000, 200), 0..=1);
+        assert_eq!(t.pages_of_range(4096, 8192), 1..=2);
+    }
+
+    #[test]
+    fn region_lookup() {
+        let t = AllocTable::new(12);
+        let a = t.alloc(10);
+        let b = t.alloc(9000);
+        assert_eq!(t.region_of(5).unwrap().id, a.id);
+        assert_eq!(t.region_of(4096).unwrap().id, b.id);
+        assert_eq!(t.region_of(4096 + 8191).unwrap().id, b.id);
+        // 9000 bytes round up to three pages.
+        assert_eq!(t.region_of(4096 + 12287).unwrap().id, b.id);
+        assert!(t.region_of(4096 + 12288).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_alloc_panics() {
+        let t = AllocTable::new(12);
+        let _ = t.alloc(0);
+    }
+}

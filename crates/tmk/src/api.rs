@@ -1,0 +1,486 @@
+//! The application-facing TreadMarks handle.
+//!
+//! Each simulated workstation's application thread owns one [`Tmk`],
+//! mirroring the C API of the real system: `Tmk_malloc`, `Tmk_barrier`,
+//! `Tmk_lock_acquire`/`release`, plus the semaphore and condition-variable
+//! primitives this paper added for OpenMP, and `flush` (kept so the cost
+//! argument of the paper's §3.2.4 can be measured).
+//!
+//! Every public operation is *metered*: host CPU burned by application
+//! code since the previous operation is charged to the node's virtual
+//! clock (scaled to the modeled machine) on entry, and the runtime's own
+//! bookkeeping runs off the meter.
+
+use crate::addr::{AllocTable, PageId};
+use crate::interval::IntervalId;
+use now_net::Wire as _;
+use crate::protocol::{Msg, Region};
+use crate::state::NodeState;
+use crossbeam::channel::Receiver;
+use now_net::{ComputeMeter, Delivered, Endpoint, VirtualClock};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Per-thread handle to the DSM system (one per simulated workstation).
+pub struct Tmk {
+    pub(crate) id: usize,
+    pub(crate) n: usize,
+    pub(crate) ep: Endpoint<Msg>,
+    pub(crate) clock: Arc<VirtualClock>,
+    pub(crate) state: Arc<Mutex<NodeState>>,
+    pub(crate) app_rx: Receiver<Delivered<Msg>>,
+    pub(crate) meter: ComputeMeter,
+    pub(crate) alloc: Arc<AllocTable>,
+    pub(crate) in_region: bool,
+    pub(crate) barrier_epoch: u32,
+}
+
+impl Tmk {
+    /// This node's id (`Tmk_proc_id`): 0 is the master.
+    #[inline]
+    pub fn proc_id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of workstations (`Tmk_nprocs`).
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.n
+    }
+
+    /// This node's virtual clock value in nanoseconds.
+    pub fn now_ns(&mut self) -> u64 {
+        self.metered(|s| s.clock.now())
+    }
+
+    /// Yield the host CPU briefly (used by busy-wait loops such as the
+    /// flush-based pipeline, so service threads can run on small hosts).
+    pub fn spin_hint(&self) {
+        std::thread::yield_now();
+    }
+
+    /// Charge outstanding compute, run `f` off the meter, restart.
+    #[inline]
+    pub(crate) fn metered<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.meter.charge(&self.clock);
+        let r = f(self);
+        self.meter.restart();
+        r
+    }
+
+    pub(crate) fn recv_reply(&self) -> Delivered<Msg> {
+        self.app_rx.recv().expect("node service thread disconnected")
+    }
+
+    // ------------------------------------------------------------------
+    // Fault handling
+    // ------------------------------------------------------------------
+
+    /// Bring page `pid` up to date: fetch a post-GC full copy if our base
+    /// is stale, then fetch and apply diffs for all unapplied write
+    /// notices (in parallel from all writers), and make the page readable.
+    pub(crate) fn page_fault(&mut self, pid: PageId) {
+        self.fault_pages(&[pid]);
+    }
+
+    /// Fault a batch of pages with all requests in flight concurrently —
+    /// a bulk access (e.g. reading a whole slab) pays one round-trip
+    /// latency for the entire batch instead of one per page. Message
+    /// counts are identical to faulting page by page; only waiting
+    /// overlaps (the request-aggregation effect of the compiler/runtime
+    /// integration the paper cites as future work).
+    pub(crate) fn fault_pages(&mut self, pids: &[PageId]) {
+        use std::collections::HashMap;
+        loop {
+            // Classify every page under one lock round.
+            let mut full: Vec<(PageId, usize)> = Vec::new();
+            let mut fetch: Vec<(PageId, usize, Vec<u32>)> = Vec::new();
+            {
+                let mut st = self.state.lock();
+                st.sync_alloc();
+                for &pid in pids {
+                    if st.needs_full_fetch(pid) {
+                        let owner = st.pages[pid].owner;
+                        debug_assert_ne!(owner, self.id, "owner never full-fetches");
+                        full.push((pid, owner));
+                    } else if !st.pages[pid].unapplied.is_empty() {
+                        for (node, seqs) in st.fault_plan(pid) {
+                            debug_assert_ne!(node, self.id, "own diffs are never missing");
+                            fetch.push((pid, node, seqs));
+                        }
+                    } else if !st.pages[pid].readable() {
+                        st.finish_fault(pid);
+                    }
+                }
+            }
+            if full.is_empty() && fetch.is_empty() {
+                return;
+            }
+            for (pid, owner) in &full {
+                self.ep.send(*owner, Msg::PageReq { page: *pid });
+            }
+            for (pid, node, seqs) in &fetch {
+                self.ep.send(*node, Msg::DiffReq { page: *pid, seqs: seqs.clone() });
+            }
+            let expected = full.len() + fetch.len();
+            let mut by_page: HashMap<PageId, Vec<(usize, u32, Arc<crate::diff::Diff>)>> =
+                HashMap::new();
+            for _ in 0..expected {
+                let d = self.recv_reply();
+                self.ep.charge_rx(&d);
+                let src = d.src;
+                match d.msg {
+                    Msg::DiffRep { page, diffs } => {
+                        let e = by_page.entry(page).or_default();
+                        for (seq, diff) in diffs {
+                            e.push((src, seq, diff));
+                        }
+                    }
+                    Msg::PageRep { page, epoch, bytes } => {
+                        self.state.lock().install_page(page, epoch, &bytes);
+                    }
+                    other => panic!("expected DiffRep/PageRep, got {}", other.kind()),
+                }
+            }
+            let mut st = self.state.lock();
+            for (page, fetched) in by_page {
+                st.stats.read_faults += 1;
+                let items: Vec<(IntervalId, u64, Arc<crate::diff::Diff>)> = fetched
+                    .iter()
+                    .map(|(node, seq, diff)| {
+                        let vc_sum = st.interval_log[&(*node as u32, *seq)].vc_sum;
+                        (IntervalId { node: *node as u32, seq: *seq }, vc_sum, diff.clone())
+                    })
+                    .collect();
+                st.apply_fetched(page, items);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier
+    // ------------------------------------------------------------------
+
+    /// Global barrier (`Tmk_barrier`): arrival is a release, departure an
+    /// acquire delivering every write notice this node has not seen.
+    pub fn barrier(&mut self) {
+        self.metered(|s| s.barrier_inner());
+    }
+
+    fn barrier_inner(&mut self) {
+        let epoch = self.barrier_epoch;
+        self.barrier_epoch += 1;
+        let (bundle, diff_bytes) = {
+            let mut st = self.state.lock();
+            st.close_interval();
+            let bundle = st.bundle_for(&st.known_vc[0]);
+            let vc = st.vc.clone();
+            st.note_sent_vc(0, &vc);
+            (bundle, st.diff_store_bytes)
+        };
+        self.ep.send(0, Msg::BarrierArrive { epoch, bundle, diff_bytes });
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let src = d.src;
+        let Msg::BarrierDepart { epoch: e, bundle, gc } = d.msg else {
+            panic!("expected BarrierDepart, got {}", d.msg.kind())
+        };
+        assert_eq!(e, epoch, "barrier episode mismatch");
+        {
+            let mut st = self.state.lock();
+            st.apply_bundle(src, &bundle);
+            st.stats.barriers += 1;
+        }
+        if gc {
+            self.run_gc(epoch);
+        }
+    }
+
+    /// Barrier-time diff garbage collection: validate the pages we own,
+    /// report done, wait for everyone, then drop diffs/notices and
+    /// re-base (see DESIGN.md §2).
+    fn run_gc(&mut self, epoch: u32) {
+        let owners = self.state.lock().compute_gc_owners();
+        let mine: Vec<PageId> =
+            owners.iter().filter(|&(_, &o)| o == self.id).map(|(&p, _)| p).collect();
+        if !mine.is_empty() {
+            self.fault_pages(&mine);
+        }
+        self.ep.send(0, Msg::GcDone { epoch });
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let Msg::GcComplete { .. } = d.msg else {
+            panic!("expected GcComplete, got {}", d.msg.kind())
+        };
+        self.state.lock().apply_gc_complete(&owners);
+    }
+
+    // ------------------------------------------------------------------
+    // Locks
+    // ------------------------------------------------------------------
+
+    /// Acquire mutex `lock` (`Tmk_lock_acquire`): request to the lock's
+    /// statically assigned manager, which queues contended requests and
+    /// grants them in virtual-request-time order with the write notices
+    /// the requester lacks. A manager-local acquire costs no network
+    /// messages (self-sends are free).
+    pub fn lock_acquire(&mut self, lock: u32) {
+        self.metered(|s| s.lock_acquire_inner(lock));
+    }
+
+    fn lock_acquire_inner(&mut self, lock: u32) {
+        let (mgr, vc) = {
+            let mut st = self.state.lock();
+            assert!(!st.held_locks.contains(&lock), "recursive lock_acquire({lock})");
+            st.stats.lock_acquires += 1;
+            if st.manager_of(lock) == st.id {
+                st.stats.lock_acquires_local += 1;
+            }
+            (st.manager_of(lock), st.vc.clone())
+        };
+        let req_vt = self.clock.now();
+        self.ep.send(mgr, Msg::LockAcq { lock, requester: self.id, vc, req_vt });
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let src = d.src;
+        let Msg::LockGrant { lock: l2, bundle } = d.msg else {
+            panic!("expected LockGrant, got {}", d.msg.kind())
+        };
+        debug_assert_eq!(l2, lock);
+        let mut st = self.state.lock();
+        st.apply_bundle(src, &bundle);
+        st.held_locks.insert(lock);
+    }
+
+    /// Release mutex `lock` (`Tmk_lock_release`): closes the interval and
+    /// notifies the manager, which passes the lock (and our new write
+    /// notices) to the earliest waiter.
+    pub fn lock_release(&mut self, lock: u32) {
+        self.metered(|s| s.lock_release_inner(lock));
+    }
+
+    fn lock_release_inner(&mut self, lock: u32) {
+        let (mgr, bundle) = {
+            let mut st = self.state.lock();
+            assert!(st.held_locks.remove(&lock), "lock_release({lock}) without holding it");
+            st.close_interval();
+            let mgr = st.manager_of(lock);
+            let bundle = st.bundle_for(&st.known_vc[mgr]);
+            let vc = st.vc.clone();
+            st.note_sent_vc(mgr, &vc);
+            (mgr, bundle)
+        };
+        self.ep.send(mgr, Msg::LockRelease { lock, bundle });
+    }
+
+    /// Run `f` while holding `lock` (critical-section sugar).
+    pub fn with_lock<T>(&mut self, lock: u32, f: impl FnOnce(&mut Self) -> T) -> T {
+        self.lock_acquire(lock);
+        let r = f(self);
+        self.lock_release(lock);
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Semaphores (the paper's proposed directive, §3.2.3)
+    // ------------------------------------------------------------------
+
+    /// `sema_signal(S)`: release semantics; two messages (to the manager,
+    /// plus its acknowledgment), independent of the node count.
+    pub fn sema_signal(&mut self, sema: u32) {
+        self.metered(|s| s.sema_signal_inner(sema));
+    }
+
+    fn sema_signal_inner(&mut self, sema: u32) {
+        let mgr = sema as usize % self.n;
+        let bundle = {
+            let mut st = self.state.lock();
+            st.close_interval();
+            let bundle = st.bundle_for(&st.known_vc[mgr]);
+            let vc = st.vc.clone();
+            st.note_sent_vc(mgr, &vc);
+            st.stats.sema_signals += 1;
+            bundle
+        };
+        self.ep.send(mgr, Msg::SemaSignal { sema, bundle });
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let Msg::SemaAck { .. } = d.msg else {
+            panic!("expected SemaAck, got {}", d.msg.kind())
+        };
+    }
+
+    /// `sema_wait(S)`: acquire semantics; blocks (without busy-waiting)
+    /// until a signal is available, then applies the consistency
+    /// information the manager forwards.
+    pub fn sema_wait(&mut self, sema: u32) {
+        self.metered(|s| s.sema_wait_inner(sema));
+    }
+
+    fn sema_wait_inner(&mut self, sema: u32) {
+        let mgr = sema as usize % self.n;
+        let vc = self.state.lock().vc.clone();
+        let req_vt = self.clock.now();
+        self.ep.send(mgr, Msg::SemaWait { sema, requester: self.id, vc, req_vt });
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let src = d.src;
+        let Msg::SemaGrant { bundle, .. } = d.msg else {
+            panic!("expected SemaGrant, got {}", d.msg.kind())
+        };
+        let mut st = self.state.lock();
+        st.apply_bundle(src, &bundle);
+        st.stats.sema_waits += 1;
+    }
+
+    // ------------------------------------------------------------------
+    // Condition variables (the paper's proposed directive, §3.2.3)
+    // ------------------------------------------------------------------
+
+    /// `cond_wait(cond)` under `lock`: atomically release the lock and
+    /// block until signaled; re-acquires the lock before returning.
+    pub fn cond_wait(&mut self, lock: u32, cond: u32) {
+        self.metered(|s| s.cond_wait_inner(lock, cond));
+    }
+
+    fn cond_wait_inner(&mut self, lock: u32, cond: u32) {
+        let (mgr, bundle) = {
+            let mut st = self.state.lock();
+            assert!(st.held_locks.remove(&lock), "cond_wait without holding lock {lock}");
+            st.close_interval(); // the wait releases the lock
+            let mgr = st.manager_of(lock);
+            let bundle = st.bundle_for(&st.known_vc[mgr]);
+            let vc = st.vc.clone();
+            st.note_sent_vc(mgr, &vc);
+            st.stats.cond_waits += 1;
+            (mgr, bundle)
+        };
+        let req_vt = self.clock.now();
+        self.ep.send(mgr, Msg::CondWait { lock, cond, requester: self.id, bundle, req_vt });
+        // Blocked until a signal re-queues us for the critical section.
+        let d = self.recv_reply();
+        self.ep.charge_rx(&d);
+        let src = d.src;
+        let Msg::LockGrant { bundle, .. } = d.msg else {
+            panic!("expected LockGrant after cond_wait, got {}", d.msg.kind())
+        };
+        let mut st = self.state.lock();
+        st.apply_bundle(src, &bundle);
+        st.held_locks.insert(lock);
+    }
+
+    /// `cond_signal(cond)` under `lock`: unblock one waiter (no effect if
+    /// none — unlike a semaphore signal).
+    pub fn cond_signal(&mut self, lock: u32, cond: u32) {
+        self.metered(|s| {
+            debug_assert!(
+                s.state.lock().held_locks.contains(&lock),
+                "cond_signal outside critical section {lock}"
+            );
+            s.state.lock().stats.cond_signals += 1;
+            let mgr = s.state.lock().manager_of(lock);
+            let req_vt = s.clock.now();
+            s.ep.send(mgr, Msg::CondSignal { lock, cond, req_vt });
+        });
+    }
+
+    /// `cond_broadcast(cond)` under `lock`: unblock all waiters.
+    pub fn cond_broadcast(&mut self, lock: u32, cond: u32) {
+        self.metered(|s| {
+            debug_assert!(
+                s.state.lock().held_locks.contains(&lock),
+                "cond_broadcast outside critical section {lock}"
+            );
+            s.state.lock().stats.cond_broadcasts += 1;
+            let mgr = s.state.lock().manager_of(lock);
+            let req_vt = s.clock.now();
+            s.ep.send(mgr, Msg::CondBroadcast { lock, cond, req_vt });
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Flush (original OpenMP synchronization the paper replaces)
+    // ------------------------------------------------------------------
+
+    /// OpenMP `flush`: make all prior modifications visible to all
+    /// threads. Costs 2(n−1) messages — the expense that motivates the
+    /// paper's semaphore/condition-variable proposal.
+    pub fn flush(&mut self) {
+        self.metered(|s| s.flush_inner());
+    }
+
+    fn flush_inner(&mut self) {
+        let me = self.id;
+        let bundles: Vec<(usize, crate::interval::NoticeBundle)> = {
+            let mut st = self.state.lock();
+            st.close_interval();
+            st.stats.flushes += 1;
+            let vc = st.vc.clone();
+            (0..self.n)
+                .filter(|&p| p != me)
+                .map(|p| {
+                    let b = st.bundle_for(&st.known_vc[p]);
+                    st.note_sent_vc(p, &vc);
+                    (p, b)
+                })
+                .collect()
+        };
+        let expected = bundles.len();
+        for (peer, bundle) in bundles {
+            self.ep.send(peer, Msg::FlushNotice { bundle });
+        }
+        for _ in 0..expected {
+            let d = self.recv_reply();
+            self.ep.charge_rx(&d);
+            let Msg::FlushAck = d.msg else {
+                panic!("expected FlushAck, got {}", d.msg.kind())
+            };
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fork / join
+    // ------------------------------------------------------------------
+
+    /// `Tmk_fork` + run + `Tmk_join`: ship `f` to every slave, run it as
+    /// thread 0 ourselves, and join at the implicit end-of-region barrier.
+    ///
+    /// `payload_bytes` models the size of the copied-in (firstprivate)
+    /// environment on the wire.
+    pub fn parallel(&mut self, payload_bytes: usize, f: impl Fn(&mut Tmk) + Send + Sync + 'static) {
+        assert_eq!(self.id, 0, "only the master forks parallel regions");
+        assert!(!self.in_region, "nested parallel regions are not supported");
+        let region = Region {
+            f: Arc::new(f),
+            payload_bytes: payload_bytes + self.state.lock().cfg.fork_payload_bytes,
+        };
+        self.metered(|s| {
+            // The fork is a release of the master's sequential section...
+            let mut st = s.state.lock();
+            st.close_interval();
+            st.stats.forks += 1;
+            let vc = st.vc.clone();
+            let bundles: Vec<(usize, crate::interval::NoticeBundle)> = (1..s.n)
+                .map(|p| {
+                    let b = st.bundle_for(&st.known_vc[p]);
+                    st.note_sent_vc(p, &vc);
+                    (p, b)
+                })
+                .collect();
+            drop(st);
+            // ...delivered to each slave as an acquire at region start.
+            for (peer, bundle) in bundles {
+                s.ep.send(peer, Msg::Fork { region: region.clone(), bundle });
+            }
+        });
+        self.in_region = true;
+        (region.f)(self);
+        self.in_region = false;
+        self.barrier(); // Tmk_join: implicit barrier at region end
+    }
+
+    /// Whether this thread is currently inside a parallel region.
+    pub fn in_parallel(&self) -> bool {
+        self.in_region
+    }
+}

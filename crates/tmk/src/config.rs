@@ -1,0 +1,102 @@
+//! DSM-level configuration: page size, protocol cost constants, GC policy.
+
+use now_net::NetworkConfig;
+
+/// Configuration for one TreadMarks system instance.
+#[derive(Debug, Clone)]
+pub struct TmkConfig {
+    /// The interconnect cost model (also fixes the node count).
+    pub net: NetworkConfig,
+    /// Shared-memory page size in bytes (power of two). TreadMarks used the
+    /// host VM page size, 4096.
+    pub page_size: usize,
+    /// Modeled CPU cost of creating a twin (one page memcpy on the paper's
+    /// 200 MHz Pentium Pro).
+    pub twin_ns: u64,
+    /// Modeled CPU cost of scanning a page to encode a diff.
+    pub diff_create_ns: u64,
+    /// Modeled fixed + per-byte CPU cost of applying one diff.
+    pub diff_apply_base_ns: u64,
+    /// Per-byte component of diff application.
+    pub diff_apply_per_byte_ns: u64,
+    /// Run diff garbage collection when a node's cached diff storage
+    /// exceeds this many bytes (checked at barriers).
+    pub gc_threshold_bytes: usize,
+    /// Force GC at every barrier (stress testing).
+    pub gc_every_barrier: bool,
+    /// Modeled payload bytes of a `Tmk_fork` message (region descriptor +
+    /// copied-in firstprivate environment).
+    pub fork_payload_bytes: usize,
+}
+
+impl TmkConfig {
+    /// Paper platform: 8-node defaults, 4 KiB pages, Pentium Pro protocol
+    /// costs calibrated so lock/barrier/diff times land in the ranges the
+    /// paper reports in §7.
+    pub fn paper(nodes: usize) -> Self {
+        TmkConfig {
+            net: NetworkConfig::paper_udp(nodes),
+            page_size: 4096,
+            twin_ns: 40_000,
+            diff_create_ns: 120_000,
+            diff_apply_base_ns: 15_000,
+            diff_apply_per_byte_ns: 25,
+            gc_threshold_bytes: 16 << 20,
+            gc_every_barrier: false,
+            fork_payload_bytes: 128,
+        }
+    }
+
+    /// Near-zero-cost variant for functional tests.
+    pub fn fast_test(nodes: usize) -> Self {
+        TmkConfig {
+            net: NetworkConfig::fast_test(nodes),
+            page_size: 4096,
+            twin_ns: 10,
+            diff_create_ns: 10,
+            diff_apply_base_ns: 1,
+            diff_apply_per_byte_ns: 0,
+            gc_threshold_bytes: 16 << 20,
+            gc_every_barrier: false,
+            fork_payload_bytes: 128,
+        }
+    }
+
+    /// Fast-test variant with tiny pages, maximizing false sharing — a
+    /// protocol stress configuration.
+    pub fn stress_tiny_pages(nodes: usize) -> Self {
+        let mut cfg = Self::fast_test(nodes);
+        cfg.page_size = 64;
+        cfg
+    }
+
+    /// Number of nodes (workstations).
+    pub fn nodes(&self) -> usize {
+        self.net.nodes
+    }
+
+    /// log2(page_size), for address arithmetic.
+    pub fn page_shift(&self) -> u32 {
+        debug_assert!(self.page_size.is_power_of_two());
+        self.page_size.trailing_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_shift_math() {
+        let cfg = TmkConfig::paper(8);
+        assert_eq!(cfg.page_shift(), 12);
+        assert_eq!(1usize << cfg.page_shift(), cfg.page_size);
+    }
+
+    #[test]
+    fn stress_config_uses_tiny_pages() {
+        let cfg = TmkConfig::stress_tiny_pages(4);
+        assert_eq!(cfg.page_size, 64);
+        assert_eq!(cfg.nodes(), 4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Per-node page bookkeeping for the multiple-writer protocol.
+
+use crate::diff::Diff;
+use crate::interval::IntervalId;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Access state of one page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Never touched here; contents are the all-zero base (epoch 0) or, in
+    /// a later GC epoch, live with the page's owner.
+    Unmapped,
+    /// A local copy exists but write notices have invalidated it; the next
+    /// access must fetch and apply missing diffs (or a full copy).
+    Invalid,
+    /// Local copy is up to date with everything this node has seen; writes
+    /// must fault first (to create a twin).
+    ReadOnly,
+    /// Local copy is write-enabled: a twin exists for the open interval.
+    Write,
+    /// Write-only access (the Dwarkadas-style "write without fetch"
+    /// optimization the paper cites as future compiler support): a twin
+    /// exists, local writes are collected precisely, but the copy is
+    /// stale outside the written bytes — reads must fault first.
+    WritePush,
+}
+
+/// A write notice received for a page but whose diff has not yet been
+/// fetched and applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoticeRec {
+    /// The writing interval.
+    pub id: IntervalId,
+    /// Linearization key (creator's vector-clock sum at interval close).
+    pub vc_sum: u64,
+}
+
+/// Everything one node tracks about one shared page.
+#[derive(Debug)]
+pub struct PageMeta {
+    /// Current access state.
+    pub state: PageState,
+    /// Twin for the *open* interval (exists iff `state == Write`).
+    pub twin: Option<Box<[u8]>>,
+    /// Twin of the most recent *closed* interval whose diff has not been
+    /// materialized yet (lazy diffing), with that interval's seq.
+    pub pending: Option<(u32, Box<[u8]>)>,
+    /// Diffs this node created for this page, by interval seq — the cache
+    /// it serves `DiffReq`s from.
+    pub diffs: BTreeMap<u32, Arc<Diff>>,
+    /// Write notices whose diffs are still missing locally.
+    pub unapplied: Vec<NoticeRec>,
+    /// Who owns the authoritative full copy of the current GC epoch.
+    pub owner: usize,
+    /// GC epoch this node's copy belongs to.
+    pub epoch: u32,
+    /// The local base copy is unusable: write notices for this page were
+    /// dropped at a GC before their diffs were applied here, so the next
+    /// access must fetch a full copy from the owner.
+    pub base_lost: bool,
+}
+
+impl PageMeta {
+    /// Fresh metadata: epoch-0 pages are all-zero everywhere, so the page
+    /// starts `Unmapped` and the first touch maps it without traffic.
+    pub fn new(owner: usize) -> Self {
+        PageMeta {
+            state: PageState::Unmapped,
+            twin: None,
+            pending: None,
+            diffs: BTreeMap::new(),
+            unapplied: Vec::new(),
+            owner,
+            epoch: 0,
+            base_lost: false,
+        }
+    }
+
+    /// True if the local copy may be read without protocol action.
+    pub fn readable(&self) -> bool {
+        matches!(self.state, PageState::ReadOnly | PageState::Write)
+    }
+
+    /// True if local writes may proceed without protocol action.
+    pub fn writable(&self) -> bool {
+        matches!(self.state, PageState::Write | PageState::WritePush)
+    }
+
+    /// Bytes of cached diff storage attributable to this page.
+    pub fn diff_storage_bytes(&self) -> usize {
+        self.diffs.values().map(|d| d.wire_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_page_is_unmapped() {
+        let p = PageMeta::new(0);
+        assert_eq!(p.state, PageState::Unmapped);
+        assert!(!p.readable());
+        assert!(p.twin.is_none() && p.pending.is_none());
+        assert_eq!(p.diff_storage_bytes(), 0);
+    }
+
+    #[test]
+    fn readable_states() {
+        let mut p = PageMeta::new(0);
+        p.state = PageState::ReadOnly;
+        assert!(p.readable());
+        p.state = PageState::Write;
+        assert!(p.readable());
+        p.state = PageState::Invalid;
+        assert!(!p.readable());
+    }
+}

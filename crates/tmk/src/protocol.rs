@@ -1,0 +1,300 @@
+//! The DSM wire protocol: every message TreadMarks nodes exchange.
+//!
+//! Messages carry real Rust data through the simulated interconnect; the
+//! [`Wire`] implementation reports the size each message would have on a
+//! real network, which drives both the bandwidth cost model and the
+//! Table 2 traffic statistics.
+
+use crate::addr::PageId;
+use crate::diff::Diff;
+use crate::interval::{NoticeBundle, VectorClock};
+use now_net::Wire;
+use std::sync::Arc;
+
+/// A parallel-region body shipped at fork time.
+///
+/// The closure's by-value captures are the OpenMP `firstprivate`
+/// environment ("copied into a structure and passed at fork", §4.2 of the
+/// paper); `payload_bytes` models that structure's wire size.
+#[derive(Clone)]
+pub struct Region {
+    /// The region body, executed by every node's application thread.
+    pub f: Arc<dyn Fn(&mut crate::api::Tmk) + Send + Sync>,
+    /// Modeled size of the fork message payload.
+    pub payload_bytes: usize,
+}
+
+impl std::fmt::Debug for Region {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Region").field("payload_bytes", &self.payload_bytes).finish()
+    }
+}
+
+/// All DSM protocol messages.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Fault handling: request the listed diffs of `page` from a writer.
+    DiffReq {
+        /// Faulted page.
+        page: PageId,
+        /// Interval sequence numbers of the writer whose diffs are needed.
+        seqs: Vec<u32>,
+    },
+    /// Writer's reply with the requested diffs.
+    DiffRep {
+        /// Page the diffs belong to.
+        page: PageId,
+        /// `(seq, diff)` pairs, one per requested interval.
+        diffs: Vec<(u32, Arc<Diff>)>,
+    },
+    /// Post-GC cold fetch: request a full page copy from its owner.
+    PageReq {
+        /// Requested page.
+        page: PageId,
+    },
+    /// Owner's full-page reply.
+    PageRep {
+        /// Page id.
+        page: PageId,
+        /// GC epoch of the copy.
+        epoch: u32,
+        /// Page contents.
+        bytes: Arc<[u8]>,
+    },
+    /// Lock acquire request, sent to the lock's manager.
+    LockAcq {
+        /// Lock id.
+        lock: u32,
+        /// Requesting node.
+        requester: usize,
+        /// Requester's vector clock (for exact write-notice filtering).
+        vc: VectorClock,
+        /// Requester's virtual clock at request time. The manager grants
+        /// in `req_vt` order: on real hardware requests are served in
+        /// arrival order, and in the simulation virtual request time *is*
+        /// the faithful stand-in for it (host-thread scheduling order is
+        /// noise).
+        req_vt: u64,
+    },
+    /// Release notification to the manager, carrying the releaser's new
+    /// intervals (the manager then grants with its merged knowledge, as
+    /// it does for semaphores).
+    LockRelease {
+        /// Lock id.
+        lock: u32,
+        /// Releaser's new intervals + clock.
+        bundle: NoticeBundle,
+    },
+    /// Manager grants the lock, piggybacking consistency data.
+    LockGrant {
+        /// Lock id.
+        lock: u32,
+        /// Write notices the requester lacks.
+        bundle: NoticeBundle,
+    },
+    /// Barrier arrival: a release to the centralized manager.
+    BarrierArrive {
+        /// Barrier episode number (sanity check).
+        epoch: u32,
+        /// Arriver's new intervals + clock.
+        bundle: NoticeBundle,
+        /// Arriver's cached diff storage (GC trigger input).
+        diff_bytes: u64,
+    },
+    /// Barrier departure: an acquire delivering missing notices.
+    BarrierDepart {
+        /// Barrier episode number.
+        epoch: u32,
+        /// Notices this node lacks + the merged clock.
+        bundle: NoticeBundle,
+        /// Run diff garbage collection before leaving the barrier.
+        gc: bool,
+    },
+    /// `sema_signal`: a release to the semaphore's manager.
+    SemaSignal {
+        /// Semaphore id.
+        sema: u32,
+        /// Signaler's new intervals + clock.
+        bundle: NoticeBundle,
+    },
+    /// Manager's acknowledgment of a signal (2 messages total, as §5.3).
+    SemaAck {
+        /// Semaphore id.
+        sema: u32,
+    },
+    /// `sema_wait` request.
+    SemaWait {
+        /// Semaphore id.
+        sema: u32,
+        /// Waiting node.
+        requester: usize,
+        /// Waiter's vector clock.
+        vc: VectorClock,
+        /// Waiter's virtual clock (grants go to the earliest waiter).
+        req_vt: u64,
+    },
+    /// Manager releases a waiter, forwarding consistency information.
+    SemaGrant {
+        /// Semaphore id.
+        sema: u32,
+        /// Notices the waiter lacks.
+        bundle: NoticeBundle,
+    },
+    /// `cond_wait`: releases the lock and enqueues the caller at the
+    /// lock's manager.
+    CondWait {
+        /// The critical section's lock.
+        lock: u32,
+        /// Condition variable id.
+        cond: u32,
+        /// Waiting node.
+        requester: usize,
+        /// Waiter's release information (its closed interval).
+        bundle: NoticeBundle,
+        /// Waiter's virtual clock at the wait.
+        req_vt: u64,
+    },
+    /// `cond_signal`: move one waiter to the lock queue.
+    CondSignal {
+        /// The critical section's lock.
+        lock: u32,
+        /// Condition variable id.
+        cond: u32,
+        /// Signaler's virtual clock (the waiter re-requests "as of" the
+        /// signal).
+        req_vt: u64,
+    },
+    /// `cond_broadcast`: move all waiters to the lock queue.
+    CondBroadcast {
+        /// The critical section's lock.
+        lock: u32,
+        /// Condition variable id.
+        cond: u32,
+        /// Signaler's virtual clock.
+        req_vt: u64,
+    },
+    /// OpenMP `flush`: push write notices to one peer (sent to all peers,
+    /// 2(n−1) messages per flush including acks — the cost the paper's
+    /// Modification 2 eliminates).
+    FlushNotice {
+        /// Flusher's new intervals + clock.
+        bundle: NoticeBundle,
+    },
+    /// Acknowledgment of a flush notice.
+    FlushAck,
+    /// Master ships a parallel-region body to a slave (Tmk_fork).
+    Fork {
+        /// The region closure + modeled payload.
+        region: Region,
+        /// Master's sequential-section updates (release→acquire edge).
+        bundle: NoticeBundle,
+    },
+    /// GC: a node finished validating the pages it owns.
+    GcDone {
+        /// Barrier episode the GC runs under.
+        epoch: u32,
+    },
+    /// GC: manager tells everyone to drop diffs/notices and re-base.
+    GcComplete {
+        /// Barrier episode the GC runs under.
+        epoch: u32,
+    },
+    /// Tear down the node's service loop.
+    Shutdown,
+}
+
+impl Wire for Msg {
+    fn wire_bytes(&self) -> usize {
+        match self {
+            Msg::DiffReq { seqs, .. } => 12 + 4 * seqs.len(),
+            Msg::DiffRep { diffs, .. } => {
+                8 + diffs.iter().map(|(_, d)| 4 + d.wire_bytes()).sum::<usize>()
+            }
+            Msg::PageReq { .. } => 12,
+            Msg::PageRep { bytes, .. } => 16 + bytes.len(),
+            Msg::LockAcq { vc, .. } => 12 + vc.wire_bytes(),
+            Msg::LockRelease { bundle, .. } => 8 + bundle.wire_bytes(),
+            Msg::LockGrant { bundle, .. } => 8 + bundle.wire_bytes(),
+            Msg::BarrierArrive { bundle, .. } => 16 + bundle.wire_bytes(),
+            Msg::BarrierDepart { bundle, .. } => 9 + bundle.wire_bytes(),
+            Msg::SemaSignal { bundle, .. } => 8 + bundle.wire_bytes(),
+            Msg::SemaAck { .. } => 8,
+            Msg::SemaWait { vc, .. } => 12 + vc.wire_bytes(),
+            Msg::SemaGrant { bundle, .. } => 8 + bundle.wire_bytes(),
+            Msg::CondWait { bundle, .. } => 16 + bundle.wire_bytes(),
+            Msg::CondSignal { .. } | Msg::CondBroadcast { .. } => 12,
+            Msg::FlushNotice { bundle } => 4 + bundle.wire_bytes(),
+            Msg::FlushAck => 4,
+            Msg::Fork { region, bundle } => region.payload_bytes + bundle.wire_bytes(),
+            Msg::GcDone { .. } | Msg::GcComplete { .. } => 8,
+            Msg::Shutdown => 4,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Msg::DiffReq { .. } => "diff_req",
+            Msg::DiffRep { .. } => "diff_rep",
+            Msg::PageReq { .. } => "page_req",
+            Msg::PageRep { .. } => "page_rep",
+            Msg::LockAcq { .. } => "lock_acq",
+            Msg::LockRelease { .. } => "lock_rel",
+            Msg::LockGrant { .. } => "lock_grant",
+            Msg::BarrierArrive { .. } => "barrier_arrive",
+            Msg::BarrierDepart { .. } => "barrier_depart",
+            Msg::SemaSignal { .. } => "sema_signal",
+            Msg::SemaAck { .. } => "sema_ack",
+            Msg::SemaWait { .. } => "sema_wait",
+            Msg::SemaGrant { .. } => "sema_grant",
+            Msg::CondWait { .. } => "cond_wait",
+            Msg::CondSignal { .. } => "cond_signal",
+            Msg::CondBroadcast { .. } => "cond_broadcast",
+            Msg::FlushNotice { .. } => "flush_notice",
+            Msg::FlushAck => "flush_ack",
+            Msg::Fork { .. } => "fork",
+            Msg::GcDone { .. } => "gc_done",
+            Msg::GcComplete { .. } => "gc_complete",
+            Msg::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::{IntervalId, IntervalInfo};
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = Msg::DiffReq { page: 1, seqs: vec![1] };
+        let big = Msg::DiffReq { page: 1, seqs: vec![1, 2, 3, 4] };
+        assert!(big.wire_bytes() > small.wire_bytes());
+
+        let vc = VectorClock::zero(8);
+        let empty = Msg::LockGrant { lock: 0, bundle: NoticeBundle::empty(vc.clone()) };
+        let full = Msg::LockGrant {
+            lock: 0,
+            bundle: NoticeBundle {
+                intervals: vec![(
+                    IntervalId { node: 1, seq: 1 },
+                    IntervalInfo { vc_sum: 1, pages: vec![0, 1, 2, 3] },
+                )],
+                vc,
+            },
+        };
+        assert!(full.wire_bytes() > empty.wire_bytes());
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_key_messages() {
+        let a = Msg::DiffReq { page: 0, seqs: vec![] };
+        let b = Msg::DiffRep { page: 0, diffs: vec![] };
+        assert_ne!(a.kind(), b.kind());
+    }
+
+    #[test]
+    fn page_reply_counts_page_bytes() {
+        let m = Msg::PageRep { page: 0, epoch: 1, bytes: vec![0u8; 4096].into() };
+        assert_eq!(m.wire_bytes(), 16 + 4096);
+    }
+}

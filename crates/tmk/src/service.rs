@@ -1,0 +1,297 @@
+//! The per-node protocol service thread.
+//!
+//! Real TreadMarks handles remote requests in a SIGIO handler that
+//! interrupts the computation; here a dedicated thread per node plays that
+//! role. It owns the network inbox: requests are handled in place (under
+//! the node-state mutex), responses are routed to the blocked application
+//! thread, fork messages are routed to the worker loop. The service thread
+//! never blocks on remote operations, which makes the protocol
+//! deadlock-free by construction.
+
+use crate::interval::{NoticeBundle, VectorClock};
+use crate::protocol::{Msg, Region};
+use crate::state::NodeState;
+use crossbeam::channel::Sender;
+use now_net::{Delivered, Endpoint, Wire as _};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Work shipped to a slave's application thread.
+pub enum WorkItem {
+    /// Run one parallel region.
+    Run(ForkJob),
+    /// Exit the worker loop (system shutdown).
+    Stop,
+}
+
+/// A forked region plus its delivery metadata.
+pub struct ForkJob {
+    /// The region body and modeled payload.
+    pub region: Region,
+    /// Master's sequential-section release information.
+    pub bundle: NoticeBundle,
+    /// Sending node (the master).
+    pub src: usize,
+    /// Virtual arrival time of the fork message.
+    pub arrival_vt: u64,
+}
+
+/// Run the service loop until a `Shutdown` message arrives.
+pub fn service_loop(
+    ep: Endpoint<Msg>,
+    state: Arc<Mutex<NodeState>>,
+    to_app: Sender<Delivered<Msg>>,
+    work_tx: Sender<WorkItem>,
+) {
+    loop {
+        let Some(d) = ep.recv_timeout(Duration::from_millis(200)) else {
+            continue;
+        };
+        match d.msg {
+            // Responses: route to the blocked application thread, which
+            // charges the arrival time itself.
+            Msg::DiffRep { .. }
+            | Msg::PageRep { .. }
+            | Msg::LockGrant { .. }
+            | Msg::BarrierDepart { .. }
+            | Msg::SemaAck { .. }
+            | Msg::SemaGrant { .. }
+            | Msg::FlushAck
+            | Msg::GcComplete { .. } => {
+                let _ = to_app.send(d);
+            }
+            Msg::Fork { region, bundle } => {
+                let _ = work_tx.send(WorkItem::Run(ForkJob {
+                    region,
+                    bundle,
+                    src: d.src,
+                    arrival_vt: d.arrival_vt,
+                }));
+            }
+            Msg::Shutdown => {
+                let _ = work_tx.send(WorkItem::Stop);
+                break;
+            }
+            // Requests: handle here.
+            _ => handle_request(&ep, &state, d),
+        }
+    }
+}
+
+fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivered<Msg>) {
+    ep.service_rx(&d);
+    let src = d.src;
+    match d.msg {
+        Msg::DiffReq { page, seqs } => {
+            let diffs = {
+                let mut st = state.lock();
+                st.in_service = true;
+                let r = st.serve_diffs(page, &seqs);
+                st.in_service = false;
+                r
+            };
+            ep.send_service(src, Msg::DiffRep { page, diffs });
+        }
+        Msg::PageReq { page } => {
+            let (epoch, bytes) = {
+                let mut st = state.lock();
+                st.in_service = true;
+                let r = st.serve_page(page);
+                st.in_service = false;
+                r
+            };
+            ep.send_service(src, Msg::PageRep { page, epoch, bytes });
+        }
+        Msg::LockAcq { lock, requester, vc, req_vt } => {
+            let mut st = state.lock();
+            mgr_acquire(ep, &mut st, lock, requester, vc, req_vt);
+        }
+        Msg::LockRelease { lock, bundle } => {
+            let mut st = state.lock();
+            st.apply_bundle(src, &bundle);
+            mgr_release(ep, &mut st, lock);
+        }
+        Msg::BarrierArrive { epoch, bundle, diff_bytes } => {
+            let mut st = state.lock();
+            debug_assert_eq!(st.id, 0, "barrier manager is node 0");
+            debug_assert_eq!(epoch, st.mgr.barrier_epoch, "barrier episode mismatch");
+            let arrival_vc = bundle.vc.clone();
+            st.apply_bundle(src, &bundle);
+            st.mgr.arrivals.push((src, arrival_vc, diff_bytes));
+            if st.mgr.arrivals.len() == st.n {
+                release_barrier(ep, &mut st, epoch);
+            }
+        }
+        Msg::SemaSignal { sema, bundle } => {
+            let mut st = state.lock();
+            st.apply_bundle(src, &bundle);
+            let waiter = {
+                let entry = st.mgr.semas.entry(sema).or_default();
+                match entry.pop_earliest() {
+                    Some(w) => Some(w),
+                    None => {
+                        entry.count += 1;
+                        None
+                    }
+                }
+            };
+            if let Some((_, waiter, wvc)) = waiter {
+                let grant = st.bundle_for(&wvc);
+                let vc_sent = st.vc.clone();
+                st.note_sent_vc(waiter, &vc_sent);
+                drop(st);
+                ep.send_service(waiter, Msg::SemaGrant { sema, bundle: grant });
+            } else {
+                drop(st);
+            }
+            ep.send_service(src, Msg::SemaAck { sema });
+        }
+        Msg::SemaWait { sema, requester, vc, req_vt } => {
+            let mut st = state.lock();
+            let grant_now = {
+                let entry = st.mgr.semas.entry(sema).or_default();
+                if entry.count > 0 {
+                    entry.count -= 1;
+                    true
+                } else {
+                    entry.waiters.push((req_vt, requester, vc.clone()));
+                    false
+                }
+            };
+            if grant_now {
+                let grant = st.bundle_for(&vc);
+                let vc_sent = st.vc.clone();
+                st.note_sent_vc(requester, &vc_sent);
+                drop(st);
+                ep.send_service(requester, Msg::SemaGrant { sema, bundle: grant });
+            }
+        }
+        Msg::CondWait { lock, cond, requester, bundle, req_vt } => {
+            // The wait releases the lock (possibly granting the next
+            // queued requester) and parks the caller on the condition
+            // variable.
+            let mut st = state.lock();
+            let wvc = bundle.vc.clone();
+            st.apply_bundle(src, &bundle);
+            st.mgr.conds.entry((lock, cond)).or_default().push_back((requester, wvc));
+            let _ = req_vt;
+            mgr_release(ep, &mut st, lock);
+        }
+        Msg::CondSignal { lock, cond, req_vt } => {
+            let mut st = state.lock();
+            let waiter = st.mgr.conds.entry((lock, cond)).or_default().pop_front();
+            if let Some((w, wvc)) = waiter {
+                // The waiter re-contends for the critical section as of
+                // the signal.
+                mgr_acquire(ep, &mut st, lock, w, wvc, req_vt);
+            }
+        }
+        Msg::CondBroadcast { lock, cond, req_vt } => {
+            let mut st = state.lock();
+            loop {
+                let waiter = st.mgr.conds.entry((lock, cond)).or_default().pop_front();
+                match waiter {
+                    Some((w, wvc)) => mgr_acquire(ep, &mut st, lock, w, wvc, req_vt),
+                    None => break,
+                }
+            }
+        }
+        Msg::FlushNotice { bundle } => {
+            let mut st = state.lock();
+            st.apply_bundle(src, &bundle);
+            drop(st);
+            ep.send_service(src, Msg::FlushAck);
+        }
+        Msg::GcDone { epoch } => {
+            let mut st = state.lock();
+            debug_assert_eq!(st.id, 0, "GC coordinator is node 0");
+            st.mgr.gc_done += 1;
+            if st.mgr.gc_done == st.n {
+                st.mgr.gc_done = 0;
+                st.mgr.gc_in_progress = false;
+                drop(st);
+                // Highest node first, coordinator's own app thread last, so
+                // the master cannot race ahead of slave deliveries.
+                for k in (0..ep.nodes()).rev() {
+                    ep.send_service(k, Msg::GcComplete { epoch });
+                }
+            }
+        }
+        other => unreachable!("service thread got unexpected message {:?}", other.kind()),
+    }
+}
+
+/// Manager-side acquire: grant immediately if free, else queue (granted
+/// later in virtual-request-time order).
+fn mgr_acquire(
+    ep: &Endpoint<Msg>,
+    st: &mut NodeState,
+    lock: u32,
+    requester: usize,
+    vc: VectorClock,
+    req_vt: u64,
+) {
+    debug_assert_eq!(st.manager_of(lock), st.id, "acquire routed to non-manager");
+    let grant_now = {
+        let l = st.mgr.locks.entry(lock).or_default();
+        if l.held {
+            l.queue.push((req_vt, requester, vc.clone()));
+            false
+        } else {
+            l.held = true;
+            true
+        }
+    };
+    if grant_now {
+        let bundle = st.bundle_for(&vc);
+        let vc_sent = st.vc.clone();
+        st.note_sent_vc(requester, &vc_sent);
+        ep.send_service(requester, Msg::LockGrant { lock, bundle });
+    }
+}
+
+/// Manager-side release: hand the lock to the earliest queued requester,
+/// or mark it free.
+fn mgr_release(ep: &Endpoint<Msg>, st: &mut NodeState, lock: u32) {
+    debug_assert_eq!(st.manager_of(lock), st.id, "release routed to non-manager");
+    let next = {
+        let l = st.mgr.locks.entry(lock).or_default();
+        debug_assert!(l.held, "release of a free lock");
+        match l.pop_earliest() {
+            Some(w) => Some(w),
+            None => {
+                l.held = false;
+                None
+            }
+        }
+    };
+    if let Some((_, requester, vc)) = next {
+        let bundle = st.bundle_for(&vc);
+        let vc_sent = st.vc.clone();
+        st.note_sent_vc(requester, &vc_sent);
+        ep.send_service(requester, Msg::LockGrant { lock, bundle });
+    }
+}
+
+/// All nodes have arrived: merge complete, send departures (slaves first,
+/// the manager's own application thread last).
+fn release_barrier(ep: &Endpoint<Msg>, st: &mut NodeState, epoch: u32) {
+    let total_diff_bytes: u64 = st.mgr.arrivals.iter().map(|(_, _, b)| *b).sum::<u64>();
+    let gc = st.cfg.gc_every_barrier || total_diff_bytes > st.cfg.gc_threshold_bytes as u64;
+    if gc {
+        st.mgr.gc_in_progress = true;
+        st.mgr.gc_done = 0;
+    }
+    let arrivals = std::mem::take(&mut st.mgr.arrivals);
+    st.mgr.barrier_epoch += 1;
+    let mut departures: Vec<(usize, NoticeBundle)> =
+        arrivals.into_iter().map(|(node, vc, _)| (node, st.bundle_for(&vc))).collect();
+    // Deterministic order: descending node id, manager (node 0) last.
+    departures.sort_by_key(|(node, _)| std::cmp::Reverse(*node));
+    let vc_now = st.vc.clone();
+    for (node, bundle) in departures {
+        st.note_sent_vc(node, &vc_now);
+        ep.send_service(node, Msg::BarrierDepart { epoch, bundle, gc });
+    }
+}

@@ -1,0 +1,771 @@
+//! Per-node DSM state and the lazy-release-consistency engine.
+//!
+//! One `NodeState` exists per simulated workstation, shared (behind a
+//! mutex) between the node's application thread and its protocol service
+//! thread. All protocol logic that does not require network I/O lives
+//! here; the blocking request/reply choreography lives in `api.rs` (app
+//! side) and `service.rs` (handler side).
+
+use crate::addr::{AllocTable, PageId};
+use crate::config::TmkConfig;
+use crate::diff::Diff;
+use crate::interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};
+use crate::page::{NoticeRec, PageMeta, PageState};
+use crate::stats::TmkStats;
+use now_net::VirtualClock;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Manager-side state of one mutex lock.
+///
+/// Queued requests are granted in **virtual-request-time order**: on the
+/// real platform the manager serves requests in network arrival order,
+/// and in a virtual-time simulation the request's virtual timestamp is
+/// the faithful stand-in for that (host-thread scheduling order is
+/// noise uncorrelated with simulated time).
+#[derive(Debug, Default)]
+pub struct MgrLock {
+    /// Some node currently holds the lock.
+    pub held: bool,
+    /// Waiting requests: (virtual request time, node, vector clock).
+    pub queue: Vec<(u64, usize, VectorClock)>,
+}
+
+impl MgrLock {
+    /// Remove and return the earliest (by virtual request time) waiter.
+    pub fn pop_earliest(&mut self) -> Option<(u64, usize, VectorClock)> {
+        let i = self
+            .queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (vt, node, _))| (*vt, *node))
+            .map(|(i, _)| i)?;
+        Some(self.queue.swap_remove(i))
+    }
+}
+
+/// Manager-side state of one semaphore.
+#[derive(Debug, Default)]
+pub struct SemaMgr {
+    /// Accumulated signals not yet consumed.
+    pub count: u64,
+    /// Blocked waiters: (virtual request time, node, vector clock);
+    /// granted in virtual-time order.
+    pub waiters: Vec<(u64, usize, VectorClock)>,
+}
+
+impl SemaMgr {
+    /// Remove and return the earliest waiter.
+    pub fn pop_earliest(&mut self) -> Option<(u64, usize, VectorClock)> {
+        let i = self
+            .waiters
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (vt, node, _))| (*vt, *node))
+            .map(|(i, _)| i)?;
+        Some(self.waiters.swap_remove(i))
+    }
+}
+
+/// State for the manager roles this node plays (barrier manager on node
+/// 0, lock/semaphore managers by id modulo node count).
+#[derive(Debug, Default)]
+pub struct ManagerState {
+    /// Current barrier episode.
+    pub barrier_epoch: u32,
+    /// Arrived nodes for the episode: (node, vector clock, diff bytes).
+    pub arrivals: Vec<(usize, VectorClock, u64)>,
+    /// Nodes that completed GC validation this episode.
+    pub gc_done: usize,
+    /// A GC round is in flight.
+    pub gc_in_progress: bool,
+    /// Manager-side lock queues.
+    pub locks: HashMap<u32, MgrLock>,
+    /// Semaphore states.
+    pub semas: HashMap<u32, SemaMgr>,
+    /// Condition-variable wait queues, keyed by (lock, cond).
+    pub conds: HashMap<(u32, u32), VecDeque<(usize, VectorClock)>>,
+}
+
+/// All mutable per-node DSM state.
+pub struct NodeState {
+    /// This node's id.
+    pub id: usize,
+    /// Number of nodes.
+    pub n: usize,
+    /// System configuration.
+    pub cfg: TmkConfig,
+    /// The global allocation table.
+    pub alloc: Arc<AllocTable>,
+    /// This node's virtual clock (shared with the endpoint).
+    pub clock: Arc<VirtualClock>,
+    /// Flat local mirror of the global shared address space.
+    pub mem: Vec<u8>,
+    /// Page metadata, indexed by page id.
+    pub pages: Vec<PageMeta>,
+    /// Vector clock: intervals whose write notices we have seen.
+    pub vc: VectorClock,
+    /// Sequence number the *open* interval will get when it closes.
+    pub next_seq: u32,
+    /// Pages twinned in the open interval.
+    pub dirty: Vec<PageId>,
+    /// Every interval we know about (ours and peers'), trimmed at GC.
+    pub interval_log: BTreeMap<(u32, u32), IntervalInfo>,
+    /// Conservative estimate of each peer's vector clock (what we know
+    /// they know) — used to filter notice bundles for manager-mediated
+    /// releases (semaphores, flush, barrier arrival, fork).
+    pub known_vc: Vec<VectorClock>,
+    /// Bytes of cached diffs (GC trigger input).
+    pub diff_store_bytes: u64,
+    /// GC epoch (incremented on GcComplete).
+    pub gc_epoch: u32,
+    /// Locks this node's application thread currently holds (sanity
+    /// checking only — the authoritative state lives at the managers).
+    pub held_locks: std::collections::HashSet<u32>,
+    /// Manager-role state.
+    pub mgr: ManagerState,
+    /// Protocol event counters.
+    pub stats: TmkStats,
+    /// Whether the caller currently mutating this state is the protocol
+    /// service thread (charges CPU-timeline) or the application thread.
+    pub in_service: bool,
+}
+
+impl NodeState {
+    /// Fresh state for node `id`.
+    pub fn new(
+        id: usize,
+        cfg: TmkConfig,
+        alloc: Arc<AllocTable>,
+        clock: Arc<VirtualClock>,
+    ) -> Self {
+        let n = cfg.nodes();
+        NodeState {
+            id,
+            n,
+            cfg,
+            alloc,
+            clock,
+            mem: Vec::new(),
+            pages: Vec::new(),
+            vc: VectorClock::zero(n),
+            next_seq: 1,
+            dirty: Vec::new(),
+            interval_log: BTreeMap::new(),
+            known_vc: vec![VectorClock::zero(n); n],
+            diff_store_bytes: 0,
+            gc_epoch: 0,
+            held_locks: std::collections::HashSet::new(),
+            mgr: ManagerState::default(),
+            stats: TmkStats::default(),
+            in_service: false,
+        }
+    }
+
+    /// Charge modeled CPU work in the caller's context (application `vt`
+    /// or service `cpu` timeline).
+    fn charge(&self, ns: u64) {
+        if self.in_service {
+            self.clock.service_advance(ns);
+        } else {
+            self.clock.advance(ns);
+        }
+    }
+
+    /// Manager node for a lock or semaphore id.
+    #[inline]
+    pub fn manager_of(&self, id: u32) -> usize {
+        id as usize % self.n
+    }
+
+
+    /// Grow the local memory mirror + page table to cover all allocations.
+    pub fn sync_alloc(&mut self) {
+        let hw = self.alloc.high_water() as usize;
+        if self.mem.len() < hw {
+            self.mem.resize(hw, 0);
+        }
+        let total = self.alloc.total_pages();
+        if self.pages.len() < total {
+            self.pages.resize_with(total, || PageMeta::new(0));
+        }
+    }
+
+    /// Byte range of page `pid` within `mem`.
+    #[inline]
+    pub fn page_range(&self, pid: PageId) -> std::ops::Range<usize> {
+        let ps = self.cfg.page_size;
+        pid * ps..(pid + 1) * ps
+    }
+
+    // ---------------------------------------------------------------
+    // Interval management
+    // ---------------------------------------------------------------
+
+    /// Close the open interval (a release). If no pages were written the
+    /// interval is empty and nothing happens. Write-protects dirty pages,
+    /// parks their twins for lazy diffing, and logs the interval.
+    pub fn close_interval(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.vc.0[self.id] = seq;
+        let vc_sum = self.vc.sum();
+        let dirty = std::mem::take(&mut self.dirty);
+        for &pid in &dirty {
+            let meta = &mut self.pages[pid];
+            debug_assert!(
+                meta.pending.is_none(),
+                "pending twin must be materialized before re-twinning"
+            );
+            let twin = meta.twin.take().expect("dirty page without twin");
+            meta.pending = Some((seq, twin));
+            // A dirty page is normally Write; it is Invalid when a
+            // concurrent writer's notice arrived while our twin was open
+            // (false sharing under the multiple-writer protocol) — then it
+            // must stay Invalid so the next access fetches their diffs.
+            meta.state = match meta.state {
+                PageState::Write => PageState::ReadOnly,
+                // Write-only pages become readable only if no notices are
+                // outstanding; otherwise the next read must still fault.
+                PageState::WritePush if meta.unapplied.is_empty() => PageState::ReadOnly,
+                PageState::WritePush => PageState::Invalid,
+                PageState::Invalid => PageState::Invalid,
+                other => unreachable!("dirty page in odd state {other:?}"),
+            };
+        }
+        self.interval_log
+            .insert((self.id as u32, seq), IntervalInfo { vc_sum, pages: dirty });
+        self.stats.intervals_closed += 1;
+    }
+
+    /// Build the write-notice bundle for a receiver whose clock is
+    /// (conservatively) `receiver_vc`: every interval we know that the
+    /// receiver has not seen.
+    pub fn bundle_for(&self, receiver_vc: &VectorClock) -> NoticeBundle {
+        let intervals = self
+            .interval_log
+            .iter()
+            .filter(|((node, seq), _)| !receiver_vc.covers(*node as usize, *seq))
+            .map(|(&(node, seq), info)| (IntervalId { node, seq }, info.clone()))
+            .collect();
+        NoticeBundle { intervals, vc: self.vc.clone() }
+    }
+
+    /// Incorporate a received notice bundle (the acquire side of a
+    /// release→acquire edge): log unseen intervals, invalidate their
+    /// pages, and merge clocks. `from` is the sending node, whose
+    /// knowledge estimate is also raised.
+    pub fn apply_bundle(&mut self, from: usize, bundle: &NoticeBundle) {
+        self.sync_alloc();
+        for (id, info) in &bundle.intervals {
+            if id.node as usize == self.id {
+                continue; // our own interval reflected back
+            }
+            // Deduplicate by interval-log membership, NOT by vector-clock
+            // coverage: our clock may already cover an interval whose
+            // notices are still in flight to us (e.g. a lock grant racing
+            // a barrier arrival that was filtered against it). The clock
+            // means "promised"; the log means "processed".
+            if self.interval_log.contains_key(&(id.node, id.seq)) {
+                continue;
+            }
+            for &pid in &info.pages {
+                self.invalidate(pid, NoticeRec { id: *id, vc_sum: info.vc_sum });
+            }
+            self.interval_log.insert((id.node, id.seq), info.clone());
+        }
+        self.vc.merge(&bundle.vc);
+        self.known_vc[from].merge(&bundle.vc);
+    }
+
+    /// Record a write notice against a page and invalidate the local copy.
+    fn invalidate(&mut self, pid: PageId, rec: NoticeRec) {
+        let meta = &mut self.pages[pid];
+        meta.unapplied.push(rec);
+        self.stats.invalidations += 1;
+        match meta.state {
+            PageState::ReadOnly => meta.state = PageState::Invalid,
+            PageState::Write => {
+                // Multiple-writer: keep our open twin; our writes and the
+                // remote writes to this page are to disjoint bytes in a
+                // race-free program. The copy is stale until we fault.
+                meta.state = PageState::Invalid;
+            }
+            // Already unreadable; keeps collecting local writes.
+            PageState::WritePush => {}
+            PageState::Invalid | PageState::Unmapped => {}
+        }
+    }
+
+    /// Record that we sent `vc` (inside a bundle) to `dst`, so future
+    /// bundles to `dst` can be filtered against it.
+    pub fn note_sent_vc(&mut self, dst: usize, vc: &VectorClock) {
+        self.known_vc[dst].merge(vc);
+    }
+
+    /// Record a clock received from `src` outside a bundle.
+    pub fn note_recv_vc(&mut self, src: usize, vc: &VectorClock) {
+        self.known_vc[src].merge(vc);
+        self.vc.merge(vc);
+    }
+
+    // ---------------------------------------------------------------
+    // Twins and diffs
+    // ---------------------------------------------------------------
+
+    /// Materialize the pending (closed, un-diffed) twin of `pid` into a
+    /// cached diff. Charges the modeled diff-creation cost.
+    pub fn materialize_pending(&mut self, pid: PageId) {
+        let range = self.page_range(pid);
+        let meta = &mut self.pages[pid];
+        let Some((seq, twin)) = meta.pending.take() else { return };
+        // If an open twin exists it snapshots the page at the start of the
+        // current interval, i.e. exactly the state the pending interval's
+        // writes produced; otherwise the page itself is that state.
+        let current: &[u8] = match &meta.twin {
+            Some(open_twin) => open_twin,
+            None => &self.mem[range],
+        };
+        let diff = Arc::new(Diff::create(&twin, current));
+        self.diff_store_bytes += diff.wire_bytes() as u64;
+        self.stats.diffs_created += 1;
+        self.stats.diff_bytes_created += diff.data_bytes() as u64;
+        meta.diffs.insert(seq, diff);
+        self.charge(self.cfg.diff_create_ns);
+    }
+
+    /// Serve a `DiffReq`: return our diffs for the listed intervals of
+    /// `pid`, materializing the pending twin if it is among them.
+    pub fn serve_diffs(&mut self, pid: PageId, seqs: &[u32]) -> Vec<(u32, Arc<Diff>)> {
+        self.sync_alloc();
+        if let Some((pseq, _)) = self.pages[pid].pending {
+            if seqs.contains(&pseq) {
+                self.materialize_pending(pid);
+            }
+        }
+        let meta = &self.pages[pid];
+        seqs.iter()
+            .map(|s| {
+                let d = meta
+                    .diffs
+                    .get(s)
+                    .unwrap_or_else(|| panic!(
+                        "node {} asked for diff (page {pid}, seq {s}) it does not have — \
+                         GC/notice protocol invariant violated",
+                        self.id
+                    ))
+                    .clone();
+                (*s, d)
+            })
+            .collect()
+    }
+
+    /// Group the unapplied notices of `pid` by writer: the fault plan.
+    /// Returns an empty vec when no fetches are needed.
+    pub fn fault_plan(&self, pid: PageId) -> Vec<(usize, Vec<u32>)> {
+        let mut by_node: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
+        for rec in &self.pages[pid].unapplied {
+            by_node.entry(rec.id.node as usize).or_default().push(rec.id.seq);
+        }
+        by_node.into_iter().collect()
+    }
+
+    /// Apply fetched diffs for `pid` in happens-before (linear-extension)
+    /// order and clear the corresponding notices.
+    ///
+    /// Incoming diffs are applied to the page **and to any twins** (open
+    /// or pending). Twins are the baselines future local diffs are encoded
+    /// against; leaving them stale would make our next diff carry stale
+    /// copies of the remote writer's bytes, which — attributed to our
+    /// interval — could overwrite that writer's *newer* rewrite of the
+    /// same range at a third node (intervals concurrent with ours order
+    /// arbitrarily). Updating the twins keeps diffs precise: they contain
+    /// exactly the bytes this node wrote (as real TreadMarks does).
+    pub fn apply_fetched(&mut self, pid: PageId, mut fetched: Vec<(IntervalId, u64, Arc<Diff>)>) {
+        fetched.sort_by_key(|(id, vc_sum, _)| (*vc_sum, id.node, id.seq));
+        let range = self.page_range(pid);
+        let mut cost = 0u64;
+        for (id, _, diff) in &fetched {
+            diff.apply(&mut self.mem[range.clone()]);
+            let meta = &mut self.pages[pid];
+            if let Some(twin) = meta.twin.as_deref_mut() {
+                diff.apply(twin);
+            }
+            if let Some((_, twin)) = meta.pending.as_mut() {
+                diff.apply(twin);
+            }
+            cost += self.cfg.diff_apply_base_ns
+                + self.cfg.diff_apply_per_byte_ns * diff.data_bytes() as u64;
+            self.stats.diffs_applied += 1;
+            meta.unapplied.retain(|r| r.id != *id);
+        }
+        if cost > 0 {
+            self.charge(cost);
+        }
+    }
+
+    /// Finish a fault once nothing is missing: make the page readable
+    /// again (write-enabled if an open twin survives — the multiple-writer
+    /// case).
+    pub fn finish_fault(&mut self, pid: PageId) {
+        let meta = &mut self.pages[pid];
+        debug_assert!(meta.unapplied.is_empty());
+        meta.state = if meta.twin.is_some() { PageState::Write } else { PageState::ReadOnly };
+    }
+
+    /// Prepare `pid` for writing: materialize any pending diff, create the
+    /// open-interval twin, and mark the page dirty. The page must already
+    /// be readable.
+    pub fn start_write(&mut self, pid: PageId) {
+        debug_assert!(self.pages[pid].readable());
+        if self.pages[pid].state == PageState::Write {
+            return;
+        }
+        self.twin_page(pid, PageState::Write);
+    }
+
+    /// Write-only access ("push"): twin the page *without* fetching
+    /// outstanding remote diffs. Local writes are still diffed precisely
+    /// against the (possibly stale) twin; bytes outside them must not be
+    /// read until an ordinary read fault brings the page up to date. This
+    /// is the write-without-fetch optimization of Dwarkadas et al.,
+    /// which the paper cites as the compiler support its prototype lacks.
+    pub fn start_write_push(&mut self, pid: PageId) {
+        let meta = &self.pages[pid];
+        if meta.writable() {
+            return;
+        }
+        debug_assert!(
+            !self.needs_full_fetch(pid),
+            "push-write to a GC-stale page must fault first"
+        );
+        let target = if meta.unapplied.is_empty() && meta.readable() {
+            PageState::Write
+        } else {
+            self.stats.push_writes += 1;
+            PageState::WritePush
+        };
+        self.twin_page(pid, target);
+    }
+
+    fn twin_page(&mut self, pid: PageId, state: PageState) {
+        self.materialize_pending(pid);
+        let range = self.page_range(pid);
+        let meta = &mut self.pages[pid];
+        meta.twin = Some(self.mem[range].to_vec().into_boxed_slice());
+        meta.state = state;
+        self.dirty.push(pid);
+        self.stats.twins_created += 1;
+        self.charge(self.cfg.twin_ns);
+    }
+
+    /// Serve a post-GC full-page request. Only the page's owner is asked.
+    ///
+    /// The served copy may already include intervals newer than the GC
+    /// base (the owner's own writes, or diffs it applied since) and may
+    /// still *miss* intervals the requester holds notices for — both are
+    /// fine: the requester applies its outstanding diffs over the copy,
+    /// and re-applying an included diff is idempotent. The only unusable
+    /// state would be a lost base, which cannot happen to an owner
+    /// (validated at GC time).
+    pub fn serve_page(&mut self, pid: PageId) -> (u32, Arc<[u8]>) {
+        self.sync_alloc();
+        let range = self.page_range(pid);
+        let meta = &self.pages[pid];
+        debug_assert!(!meta.base_lost, "a page owner cannot have lost its own base");
+        self.charge(self.cfg.twin_ns); // one page copy
+        self.stats.page_serves += 1;
+        (self.gc_epoch, Arc::from(&self.mem[range]))
+    }
+
+    /// Install a full page copy received from its owner.
+    pub fn install_page(&mut self, pid: PageId, epoch: u32, bytes: &[u8]) {
+        let range = self.page_range(pid);
+        self.mem[range].copy_from_slice(bytes);
+        let meta = &mut self.pages[pid];
+        meta.epoch = epoch;
+        meta.base_lost = false;
+        self.stats.page_fetches += 1;
+    }
+
+    /// Whether `pid` needs a full-copy fetch before diffs can be applied
+    /// (its notices were dropped at a GC, so no diff chain can repair the
+    /// local copy).
+    pub fn needs_full_fetch(&self, pid: PageId) -> bool {
+        self.pages[pid].base_lost
+    }
+
+    // ---------------------------------------------------------------
+    // Garbage collection support
+    // ---------------------------------------------------------------
+
+    /// Determine the post-GC owner of every page written since the last
+    /// GC: the writer of the page's last interval in the linear extension.
+    /// All nodes compute this from identical interval logs at a barrier,
+    /// so they agree without communication.
+    pub fn compute_gc_owners(&self) -> BTreeMap<PageId, usize> {
+        let mut owners: BTreeMap<PageId, (u64, u32, u32)> = BTreeMap::new();
+        for (&(node, seq), info) in &self.interval_log {
+            for &pid in &info.pages {
+                let key = (info.vc_sum, node, seq);
+                let e = owners.entry(pid).or_insert(key);
+                if key > *e {
+                    *e = key;
+                }
+            }
+        }
+        owners.into_iter().map(|(pid, (_, node, _))| (pid, node as usize)).collect()
+    }
+
+    /// Drop diffs, pending twins, notices and the interval log after a GC
+    /// round; re-base every affected page.
+    pub fn apply_gc_complete(&mut self, owners: &BTreeMap<PageId, usize>) {
+        self.gc_epoch += 1;
+        for (&pid, &owner) in owners {
+            let meta = &mut self.pages[pid];
+            meta.diffs.clear();
+            meta.pending = None;
+            meta.owner = owner;
+            debug_assert!(meta.twin.is_none(), "open twin across a barrier GC");
+            if owner == self.id {
+                debug_assert!(meta.unapplied.is_empty(), "owner not validated before GC");
+                meta.epoch = self.gc_epoch;
+                meta.base_lost = false;
+            } else if meta.unapplied.is_empty() && meta.readable() {
+                // Our copy already equals the owner's: keep it valid.
+                meta.epoch = self.gc_epoch;
+                meta.base_lost = false;
+            } else {
+                // Dropping un-fetched notices invalidates the local base:
+                // the next touch must fetch the full page from the owner.
+                meta.unapplied.clear();
+                meta.base_lost = true;
+                meta.state = match meta.state {
+                    PageState::Unmapped => PageState::Unmapped,
+                    _ => PageState::Invalid,
+                };
+            }
+        }
+        self.interval_log.clear();
+        self.diff_store_bytes = 0;
+        self.stats.gc_runs += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: usize, nodes: usize) -> NodeState {
+        let cfg = TmkConfig::fast_test(nodes);
+        let alloc = AllocTable::new(cfg.page_shift());
+        let _ = alloc.alloc(4 * cfg.page_size); // pages 0..=3
+        let mut st = NodeState::new(id, cfg, alloc, VirtualClock::new());
+        st.sync_alloc();
+        st
+    }
+
+    fn touch_write(st: &mut NodeState, pid: PageId, off: usize, val: u8) {
+        // Simulate the accessor path: readable -> writable -> write.
+        if st.pages[pid].state == PageState::Unmapped {
+            st.pages[pid].state = PageState::ReadOnly;
+        }
+        st.start_write(pid);
+        let r = st.page_range(pid);
+        st.mem[r][off] = val;
+    }
+
+    #[test]
+    fn empty_release_closes_no_interval() {
+        let mut st = mk(0, 2);
+        st.close_interval();
+        assert_eq!(st.vc.0[0], 0);
+        assert!(st.interval_log.is_empty());
+    }
+
+    #[test]
+    fn close_interval_parks_twin_and_logs() {
+        let mut st = mk(0, 2);
+        touch_write(&mut st, 0, 10, 7);
+        assert_eq!(st.pages[0].state, PageState::Write);
+        st.close_interval();
+        assert_eq!(st.vc.0[0], 1);
+        assert_eq!(st.pages[0].state, PageState::ReadOnly);
+        assert!(st.pages[0].twin.is_none());
+        assert!(st.pages[0].pending.is_some());
+        assert_eq!(st.interval_log[&(0, 1)].pages, vec![0]);
+    }
+
+    #[test]
+    fn rewrite_after_close_materializes_pending_diff() {
+        let mut st = mk(0, 2);
+        touch_write(&mut st, 0, 10, 7);
+        st.close_interval();
+        touch_write(&mut st, 0, 20, 9); // second interval twin
+        let meta = &st.pages[0];
+        assert!(meta.pending.is_none(), "pending materialized at re-twin");
+        assert_eq!(meta.diffs.len(), 1);
+        let d = &meta.diffs[&1];
+        assert_eq!(d.data_bytes(), 1, "only byte 10 changed in interval 1");
+    }
+
+    #[test]
+    fn serve_diffs_materializes_lazily() {
+        let mut st = mk(0, 2);
+        touch_write(&mut st, 1, 0, 3);
+        st.close_interval();
+        assert_eq!(st.stats.diffs_created, 0);
+        let diffs = st.serve_diffs(1, &[1]);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(st.stats.diffs_created, 1);
+        assert!(diffs[0].1.data_bytes() == 1);
+    }
+
+    #[test]
+    fn bundle_for_filters_by_receiver_knowledge() {
+        let mut st = mk(0, 3);
+        touch_write(&mut st, 0, 0, 1);
+        st.close_interval();
+        touch_write(&mut st, 1, 0, 2);
+        st.close_interval();
+        let all = st.bundle_for(&VectorClock::zero(3));
+        assert_eq!(all.intervals.len(), 2);
+        let half = st.bundle_for(&VectorClock(vec![1, 0, 0]));
+        assert_eq!(half.intervals.len(), 1);
+        assert_eq!(half.intervals[0].0, IntervalId { node: 0, seq: 2 });
+        let none = st.bundle_for(&VectorClock(vec![2, 0, 0]));
+        assert!(none.intervals.is_empty());
+    }
+
+    #[test]
+    fn apply_bundle_invalidates_and_merges() {
+        let mut writer = mk(0, 2);
+        touch_write(&mut writer, 2, 5, 42);
+        writer.close_interval();
+        let bundle = writer.bundle_for(&VectorClock::zero(2));
+
+        let mut reader = mk(1, 2);
+        reader.pages[2].state = PageState::ReadOnly; // previously read
+        reader.apply_bundle(0, &bundle);
+        assert_eq!(reader.pages[2].state, PageState::Invalid);
+        assert_eq!(reader.pages[2].unapplied.len(), 1);
+        assert!(reader.vc.covers(0, 1));
+        // Duplicate delivery is a no-op.
+        reader.apply_bundle(0, &bundle);
+        assert_eq!(reader.pages[2].unapplied.len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_groups_by_writer() {
+        let mut st = mk(2, 3);
+        st.pages[0].unapplied = vec![
+            NoticeRec { id: IntervalId { node: 0, seq: 1 }, vc_sum: 1 },
+            NoticeRec { id: IntervalId { node: 1, seq: 1 }, vc_sum: 1 },
+            NoticeRec { id: IntervalId { node: 0, seq: 2 }, vc_sum: 3 },
+        ];
+        let plan = st.fault_plan(0);
+        assert_eq!(plan, vec![(0, vec![1, 2]), (1, vec![1])]);
+    }
+
+    #[test]
+    fn fetch_apply_roundtrip_between_nodes() {
+        let mut writer = mk(0, 2);
+        touch_write(&mut writer, 0, 100, 0xEE);
+        writer.close_interval();
+        let bundle = writer.bundle_for(&VectorClock::zero(2));
+
+        let mut reader = mk(1, 2);
+        reader.apply_bundle(0, &bundle);
+        let plan = reader.fault_plan(0);
+        assert_eq!(plan.len(), 1);
+        let (node, seqs) = &plan[0];
+        assert_eq!(*node, 0);
+        let diffs = writer.serve_diffs(0, seqs);
+        let fetched = diffs
+            .into_iter()
+            .map(|(seq, d)| (IntervalId { node: 0, seq }, 1u64, d))
+            .collect();
+        reader.apply_fetched(0, fetched);
+        reader.finish_fault(0);
+        assert_eq!(reader.pages[0].state, PageState::ReadOnly);
+        let r = reader.page_range(0);
+        assert_eq!(reader.mem[r][100], 0xEE);
+    }
+
+    #[test]
+    fn multiple_writer_false_sharing_preserves_local_writes() {
+        // Node 0 and node 1 write disjoint halves of page 0 concurrently.
+        let mut a = mk(0, 2);
+        let mut b = mk(1, 2);
+        touch_write(&mut a, 0, 10, 1);
+        touch_write(&mut b, 0, 2000, 2);
+        a.close_interval();
+        let bundle_a = a.bundle_for(&VectorClock::zero(2));
+        // b receives a's notice while its own twin is open.
+        b.apply_bundle(0, &bundle_a);
+        assert_eq!(b.pages[0].state, PageState::Invalid);
+        assert!(b.pages[0].twin.is_some(), "open twin survives invalidation");
+        // b faults: fetches a's diff and applies it over its own copy.
+        let plan = b.fault_plan(0);
+        let diffs = a.serve_diffs(0, &plan[0].1);
+        let fetched =
+            diffs.into_iter().map(|(s, d)| (IntervalId { node: 0, seq: s }, 1u64, d)).collect();
+        b.apply_fetched(0, fetched);
+        b.finish_fault(0);
+        assert_eq!(b.pages[0].state, PageState::Write, "write twin restored");
+        let r = b.page_range(0);
+        assert_eq!(b.mem[r.clone()][10], 1, "remote write visible");
+        assert_eq!(b.mem[r][2000], 2, "local write preserved");
+        // b's eventual diff contains its own write.
+        b.close_interval();
+        let served = b.serve_diffs(0, &[1]);
+        assert!(served[0].1.data_bytes() >= 1);
+    }
+
+    #[test]
+    fn gc_owner_is_last_writer_in_linear_order() {
+        let mut st = mk(0, 3);
+        st.interval_log.insert((0, 1), IntervalInfo { vc_sum: 1, pages: vec![0, 1] });
+        st.interval_log.insert((1, 1), IntervalInfo { vc_sum: 5, pages: vec![0] });
+        st.interval_log.insert((2, 1), IntervalInfo { vc_sum: 3, pages: vec![1] });
+        let owners = st.compute_gc_owners();
+        assert_eq!(owners[&0], 1, "vc_sum 5 beats 1");
+        assert_eq!(owners[&1], 2, "vc_sum 3 beats 1");
+    }
+
+    #[test]
+    fn gc_complete_rebases_pages() {
+        let mut st = mk(1, 2);
+        // Page 0: we have a valid copy — stays valid at the new epoch.
+        st.pages[0].state = PageState::ReadOnly;
+        // Page 1: unapplied notices — must be dropped and refetched later.
+        st.pages[1].state = PageState::Invalid;
+        st.pages[1].unapplied =
+            vec![NoticeRec { id: IntervalId { node: 0, seq: 1 }, vc_sum: 1 }];
+        st.interval_log.insert((0, 1), IntervalInfo { vc_sum: 1, pages: vec![0, 1] });
+        let owners = BTreeMap::from([(0, 0), (1, 0)]);
+        st.apply_gc_complete(&owners);
+        assert_eq!(st.gc_epoch, 1);
+        assert_eq!(st.pages[0].epoch, 1);
+        assert!(st.pages[0].readable());
+        assert!(st.pages[1].unapplied.is_empty());
+        assert!(st.needs_full_fetch(1), "dropped notices => base lost");
+        assert!(!st.needs_full_fetch(0));
+        assert!(st.interval_log.is_empty());
+    }
+
+    #[test]
+    fn mgr_lock_grants_in_virtual_time_order() {
+        let mut l = MgrLock::default();
+        l.queue.push((500, 2, VectorClock::zero(3)));
+        l.queue.push((100, 1, VectorClock::zero(3)));
+        l.queue.push((300, 0, VectorClock::zero(3)));
+        assert_eq!(l.pop_earliest().map(|(t, n, _)| (t, n)), Some((100, 1)));
+        assert_eq!(l.pop_earliest().map(|(t, n, _)| (t, n)), Some((300, 0)));
+        assert_eq!(l.pop_earliest().map(|(t, n, _)| (t, n)), Some((500, 2)));
+        assert!(l.pop_earliest().is_none());
+    }
+}

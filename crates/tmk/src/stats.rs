@@ -1,0 +1,90 @@
+//! DSM protocol event counters (per node, aggregated at run end).
+
+/// Counts of protocol events on one node (or summed over all nodes).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct TmkStats {
+    /// Page faults that required fetching remote data.
+    pub read_faults: u64,
+    /// Write accesses that created a twin.
+    pub twins_created: u64,
+    /// Diffs encoded (lazily) from twins.
+    pub diffs_created: u64,
+    /// Total changed bytes across created diffs.
+    pub diff_bytes_created: u64,
+    /// Diffs received and applied.
+    pub diffs_applied: u64,
+    /// Write-notice invalidations processed.
+    pub invalidations: u64,
+    /// Non-empty intervals closed (releases that produced notices).
+    pub intervals_closed: u64,
+    /// Full-page copies fetched (post-GC cold misses).
+    pub page_fetches: u64,
+    /// Full-page copies served to peers.
+    pub page_serves: u64,
+    /// Barrier episodes completed.
+    pub barriers: u64,
+    /// Lock acquisitions (local + remote).
+    pub lock_acquires: u64,
+    /// Lock acquisitions satisfied without messages (token already here).
+    pub lock_acquires_local: u64,
+    /// Semaphore signals issued.
+    pub sema_signals: u64,
+    /// Semaphore waits completed.
+    pub sema_waits: u64,
+    /// Condition-variable waits completed.
+    pub cond_waits: u64,
+    /// Condition-variable signals issued.
+    pub cond_signals: u64,
+    /// Condition-variable broadcasts issued.
+    pub cond_broadcasts: u64,
+    /// OpenMP flush operations executed.
+    pub flushes: u64,
+    /// Parallel regions forked (counted on the master).
+    pub forks: u64,
+    /// Diff garbage-collection rounds.
+    pub gc_runs: u64,
+    /// Write-only ("push") page accesses that skipped a fetch.
+    pub push_writes: u64,
+}
+
+impl TmkStats {
+    /// Accumulate `other` into `self` (for cross-node aggregation).
+    pub fn merge(&mut self, other: &TmkStats) {
+        self.read_faults += other.read_faults;
+        self.twins_created += other.twins_created;
+        self.diffs_created += other.diffs_created;
+        self.diff_bytes_created += other.diff_bytes_created;
+        self.diffs_applied += other.diffs_applied;
+        self.invalidations += other.invalidations;
+        self.intervals_closed += other.intervals_closed;
+        self.page_fetches += other.page_fetches;
+        self.page_serves += other.page_serves;
+        self.barriers += other.barriers;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_acquires_local += other.lock_acquires_local;
+        self.sema_signals += other.sema_signals;
+        self.sema_waits += other.sema_waits;
+        self.cond_waits += other.cond_waits;
+        self.cond_signals += other.cond_signals;
+        self.cond_broadcasts += other.cond_broadcasts;
+        self.flushes += other.flushes;
+        self.forks += other.forks;
+        self.gc_runs += other.gc_runs;
+        self.push_writes += other.push_writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = TmkStats { read_faults: 1, diffs_created: 2, ..Default::default() };
+        let b = TmkStats { read_faults: 10, barriers: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.read_faults, 11);
+        assert_eq!(a.diffs_created, 2);
+        assert_eq!(a.barriers, 3);
+    }
+}

@@ -1,0 +1,446 @@
+//! System bring-up: spawn the simulated workstations and run a program.
+//!
+//! Mirrors TreadMarks process structure: all node threads are created at
+//! startup; slaves block waiting for the next `Tmk_fork` from the master,
+//! which runs the program's sequential sections.
+
+use crate::addr::AllocTable;
+use crate::api::Tmk;
+use crate::config::TmkConfig;
+use crate::protocol::Msg;
+use crate::service::{service_loop, ForkJob, WorkItem};
+use crate::state::NodeState;
+use crate::stats::TmkStats;
+use crossbeam::channel::{unbounded, Receiver};
+use now_net::{ComputeMeter, Network, StatsSnapshot};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::thread;
+
+/// Everything a finished run reports.
+#[derive(Debug)]
+pub struct RunOutcome<R> {
+    /// The master function's return value.
+    pub result: R,
+    /// The master's final virtual clock — the program's modeled run time.
+    pub vt_ns: u64,
+    /// Network traffic (messages/bytes, per node and per message kind).
+    pub net: StatsSnapshot,
+    /// DSM protocol event counts summed over all nodes.
+    pub dsm: TmkStats,
+}
+
+impl<R> RunOutcome<R> {
+    /// Virtual run time in seconds.
+    pub fn vt_seconds(&self) -> f64 {
+        self.vt_ns as f64 / 1e9
+    }
+}
+
+/// Build a DSM system of `cfg.nodes()` workstations, run `master_fn` on
+/// node 0, and tear everything down.
+///
+/// The master allocates shared memory, runs sequential sections, and
+/// spawns parallel regions with [`Tmk::parallel`]; slave nodes execute the
+/// shipped regions. Returns the result together with the virtual run time
+/// and traffic statistics.
+pub fn run_system<R, F>(cfg: TmkConfig, master_fn: F) -> RunOutcome<R>
+where
+    R: Send + 'static,
+    F: FnOnce(&mut Tmk) -> R + Send + 'static,
+{
+    let n = cfg.nodes();
+    let alloc = AllocTable::new(cfg.page_shift());
+    let eps = Network::build::<Msg>(cfg.net.clone());
+    let scale = cfg.net.compute_scale;
+
+    let mut states: Vec<Arc<Mutex<NodeState>>> = Vec::with_capacity(n);
+    let mut service_handles = Vec::with_capacity(n);
+    let mut tmks: Vec<Tmk> = Vec::with_capacity(n);
+    let mut work_rxs: Vec<Receiver<WorkItem>> = Vec::with_capacity(n);
+
+    for (id, ep) in eps.into_iter().enumerate() {
+        let state = Arc::new(Mutex::new(NodeState::new(
+            id,
+            cfg.clone(),
+            alloc.clone(),
+            ep.clock().clone(),
+        )));
+        let (to_app, app_rx) = unbounded();
+        let (work_tx, work_rx) = unbounded();
+        {
+            let (ep, state) = (ep.clone(), state.clone());
+            service_handles.push(
+                thread::Builder::new()
+                    .name(format!("tmk-svc-{id}"))
+                    .spawn(move || service_loop(ep, state, to_app, work_tx))
+                    .expect("spawn service thread"),
+            );
+        }
+        tmks.push(Tmk {
+            id,
+            n,
+            clock: ep.clock().clone(),
+            ep,
+            state: state.clone(),
+            app_rx,
+            meter: ComputeMeter::new(scale),
+            alloc: alloc.clone(),
+            in_region: false,
+            barrier_epoch: 0,
+        });
+        states.push(state);
+        work_rxs.push(work_rx);
+    }
+
+    // Slave application threads (nodes n-1 .. 1).
+    let mut worker_handles = Vec::with_capacity(n - 1);
+    let mut iter = tmks.into_iter();
+    let master_tmk = iter.next().expect("at least one node");
+    let mut work_iter = work_rxs.into_iter();
+    let _master_work = work_iter.next();
+    for (tmk, work_rx) in iter.zip(work_iter) {
+        let id = tmk.proc_id();
+        worker_handles.push(
+            thread::Builder::new()
+                .name(format!("tmk-app-{id}"))
+                .spawn(move || {
+                    // A panicking worker must not leave the rest of the
+                    // cluster blocked on it forever: tear everything down
+                    // (services forward Stop; blocked app threads see
+                    // their reply channels close) before re-raising.
+                    let ep = tmk.ep.clone();
+                    let n = tmk.nprocs();
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                        worker_loop(tmk, work_rx)
+                    }));
+                    if let Err(e) = r {
+                        for i in 0..n {
+                            ep.send_service(i, Msg::Shutdown);
+                        }
+                        std::panic::resume_unwind(e);
+                    }
+                })
+                .expect("spawn worker thread"),
+        );
+    }
+
+    // Master application thread.
+    let master_handle = thread::Builder::new()
+        .name("tmk-app-0".into())
+        .spawn(move || {
+            let mut tmk = master_tmk;
+            // The meter was created on the spawning thread; re-arm it on
+            // the thread whose CPU clock it will read.
+            tmk.meter.restart();
+            let result = master_fn(&mut tmk);
+            tmk.meter.charge(&tmk.clock.clone());
+            let vt = tmk.clock.now();
+            // Tear down every node's service loop (which in turn stops the
+            // worker loops). The master's final barrier/join guarantees no
+            // application-level operation is still in flight.
+            for i in 0..tmk.nprocs() {
+                tmk.ep.send(i, Msg::Shutdown);
+            }
+            let net = tmk.ep.stats();
+            (result, vt, net)
+        })
+        .expect("spawn master thread");
+
+    let master_result = master_handle.join();
+    let mut worker_panic = None;
+    for h in worker_handles {
+        if let Err(e) = h.join() {
+            worker_panic = Some(e);
+        }
+    }
+    // Prefer reporting the root-cause worker panic over the master's
+    // secondary "channel disconnected" failure.
+    if let Some(e) = worker_panic {
+        std::panic::resume_unwind(e);
+    }
+    let (result, vt_ns, net) = match master_result {
+        Ok(r) => r,
+        Err(e) => std::panic::resume_unwind(e),
+    };
+    for h in service_handles {
+        h.join().expect("service thread panicked");
+    }
+
+    let mut dsm = TmkStats::default();
+    for st in &states {
+        dsm.merge(&st.lock().stats);
+    }
+    RunOutcome { result, vt_ns, net, dsm }
+}
+
+/// Slave node main loop: run forked regions until shutdown.
+fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
+    tmk.meter.restart();
+    let handler_ns = tmk.ep.cfg().handler_ns;
+    loop {
+        match work_rx.recv() {
+            Err(_) | Ok(WorkItem::Stop) => break,
+            Ok(WorkItem::Run(ForkJob { region, bundle, src, arrival_vt })) => {
+                // Fork delivery: an acquire of the master's sequential
+                // updates.
+                tmk.clock.raise_to(arrival_vt);
+                tmk.clock.advance(handler_ns);
+                tmk.state.lock().apply_bundle(src, &bundle);
+                tmk.meter.restart();
+                tmk.in_region = true;
+                (region.f)(&mut tmk);
+                tmk.in_region = false;
+                tmk.barrier(); // implicit end-of-region barrier (Tmk_join)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> TmkConfig {
+        TmkConfig::fast_test(n)
+    }
+
+    #[test]
+    fn single_node_runs_master_only() {
+        let out = run_system(cfg(1), |tmk| {
+            let v = tmk.malloc_vec::<u64>(10);
+            tmk.write(&v, 3, 42);
+            tmk.read(&v, 3)
+        });
+        assert_eq!(out.result, 42);
+        assert_eq!(out.net.total_msgs(), 0, "single node never uses the wire");
+    }
+
+    #[test]
+    fn parallel_region_runs_on_all_nodes() {
+        let out = run_system(cfg(4), |tmk| {
+            let v = tmk.malloc_vec::<u64>(4);
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id() as u64;
+                t.write(&v, t.proc_id(), me * 10);
+            });
+            tmk.read_slice(&v, 0..4)
+        });
+        assert_eq!(out.result, vec![0, 10, 20, 30]);
+        assert!(out.dsm.forks >= 1);
+        assert!(out.net.total_msgs() > 0);
+    }
+
+    #[test]
+    fn master_writes_visible_in_region_and_back() {
+        let out = run_system(cfg(3), |tmk| {
+            let v = tmk.malloc_vec::<i64>(3 * 100);
+            // Master initializes sequentially.
+            let init: Vec<i64> = (0..300).map(|i| i as i64).collect();
+            tmk.write_slice(&v, 0, &init);
+            // Each node doubles its chunk.
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id();
+                let r = me * 100..(me + 1) * 100;
+                t.view_mut(&v, r, |chunk| {
+                    for x in chunk.iter_mut() {
+                        *x *= 2;
+                    }
+                });
+            });
+            // Master reads everything after the join barrier.
+            tmk.read_slice(&v, 0..300)
+        });
+        let expect: Vec<i64> = (0..300).map(|i| i * 2).collect();
+        assert_eq!(out.result, expect);
+    }
+
+    #[test]
+    fn locks_serialize_a_shared_counter() {
+        const PER_NODE: usize = 25;
+        let out = run_system(cfg(4), |tmk| {
+            let c = tmk.malloc_scalar::<u64>(0);
+            tmk.parallel(0, move |t| {
+                for _ in 0..PER_NODE {
+                    t.lock_acquire(7);
+                    let v = c.get(t);
+                    c.set(t, v + 1);
+                    t.lock_release(7);
+                }
+            });
+            c.get(tmk)
+        });
+        assert_eq!(out.result, 4 * PER_NODE as u64);
+    }
+
+    #[test]
+    fn semaphore_pipeline_two_nodes() {
+        // Producer (node 0) hands 10 values to consumer (node 1).
+        let out = run_system(cfg(2), |tmk| {
+            let data = tmk.malloc_scalar::<u64>(0);
+            let sum = tmk.malloc_scalar::<u64>(0);
+            const AVAIL: u32 = 0;
+            const DONE: u32 = 1;
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 0 {
+                    for i in 1..=10u64 {
+                        data.set(t, i);
+                        t.sema_signal(AVAIL);
+                        t.sema_wait(DONE);
+                    }
+                } else {
+                    let mut acc = 0;
+                    for _ in 0..10 {
+                        t.sema_wait(AVAIL);
+                        acc += data.get(t);
+                        t.sema_signal(DONE);
+                    }
+                    sum.set(t, acc);
+                }
+            });
+            sum.get(tmk)
+        });
+        assert_eq!(out.result, 55);
+        assert_eq!(out.dsm.sema_signals, 20);
+        assert_eq!(out.dsm.sema_waits, 20);
+    }
+
+    #[test]
+    fn condition_variable_wakes_waiter() {
+        let out = run_system(cfg(2), |tmk| {
+            let flag = tmk.malloc_scalar::<u32>(0);
+            let seen = tmk.malloc_scalar::<u32>(0);
+            const L: u32 = 3;
+            const CV: u32 = 0;
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 1 {
+                    t.lock_acquire(L);
+                    while flag.get(t) == 0 {
+                        t.cond_wait(L, CV);
+                    }
+                    let v = flag.get(t);
+                    seen.set(t, v);
+                    t.lock_release(L);
+                } else {
+                    t.lock_acquire(L);
+                    flag.set(t, 99);
+                    t.cond_signal(L, CV);
+                    t.lock_release(L);
+                }
+            });
+            seen.get(tmk)
+        });
+        assert_eq!(out.result, 99);
+        assert_eq!(out.dsm.cond_signals, 1);
+    }
+
+    #[test]
+    fn flush_pushes_updates_to_spinning_reader() {
+        let out = run_system(cfg(2), |tmk| {
+            let flag = tmk.malloc_scalar::<u32>(0);
+            let data = tmk.malloc_scalar::<u64>(0);
+            let got = tmk.malloc_scalar::<u64>(0);
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 0 {
+                    data.set(t, 1234);
+                    flag.set(t, 1);
+                    t.flush();
+                } else {
+                    while flag.get(t) == 0 {
+                        t.spin_hint();
+                    }
+                    let v = data.get(t);
+                    got.set(t, v);
+                }
+            });
+            got.get(tmk)
+        });
+        assert_eq!(out.result, 1234);
+        assert_eq!(out.dsm.flushes, 1);
+        // 2(n-1) messages for the flush itself: 1 notice + 1 ack.
+        let k = out.net.per_kind.get("flush_notice").copied().unwrap_or((0, 0));
+        assert_eq!(k.0, 1);
+    }
+
+    #[test]
+    fn false_sharing_multiple_writers_same_page() {
+        // All 4 nodes write adjacent u64s in the same page concurrently.
+        let out = run_system(cfg(4), |tmk| {
+            let v = tmk.malloc_vec::<u64>(4);
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id();
+                t.write(&v, me, (me as u64 + 1) * 7);
+            });
+            tmk.read_slice(&v, 0..4)
+        });
+        assert_eq!(out.result, vec![7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn gc_every_barrier_preserves_data() {
+        let mut c = cfg(3);
+        c.gc_every_barrier = true;
+        let out = run_system(c, |tmk| {
+            let v = tmk.malloc_vec::<u64>(3 * 64);
+            for round in 0..4u64 {
+                tmk.parallel(0, move |t| {
+                    let me = t.proc_id();
+                    let r = me * 64..(me + 1) * 64;
+                    t.view_mut(&v, r, |chunk| {
+                        for x in chunk.iter_mut() {
+                            *x += round + 1;
+                        }
+                    });
+                });
+            }
+            tmk.read_slice(&v, 0..3 * 64)
+        });
+        // Sum over rounds: 1+2+3+4 = 10 in every slot.
+        assert!(out.result.iter().all(|&x| x == 10), "gc corrupted data: {:?}", &out.result[..8]);
+        assert!(out.dsm.gc_runs > 0, "GC never ran");
+    }
+
+    #[test]
+    fn vt_advances_and_speedup_is_sane() {
+        let out = run_system(cfg(2), |tmk| {
+            let v = tmk.malloc_vec::<u64>(2048);
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id();
+                let r = me * 1024..(me + 1) * 1024;
+                t.view_mut(&v, r, |chunk| {
+                    for (i, x) in chunk.iter_mut().enumerate() {
+                        *x = (i as u64).wrapping_mul(2654435761);
+                    }
+                });
+            });
+            0u8
+        });
+        assert!(out.vt_ns > 0);
+    }
+
+    #[test]
+    fn stats_track_protocol_activity() {
+        let out = run_system(cfg(2), |tmk| {
+            let v = tmk.malloc_vec::<u64>(512);
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 0 {
+                    t.view_mut(&v, 0..512, |c| c.fill(5));
+                }
+            });
+            // Force node 1 to fault the data in a second region.
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 1 {
+                    let s = t.read_slice(&v, 0..512);
+                    assert!(s.iter().all(|&x| x == 5));
+                }
+            });
+            0u8
+        });
+        assert!(out.dsm.twins_created > 0);
+        assert!(out.dsm.diffs_created > 0);
+        assert!(out.dsm.diffs_applied > 0);
+        assert!(out.dsm.invalidations > 0);
+        assert!(out.dsm.read_faults > 0);
+        assert!(out.dsm.barriers >= 4);
+    }
+}

@@ -1,0 +1,45 @@
+//! Regression test: a lock grant racing a barrier arrival must not lose
+//! the grant's write notices.
+//!
+//! The failure mode (fixed in `NodeState::apply_bundle`): node A's barrier
+//! arrival carries a vector clock that covers an interval whose notices
+//! are still in flight to node B inside a lock grant; if B deduplicates
+//! notices by clock coverage it drops the invalidation and reads stale
+//! data. Deduplication must use interval-log membership instead.
+
+use tmk::{run_system, TmkConfig};
+
+#[test]
+fn lock_grant_racing_barrier_arrival_keeps_notices() {
+    for _ in 0..10 {
+        let out = run_system(TmkConfig::fast_test(2), move |tmk| {
+            let a = tmk.malloc_vec::<u64>(1000);
+            let acc = tmk.malloc_scalar::<u64>(0);
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id();
+                let r = me * 500..(me + 1) * 500;
+                t.view_mut(&a, r, |c| {
+                    for (k, x) in c.iter_mut().enumerate() {
+                        *x = k as u64;
+                    }
+                });
+            });
+            tmk.parallel(0, move |t| {
+                let me = t.proc_id();
+                let r = me * 500..(me + 1) * 500;
+                let mut local = 0u64;
+                for i in r {
+                    local += t.read(&a, i);
+                }
+                // Lock managed by node 1, so node 1 acquires locally and
+                // its grant to node 0 races its own barrier arrival.
+                t.lock_acquire(0xF000_0001);
+                let cur = acc.get(t);
+                acc.set(t, cur + local);
+                t.lock_release(0xF000_0001);
+            });
+            acc.get(tmk)
+        });
+        assert_eq!(out.result, 2 * 124_750, "lost update");
+    }
+}

@@ -1,0 +1,39 @@
+//! Sweep3D across all four implementations: the paper's pipelined
+//! wavefront with semaphores, on OpenMP, hand-coded TreadMarks and MPI.
+//!
+//! Run with: `cargo run --release --example sweep3d_now`
+
+use now_apps::sweep3d::*;
+use openmp_now::prelude::*;
+
+fn main() {
+    let cfg = SweepConfig { nx: 24, ny: 24, nz: 24, n_ang: 4, x_blocks: 6, n_sweeps: 1 };
+    let nodes = 8;
+    let seq = run_seq(&cfg, 60.0);
+    let omp = run_omp(&cfg, nomp::OmpConfig::paper(nodes));
+    let tmkv = run_tmk(&cfg, TmkConfig::paper(nodes));
+    let mpi = run_mpi(&cfg, nowmpi::MpiConfig::paper(nodes));
+    for r in [&omp, &tmkv, &mpi] {
+        assert!(
+            ((r.checksum - seq.checksum) / seq.checksum).abs() < 1e-9,
+            "{} result mismatch",
+            r.version.label()
+        );
+    }
+    println!(
+        "Sweep3D {}x{}x{}, {} angles/octant, {} pipeline stages, {nodes} workstations\n",
+        cfg.nx, cfg.ny, cfg.nz, cfg.n_ang, cfg.x_blocks
+    );
+    println!("version   model-s  speedup  messages      MB");
+    println!("seq      {:>8.3}     1.00         0    0.00", seq.vt_seconds());
+    for r in [&omp, &tmkv, &mpi] {
+        println!(
+            "{:<7}  {:>8.3}  {:>7.2}  {:>8}  {:>6.2}",
+            r.version.label(),
+            r.vt_seconds(),
+            r.speedup_vs(&seq),
+            r.msgs,
+            r.mbytes()
+        );
+    }
+}

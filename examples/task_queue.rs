@@ -1,0 +1,26 @@
+//! The paper's Figure 4: a task queue built from a critical section and
+//! one condition variable, driving a parallel quicksort.
+//!
+//! Run with: `cargo run --example task_queue`
+
+use openmp_now::prelude::*;
+
+fn main() {
+    let cfg = now_apps::qsort::QsortConfig { n: 32 * 1024, bubble_threshold: 256, seed: 7 };
+    let seq = now_apps::qsort::run_seq(&cfg, 60.0);
+    println!("QSORT, {} integers, bubble threshold {}:", cfg.n, cfg.bubble_threshold);
+    println!("  sequential: {:.3} model-seconds", seq.vt_seconds());
+    for nodes in [2usize, 4, 8] {
+        let par = now_apps::qsort::run_omp(&cfg, OmpConfig::paper(nodes));
+        assert_eq!(par.checksum, seq.checksum, "parallel sort must match");
+        println!(
+            "  {nodes} nodes: {:.3} s, speedup {:.2}, {} messages, {:.2} MB",
+            par.vt_seconds(),
+            par.speedup_vs(&seq),
+            par.msgs,
+            par.mbytes()
+        );
+    }
+    println!("\nDeQueue blocks on cond_wait instead of busy-waiting; the nwait");
+    println!("counter + cond_broadcast detect termination (paper, Figure 4).");
+}

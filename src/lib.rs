@@ -1,0 +1,36 @@
+//! # openmp-now — OpenMP on Networks of Workstations
+//!
+//! Facade crate for the reproduction of Lu, Hu & Zwaenepoel,
+//! *"OpenMP on Networks of Workstations"* (SC'98). See the README for the
+//! architecture and DESIGN.md for the system inventory.
+//!
+//! * [`nomp`] — the OpenMP runtime + directive macros (the paper's
+//!   contribution)
+//! * [`tmk`] — the TreadMarks-style software DSM it compiles to
+//! * [`nowmpi`] — the MPI baseline
+//! * [`now_net`] — the simulated workstation network + virtual time
+//! * [`now_apps`] — the five evaluation applications
+//!
+//! ```
+//! use openmp_now::prelude::*;
+//!
+//! let out = nomp::run(OmpConfig::fast_test(2), |omp| {
+//!     let v = omp.malloc_vec::<u64>(100);
+//!     omp.parallel_for(Schedule::Static, 0..100, move |t, i| {
+//!         t.write(&v, i, (i * i) as u64);
+//!     });
+//!     omp.read(&v, 9)
+//! });
+//! assert_eq!(out.result, 81);
+//! ```
+
+pub use {nomp, now_apps, now_net, nowmpi, tmk};
+
+/// Common imports for writing OpenMP-on-NOW programs.
+pub mod prelude {
+    pub use nomp::{
+        critical_id, run, Env, OmpConfig, OmpThread, RedOp, Schedule, SharedScalar, SharedVec,
+        ThreadPrivate,
+    };
+    pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
+}

@@ -1,0 +1,102 @@
+//! Full-cluster (8-node) smoke runs of every application — the exact
+//! topology of the paper's evaluation, at test workload sizes.
+
+use now_apps::{fft3d, qsort, sweep3d, tsp, water};
+use nomp::OmpConfig;
+use nowmpi::MpiConfig;
+use tmk::TmkConfig;
+
+fn close(a: f64, b: f64, what: &str) {
+    let denom = a.abs().max(b.abs()).max(1e-12);
+    assert!(((a - b) / denom).abs() <= 1e-9, "{what}: {a} vs {b}");
+}
+
+#[test]
+fn all_apps_all_versions_eight_nodes() {
+    let n = 8;
+
+    let cfg = fft3d::FftConfig::test();
+    let seq = fft3d::run_seq(&cfg, 1.0);
+    close(fft3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "fft omp@8");
+    close(fft3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "fft tmk@8");
+    close(fft3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "fft mpi@8");
+
+    let cfg = water::WaterConfig::test();
+    let seq = water::run_seq(&cfg, 1.0);
+    close(water::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "water omp@8");
+    close(water::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "water tmk@8");
+    close(water::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "water mpi@8");
+
+    let cfg = sweep3d::SweepConfig::test();
+    let seq = sweep3d::run_seq(&cfg, 1.0);
+    close(sweep3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "sweep omp@8");
+    close(sweep3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "sweep tmk@8");
+    close(sweep3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "sweep mpi@8");
+
+    let cfg = qsort::QsortConfig::test();
+    let seq = qsort::run_seq(&cfg, 1.0);
+    assert_eq!(qsort::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(qsort::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(qsort::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum);
+
+    let cfg = tsp::TspConfig::test();
+    let seq = tsp::run_seq(&cfg, 1.0);
+    assert_eq!(tsp::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(tsp::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(tsp::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum);
+}
+
+#[test]
+fn apps_survive_gc_stress() {
+    // GC at every barrier with the barrier-heavy apps.
+    let mut sys = TmkConfig::fast_test(4);
+    sys.gc_every_barrier = true;
+
+    let cfg = water::WaterConfig::test();
+    let seq = water::run_seq(&cfg, 1.0);
+    close(water::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "water gc");
+
+    let cfg = fft3d::FftConfig::test();
+    let seq = fft3d::run_seq(&cfg, 1.0);
+    close(fft3d::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "fft gc");
+
+    let cfg = sweep3d::SweepConfig::test();
+    let seq = sweep3d::run_seq(&cfg, 1.0);
+    close(sweep3d::run_tmk(&cfg, sys).checksum, seq.checksum, "sweep gc");
+}
+
+#[test]
+fn apps_survive_tiny_pages() {
+    // 64-byte pages: extreme false sharing through every app structure.
+    let sys = TmkConfig::stress_tiny_pages(3);
+
+    let cfg = water::WaterConfig::test();
+    let seq = water::run_seq(&cfg, 1.0);
+    close(water::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "water tiny pages");
+
+    let cfg = qsort::QsortConfig::test();
+    let seq = qsort::run_seq(&cfg, 1.0);
+    assert_eq!(qsort::run_tmk(&cfg, sys).checksum, seq.checksum, "qsort tiny pages");
+}
+
+#[test]
+fn odd_node_counts_work() {
+    // Block partitioning must handle non-dividing node counts (the FFT
+    // requires divisibility and checks it; the others must not care).
+    for n in [3usize, 5, 7] {
+        let cfg = water::WaterConfig::test();
+        let seq = water::run_seq(&cfg, 1.0);
+        close(
+            water::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+            seq.checksum,
+            "water odd nodes",
+        );
+        let cfg = sweep3d::SweepConfig::test();
+        let seq = sweep3d::run_seq(&cfg, 1.0);
+        close(
+            sweep3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+            seq.checksum,
+            "sweep odd nodes",
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based consistency testing of the DSM substrate.
+//!
+//! Random data-race-free shared-memory programs are executed on the
+//! simulated cluster and compared against a single-memory reference
+//! execution: lazy release consistency must be indistinguishable from
+//! sequential consistency for DRF programs.
+
+use proptest::prelude::*;
+use tmk::TmkConfig;
+
+/// One random barrier-synchronized round: each node writes a random
+/// subset of its own slots (values derived from round + node), then a
+/// barrier, then every node checks random slots against the reference.
+fn run_random_rounds(
+    nodes: usize,
+    slots_per_node: usize,
+    rounds: usize,
+    seed: u64,
+    cfg: TmkConfig,
+) {
+    let total = nodes * slots_per_node;
+    // Reference: value of each slot after each round (deterministic).
+    let value = move |round: usize, slot: usize, seed: u64| -> u64 {
+        let x = (round as u64 + 1)
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((slot as u64).wrapping_mul(0x2545F4914F6CDD1D))
+            .wrapping_add(seed);
+        x | 1
+    };
+    let writes = move |round: usize, node: usize, seed: u64| -> Vec<usize> {
+        // Deterministic pseudo-random subset of the node's own slots.
+        (0..slots_per_node)
+            .filter(|&k| {
+                let h = (round as u64)
+                    .wrapping_mul(31)
+                    .wrapping_add(node as u64 * 17)
+                    .wrapping_add(k as u64 * 13)
+                    .wrapping_add(seed);
+                h % 3 != 0
+            })
+            .map(|k| node * slots_per_node + k)
+            .collect()
+    };
+
+    // Reference execution.
+    let mut reference = vec![0u64; total];
+    for round in 0..rounds {
+        for node in 0..nodes {
+            for slot in writes(round, node, seed) {
+                reference[slot] = value(round, slot, seed);
+            }
+        }
+    }
+
+    let out = tmk::run_system(cfg, move |tmk| {
+        let mem = tmk.malloc_vec::<u64>(total);
+        tmk.parallel(0, move |t| {
+            let me = t.proc_id();
+            for round in 0..rounds {
+                for slot in writes(round, me, seed) {
+                    t.write(&mem, slot, value(round, slot, seed));
+                }
+                t.barrier();
+                // After the barrier every write of this round is visible.
+                let probe = (me * 7 + round * 3) % total;
+                let got = t.read(&mem, probe);
+                let mut expect = 0;
+                for r in (0..=round).rev() {
+                    let owner = probe / slots_per_node;
+                    if writes(r, owner, seed).contains(&probe) {
+                        expect = value(r, probe, seed);
+                        break;
+                    }
+                }
+                assert_eq!(got, expect, "node {me} round {round} slot {probe}");
+                t.barrier();
+            }
+        });
+        tmk.read_slice(&mem, 0..total)
+    });
+    assert_eq!(out.result, reference, "final memory image diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_drf_programs_match_reference(
+        nodes in 2usize..5,
+        slots in 3usize..24,
+        rounds in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        run_random_rounds(nodes, slots, rounds, seed, TmkConfig::fast_test(nodes));
+    }
+
+    #[test]
+    fn random_drf_programs_with_tiny_pages(
+        nodes in 2usize..4,
+        rounds in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        // 64-byte pages: eight u64 slots per page -> maximal false sharing.
+        run_random_rounds(nodes, 8, rounds, seed, TmkConfig::stress_tiny_pages(nodes));
+    }
+
+    #[test]
+    fn random_drf_programs_with_gc_every_barrier(
+        nodes in 2usize..4,
+        rounds in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut cfg = TmkConfig::fast_test(nodes);
+        cfg.gc_every_barrier = true;
+        run_random_rounds(nodes, 6, rounds, seed, cfg);
+    }
+}
+
+#[test]
+fn lock_ordering_transfers_latest_values() {
+    // Chain of lock-protected increments across all nodes: final count
+    // must equal the number of critical sections executed.
+    for nodes in [2usize, 4, 8] {
+        let out = tmk::run_system(TmkConfig::fast_test(nodes), move |tmk| {
+            let counter = tmk.malloc_scalar::<u64>(0);
+            tmk.parallel(0, move |t| {
+                for _ in 0..20 {
+                    t.lock_acquire(1);
+                    let v = counter.get(t);
+                    counter.set(t, v + 1);
+                    t.lock_release(1);
+                }
+            });
+            counter.get(tmk)
+        });
+        assert_eq!(out.result, nodes as u64 * 20);
+    }
+}
+
+#[test]
+fn sequential_section_sees_region_writes_and_vice_versa() {
+    let out = tmk::run_system(TmkConfig::fast_test(3), |tmk| {
+        let v = tmk.malloc_vec::<u64>(3);
+        let mut log = Vec::new();
+        for round in 1..=3u64 {
+            // Master writes between regions; slaves must see it.
+            tmk.write(&v, 0, round * 100);
+            tmk.parallel(0, move |t| {
+                let seen = t.read(&v, 0);
+                assert_eq!(seen, round * 100, "node {} round {round}", t.proc_id());
+                if t.proc_id() == 2 {
+                    t.write(&v, 2, seen + 1);
+                }
+            });
+            log.push(tmk.read(&v, 2));
+        }
+        log
+    });
+    assert_eq!(out.result, vec![101, 201, 301]);
+}

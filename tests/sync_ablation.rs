@@ -1,0 +1,125 @@
+//! Message-count properties of the synchronization primitives — the
+//! quantitative core of the paper's §3 argument.
+
+use tmk::TmkConfig;
+
+/// Count network messages attributable to one operation by running a
+/// region that performs it `reps` times on top of a baseline region that
+/// does not, and differencing.
+fn marginal_msgs(nodes: usize, reps: u64, op: impl Fn(&mut tmk::Tmk) + Send + Sync + Clone + 'static) -> f64 {
+    let run = |k: u64, op: Box<dyn Fn(&mut tmk::Tmk) + Send + Sync>| -> u64 {
+        let out = tmk::run_system(TmkConfig::fast_test(nodes), move |t| {
+            t.parallel(0, move |t| {
+                if t.proc_id() == 0 {
+                    for _ in 0..k {
+                        op(t);
+                    }
+                }
+            });
+        });
+        out.net.total_msgs()
+    };
+    let o1 = op.clone();
+    let base = run(0, Box::new(move |t| o1(t)));
+    let with = run(reps, Box::new(move |t| op(t)));
+    (with - base) as f64 / reps as f64
+}
+
+#[test]
+fn flush_costs_exactly_2_n_minus_1_messages() {
+    for nodes in [2usize, 4, 8] {
+        let per = marginal_msgs(nodes, 10, |t| t.flush());
+        // A flush with nothing new to report is pure synchronization:
+        // one notice + one ack per peer (§3.2.4 of the paper).
+        assert_eq!(per, (2 * (nodes - 1)) as f64, "flush at {nodes} nodes");
+    }
+}
+
+#[test]
+fn semaphore_ops_cost_two_messages_regardless_of_nodes() {
+    for nodes in [2usize, 4, 8] {
+        // Signal then wait on a semaphore managed by another node:
+        // 2 messages each (request + ack/grant), independent of n.
+        let per = marginal_msgs(nodes, 10, |t| {
+            t.sema_signal(1); // manager = node 1
+            t.sema_wait(1);
+        });
+        assert_eq!(per, 4.0, "sema signal+wait at {nodes} nodes");
+    }
+}
+
+#[test]
+fn remote_lock_acquire_release_costs_three_messages() {
+    for nodes in [2usize, 4] {
+        let per = marginal_msgs(nodes, 10, |t| {
+            t.lock_acquire(1); // managed by node 1; we are node 0
+            t.lock_release(1);
+        });
+        assert_eq!(per, 3.0, "lock acquire+release at {nodes} nodes");
+    }
+}
+
+#[test]
+fn manager_local_lock_is_free() {
+    // Node 0 acquiring a lock it manages itself: loopback only.
+    let per = marginal_msgs(4, 10, |t| {
+        t.lock_acquire(0); // 0 % 4 == node 0 == the caller
+        t.lock_release(0);
+    });
+    assert_eq!(per, 0.0, "self-managed lock must not touch the wire");
+}
+
+#[test]
+fn barrier_costs_two_messages_per_remote_node() {
+    for nodes in [2usize, 4, 8] {
+        let out = tmk::run_system(TmkConfig::fast_test(nodes), move |t| {
+            t.parallel(0, move |t| {
+                for _ in 0..10 {
+                    t.barrier();
+                }
+            });
+        });
+        // Arrival + departure per non-manager node per episode; plus the
+        // fixed fork/join/teardown traffic. Measure marginal per barrier.
+        let out2 = tmk::run_system(TmkConfig::fast_test(nodes), move |t| {
+            t.parallel(0, move |t| {
+                for _ in 0..20 {
+                    t.barrier();
+                }
+            });
+        });
+        let per = (out2.net.total_msgs() - out.net.total_msgs()) as f64 / 10.0;
+        assert_eq!(per, (2 * (nodes - 1)) as f64, "barrier at {nodes} nodes");
+    }
+}
+
+#[test]
+fn condvar_wakeup_is_constant_messages() {
+    // cond_signal + the waiter's re-acquire: a small constant, not Θ(n).
+    for nodes in [2usize, 4, 8] {
+        let out = tmk::run_system(TmkConfig::fast_test(nodes), move |tmk| {
+            let flag = tmk.malloc_scalar::<u32>(0);
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 1 {
+                    t.lock_acquire(3);
+                    while flag.get(t) == 0 {
+                        t.cond_wait(3, 0);
+                    }
+                    t.lock_release(3);
+                } else if t.proc_id() == 0 {
+                    t.lock_acquire(3);
+                    flag.set(t, 1);
+                    t.cond_signal(3, 0);
+                    t.lock_release(3);
+                }
+            });
+        });
+        // Whole program traffic stays small and roughly flat in n (fork
+        // and barriers scale with n; the wakeup itself does not).
+        let msgs = out.net.total_msgs();
+        assert!(
+            msgs < 40 + 6 * nodes as u64,
+            "condvar wakeup traffic blew up at {nodes} nodes: {msgs}"
+        );
+    }
+}
