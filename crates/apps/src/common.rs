@@ -13,6 +13,8 @@ pub enum VersionKind {
     Tmk,
     /// Message passing (`nowmpi`).
     Mpi,
+    /// OpenMP tasking runtime (`nomp` task scope with work stealing).
+    Task,
 }
 
 impl VersionKind {
@@ -23,6 +25,7 @@ impl VersionKind {
             VersionKind::Omp => "OpenMP",
             VersionKind::Tmk => "Tmk",
             VersionKind::Mpi => "MPI",
+            VersionKind::Task => "Task",
         }
     }
 }
@@ -91,7 +94,10 @@ pub fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
 /// Assert two f64 slices agree to `tol` relative error.
 pub fn assert_close(a: &[f64], b: &[f64], tol: f64, what: &str) {
     let err = max_rel_err(a, b);
-    assert!(err <= tol, "{what}: max relative error {err:.3e} exceeds {tol:.1e}");
+    assert!(
+        err <= tol,
+        "{what}: max relative error {err:.3e} exceeds {tol:.1e}"
+    );
 }
 
 /// A digest of an f64 array that is stable across run-to-run but captures
@@ -139,6 +145,16 @@ impl Xorshift {
     pub fn next_below(&mut self, bound: u32) -> u32 {
         (self.next_u64() % bound as u64) as u32
     }
+}
+
+/// Contiguous block partition of `0..total` over `p` workers (same split
+/// as OpenMP `schedule(static)`); used by the hand-coded Tmk and MPI
+/// versions.
+pub fn block_range(total: usize, p: usize, tid: usize) -> std::ops::Range<usize> {
+    let per = total / p;
+    let rem = total % p;
+    let lo = tid * per + tid.min(rem);
+    lo..lo + per + usize::from(tid < rem)
 }
 
 #[cfg(test)]
@@ -208,14 +224,4 @@ mod tests {
         assert!((par.mbytes() - 2.5).abs() < 1e-12);
         assert_eq!(par.vt_seconds(), 1.0);
     }
-}
-
-/// Contiguous block partition of `0..total` over `p` workers (same split
-/// as OpenMP `schedule(static)`); used by the hand-coded Tmk and MPI
-/// versions.
-pub fn block_range(total: usize, p: usize, tid: usize) -> std::ops::Range<usize> {
-    let per = total / p;
-    let rem = total % p;
-    let lo = tid * per + tid.min(rem);
-    lo..lo + per + usize::from(tid < rem)
 }

@@ -18,19 +18,29 @@ pub struct FftPlan {
 impl FftPlan {
     /// Build a plan for length-`n` transforms.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two() && n >= 2, "FFT length must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two() && n >= 2,
+            "FFT length must be a power of two, got {n}"
+        );
         let fwd: Vec<C64> = (0..n / 2)
             .map(|k| C64::cis(-2.0 * std::f64::consts::PI * k as f64 / n as f64))
             .collect();
         let inv = fwd.iter().map(|w| C64::new(w.re, -w.im)).collect();
         let bits = n.trailing_zeros();
-        let rev = (0..n as u32).map(|i| i.reverse_bits() >> (32 - bits)).collect();
+        let rev = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits))
+            .collect();
         FftPlan { n, fwd, inv, rev }
     }
 
     /// Transform length.
     pub fn len(&self) -> usize {
         self.n
+    }
+
+    /// Always false: plans are built for a nonzero power-of-two length.
+    pub fn is_empty(&self) -> bool {
+        false
     }
 
     /// In-place forward FFT.
@@ -88,8 +98,8 @@ mod tests {
             .map(|k| {
                 let mut acc = C64::zero();
                 for (j, &v) in x.iter().enumerate() {
-                    acc = acc
-                        + v * C64::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
+                    acc =
+                        acc + v * C64::cis(-2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64);
                 }
                 acc
             })
@@ -101,8 +111,9 @@ mod tests {
         let mut rng = Xorshift::new(7);
         for n in [2usize, 4, 8, 16, 32] {
             let plan = FftPlan::new(n);
-            let mut x: Vec<C64> =
-                (0..n).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect();
+            let mut x: Vec<C64> = (0..n)
+                .map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+                .collect();
             let expect = naive_dft(&x);
             plan.forward(&mut x);
             for (a, b) in x.iter().zip(&expect) {
@@ -115,8 +126,9 @@ mod tests {
     fn inverse_of_forward_is_identity() {
         let mut rng = Xorshift::new(3);
         let plan = FftPlan::new(64);
-        let orig: Vec<C64> =
-            (0..64).map(|_| C64::new(rng.next_f64(), rng.next_f64())).collect();
+        let orig: Vec<C64> = (0..64)
+            .map(|_| C64::new(rng.next_f64(), rng.next_f64()))
+            .collect();
         let mut x = orig.clone();
         plan.forward(&mut x);
         plan.inverse(&mut x);

@@ -49,12 +49,28 @@ pub struct FftConfig {
 impl FftConfig {
     /// The paper-scale workload (Table 1's 3D-FFT row).
     pub fn paper() -> Self {
-        FftConfig { nx: 64, ny: 64, nz: 32, iters: 6, alpha: 1e-6, seed: 314159, writer_push: true }
+        FftConfig {
+            nx: 64,
+            ny: 64,
+            nz: 32,
+            iters: 6,
+            alpha: 1e-6,
+            seed: 314159,
+            writer_push: true,
+        }
     }
 
     /// Small instance for tests.
     pub fn test() -> Self {
-        FftConfig { nx: 16, ny: 16, nz: 8, iters: 3, alpha: 1e-6, seed: 314159, writer_push: true }
+        FftConfig {
+            nx: 16,
+            ny: 16,
+            nz: 8,
+            iters: 3,
+            alpha: 1e-6,
+            seed: 314159,
+            writer_push: true,
+        }
     }
 
     /// Total grid points.
@@ -65,8 +81,18 @@ impl FftConfig {
     /// Panics unless the grid divides evenly over `nodes` slabs in both
     /// decompositions.
     pub fn check_divisible(&self, nodes: usize) {
-        assert_eq!(self.nz % nodes, 0, "nz={} not divisible by {nodes} nodes", self.nz);
-        assert_eq!(self.nx % nodes, 0, "nx={} not divisible by {nodes} nodes", self.nx);
+        assert_eq!(
+            self.nz % nodes,
+            0,
+            "nz={} not divisible by {nodes} nodes",
+            self.nz
+        );
+        assert_eq!(
+            self.nx % nodes,
+            0,
+            "nx={} not divisible by {nodes} nodes",
+            self.nx
+        );
     }
 }
 
@@ -86,7 +112,9 @@ pub fn b_idx(cfg: &FftConfig, x: usize, y: usize, z: usize) -> usize {
 /// (identical in every implementation, parallelizable by plane).
 pub fn init_plane(cfg: &FftConfig, z: usize) -> Vec<C64> {
     let mut rng = Xorshift::new(cfg.seed ^ (z as u64).wrapping_mul(0x9E3779B97F4A7C15).max(1));
-    (0..cfg.ny * cfg.nx).map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5)).collect()
+    (0..cfg.ny * cfg.nx)
+        .map(|_| C64::new(rng.next_f64() - 0.5, rng.next_f64() - 0.5))
+        .collect()
 }
 
 /// Per-dimension evolution factors for ONE time step:
@@ -96,7 +124,11 @@ pub fn evolution_tables(cfg: &FftConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     let table = |n: usize| -> Vec<f64> {
         (0..n)
             .map(|k| {
-                let kk = if k > n / 2 { k as f64 - n as f64 } else { k as f64 };
+                let kk = if k > n / 2 {
+                    k as f64 - n as f64
+                } else {
+                    k as f64
+                };
                 (-4.0 * std::f64::consts::PI.powi(2) * cfg.alpha * kk * kk).exp()
             })
             .collect()
@@ -107,14 +139,14 @@ pub fn evolution_tables(cfg: &FftConfig) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
 /// The fixed grid points sampled by each iteration's checksum.
 pub fn checksum_points(cfg: &FftConfig) -> Vec<usize> {
     let n = cfg.total();
-    (0..1024usize.min(n)).map(|j| (j.wrapping_mul(17) + 3) % n).collect()
+    (0..1024usize.min(n))
+        .map(|j| (j.wrapping_mul(17) + 3) % n)
+        .collect()
 }
 
 /// Fold per-iteration checksums (re, im pairs) into one digest.
 pub fn checksum_digest(sums: &[(f64, f64)]) -> f64 {
-    crate::common::digest_f64(
-        &sums.iter().flat_map(|&(r, i)| [r, i]).collect::<Vec<_>>(),
-    )
+    crate::common::digest_f64(&sums.iter().flat_map(|&(r, i)| [r, i]).collect::<Vec<_>>())
 }
 
 #[cfg(test)]

@@ -142,7 +142,9 @@ pub fn run_omp(cfg: &FftConfig, sys: OmpConfig) -> Report {
         }
 
         let flat = omp.read_slice(&sums, 0..cfg.iters * 2);
-        flat.chunks(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>()
+        flat.chunks(2)
+            .map(|c| (c[0], c[1]))
+            .collect::<Vec<(f64, f64)>>()
     });
 
     Report {

@@ -20,7 +20,13 @@ pub fn compute_seq(cfg: &FftConfig) -> Vec<(f64, f64)> {
 
     // Forward: x rows + y columns per z-plane, then transpose and z rows.
     for z in 0..nz {
-        fft_plane(cfg, &mut a[z * ny * nx..(z + 1) * ny * nx], &plan_x, &plan_y, true);
+        fft_plane(
+            cfg,
+            &mut a[z * ny * nx..(z + 1) * ny * nx],
+            &plan_x,
+            &plan_y,
+            true,
+        );
     }
     let mut v = vec![C64::zero(); cfg.total()]; // B layout, running frequency data
     for z in 0..nz {
@@ -48,6 +54,7 @@ pub fn compute_seq(cfg: &FftConfig) -> Vec<(f64, f64)> {
     let mut a2 = vec![C64::zero(); cfg.total()];
     for _t in 1..=cfg.iters {
         // v *= e (one step per iteration => cumulative factor e^t).
+        #[allow(clippy::needless_range_loop)] // 3D index arithmetic is the clearer form
         for x in 0..nx {
             for y in 0..ny {
                 let f_xy = ex[x] * ey[y];
@@ -75,7 +82,13 @@ pub fn compute_seq(cfg: &FftConfig) -> Vec<(f64, f64)> {
             }
         }
         for z in 0..nz {
-            fft_plane(cfg, &mut a2[z * ny * nx..(z + 1) * ny * nx], &plan_x, &plan_y, false);
+            fft_plane(
+                cfg,
+                &mut a2[z * ny * nx..(z + 1) * ny * nx],
+                &plan_x,
+                &plan_y,
+                false,
+            );
         }
         let mut s = (0.0, 0.0);
         for &p in &points {
@@ -89,7 +102,13 @@ pub fn compute_seq(cfg: &FftConfig) -> Vec<(f64, f64)> {
 
 /// 2D FFT (x rows then y columns) of one z-plane `[y][x]`, forward or
 /// inverse. Shared by all implementations.
-pub fn fft_plane(cfg: &FftConfig, plane: &mut [C64], plan_x: &FftPlan, plan_y: &FftPlan, fwd: bool) {
+pub fn fft_plane(
+    cfg: &FftConfig,
+    plane: &mut [C64],
+    plan_x: &FftPlan,
+    plan_y: &FftPlan,
+    fwd: bool,
+) {
     let (nx, ny) = (cfg.nx, cfg.ny);
     debug_assert_eq!(plane.len(), nx * ny);
     for y in 0..ny {
@@ -162,9 +181,15 @@ mod tests {
             a.extend(super::super::init_plane(&cfg, z));
         }
         let pts = checksum_points(&cfg);
-        let expect: (f64, f64) =
-            pts.iter().fold((0.0, 0.0), |s, &p| (s.0 + a[p].re, s.1 + a[p].im));
-        assert!((sums[0].0 - expect.0).abs() < 1e-8, "{} vs {}", sums[0].0, expect.0);
+        let expect: (f64, f64) = pts
+            .iter()
+            .fold((0.0, 0.0), |s, &p| (s.0 + a[p].re, s.1 + a[p].im));
+        assert!(
+            (sums[0].0 - expect.0).abs() < 1e-8,
+            "{} vs {}",
+            sums[0].0,
+            expect.0
+        );
         assert!((sums[0].1 - expect.1).abs() < 1e-8);
     }
 }

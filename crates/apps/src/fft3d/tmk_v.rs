@@ -134,7 +134,9 @@ pub fn run_tmk(cfg: &FftConfig, sys: TmkConfig) -> Report {
         });
 
         let flat = tmk.read_slice(&sums, 0..cfg.iters * 2);
-        flat.chunks(2).map(|c| (c[0], c[1])).collect::<Vec<(f64, f64)>>()
+        flat.chunks(2)
+            .map(|c| (c[0], c[1]))
+            .collect::<Vec<(f64, f64)>>()
     });
 
     Report {

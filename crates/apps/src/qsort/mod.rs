@@ -12,11 +12,13 @@
 mod mpi;
 mod omp;
 mod seq;
+mod task;
 mod tmk_v;
 
 pub use mpi::run_mpi;
 pub use omp::run_omp;
 pub use seq::run_seq;
+pub use task::{run_task, run_task_sched, run_task_stats};
 pub use tmk_v::run_tmk;
 
 use crate::common::{digest_f64, Xorshift};
@@ -35,19 +37,29 @@ pub struct QsortConfig {
 impl QsortConfig {
     /// Paper-scale workload (Table 1: 256 Ki integers, threshold 1024).
     pub fn paper() -> Self {
-        QsortConfig { n: 256 * 1024, bubble_threshold: 1024, seed: 98765 }
+        QsortConfig {
+            n: 256 * 1024,
+            bubble_threshold: 1024,
+            seed: 98765,
+        }
     }
 
     /// Small instance for tests.
     pub fn test() -> Self {
-        QsortConfig { n: 4096, bubble_threshold: 64, seed: 98765 }
+        QsortConfig {
+            n: 4096,
+            bubble_threshold: 64,
+            seed: 98765,
+        }
     }
 }
 
 /// Deterministic unsorted input (identical across versions).
 pub fn gen_input(cfg: &QsortConfig) -> Vec<i32> {
     let mut rng = Xorshift::new(cfg.seed);
-    (0..cfg.n).map(|_| (rng.next_u64() & 0x7fff_ffff) as i32).collect()
+    (0..cfg.n)
+        .map(|_| (rng.next_u64() & 0x7fff_ffff) as i32)
+        .collect()
 }
 
 /// Bubble sort with early exit (the paper's leaf sort).
@@ -165,7 +177,11 @@ mod tests {
 
     #[test]
     fn quicksort_matches_std_sort() {
-        let cfg = QsortConfig { n: 10_000, bubble_threshold: 32, seed: 4 };
+        let cfg = QsortConfig {
+            n: 10_000,
+            bubble_threshold: 32,
+            seed: 4,
+        };
         let mut a = gen_input(&cfg);
         let mut b = a.clone();
         quicksort(&mut a, cfg.bubble_threshold);

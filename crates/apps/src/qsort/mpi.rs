@@ -28,7 +28,9 @@ pub fn run_mpi(cfg: &QsortConfig, sys: MpiConfig) -> Report {
         }
         // Phase 2: regular samples -> root picks p-1 pivots.
         let step = (local.len() / p).max(1);
-        let samples: Vec<i32> = (0..p).map(|k| local[(k * step).min(local.len() - 1)]).collect();
+        let samples: Vec<i32> = (0..p)
+            .map(|k| local[(k * step).min(local.len() - 1)])
+            .collect();
         let all = mpi.gather(0, &samples);
         let mut pivots: Vec<i32> = if let Some(mut s) = all {
             s.sort_unstable();
@@ -46,9 +48,9 @@ pub fn run_mpi(cfg: &QsortConfig, sys: MpiConfig) -> Report {
             start = end;
         }
         parts.push(&local[start..]);
-        for dst in 0..p {
+        for (dst, part) in parts.iter().enumerate() {
             if dst != r {
-                mpi.send(dst, TAG_PART, parts[dst]);
+                mpi.send(dst, TAG_PART, part);
             }
         }
         let mut merged: Vec<Vec<i32>> = Vec::with_capacity(p);
@@ -62,7 +64,7 @@ pub fn run_mpi(cfg: &QsortConfig, sys: MpiConfig) -> Report {
         // Phase 4: merge the p sorted runs.
         let mut mine: Vec<i32> = merged.concat();
         mine.sort_unstable(); // runs are sorted; a k-way merge in spirit
-        // Phase 5: concatenate at root for verification.
+                              // Phase 5: concatenate at root for verification.
         if r == 0 {
             let mut full = mine;
             for src in 1..p {

@@ -75,19 +75,21 @@ pub fn run_omp(cfg: &QsortConfig, sys: OmpConfig) -> Report {
         let n = cfg.n;
         let cap = 2 * n / cfg.bubble_threshold.max(1) + 64;
         let data = omp.malloc_vec::<i32>(n);
-        let q = Queue { q: omp.malloc_vec::<u64>(cap + 2) };
+        let q = Queue {
+            q: omp.malloc_vec::<u64>(cap + 2),
+        };
         let input = super::gen_input(&cfg);
         omp.write_slice(&data, 0, &input);
         // Seed the queue with the whole array (sequential section).
-        omp.write(&q.q, 2, (0u64 << 32) | n as u64);
+        omp.write(&q.q, 2, n as u64); // packed task (lo=0, hi=n)
         omp.write(&q.q, 0, 1);
 
         omp.parallel(move |t| {
             while let Some((lo, hi)) = q.dequeue(t) {
                 if hi - lo <= cfg.bubble_threshold {
-                    t.view_mut(&data, lo..hi, |v| bubble_sort(v));
+                    t.view_mut(&data, lo..hi, bubble_sort);
                 } else {
-                    let s = t.view_mut(&data, lo..hi, |v| partition(v));
+                    let s = t.view_mut(&data, lo..hi, partition);
                     q.enqueue(t, lo, lo + s);
                     q.enqueue(t, lo + s, hi);
                 }

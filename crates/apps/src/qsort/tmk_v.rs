@@ -67,7 +67,9 @@ pub fn run_tmk(cfg: &QsortConfig, sys: TmkConfig) -> Report {
         let n = cfg.n;
         let cap = 2 * n / cfg.bubble_threshold.max(1) + 64;
         let data = tmk.malloc_vec::<i32>(n);
-        let q = Queue { q: tmk.malloc_vec::<u64>(cap + 2) };
+        let q = Queue {
+            q: tmk.malloc_vec::<u64>(cap + 2),
+        };
         let input = super::gen_input(&cfg);
         tmk.write_slice(&data, 0, &input);
         tmk.write(&q.q, 2, n as u64);
@@ -76,9 +78,9 @@ pub fn run_tmk(cfg: &QsortConfig, sys: TmkConfig) -> Report {
         tmk.parallel(0, move |t| {
             while let Some((lo, hi)) = q.dequeue(t) {
                 if hi - lo <= cfg.bubble_threshold {
-                    t.view_mut(&data, lo..hi, |v| bubble_sort(v));
+                    t.view_mut(&data, lo..hi, bubble_sort);
                 } else {
-                    let s = t.view_mut(&data, lo..hi, |v| partition(v));
+                    let s = t.view_mut(&data, lo..hi, partition);
                     q.enqueue(t, lo, lo + s);
                     q.enqueue(t, lo + s, hi);
                 }

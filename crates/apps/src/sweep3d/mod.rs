@@ -50,12 +50,26 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// Paper-scale workload (Table 1's Sweep3D row: 50³ grid).
     pub fn paper() -> Self {
-        SweepConfig { nx: 50, ny: 50, nz: 50, n_ang: 6, x_blocks: 10, n_sweeps: 1 }
+        SweepConfig {
+            nx: 50,
+            ny: 50,
+            nz: 50,
+            n_ang: 6,
+            x_blocks: 10,
+            n_sweeps: 1,
+        }
     }
 
     /// Small instance for tests.
     pub fn test() -> Self {
-        SweepConfig { nx: 12, ny: 12, nz: 10, n_ang: 2, x_blocks: 3, n_sweeps: 1 }
+        SweepConfig {
+            nx: 12,
+            ny: 12,
+            nz: 10,
+            n_ang: 2,
+            x_blocks: 3,
+            n_sweeps: 1,
+        }
     }
 
     /// Grid cells.
@@ -85,7 +99,11 @@ pub struct Octant {
 /// The eight octants in a fixed global order (identical in every
 /// implementation, so per-cell accumulation order matches bit-for-bit).
 pub fn octants() -> [Octant; 8] {
-    let mut out = [Octant { sx: true, sy: true, sz: true }; 8];
+    let mut out = [Octant {
+        sx: true,
+        sy: true,
+        sz: true,
+    }; 8];
     for (i, o) in out.iter_mut().enumerate() {
         o.sx = i & 1 == 0;
         o.sy = i & 2 == 0;
@@ -164,8 +182,7 @@ pub fn sweep_block(
                 for &z in &zs {
                     let inc_x = psix_row[z];
                     let inc_y = carry_y[z];
-                    let psi =
-                        (source(x, y, z) + mu * inc_x + eta * inc_y + xi * psi_z) / denom;
+                    let psi = (source(x, y, z) + mu * inc_x + eta * inc_y + xi * psi_z) / denom;
                     flux[cfg.idx(x, y, z)] += w * psi;
                     psix_row[z] = psi;
                     carry_y[z] = psi;
@@ -183,8 +200,11 @@ pub fn sweep_block(
 /// Digest of the final flux field (cross-version verification value).
 pub fn flux_digest(flux: &[f64]) -> f64 {
     let total: f64 = flux.iter().sum();
-    let sampled: Vec<f64> =
-        flux.iter().step_by((flux.len() / 509).max(1)).copied().collect();
+    let sampled: Vec<f64> = flux
+        .iter()
+        .step_by((flux.len() / 509).max(1))
+        .copied()
+        .collect();
     digest_f64(&sampled) + total
 }
 
@@ -211,7 +231,10 @@ mod tests {
             assert!(mu > 0.0 && eta > 0.0 && xi > 0.0 && w > 0.0);
             wsum += w;
         }
-        assert!((wsum - 1.0 / 8.0).abs() < 1e-12, "octant weights sum to 1/8");
+        assert!(
+            (wsum - 1.0 / 8.0).abs() < 1e-12,
+            "octant weights sum to 1/8"
+        );
     }
 
     #[test]
@@ -224,11 +247,17 @@ mod tests {
     fn sweep_produces_positive_bounded_flux() {
         let cfg = SweepConfig::test();
         let flux = seq::compute_seq(&cfg);
-        assert!(flux.iter().all(|&f| f > 0.0), "positive source ⇒ positive flux");
+        assert!(
+            flux.iter().all(|&f| f > 0.0),
+            "positive source ⇒ positive flux"
+        );
         // ψ ≤ max source / σ · (1 + ...) — loose sanity bound.
         let max_src = 1.0 + 0.1 * 16.0;
         let bound = max_src / SIGMA * 8.0; // 8 octants, weights sum to 1
-        assert!(flux.iter().all(|&f| f < bound), "flux blew past physical bound");
+        assert!(
+            flux.iter().all(|&f| f < bound),
+            "flux blew past physical bound"
+        );
     }
 
     #[test]

@@ -43,8 +43,10 @@ pub fn run_mpi(cfg: &SweepConfig, sys: MpiConfig) -> Report {
                 for b in 0..cfg.x_blocks {
                     let br = block_range(nx, cfg.x_blocks, b);
                     let xr = &xs[br];
-                    let (xlo, xhi) =
-                        (*xr.iter().min().expect("blk"), *xr.iter().max().expect("blk"));
+                    let (xlo, xhi) = (
+                        *xr.iter().min().expect("blk"),
+                        *xr.iter().max().expect("blk"),
+                    );
                     let span = (xhi - xlo + 1) * nz;
                     if let Some(up) = upstream {
                         // One message per block: [a][x in block][z].

@@ -57,8 +57,10 @@ pub fn dsm_worker(t: &mut Tmk, cfg: &SweepConfig, flux_sv: SharedVec<f64>, iface
             for b in 0..cfg.x_blocks {
                 let br = block_range(nx, cfg.x_blocks, b);
                 let xr = &xs[br];
-                let (xlo, xhi) =
-                    (*xr.iter().min().expect("block"), *xr.iter().max().expect("block"));
+                let (xlo, xhi) = (
+                    *xr.iter().min().expect("block"),
+                    *xr.iter().max().expect("block"),
+                );
                 // Wait for and read the upwind boundary plane.
                 if let Some((edge, sema)) = upstream {
                     t.sema_wait(sema);

@@ -14,11 +14,13 @@ mod mpi;
 mod omp;
 mod seq;
 mod shared;
+mod task;
 mod tmk_v;
 
 pub use mpi::run_mpi;
 pub use omp::run_omp;
 pub use seq::run_seq;
+pub use task::{run_task, run_task_sched, run_task_stats, MAX_TASK_CITIES};
 pub use tmk_v::run_tmk;
 
 use crate::common::Xorshift;
@@ -37,12 +39,20 @@ pub struct TspConfig {
 impl TspConfig {
     /// Paper-scale workload.
     pub fn paper() -> Self {
-        TspConfig { n_cities: 13, exhaustive_at: 10, seed: 1729 }
+        TspConfig {
+            n_cities: 13,
+            exhaustive_at: 10,
+            seed: 1729,
+        }
     }
 
     /// Small instance for tests.
     pub fn test() -> Self {
-        TspConfig { n_cities: 9, exhaustive_at: 5, seed: 1729 }
+        TspConfig {
+            n_cities: 9,
+            exhaustive_at: 5,
+            seed: 1729,
+        }
     }
 }
 
@@ -164,7 +174,11 @@ mod tests {
     use super::*;
 
     fn brute_force(dist: &[u32], n: usize) -> u32 {
-        let t = Tour { path: vec![0], len: 0, bound: 0 };
+        let t = Tour {
+            path: vec![0],
+            len: 0,
+            bound: 0,
+        };
         solve_exhaustive(dist, n, &t, u32::MAX)
     }
 
@@ -187,7 +201,11 @@ mod tests {
     #[test]
     fn lower_bound_is_admissible() {
         // The bound at the root must not exceed the optimal tour length.
-        let cfg = TspConfig { n_cities: 7, exhaustive_at: 3, seed: 55 };
+        let cfg = TspConfig {
+            n_cities: 7,
+            exhaustive_at: 3,
+            seed: 55,
+        };
         let d = gen_distances(&cfg);
         let opt = brute_force(&d, 7);
         let root_bound = lower_bound(&d, 7, &[0], 0);
@@ -196,9 +214,17 @@ mod tests {
 
     #[test]
     fn expand_generates_all_children() {
-        let cfg = TspConfig { n_cities: 5, exhaustive_at: 2, seed: 3 };
+        let cfg = TspConfig {
+            n_cities: 5,
+            exhaustive_at: 2,
+            seed: 3,
+        };
         let d = gen_distances(&cfg);
-        let root = Tour { path: vec![0], len: 0, bound: 0 };
+        let root = Tour {
+            path: vec![0],
+            len: 0,
+            bound: 0,
+        };
         let kids = expand(&d, 5, &root);
         assert_eq!(kids.len(), 4);
         for k in &kids {
@@ -224,12 +250,20 @@ mod tests {
     #[test]
     fn pruning_matches_unpruned_search() {
         for seed in [1u64, 9, 77] {
-            let cfg = TspConfig { n_cities: 8, exhaustive_at: 4, seed };
+            let cfg = TspConfig {
+                n_cities: 8,
+                exhaustive_at: 4,
+                seed,
+            };
             let d = gen_distances(&cfg);
             let opt = brute_force(&d, 8);
             // B&B via expand + exhaustive threshold must agree.
             let mut best = u32::MAX;
-            let mut stack = vec![Tour { path: vec![0], len: 0, bound: 0 }];
+            let mut stack = vec![Tour {
+                path: vec![0],
+                len: 0,
+                bound: 0,
+            }];
             while let Some(t) = stack.pop() {
                 if t.bound >= best {
                     continue;

@@ -71,8 +71,10 @@ fn process(dist: &[u32], cfg: &TspConfig, tour: &Tour, best: u32) -> (u32, Vec<T
     if remaining(cfg.n_cities, tour) <= cfg.exhaustive_at {
         (solve_exhaustive(dist, cfg.n_cities, tour, best), Vec::new())
     } else {
-        let kids =
-            expand(dist, cfg.n_cities, tour).into_iter().filter(|c| c.bound < best).collect();
+        let kids = expand(dist, cfg.n_cities, tour)
+            .into_iter()
+            .filter(|c| c.bound < best)
+            .collect();
         (best, kids)
     }
 }
@@ -87,7 +89,15 @@ fn master(mpi: &mut MpiRank, dist: &[u32], cfg: &TspConfig) -> u32 {
         heap.push(Reverse((t.bound, pool.len() as u64)));
         pool.push(t);
     };
-    push(&mut heap, &mut pool, Tour { path: vec![0], len: 0, bound: 0 });
+    push(
+        &mut heap,
+        &mut pool,
+        Tour {
+            path: vec![0],
+            len: 0,
+            bound: 0,
+        },
+    );
 
     loop {
         // Drain worker requests (merge bounds + enqueue their children).
@@ -125,6 +135,7 @@ fn master(mpi: &mut MpiRank, dist: &[u32], cfg: &TspConfig) -> u32 {
         drain(mpi, &mut heap, &mut pool, &mut best, &mut waiting, false);
 
         // Hand tours to waiting workers.
+        #[allow(clippy::needless_range_loop)] // w is a rank, not just an index
         for w in 1..p {
             if waiting[w] {
                 if let Some(Reverse((bound, idx))) = heap.pop() {

@@ -16,7 +16,11 @@ pub fn run_omp(cfg: &TspConfig, sys: OmpConfig) -> Report {
         let dist = gen_distances(&cfg);
         let s = TspShared::create(omp, cfg.n_cities, POOL_CAP);
         // Seed with the root tour (sequential section).
-        let root = Tour { path: vec![0], len: 0, bound: 0 };
+        let root = Tour {
+            path: vec![0],
+            len: 0,
+            bound: 0,
+        };
         let slot = s.alloc_slot(omp).expect("fresh pool");
         s.store_tour(omp, slot, &root);
         s.heap_push(omp, 0, slot);

@@ -13,7 +13,11 @@ pub fn compute_seq(cfg: &TspConfig) -> u32 {
     let mut best = u32::MAX;
     let mut heap: BinaryHeap<Reverse<(u32, u64)>> = BinaryHeap::new();
     let mut pool: Vec<Tour> = Vec::new();
-    let root = Tour { path: vec![0], len: 0, bound: 0 };
+    let root = Tour {
+        path: vec![0],
+        len: 0,
+        bound: 0,
+    };
     pool.push(root);
     heap.push(Reverse((0, 0)));
     while let Some(Reverse((bound, idx))) = heap.pop() {
@@ -56,13 +60,21 @@ mod tests {
 
     #[test]
     fn branch_and_bound_matches_pure_exhaustive() {
-        let cfg = TspConfig { n_cities: 8, exhaustive_at: 3, seed: 123 };
+        let cfg = TspConfig {
+            n_cities: 8,
+            exhaustive_at: 3,
+            seed: 123,
+        };
         let bb = compute_seq(&cfg);
         let dist = gen_distances(&cfg);
         let brute = solve_exhaustive(
             &dist,
             8,
-            &Tour { path: vec![0], len: 0, bound: 0 },
+            &Tour {
+                path: vec![0],
+                len: 0,
+                bound: 0,
+            },
             u32::MAX,
         );
         assert_eq!(bb, brute);

@@ -157,41 +157,6 @@ impl TspShared {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use tmk::TmkConfig;
-
-    #[test]
-    fn pool_and_heap_roundtrip_single_node() {
-        let out = tmk::run_system(TmkConfig::fast_test(1), |t| {
-            let s = TspShared::create(t, 8, 16);
-            let tour = Tour { path: vec![0, 3, 5], len: 42, bound: 77 };
-            let slot = s.alloc_slot(t).unwrap();
-            s.store_tour(t, slot, &tour);
-            assert_eq!(s.load_tour(t, slot), tour);
-
-            // Heap orders by bound.
-            s.heap_push(t, 50, 1);
-            s.heap_push(t, 10, 2);
-            s.heap_push(t, 30, 3);
-            s.heap_push(t, 20, 4);
-            let order: Vec<u32> = std::iter::from_fn(|| s.heap_pop(t).map(|(b, _)| b)).collect();
-            assert_eq!(order, vec![10, 20, 30, 50]);
-
-            // Free list accounting.
-            s.release_slot(t, slot);
-            let mut count = 0;
-            while s.alloc_slot(t).is_some() {
-                count += 1;
-            }
-            assert_eq!(count, 16);
-            0u8
-        });
-        assert_eq!(out.result, 0);
-    }
-}
-
 /// The branch-and-bound worker loop run by every thread in the
 /// shared-memory versions. `lock` names the critical section (a raw Tmk
 /// lock for the hand-coded version, `critical_id("tsp")` for OpenMP).
@@ -274,5 +239,44 @@ pub fn worker(t: &mut Tmk, s: &TspShared, lock: u32, dist: &[u32], cfg: &super::
                 t.spin_hint();
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tmk::TmkConfig;
+
+    #[test]
+    fn pool_and_heap_roundtrip_single_node() {
+        let out = tmk::run_system(TmkConfig::fast_test(1), |t| {
+            let s = TspShared::create(t, 8, 16);
+            let tour = Tour {
+                path: vec![0, 3, 5],
+                len: 42,
+                bound: 77,
+            };
+            let slot = s.alloc_slot(t).unwrap();
+            s.store_tour(t, slot, &tour);
+            assert_eq!(s.load_tour(t, slot), tour);
+
+            // Heap orders by bound.
+            s.heap_push(t, 50, 1);
+            s.heap_push(t, 10, 2);
+            s.heap_push(t, 30, 3);
+            s.heap_push(t, 20, 4);
+            let order: Vec<u32> = std::iter::from_fn(|| s.heap_pop(t).map(|(b, _)| b)).collect();
+            assert_eq!(order, vec![10, 20, 30, 50]);
+
+            // Free list accounting.
+            s.release_slot(t, slot);
+            let mut count = 0;
+            while s.alloc_slot(t).is_some() {
+                count += 1;
+            }
+            assert_eq!(count, 16);
+            0u8
+        });
+        assert_eq!(out.result, 0);
     }
 }

@@ -15,7 +15,11 @@ pub fn run_tmk(cfg: &TspConfig, sys: TmkConfig) -> Report {
     let out = tmk::run_system(sys, move |tmk| {
         let dist = gen_distances(&cfg);
         let s = TspShared::create(tmk, cfg.n_cities, POOL_CAP);
-        let root = Tour { path: vec![0], len: 0, bound: 0 };
+        let root = Tour {
+            path: vec![0],
+            len: 0,
+            bound: 0,
+        };
         let slot = s.alloc_slot(tmk).expect("fresh pool");
         s.store_tour(tmk, slot, &root);
         s.heap_push(tmk, 0, slot);

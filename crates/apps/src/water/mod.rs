@@ -67,12 +67,22 @@ pub struct WaterConfig {
 impl WaterConfig {
     /// Paper-scale workload (Table 1's Water row: 512 molecules).
     pub fn paper() -> Self {
-        WaterConfig { n_mol: 512, steps: 5, dt: 2e-3, seed: 2718 }
+        WaterConfig {
+            n_mol: 512,
+            steps: 5,
+            dt: 2e-3,
+            seed: 2718,
+        }
     }
 
     /// Small instance for tests.
     pub fn test() -> Self {
-        WaterConfig { n_mol: 64, steps: 2, dt: 2e-3, seed: 2718 }
+        WaterConfig {
+            n_mol: 64,
+            steps: 2,
+            dt: 2e-3,
+            seed: 2718,
+        }
     }
 }
 
@@ -89,7 +99,11 @@ pub fn init_molecules(cfg: &WaterConfig) -> Vec<Molecule> {
                 if out.len() == cfg.n_mol {
                     break 'outer;
                 }
-                let o = [ix as f64 * spacing, iy as f64 * spacing, iz as f64 * spacing];
+                let o = [
+                    ix as f64 * spacing,
+                    iy as f64 * spacing,
+                    iz as f64 * spacing,
+                ];
                 let mut m = Molecule::default();
                 m.pos[0] = o;
                 m.pos[1] = [o[0] + R_BOND, o[1], o[2]];
@@ -120,7 +134,10 @@ fn spring(a: [f64; 3], b: [f64; 3], k: f64, r0: f64) -> ([f64; 3], f64) {
     let d = sub(a, b);
     let r = norm(d).max(1e-12);
     let mag = -k * (r - r0) / r;
-    ([mag * d[0], mag * d[1], mag * d[2]], 0.25 * k * (r - r0) * (r - r0))
+    (
+        [mag * d[0], mag * d[1], mag * d[2]],
+        0.25 * k * (r - r0) * (r - r0),
+    )
 }
 
 /// Intra-molecular forces and potential energy of one molecule.
@@ -154,7 +171,10 @@ pub fn inter_force_on(mi: &Molecule, mj: &Molecule) -> ([f64; 3], f64) {
     let s12 = s6 * s6;
     // F = 24ε (2 s^12 − s^6) / r² · d
     let mag = 24.0 * LJ_EPS * (2.0 * s12 - s6) / r2;
-    ([mag * d[0], mag * d[1], mag * d[2]], 2.0 * LJ_EPS * (s12 - s6))
+    (
+        [mag * d[0], mag * d[1], mag * d[2]],
+        2.0 * LJ_EPS * (s12 - s6),
+    )
 }
 
 /// Position half of velocity Verlet for a block of molecules.
@@ -185,11 +205,12 @@ pub fn force_block(all: &[Molecule], my: &mut [Molecule], off: usize, dt: f64) -
                 continue;
             }
             let (fo, e) = inter_force_on(m, other);
-            for d in 0..3 {
-                f[0][d] += fo[d];
+            for (acc, &fo_d) in f[0].iter_mut().zip(&fo) {
+                *acc += fo_d;
             }
             pe += e;
         }
+        #[allow(clippy::needless_range_loop)] // site/axis indices mirror the physics
         for s in 0..3 {
             for d in 0..3 {
                 let new_acc = f[s][d] / MASS[s];
@@ -265,15 +286,24 @@ mod tests {
         let cfg = WaterConfig::test();
         let m = init_molecules(&cfg)[0];
         let (f, _) = intra_force(&m);
+        #[allow(clippy::needless_range_loop)] // d spans both index positions
         for d in 0..3 {
             let total: f64 = (0..3).map(|s| f[s][d]).sum();
-            assert!(total.abs() < 1e-12, "internal forces must not translate the molecule");
+            assert!(
+                total.abs() < 1e-12,
+                "internal forces must not translate the molecule"
+            );
         }
     }
 
     #[test]
     fn energy_stays_finite_over_steps() {
-        let cfg = WaterConfig { n_mol: 27, steps: 10, dt: 2e-3, seed: 5 };
+        let cfg = WaterConfig {
+            n_mol: 27,
+            steps: 10,
+            dt: 2e-3,
+            seed: 5,
+        };
         let mut mols = init_molecules(&cfg);
         for _ in 0..cfg.steps {
             predict_block(&mut mols, cfg.dt);

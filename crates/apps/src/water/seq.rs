@@ -1,8 +1,6 @@
 //! Sequential Water baseline.
 
-use super::{
-    force_block, init_molecules, predict_block, water_checksum, Molecule, WaterConfig,
-};
+use super::{force_block, init_molecules, predict_block, water_checksum, Molecule, WaterConfig};
 use crate::common::{time_sequential, Report, VersionKind};
 
 /// Full sequential computation: per-step (kinetic, potential) energies

@@ -2,8 +2,8 @@
 //! hand-coded TreadMarks and MPI versions must produce the same result as
 //! the sequential baseline (Figure 5's correctness precondition).
 
-use now_apps::{fft3d, qsort, sweep3d, tsp, water};
 use nomp::OmpConfig;
+use now_apps::{fft3d, qsort, sweep3d, tsp, water};
 use nowmpi::MpiConfig;
 use tmk::TmkConfig;
 

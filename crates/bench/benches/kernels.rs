@@ -51,7 +51,9 @@ fn bench_sort_kernels(c: &mut Criterion) {
     use now_apps::common::Xorshift;
     let mut g = c.benchmark_group("qsort_kernels");
     let mut rng = Xorshift::new(5);
-    let data: Vec<i32> = (0..1024).map(|_| (rng.next_u64() & 0xffff) as i32).collect();
+    let data: Vec<i32> = (0..1024)
+        .map(|_| (rng.next_u64() & 0xffff) as i32)
+        .collect();
     g.bench_function("bubble_1024", |b| {
         b.iter_batched(
             || data.clone(),

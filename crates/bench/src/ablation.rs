@@ -6,7 +6,6 @@ use crate::fmt::{f2, print_table, secs};
 use now_apps::common::VersionKind;
 use tmk::{SharedScalar, Tmk, TmkConfig};
 
-
 /// Figure 1: producer/consumer pipeline with `flush` and busy-waiting.
 fn flush_pipeline(nodes: usize, handoffs: usize) -> (u64, u64) {
     let out = tmk::run_system(TmkConfig::paper(nodes), move |tmk| {
@@ -97,7 +96,14 @@ pub fn pipeline_ablation(handoffs: usize) {
     }
     print_table(
         &format!("Figures 1 vs 3: pipeline with flush vs semaphores ({handoffs} handoffs)"),
-        &["Nodes", "flush msg/handoff", "sema msg/handoff", "flush s", "sema s", "flush/sema"],
+        &[
+            "Nodes",
+            "flush msg/handoff",
+            "sema msg/handoff",
+            "flush s",
+            "sema s",
+            "flush/sema",
+        ],
         &rows,
     );
 }
@@ -279,7 +285,14 @@ pub fn taskqueue_ablation(tasks: u32) {
     }
     print_table(
         &format!("Figures 2 vs 4: task queue with flush vs condition variable ({tasks} tasks)"),
-        &["Nodes", "flush msgs", "condvar msgs", "flush s", "condvar s", "flush/cv"],
+        &[
+            "Nodes",
+            "flush msgs",
+            "condvar msgs",
+            "flush s",
+            "condvar s",
+            "flush/cv",
+        ],
         &rows,
     );
 }
@@ -307,7 +320,15 @@ pub fn page_size_ablation() {
     }
     print_table(
         "Ablation: DSM page size (Water + 3D-FFT, Tmk versions, 4 nodes)",
-        &["Page", "Water msgs", "Water MB", "Water s", "FFT msgs", "FFT MB", "FFT s"],
+        &[
+            "Page",
+            "Water msgs",
+            "Water MB",
+            "Water s",
+            "FFT msgs",
+            "FFT MB",
+            "FFT s",
+        ],
         &rows,
     );
 }
@@ -340,7 +361,12 @@ pub fn fft_push_ablation(nodes: usize) {
         cfg.writer_push = push;
         let r = now_apps::fft3d::run_tmk(&cfg, TmkConfig::paper(nodes));
         rows.push(vec![
-            if push { "write-without-fetch" } else { "base protocol" }.to_string(),
+            if push {
+                "write-without-fetch"
+            } else {
+                "base protocol"
+            }
+            .to_string(),
             r.msgs.to_string(),
             f2(r.mbytes()),
             secs(r.vt_ns),

@@ -3,27 +3,28 @@
 //! ```text
 //! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
 //! experiments: table1 table2 figure5 micro pipeline taskqueue
-//!              pagesize fft_push scale_sweep all   (default: all)
+//!              tasking pagesize fft_push scale_sweep all   (default: all)
 //! ```
 
-use now_bench::{ablation, micro, tables};
+use now_bench::{ablation, micro, tables, tasking};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut campaign =
-        if args.iter().any(|a| a == "--quick") { tables::Campaign::quick() } else { tables::Campaign::paper() };
+    let mut campaign = if args.iter().any(|a| a == "--quick") {
+        tables::Campaign::quick()
+    } else {
+        tables::Campaign::paper()
+    };
     let mut wanted: Vec<String> = Vec::new();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => {}
             "--nodes" => {
-                campaign.nodes =
-                    it.next().and_then(|v| v.parse().ok()).expect("--nodes N");
+                campaign.nodes = it.next().and_then(|v| v.parse().ok()).expect("--nodes N");
             }
             "--scale" => {
-                campaign.compute_scale =
-                    it.next().and_then(|v| v.parse().ok()).expect("--scale S");
+                campaign.compute_scale = it.next().and_then(|v| v.parse().ok()).expect("--scale S");
             }
             other => wanted.push(other.to_string()),
         }
@@ -38,7 +39,11 @@ fn main() {
          # nodes={} compute_scale={} workloads={}",
         campaign.nodes,
         campaign.compute_scale,
-        if args.iter().any(|a| a == "--quick") { "quick" } else { "paper" }
+        if args.iter().any(|a| a == "--quick") {
+            "quick"
+        } else {
+            "paper"
+        }
     );
 
     if want("micro") {
@@ -58,6 +63,9 @@ fn main() {
     }
     if want("taskqueue") {
         ablation::taskqueue_ablation(64);
+    }
+    if want("tasking") {
+        tasking::tasking_ablation();
     }
     if want("pagesize") {
         ablation::page_size_ablation();

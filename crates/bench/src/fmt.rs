@@ -42,7 +42,7 @@ mod tests {
     #[test]
     fn formatting_helpers() {
         assert_eq!(secs(1_500_000_000), "1.500");
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(1.23456), "1.23");
         // print_table must not panic on ragged input.
         print_table("t", &["a", "b"], &[vec!["1".into(), "2".into()]]);
     }

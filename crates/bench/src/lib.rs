@@ -11,6 +11,8 @@
 //! * [`ablation::pipeline_ablation`] — Figures 1 vs 3 (flush vs semaphores)
 //! * [`ablation::taskqueue_ablation`] — Figures 2 vs 4 (flush vs condvars)
 //! * [`ablation::page_size_ablation`], [`tables::scale_sweep`] — model ablations
+//! * [`tasking::tasking_ablation`] — centralized task queue vs cross-node
+//!   work stealing (the tasking-runtime extension)
 //!
 //! Run everything with `cargo run -p now-bench --release --bin paper_tables`.
 
@@ -20,6 +22,7 @@ pub mod ablation;
 pub mod fmt;
 pub mod micro;
 pub mod tables;
+pub mod tasking;
 
 #[cfg(test)]
 mod tests {
@@ -46,7 +49,11 @@ mod tests {
         let bar = micro::barrier_ns(4) / 1000;
         assert!((300..=3000).contains(&bar), "barrier {bar} µs");
         let (mpi_rtt, bw) = micro::mpi_characteristics();
-        assert!((300..=900).contains(&(mpi_rtt / 1000)), "mpi rtt {} µs", mpi_rtt / 1000);
+        assert!(
+            (300..=900).contains(&(mpi_rtt / 1000)),
+            "mpi rtt {} µs",
+            mpi_rtt / 1000
+        );
         assert!((6.0..=10.0).contains(&bw), "mpi bw {bw} MB/s");
     }
 
@@ -71,6 +78,9 @@ mod tests {
             (s8 - s2).abs() <= 2.0,
             "semaphore messages/handoff nearly constant ({s2:.1} -> {s8:.1})"
         );
-        assert!(f8 > 2.0 * s8, "flush must cost a multiple of semaphores at 8 nodes");
+        assert!(
+            f8 > 2.0 * s8,
+            "flush must cost a multiple of semaphores at 8 nodes"
+        );
     }
 }

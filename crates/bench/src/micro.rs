@@ -127,10 +127,26 @@ pub fn characteristics(nodes: usize) {
             us(lock),
             "300–1300 µs".into(),
         ],
-        vec![format!("{nodes}-processor barrier"), us(bar), "~1000 µs".into()],
-        vec!["diff fetch (small diff)".into(), us(diff_small), "300–800 µs".into()],
-        vec!["diff fetch (full page)".into(), us(diff_big), "300–800 µs".into()],
-        vec!["MPI empty-message round trip".into(), us(mpi_rtt), "~400 µs".into()],
+        vec![
+            format!("{nodes}-processor barrier"),
+            us(bar),
+            "~1000 µs".into(),
+        ],
+        vec![
+            "diff fetch (small diff)".into(),
+            us(diff_small),
+            "300–800 µs".into(),
+        ],
+        vec![
+            "diff fetch (full page)".into(),
+            us(diff_big),
+            "300–800 µs".into(),
+        ],
+        vec![
+            "MPI empty-message round trip".into(),
+            us(mpi_rtt),
+            "~400 µs".into(),
+        ],
         vec![
             "MPI max bandwidth".into(),
             format!("{mpi_bw:.1} MB/s"),

@@ -1,9 +1,9 @@
 //! Runners regenerating the paper's tables and figures.
 
 use crate::fmt::{f2, print_table, secs};
+use nomp::OmpConfig;
 use now_apps::common::{Report, VersionKind};
 use now_apps::{fft3d, qsort, sweep3d, tsp, water};
-use nomp::OmpConfig;
 use nowmpi::MpiConfig;
 use tmk::TmkConfig;
 
@@ -115,7 +115,11 @@ impl Campaign {
             "Water" => format!("{} molecules, {} steps", self.water.n_mol, self.water.steps),
             "TSP" => format!("{} cities", self.tsp.n_cities),
             "QSORT" => {
-                format!("{}K integers, bubble {}", self.qsort.n / 1024, self.qsort.bubble_threshold)
+                format!(
+                    "{}K integers, bubble {}",
+                    self.qsort.n / 1024,
+                    self.qsort.bubble_threshold
+                )
             }
             _ => String::new(),
         }
@@ -151,7 +155,13 @@ pub fn table1(c: &Campaign) -> Vec<Report> {
     }
     print_table(
         "Table 1: applications, data sets, sequential time (model seconds), directives",
-        &["Application", "Data size", "Seq time", "Parallel", "Synchronization"],
+        &[
+            "Application",
+            "Data size",
+            "Seq time",
+            "Parallel",
+            "Synchronization",
+        ],
         &rows,
     );
     reports

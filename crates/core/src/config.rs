@@ -14,12 +14,18 @@ pub struct OmpConfig {
 impl OmpConfig {
     /// Paper platform defaults (8 nodes unless overridden).
     pub fn paper(nodes: usize) -> Self {
-        OmpConfig { tmk: TmkConfig::paper(nodes), default_dynamic_chunk: 16 }
+        OmpConfig {
+            tmk: TmkConfig::paper(nodes),
+            default_dynamic_chunk: 16,
+        }
     }
 
     /// Near-zero-cost functional-test configuration.
     pub fn fast_test(nodes: usize) -> Self {
-        OmpConfig { tmk: TmkConfig::fast_test(nodes), default_dynamic_chunk: 16 }
+        OmpConfig {
+            tmk: TmkConfig::fast_test(nodes),
+            default_dynamic_chunk: 16,
+        }
     }
 
     /// Number of OpenMP threads (one per workstation, as in the paper).
@@ -30,7 +36,10 @@ impl OmpConfig {
 
 impl From<TmkConfig> for OmpConfig {
     fn from(tmk: TmkConfig) -> Self {
-        OmpConfig { tmk, default_dynamic_chunk: 16 }
+        OmpConfig {
+            tmk,
+            default_dynamic_chunk: 16,
+        }
     }
 }
 
@@ -90,13 +99,82 @@ mod tests {
     #[test]
     fn static_block_balance() {
         // 10 iterations over 4 threads: sizes 3,3,2,2.
-        let sizes: Vec<usize> =
-            (0..4).map(|t| Schedule::static_block(10, 4, t).len()).collect();
+        let sizes: Vec<usize> = (0..4)
+            .map(|t| Schedule::static_block(10, 4, t).len())
+            .collect();
         assert_eq!(sizes, vec![3, 3, 2, 2]);
     }
 
     #[test]
     fn config_threads_tracks_nodes() {
         assert_eq!(OmpConfig::fast_test(5).threads(), 5);
+    }
+
+    /// Run `range` under `sched` and return how often each index ran.
+    fn coverage(sched: Schedule, n: usize, nodes: usize) -> Vec<u64> {
+        let out = crate::env::run(OmpConfig::fast_test(nodes), move |omp| {
+            let hits = omp.malloc_vec::<u64>(n.max(1));
+            omp.parallel_for(sched, 0..n, move |t, i| {
+                let v = t.read(&hits, i);
+                t.write(&hits, i, v + 1);
+            });
+            omp.read_slice(&hits, 0..n)
+        });
+        out.result
+    }
+
+    #[test]
+    fn dynamic_and_guided_handle_empty_range() {
+        for sched in [Schedule::Dynamic(4), Schedule::Guided(2)] {
+            assert!(coverage(sched, 0, 3).is_empty(), "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn dynamic_chunk_larger_than_range() {
+        // One grab claims the whole loop; the rest of the team must see an
+        // exhausted counter, not underflow or double execution.
+        let hits = coverage(Schedule::Dynamic(1000), 7, 4);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn guided_min_chunk_larger_than_range() {
+        let hits = coverage(Schedule::Guided(64), 10, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn dynamic_zero_chunk_is_clamped_not_stuck() {
+        // chunk 0 would never advance the shared counter; the runtime
+        // clamps it to 1.
+        let hits = coverage(Schedule::Dynamic(0), 9, 2);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn guided_zero_min_chunk_is_clamped_not_stuck() {
+        let hits = coverage(Schedule::Guided(0), 9, 2);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+
+    #[test]
+    fn trip_count_not_divisible_by_nodes() {
+        // Trip counts with remainders, fewer iterations than nodes, and a
+        // single iteration — every index must run exactly once.
+        for (n, nodes) in [(11usize, 4usize), (2, 5), (1, 3), (17, 8)] {
+            for sched in [
+                Schedule::Static,
+                Schedule::StaticChunk(3),
+                Schedule::Dynamic(3),
+                Schedule::Guided(2),
+            ] {
+                let hits = coverage(sched, n, nodes);
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "{sched:?} n={n} nodes={nodes}: {hits:?}"
+                );
+            }
+        }
     }
 }

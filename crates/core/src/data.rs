@@ -42,7 +42,10 @@ impl<T: 'static> Copy for ThreadPrivate<T> {}
 impl<T: 'static> ThreadPrivate<T> {
     /// Declare a threadprivate variable with a per-thread initializer.
     pub fn new(init: fn() -> T) -> Self {
-        ThreadPrivate { key: NEXT_KEY.fetch_add(1, Ordering::Relaxed), init }
+        ThreadPrivate {
+            key: NEXT_KEY.fetch_add(1, Ordering::Relaxed),
+            init,
+        }
     }
 
     /// Access this thread's copy.
@@ -52,7 +55,9 @@ impl<T: 'static> ThreadPrivate<T> {
             let slot = map
                 .entry((self.key, TypeId::of::<T>()))
                 .or_insert_with(|| Box::new((self.init)()));
-            f(slot.downcast_mut::<T>().expect("threadprivate type mismatch"))
+            f(slot
+                .downcast_mut::<T>()
+                .expect("threadprivate type mismatch"))
         })
     }
 }

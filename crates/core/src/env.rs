@@ -40,7 +40,11 @@ where
 {
     let tmk_cfg = cfg.tmk.clone();
     tmk::run_system(tmk_cfg, move |t| {
-        let mut env = Env { t, cfg, loop_seq: 0 };
+        let mut env = Env {
+            t,
+            cfg,
+            loop_seq: 0,
+        };
         f(&mut env)
     })
 }
@@ -109,7 +113,9 @@ impl Env<'_> {
         let plan = LoopPlan::new(sched, range, counter);
         let body = Arc::new(body);
         self.parallel(move |th| {
-            plan.run(th, &mut |th: &mut OmpThread<'_>, r: Range<usize>| body(th, r));
+            plan.run(th, &mut |th: &mut OmpThread<'_>, r: Range<usize>| {
+                body(th, r)
+            });
         });
     }
 
@@ -229,9 +235,14 @@ mod tests {
     #[test]
     fn scalar_reduction_sum() {
         let out = run(OmpConfig::fast_test(4), |omp| {
-            omp.parallel_reduce(Schedule::Static, 0..1000, RedOp::Sum, |_t, i, acc: &mut u64| {
-                *acc += i as u64;
-            })
+            omp.parallel_reduce(
+                Schedule::Static,
+                0..1000,
+                RedOp::Sum,
+                |_t, i, acc: &mut u64| {
+                    *acc += i as u64;
+                },
+            )
         });
         assert_eq!(out.result, 499_500);
     }
@@ -239,10 +250,15 @@ mod tests {
     #[test]
     fn scalar_reduction_max_dynamic_schedule() {
         let out = run(OmpConfig::fast_test(3), |omp| {
-            omp.parallel_reduce(Schedule::Dynamic(8), 0..100, RedOp::Max, |_t, i, acc: &mut i64| {
-                let val = ((i as i64) * 37) % 91;
-                *acc = (*acc).max(val);
-            })
+            omp.parallel_reduce(
+                Schedule::Dynamic(8),
+                0..100,
+                RedOp::Max,
+                |_t, i, acc: &mut i64| {
+                    let val = ((i as i64) * 37) % 91;
+                    *acc = (*acc).max(val);
+                },
+            )
         });
         let expect = (0..100i64).map(|i| (i * 37) % 91).max().unwrap();
         assert_eq!(out.result, expect);

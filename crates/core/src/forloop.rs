@@ -17,7 +17,11 @@ pub(crate) enum LoopPlan {
     /// Contiguous block per thread.
     Static { start: usize, end: usize },
     /// Round-robin chunks.
-    StaticChunk { start: usize, end: usize, chunk: usize },
+    StaticChunk {
+        start: usize,
+        end: usize,
+        chunk: usize,
+    },
     /// Shared-counter chunking.
     Shared {
         start: usize,
@@ -43,10 +47,15 @@ impl LoopPlan {
         counter: Option<(SharedScalar<u64>, u32)>,
     ) -> Self {
         match sched {
-            Schedule::Static => LoopPlan::Static { start: range.start, end: range.end },
-            Schedule::StaticChunk(c) => {
-                LoopPlan::StaticChunk { start: range.start, end: range.end, chunk: c.max(1) }
-            }
+            Schedule::Static => LoopPlan::Static {
+                start: range.start,
+                end: range.end,
+            },
+            Schedule::StaticChunk(c) => LoopPlan::StaticChunk {
+                start: range.start,
+                end: range.end,
+                chunk: c.max(1),
+            },
             Schedule::Dynamic(c) => {
                 let (counter, lock) = counter.expect("dynamic schedule needs a shared counter");
                 LoopPlan::Shared {
@@ -64,7 +73,9 @@ impl LoopPlan {
                     end: range.end,
                     counter,
                     lock,
-                    policy: SharedPolicy::Guided { min_chunk: m.max(1) },
+                    policy: SharedPolicy::Guided {
+                        min_chunk: m.max(1),
+                    },
                 }
             }
         }
@@ -94,7 +105,13 @@ impl LoopPlan {
                     lo += p * chunk;
                 }
             }
-            LoopPlan::Shared { start, end, counter, lock, policy } => {
+            LoopPlan::Shared {
+                start,
+                end,
+                counter,
+                lock,
+                policy,
+            } => {
                 let total = (end - start) as u64;
                 loop {
                     let claim = th.critical(*lock, |th| {
@@ -105,9 +122,9 @@ impl LoopPlan {
                         let remaining = total - cur;
                         let len = match policy {
                             SharedPolicy::Dynamic { chunk } => (*chunk as u64).min(remaining),
-                            SharedPolicy::Guided { min_chunk } => {
-                                (remaining / (2 * p as u64)).max(*min_chunk as u64).min(remaining)
-                            }
+                            SharedPolicy::Guided { min_chunk } => (remaining / (2 * p as u64))
+                                .max(*min_chunk as u64)
+                                .min(remaining),
                         };
                         counter.set(th, cur + len);
                         Some((cur, len))

@@ -20,9 +20,18 @@
 //! | `critical [(name)]` | [`OmpThread::critical`] / [`omp_critical!`] |
 //! | `barrier` | [`OmpThread::barrier`](tmk::Tmk::barrier) / [`omp_barrier!`] |
 //! | `master` | [`OmpThread::master`] / [`omp_master!`] |
+//! | `task` | [`TaskScope::task`] / [`omp_task!`] within [`Env::task_scope`] |
+//! | `taskwait` | [`TaskScope::taskwait`] / [`omp_taskwait!`] |
+//! | `single` | [`OmpThread::single`] / [`TaskScope::single`] / [`omp_single!`] |
 //! | `flush` | [`tmk::Tmk::flush`] / [`omp_flush!`] — kept for the cost ablation |
 //! | *proposed* `sema_wait`/`sema_signal` | [`tmk::Tmk::sema_wait`]/[`sema_signal`](tmk::Tmk::sema_signal) |
 //! | *proposed* condition variables | [`OmpThread::cond_wait`]/[`cond_signal`](OmpThread::cond_signal)/[`cond_broadcast`](OmpThread::cond_broadcast) |
+//!
+//! Beyond the paper, the runtime adds a distributed **tasking** subsystem
+//! ([`Env::task_scope`]): per-node task deques in DSM space with
+//! cross-node work stealing and condvar-based termination — the construct
+//! that extends the system to irregular workloads (see [`tasking`]'s
+//! module docs and the `task_ablation` bench).
 //!
 //! The paper's two proposed modifications to the standard fall out of the
 //! embedding:
@@ -61,12 +70,14 @@ mod env;
 mod forloop;
 mod macros;
 mod reduction;
+pub mod tasking;
 mod thread;
 
 pub use config::{OmpConfig, Schedule};
 pub use data::ThreadPrivate;
 pub use env::{run, Env};
 pub use reduction::{RedOp, Reduce};
+pub use tasking::{TaskArgs, TaskSched, TaskScope, TaskScopeConfig};
 pub use thread::{critical_id, OmpThread};
 
 // Re-export the substrate types applications touch directly.

@@ -35,7 +35,9 @@ macro_rules! omp_parallel_for {
         $env.parallel_for($crate::Schedule::Static, $range, move |$t, $i| $body)
     };
     ($env:expr, schedule(static, $c:expr), $i:ident in $range:expr, |$t:ident| $body:block) => {
-        $env.parallel_for($crate::Schedule::StaticChunk($c), $range, move |$t, $i| $body)
+        $env.parallel_for($crate::Schedule::StaticChunk($c), $range, move |$t, $i| {
+            $body
+        })
     };
     ($env:expr, schedule(dynamic, $c:expr), $i:ident in $range:expr, |$t:ident| $body:block) => {
         $env.parallel_for($crate::Schedule::Dynamic($c), $range, move |$t, $i| $body)
@@ -79,6 +81,39 @@ macro_rules! omp_barrier {
 macro_rules! omp_master {
     ($t:expr, $body:block) => {
         if $t.thread_num() == 0 $body
+    };
+}
+
+/// `!$omp task` — spawn the scope's task body with the given
+/// [`TaskArgs`](crate::TaskArgs); use inside an
+/// [`Env::task_scope`](crate::Env::task_scope).
+///
+/// ```ignore
+/// omp_task!(scope, TaskArgs::ab(lo as u64, hi as u64));
+/// ```
+#[macro_export]
+macro_rules! omp_task {
+    ($scope:expr, $args:expr) => {
+        $scope.task($args)
+    };
+}
+
+/// `!$omp taskwait` — help execute until every task spawned so far in the
+/// scope (transitively) has completed.
+#[macro_export]
+macro_rules! omp_taskwait {
+    ($scope:expr) => {
+        $scope.taskwait()
+    };
+}
+
+/// `!$omp single` (master-executes variant, with the implied barrier).
+/// Works on an [`OmpThread`](crate::OmpThread) in any parallel region and
+/// on a [`TaskScope`](crate::TaskScope) during its init phase.
+#[macro_export]
+macro_rules! omp_single {
+    ($t:ident, $body:block) => {
+        $t.single(|$t| $body)
     };
 }
 

@@ -1,0 +1,934 @@
+//! Distributed OpenMP tasking: `task` / `taskwait` / `single` over the DSM
+//! with cross-node work stealing.
+//!
+//! The loop constructs of the SC'98 paper cover regular parallelism; its
+//! only irregular-parallelism story is the hand-rolled Figure-4 task queue.
+//! Modern cluster-OpenMP work (arXiv 2207.05677, arXiv 2205.10656) makes
+//! *tasking* the construct that scales irregular workloads across nodes.
+//! This module provides that substrate on top of the existing DSM
+//! primitives — no new protocol messages are needed:
+//!
+//! * **Task representation.** A task is the scope's executor function
+//!   (shipped once with the region fork, exactly like the paper's outlined
+//!   region bodies) plus a 32-byte POD argument block ([`TaskArgs`]) that
+//!   lives in DSM space. Moving a task between nodes is therefore ordinary
+//!   shared-memory traffic: a deque-page diff carries the arguments.
+//! * **Per-node deques.** Every workstation owns a ring-buffer deque in
+//!   its own page-aligned DSM region, guarded by a lock whose *manager is
+//!   the owning node* ([`deque_lock`]), so local push/pop/complete are
+//!   message-free; a remote steal costs the usual small constant number of
+//!   messages (lock transfer + deque-page diff).
+//! * **Work stealing.** The owner pushes and pops LIFO (locality); thieves
+//!   take the oldest task FIFO from the other end, sweeping victims round
+//!   robin. [`TaskSched::Centralized`] funnels everything through node 0's
+//!   deque instead — the Figure-4 baseline the bench ablation compares
+//!   against.
+//! * **Termination without busy-waiting.** Idle workers park on a
+//!   condition variable under a termination lock (the paper's proposed
+//!   §3.2.3 primitive). Before parking, a worker marks every deque it
+//!   found empty with a *hungry* flag — written under that deque's own
+//!   lock, so the next push to that deque (which acquires the same lock)
+//!   reliably observes it and signals the condvar. A `wakeups` generation
+//!   counter under the termination lock closes the signal/wait race. The
+//!   scope terminates when all `p` workers are parked: every deque was
+//!   seen empty under its lock after the last push, so no task can remain
+//!   (the Figure-4 `nwait` argument, distributed).
+//! * **Counters.** Spawn/execute/steal/overflow events are surfaced
+//!   through [`tmk::TmkStats`]; steals also appear in the per-kind message
+//!   statistics of `now_net` as ordinary lock/diff traffic.
+
+use crate::env::Env;
+use crate::thread::OmpThread;
+use std::sync::Arc;
+use tmk::SharedVec;
+
+/// POD argument block of one task (32 bytes, lives in a deque slot in DSM
+/// space). Encode whatever the task body needs: indices, packed ranges,
+/// pool slots. Unused words are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TaskArgs {
+    /// First argument word.
+    pub a: u64,
+    /// Second argument word.
+    pub b: u64,
+    /// Third argument word.
+    pub c: u64,
+    /// Fourth argument word.
+    pub d: u64,
+}
+
+impl TaskArgs {
+    /// Arguments with the remaining words zero.
+    pub fn ab(a: u64, b: u64) -> Self {
+        TaskArgs { a, b, c: 0, d: 0 }
+    }
+}
+
+/// How tasks are distributed among the workstations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskSched {
+    /// Per-node deques with cross-node work stealing (the default).
+    WorkSteal,
+    /// One shared queue on node 0 — the paper's Figure-4 structure, kept
+    /// as the ablation baseline. Every operation by another node pays a
+    /// remote lock transfer.
+    Centralized,
+}
+
+/// Configuration of one task scope.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskScopeConfig {
+    /// Scheduling policy.
+    pub sched: TaskSched,
+    /// Ring-buffer slots per deque. A full deque executes further spawns
+    /// inline (OpenMP "undeferred" semantics) and counts an overflow.
+    pub deque_capacity: usize,
+}
+
+impl Default for TaskScopeConfig {
+    fn default() -> Self {
+        TaskScopeConfig {
+            sched: TaskSched::WorkSteal,
+            deque_capacity: 1024,
+        }
+    }
+}
+
+// Deque header layout (u64 words at the start of each deque region).
+const HDR_HEAD: usize = 0; // steal end (monotonic)
+const HDR_TAIL: usize = 1; // owner end (monotonic)
+const HDR_HUNGRY: usize = 2; // a would-be sleeper saw this deque empty
+const HDR_SPAWNED: usize = 3; // tasks pushed into this deque
+const HDR_COMPLETED: usize = 4; // tasks completed by this deque's owner
+const HDR_WAITING: usize = 5; // summed depths of chains suspended in taskwait here
+const HDR_WORDS: usize = 6;
+const SLOT_WORDS: usize = 4;
+
+// Termination region layout.
+const TERM_IDLE: usize = 0;
+const TERM_DONE: usize = 1;
+const TERM_WAKEUPS: usize = 2;
+const TERM_WORDS: usize = 3;
+const TERM_CV: u32 = 0;
+
+/// Lock guarding node `k`'s deque, chosen so its manager *is* node `k`
+/// (`manager_of(id) = id % n`): the owner's push/pop/complete never touch
+/// the wire, a thief pays one lock transfer.
+fn deque_lock(n: usize, k: usize) -> u32 {
+    const BASE: u32 = 0xF800_0000;
+    BASE - (BASE % n as u32) + k as u32
+}
+
+/// The scope-wide termination lock (managed by node 0).
+fn term_lock(n: usize) -> u32 {
+    const BASE: u32 = 0xF810_0000;
+    BASE - (BASE % n as u32)
+}
+
+/// Shared handles of one task scope (plain copyable descriptors).
+#[derive(Clone)]
+struct TaskRt {
+    /// One deque region per node (page-disjoint: no false sharing between
+    /// deques).
+    deques: Vec<SharedVec<u64>>,
+    /// `[idle, done, wakeups]` under the termination lock.
+    term: SharedVec<u64>,
+    cap: usize,
+    n: usize,
+    sched: TaskSched,
+}
+
+impl TaskRt {
+    /// The deque a given thread pushes to and pops from first.
+    fn home(&self, me: usize) -> usize {
+        match self.sched {
+            TaskSched::WorkSteal => me,
+            TaskSched::Centralized => 0,
+        }
+    }
+}
+
+/// The scope's task executor, shipped once at fork time.
+type TaskBody = Arc<dyn Fn(&mut TaskScope<'_, '_>, TaskArgs) + Send + Sync>;
+
+/// Per-thread context inside a task scope. Dereferences to [`OmpThread`],
+/// so shared-memory access and `critical` sections are available in task
+/// bodies exactly as in any parallel region.
+pub struct TaskScope<'a, 't> {
+    th: &'a mut OmpThread<'t>,
+    rt: TaskRt,
+    body: TaskBody,
+    me: usize,
+    /// Number of *deque-borne* task frames on this thread's stack (inline
+    /// overflow frames are excluded: they never touch the counters).
+    /// [`TaskScope::taskwait`] subtracts this from the global deficit —
+    /// the caller's own chain cannot complete while it waits.
+    depth: u64,
+    /// How much of `depth` this thread has already published to
+    /// `HDR_WAITING` — the sum of the deltas of its enclosing, currently
+    /// suspended `taskwait`s. A nested wait publishes only the frames the
+    /// outer waits have not, or the chain would be double-counted and the
+    /// quiescence condition unreachable.
+    published: u64,
+    /// Deque visit order for sweeps (home first, then victims round
+    /// robin); fixed per thread, computed once.
+    order: Vec<usize>,
+    /// Set when this worker was just signalled out of the parked state: a
+    /// single push only ever wakes one sleeper (it clears the hungry flag
+    /// for the burst that follows), so the woken worker re-propagates —
+    /// after taking a task that left more behind, it wakes the next
+    /// sleeper, cascading until the burst is matched with workers.
+    woke: bool,
+}
+
+impl<'t> std::ops::Deref for TaskScope<'_, 't> {
+    type Target = OmpThread<'t>;
+    fn deref(&self) -> &Self::Target {
+        self.th
+    }
+}
+
+impl std::ops::DerefMut for TaskScope<'_, '_> {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.th
+    }
+}
+
+/// The locked half of a dequeue, shared by every sweep: check the ring
+/// invariants, pop from the right end, or — when the deque is empty —
+/// optionally mark it hungry and/or accumulate its counters. Must run
+/// under deque `k`'s lock.
+fn take_locked(
+    th: &mut OmpThread<'_>,
+    dq: &SharedVec<u64>,
+    k: usize,
+    cap: u64,
+    owner_end: bool,
+    mark: bool,
+    counters: Option<&mut (u64, u64, u64)>,
+) -> Option<(TaskArgs, u64)> {
+    let head = th.read(dq, HDR_HEAD);
+    let tail = th.read(dq, HDR_TAIL);
+    assert!(
+        tail >= head && tail - head <= cap,
+        "take: corrupt deque {k}: head={head} tail={tail}"
+    );
+    if tail == head {
+        if mark {
+            th.write(dq, HDR_HUNGRY, 1);
+        }
+        if let Some((spawned, completed, waiting)) = counters {
+            *spawned += th.read(dq, HDR_SPAWNED);
+            *completed += th.read(dq, HDR_COMPLETED);
+            *waiting += th.read(dq, HDR_WAITING);
+        }
+        return None;
+    }
+    let idx = if owner_end {
+        th.write(dq, HDR_TAIL, tail - 1);
+        tail - 1
+    } else {
+        th.write(dq, HDR_HEAD, head + 1);
+        head
+    };
+    let slot = HDR_WORDS + (idx % cap) as usize * SLOT_WORDS;
+    let w = th.read_slice(dq, slot..slot + SLOT_WORDS);
+    let remaining = tail - head - 1;
+    Some((
+        TaskArgs {
+            a: w[0],
+            b: w[1],
+            c: w[2],
+            d: w[3],
+        },
+        remaining,
+    ))
+}
+
+impl TaskScope<'_, '_> {
+    /// `!$omp task`: spawn the scope's task body with `args`. The task is
+    /// pushed onto this node's deque (node 0's under
+    /// [`TaskSched::Centralized`]) and may be executed by any workstation.
+    /// If the deque is full the task runs inline instead (undeferred).
+    pub fn task(&mut self, args: TaskArgs) {
+        let home = self.rt.home(self.me);
+        let dq = self.rt.deques[home];
+        let lock = deque_lock(self.rt.n, home);
+        let cap = self.rt.cap as u64;
+        let (pushed, was_hungry) = self.th.critical(lock, |th| {
+            let head = th.read(&dq, HDR_HEAD);
+            let tail = th.read(&dq, HDR_TAIL);
+            assert!(
+                tail >= head && tail - head <= cap,
+                "push: corrupt deque {home}: head={head} tail={tail}"
+            );
+            if tail - head >= cap {
+                return (false, false);
+            }
+            let slot = HDR_WORDS + (tail % cap) as usize * SLOT_WORDS;
+            th.write_slice(&dq, slot, &[args.a, args.b, args.c, args.d]);
+            th.write(&dq, HDR_TAIL, tail + 1);
+            let spawned = th.read(&dq, HDR_SPAWNED);
+            th.write(&dq, HDR_SPAWNED, spawned + 1);
+            let hungry = th.read(&dq, HDR_HUNGRY);
+            if hungry != 0 {
+                th.write(&dq, HDR_HUNGRY, 0);
+            }
+            (true, hungry != 0)
+        });
+        if !pushed {
+            // Deque full: run undeferred. Spawn/complete counters are
+            // skipped on purpose — the task is finished before this spawn
+            // returns, so quiescence accounting never sees it (`counted:
+            // false` keeps it out of the depth bookkeeping too).
+            self.th.bump_stats(|s| {
+                s.tasks_spawned += 1;
+                s.task_overflows += 1;
+            });
+            self.run_task(args, false, false);
+            return;
+        }
+        self.th.bump_stats(|s| s.tasks_spawned += 1);
+        if was_hungry {
+            self.wake_one();
+        }
+    }
+
+    /// `!$omp taskwait` (taskgroup-wide): help execute tasks until every
+    /// task spawned in the scope so far — transitively — has completed.
+    /// Quiescence is detected with the four-counter double sweep (two
+    /// consecutive clean sweeps observing identical spawn/complete totals
+    /// with spawned == completed), each counter read under its deque's
+    /// lock so the totals ride the release→acquire edges of the protocol.
+    ///
+    /// The waiter *helps* (it keeps executing available tasks) and polls
+    /// the counters between helps; unlike scope termination it does not
+    /// park on the condvar, so a taskwait spanning a long remote task
+    /// pays recurring lock-sweep traffic. Parking waiters on completion
+    /// events would need a completion→signal edge the protocol does not
+    /// have yet; left as future work.
+    pub fn taskwait(&mut self) {
+        // Publish this chain's suspended depth on the home deque: with
+        // several threads suspended in taskwait at once, the global
+        // deficit bottoms out at the *sum* of the suspended chains (no
+        // single waiter's own depth), so each waiter must know about the
+        // others to recognize quiescence.
+        let home = self.rt.home(self.me);
+        let delta = self.depth - self.published;
+        self.adjust_waiting(home, delta as i64);
+        self.published += delta;
+        loop {
+            while self.run_one() {}
+            let Some((s1, c1, w1)) = self.counter_sweep() else {
+                continue;
+            };
+            let Some((s2, c2, w2)) = self.counter_sweep() else {
+                continue;
+            };
+            // Monotone counters equal across both sweeps pin S and C over
+            // the whole interval (and W unchanged pins the waiter set), so
+            // the deficit is exact; a deficit of exactly the summed
+            // suspended depths means the only unfinished tasks are chains
+            // parked in taskwait — including this one — which by
+            // definition have nothing left to wait for.
+            if s1 == s2 && c1 == c2 && w1 == w2 && s1 - c1 == w1 {
+                break;
+            }
+            // Tasks are in flight on other nodes; yield the host CPU while
+            // they finish (the waiter keeps helping, so this is bounded).
+            self.th.spin_hint();
+        }
+        self.published -= delta;
+        self.adjust_waiting(home, -(delta as i64));
+    }
+
+    /// Add `delta` to deque `k`'s suspended-waiter depth sum (under its
+    /// lock, so sweeps observe it consistently with the counters).
+    fn adjust_waiting(&mut self, k: usize, delta: i64) {
+        if delta == 0 {
+            return;
+        }
+        let dq = self.rt.deques[k];
+        let lock = deque_lock(self.rt.n, k);
+        self.th.critical(lock, |th| {
+            let w = th.read(&dq, HDR_WAITING);
+            th.write(&dq, HDR_WAITING, w.wrapping_add_signed(delta));
+        });
+    }
+
+    /// `!$omp single` (master-executes variant) — valid in the init phase
+    /// of a scope only (it synchronizes with a barrier, which must not run
+    /// while the scheduler loop may hold tasks on other threads).
+    pub fn single(&mut self, f: impl FnOnce(&mut Self)) {
+        if self.me == 0 {
+            f(self);
+        }
+        self.th.barrier();
+    }
+
+    /// Whether taking from deque `k` counts as a steal (only meaningful
+    /// under work stealing; the centralized queue has no steal notion).
+    fn is_steal(&self, k: usize) -> bool {
+        self.rt.sched == TaskSched::WorkSteal && k != self.me
+    }
+
+    /// Pop (own deque) or steal one task and execute it; `false` when no
+    /// work was found anywhere.
+    fn run_one(&mut self) -> bool {
+        if let Some((k, args)) = self.hunt(false) {
+            self.execute_taken(k, args);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Execute a task just taken from deque `k` and count its completion
+    /// against this thread's home deque.
+    fn execute_taken(&mut self, k: usize, args: TaskArgs) {
+        let stolen = self.is_steal(k);
+        self.run_task(args, stolen, true);
+        self.complete(self.rt.home(self.me));
+    }
+
+    /// Take one task from deque `k` under its lock. The owner takes the
+    /// newest task (LIFO), a thief the oldest (FIFO). With `mark`, an
+    /// empty deque is flagged hungry so the next push signals a sleeper.
+    /// A freshly woken worker that takes a task leaving more behind
+    /// propagates the wake-up to the next sleeper (see `woke`).
+    fn take_from(&mut self, k: usize, mark: bool) -> Option<TaskArgs> {
+        if self.is_steal(k) {
+            self.th.bump_stats(|s| s.steal_attempts += 1);
+        }
+        let dq = self.rt.deques[k];
+        let lock = deque_lock(self.rt.n, k);
+        let cap = self.rt.cap as u64;
+        let owner_end = k == self.rt.home(self.me) && self.rt.sched == TaskSched::WorkSteal;
+        let (args, remaining) = self.th.critical(lock, |th| {
+            take_locked(th, &dq, k, cap, owner_end, mark, None)
+        })?;
+        self.propagate_wake(remaining);
+        Some(args)
+    }
+
+    /// If this worker was just signalled awake and its take left more
+    /// tasks behind, pass the signal on to the next sleeper (a push only
+    /// ever wakes one worker, so bursts are matched with workers by this
+    /// cascade).
+    fn propagate_wake(&mut self, remaining: u64) {
+        if self.woke {
+            self.woke = false;
+            if remaining > 0 {
+                self.wake_one();
+            }
+        }
+    }
+
+    /// Execute one task body. `counted` marks deque-borne tasks (tracked
+    /// by the spawn/complete counters and the depth bookkeeping).
+    fn run_task(&mut self, args: TaskArgs, stolen: bool, counted: bool) {
+        self.th.bump_stats(|s| {
+            s.tasks_executed += 1;
+            if stolen {
+                s.tasks_stolen += 1;
+            }
+        });
+        if counted {
+            self.depth += 1;
+        }
+        let body = self.body.clone();
+        body(self, args);
+        if counted {
+            self.depth -= 1;
+        }
+    }
+
+    /// Count one completion against deque `k` (the executor's home — a
+    /// local, message-free lock tenure under work stealing).
+    fn complete(&mut self, k: usize) {
+        let dq = self.rt.deques[k];
+        let lock = deque_lock(self.rt.n, k);
+        self.th.critical(lock, |th| {
+            let c = th.read(&dq, HDR_COMPLETED);
+            th.write(&dq, HDR_COMPLETED, c + 1);
+        });
+    }
+
+    /// Signal one parked worker (push saw a hungry flag). The `wakeups`
+    /// generation counter makes the signal un-losable: a sleeper that has
+    /// not yet reached `cond_wait` re-checks the counter under the same
+    /// lock and retries its sweep instead of parking.
+    fn wake_one(&mut self) {
+        let term = self.rt.term;
+        let lock = term_lock(self.rt.n);
+        self.th.critical(lock, |th| {
+            if th.read(&term, TERM_DONE) == 0 && th.read(&term, TERM_IDLE) > 0 {
+                let w = th.read(&term, TERM_WAKEUPS);
+                th.write(&term, TERM_WAKEUPS, w + 1);
+                th.cond_signal(lock, TERM_CV);
+            }
+        });
+    }
+
+    /// One sweep over all deques reading the spawn/complete/waiting
+    /// counters under each deque's lock. Returns `None` (and executes the
+    /// task) if work was found instead.
+    fn counter_sweep(&mut self) -> Option<(u64, u64, u64)> {
+        let mut totals = (0u64, 0u64, 0u64);
+        for i in 0..self.order.len() {
+            let k = self.order[i];
+            if self.is_steal(k) {
+                self.th.bump_stats(|s| s.steal_attempts += 1);
+            }
+            let dq = self.rt.deques[k];
+            let lock = deque_lock(self.rt.n, k);
+            let owner_end = k == self.rt.home(self.me) && self.rt.sched == TaskSched::WorkSteal;
+            let cap = self.rt.cap as u64;
+            let found = self.th.critical(lock, |th| {
+                take_locked(th, &dq, k, cap, owner_end, false, Some(&mut totals))
+            });
+            if let Some((args, remaining)) = found {
+                self.propagate_wake(remaining);
+                self.execute_taken(k, args);
+                return None;
+            }
+        }
+        Some(totals)
+    }
+
+    /// Sweep all deques looking for work; with `mark`, flag every deque
+    /// found empty as hungry (the pre-sleep pass). Returns the source
+    /// deque alongside the task.
+    fn hunt(&mut self, mark: bool) -> Option<(usize, TaskArgs)> {
+        for i in 0..self.order.len() {
+            let k = self.order[i];
+            if let Some(args) = self.take_from(k, mark) {
+                return Some((k, args));
+            }
+        }
+        None
+    }
+
+    /// The scheduler loop every thread runs after the init phase: execute
+    /// until the scope is globally quiescent, parking on the termination
+    /// condvar instead of busy-waiting while no work is available.
+    fn scheduler(&mut self) {
+        let term = self.rt.term;
+        let tlock = term_lock(self.rt.n);
+        let p = self.rt.n as u64;
+        loop {
+            // Drain everything reachable.
+            while self.run_one() {}
+            // Announce intent to sleep, then do the marking sweep: a push
+            // that lands after our empty observation of a deque sees the
+            // hungry flag under that deque's lock and will signal.
+            let w0 = self.th.critical(tlock, |th| {
+                let idle = th.read(&term, TERM_IDLE);
+                th.write(&term, TERM_IDLE, idle + 1);
+                th.read(&term, TERM_WAKEUPS)
+            });
+            if let Some((k, args)) = self.hunt(true) {
+                self.th.critical(tlock, |th| {
+                    let idle = th.read(&term, TERM_IDLE);
+                    th.write(&term, TERM_IDLE, idle - 1);
+                });
+                self.execute_taken(k, args);
+                continue;
+            }
+            // Park (or finish).
+            let mut woke = false;
+            let done = self.th.critical(tlock, |th| {
+                if th.read(&term, TERM_DONE) == 1 {
+                    return true;
+                }
+                if th.read(&term, TERM_WAKEUPS) != w0 {
+                    // A push raced our sweep: retry instead of parking.
+                    let idle = th.read(&term, TERM_IDLE);
+                    th.write(&term, TERM_IDLE, idle - 1);
+                    woke = true;
+                    return false;
+                }
+                if th.read(&term, TERM_IDLE) == p {
+                    // Everyone swept their view clean and parked: any task
+                    // pushed before the last sweep of its deque was
+                    // consumed, so the scope is quiescent.
+                    th.write(&term, TERM_DONE, 1);
+                    th.cond_broadcast(tlock, TERM_CV);
+                    return true;
+                }
+                th.cond_wait(tlock, TERM_CV);
+                let finished = th.read(&term, TERM_DONE) == 1;
+                if !finished {
+                    let idle = th.read(&term, TERM_IDLE);
+                    th.write(&term, TERM_IDLE, idle - 1);
+                    woke = true;
+                }
+                finished
+            });
+            if done {
+                return;
+            }
+            if woke {
+                self.woke = true;
+            }
+        }
+    }
+}
+
+impl Env<'_> {
+    /// Run a task region (the tasking analogue of [`Env::parallel`]).
+    ///
+    /// Forks a parallel region on every workstation. Each thread first
+    /// runs `init` — seed root tasks there, typically from one thread via
+    /// [`TaskScope::single`] or a `thread_num() == 0` check — and then
+    /// enters the scheduler loop, executing `body` for every task until
+    /// the scope is globally quiescent. The region's implicit barrier
+    /// joins the scope.
+    ///
+    /// `body` is shipped once at fork time (like any region body); the
+    /// per-task [`TaskArgs`] travel through DSM deques, so task movement
+    /// is fully accounted as shared-memory traffic.
+    pub fn task_scope<I, F>(&mut self, cfg: TaskScopeConfig, init: I, body: F)
+    where
+        I: Fn(&mut TaskScope<'_, '_>) + Send + Sync + 'static,
+        F: Fn(&mut TaskScope<'_, '_>, TaskArgs) + Send + Sync + 'static,
+    {
+        let n = self.num_threads();
+        let cap = cfg.deque_capacity.max(1);
+        let deques: Vec<SharedVec<u64>> = (0..n)
+            .map(|_| self.t.malloc_vec::<u64>(HDR_WORDS + cap * SLOT_WORDS))
+            .collect();
+        let term = self.t.malloc_vec::<u64>(TERM_WORDS);
+        let rt = TaskRt {
+            deques,
+            term,
+            cap,
+            n,
+            sched: cfg.sched,
+        };
+        let body: TaskBody = Arc::new(body);
+        let init = Arc::new(init);
+        self.parallel(move |th| {
+            let me = th.thread_num();
+            let order = match rt.sched {
+                TaskSched::Centralized => vec![0],
+                TaskSched::WorkSteal => (0..rt.n).map(|o| (me + o) % rt.n).collect(),
+            };
+            let mut scope = TaskScope {
+                th,
+                rt: rt.clone(),
+                body: body.clone(),
+                me,
+                depth: 0,
+                published: 0,
+                order,
+                woke: false,
+            };
+            init(&mut scope);
+            scope.scheduler();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::OmpConfig;
+    use crate::env::run;
+
+    fn fib_scope(nodes: usize, sched: TaskSched, n: u64) -> (u64, tmk::TmkStats) {
+        // Naive task-recursive Fibonacci: every call spawns its two
+        // children as tasks and accumulates leaves into a shared counter.
+        let out = run(OmpConfig::fast_test(nodes), move |omp| {
+            let acc = omp.malloc_scalar::<u64>(0);
+            let cfg = TaskScopeConfig {
+                sched,
+                ..Default::default()
+            };
+            omp.task_scope(
+                cfg,
+                move |s| {
+                    s.single(|s| s.task(TaskArgs::ab(n, 0)));
+                },
+                move |s, t| {
+                    if t.a < 2 {
+                        s.critical_named("fib_acc", |th| {
+                            let v = acc.get(th);
+                            acc.set(th, v + t.a);
+                        });
+                    } else {
+                        s.task(TaskArgs::ab(t.a - 1, 0));
+                        s.task(TaskArgs::ab(t.a - 2, 0));
+                    }
+                },
+            );
+            acc.get(omp)
+        });
+        (out.result, out.dsm)
+    }
+
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+
+    #[test]
+    fn fib_work_stealing_all_node_counts() {
+        for nodes in [1usize, 2, 3, 4] {
+            let (got, stats) = fib_scope(nodes, TaskSched::WorkSteal, 10);
+            assert_eq!(got, fib(10), "{nodes} nodes");
+            assert!(stats.tasks_executed >= stats.tasks_spawned);
+            assert!(stats.tasks_spawned > 100, "fib(10) spawns many tasks");
+        }
+    }
+
+    #[test]
+    fn fib_centralized_matches() {
+        let (got, stats) = fib_scope(3, TaskSched::Centralized, 9);
+        assert_eq!(got, fib(9));
+        assert_eq!(
+            stats.tasks_stolen, 0,
+            "centralized mode never counts steals"
+        );
+    }
+
+    #[test]
+    fn stealing_actually_happens() {
+        // One root task spawning a chain of children: with stealing, other
+        // nodes pick tasks off node 0's deque.
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            let hits = omp.malloc_vec::<u64>(4);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    if s.thread_num() == 0 {
+                        for i in 0..64 {
+                            s.task(TaskArgs::ab(i, 0));
+                        }
+                    }
+                },
+                move |s, _t| {
+                    let me = s.thread_num();
+                    let v = s.read(&hits, me);
+                    s.write(&hits, me, v + 1);
+                    // Burn a little so thieves have time to engage.
+                    std::hint::black_box((0..500u64).sum::<u64>());
+                },
+            );
+            omp.read_slice(&hits, 0..4)
+        });
+        assert_eq!(
+            out.result.iter().sum::<u64>(),
+            64,
+            "every task ran exactly once"
+        );
+        assert!(
+            out.dsm.tasks_stolen > 0,
+            "no steals recorded: {:?}",
+            out.dsm
+        );
+    }
+
+    #[test]
+    fn termination_uses_condvar_not_spinning() {
+        // A serial chain: at most one task is runnable at any moment, so
+        // on 4 nodes three workers are starved for the whole run — they
+        // must park on the termination condvar (never busy-wait) and be
+        // signalled back when a push finds their hungry flag.
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            let count = omp.malloc_scalar::<u64>(0);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    s.single(|s| s.task(TaskArgs::ab(300, 0)));
+                },
+                move |s, t| {
+                    std::hint::black_box((0..2_000u64).sum::<u64>());
+                    s.critical_named("chain", |th| {
+                        let v = count.get(th);
+                        count.set(th, v + 1);
+                    });
+                    if t.a > 0 {
+                        s.task(TaskArgs::ab(t.a - 1, 0));
+                    }
+                },
+            );
+            count.get(omp)
+        });
+        assert_eq!(out.result, 301, "every chain link ran exactly once");
+        assert!(
+            out.dsm.cond_waits > 0,
+            "starved workers must park on the condvar"
+        );
+    }
+
+    #[test]
+    fn overflow_runs_tasks_inline() {
+        let out = run(OmpConfig::fast_test(2), |omp| {
+            let acc = omp.malloc_scalar::<u64>(0);
+            let cfg = TaskScopeConfig {
+                deque_capacity: 2,
+                ..Default::default()
+            };
+            omp.task_scope(
+                cfg,
+                move |s| {
+                    if s.thread_num() == 0 {
+                        for _ in 0..16 {
+                            s.task(TaskArgs::ab(1, 0));
+                        }
+                    }
+                },
+                move |s, t| {
+                    s.critical_named("ovf", |th| {
+                        let v = acc.get(th);
+                        acc.set(th, v + t.a);
+                    });
+                },
+            );
+            acc.get(omp)
+        });
+        assert_eq!(out.result, 16);
+        assert!(out.dsm.task_overflows > 0, "tiny deque must overflow");
+    }
+
+    #[test]
+    fn taskwait_drains_spawned_tasks() {
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            let data = omp.malloc_vec::<u64>(32);
+            let sum = omp.malloc_scalar::<u64>(0);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    s.single(|s| s.task(TaskArgs::ab(u64::MAX, 0)));
+                },
+                move |s, t| {
+                    if t.a == u64::MAX {
+                        // Root: fan out writers, wait, then reduce — the
+                        // taskwait guarantees every write is done.
+                        for i in 0..32 {
+                            s.task(TaskArgs::ab(i, 0));
+                        }
+                        s.taskwait();
+                        let mut total = 0;
+                        for i in 0..32 {
+                            total += s.read(&data, i);
+                        }
+                        sum.set(s, total);
+                    } else {
+                        s.write(&data, t.a as usize, t.a + 1);
+                    }
+                },
+            );
+            sum.get(omp)
+        });
+        // sum of (i+1) for i in 0..32
+        assert_eq!(out.result, (1..=32).sum::<u64>());
+    }
+
+    #[test]
+    fn concurrent_taskwaits_on_different_nodes_both_return() {
+        // Two sibling tasks fan out children and taskwait concurrently
+        // (canonical divide-and-conquer). Each waiter must account for
+        // the *other* suspended chain's depth, or neither ever observes
+        // its own deficit and both spin forever.
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            let data = omp.malloc_vec::<u64>(2 * 16);
+            let sums = omp.malloc_vec::<u64>(2);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    s.single(|s| {
+                        s.task(TaskArgs::ab(u64::MAX, 0));
+                        s.task(TaskArgs::ab(u64::MAX, 1));
+                    });
+                },
+                move |s, t| {
+                    if t.a == u64::MAX {
+                        let half = t.b;
+                        for i in 0..16 {
+                            s.task(TaskArgs::ab(half * 16 + i, half));
+                        }
+                        s.taskwait();
+                        let mut total = 0;
+                        for i in 0..16 {
+                            total += s.read(&data, (half * 16 + i) as usize);
+                        }
+                        s.write(&sums, half as usize, total);
+                    } else {
+                        s.write(&data, t.a as usize, t.a + 1);
+                    }
+                },
+            );
+            omp.read_slice(&sums, 0..2)
+        });
+        // sum of (i+1) for i in 0..16 and 16..32
+        assert_eq!(out.result[0], (1..=16).sum::<u64>());
+        assert_eq!(out.result[1], (17..=32).sum::<u64>());
+    }
+
+    #[test]
+    fn nested_taskwait_single_node_terminates() {
+        // Task X spawns Y and taskwaits; while helping, X executes Y,
+        // which spawns a leaf and taskwaits *nested* on the same thread.
+        // The inner wait must publish only the frames the outer wait has
+        // not, or the waiting sum overshoots the true deficit and both
+        // waits spin forever (the 1-node case makes the schedule
+        // deterministic: one thread runs the whole chain).
+        let out = run(OmpConfig::fast_test(1), |omp| {
+            let log = omp.malloc_vec::<u64>(3);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    s.single(|s| s.task(TaskArgs::ab(0, 0)));
+                },
+                move |s, t| match t.a {
+                    0 => {
+                        s.task(TaskArgs::ab(1, 0));
+                        s.taskwait();
+                        let child = s.read(&log, 1);
+                        s.write(&log, 0, 1 + child);
+                    }
+                    1 => {
+                        s.task(TaskArgs::ab(2, 0));
+                        s.taskwait();
+                        let child = s.read(&log, 2);
+                        s.write(&log, 1, 1 + child);
+                    }
+                    _ => s.write(&log, 2, 1),
+                },
+            );
+            omp.read_slice(&log, 0..3)
+        });
+        assert_eq!(
+            out.result,
+            vec![3, 2, 1],
+            "each level saw its child's write"
+        );
+    }
+
+    #[test]
+    fn deque_and_term_locks_are_disjoint() {
+        for n in [1usize, 2, 3, 8, 16] {
+            let mut ids: Vec<u32> = (0..n).map(|k| deque_lock(n, k)).collect();
+            ids.push(term_lock(n));
+            let unique: std::collections::HashSet<u32> = ids.iter().copied().collect();
+            assert_eq!(unique.len(), ids.len(), "lock collision at n={n}");
+            for k in 0..n {
+                assert_eq!(
+                    deque_lock(n, k) as usize % n,
+                    k,
+                    "manager must be the owner"
+                );
+            }
+            assert_eq!(
+                term_lock(n) as usize % n,
+                0,
+                "termination lock managed by node 0"
+            );
+        }
+    }
+}

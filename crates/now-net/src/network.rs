@@ -125,7 +125,13 @@ impl<M: Wire> Endpoint<M> {
             self.stats.record_send(self.id, msg.kind(), bytes);
             self.clock.advance(self.cfg.send_overhead_ns)
         };
-        let env = Envelope { src: self.id, dst, send_vt, wire_bytes: bytes, msg };
+        let env = Envelope {
+            src: self.id,
+            dst,
+            send_vt,
+            wire_bytes: bytes,
+            msg,
+        };
         // Receivers are never dropped while any endpoint is alive, so a
         // send can only fail during teardown; losing messages then is fine.
         let _ = self.senders[dst].send(env);
@@ -164,7 +170,12 @@ impl<M: Wire> Endpoint<M> {
         } else {
             env.send_vt + self.cfg.fly_time_ns(env.wire_bytes)
         };
-        Delivered { src: env.src, arrival_vt, wire_bytes: env.wire_bytes, msg: env.msg }
+        Delivered {
+            src: env.src,
+            arrival_vt,
+            wire_bytes: env.wire_bytes,
+            msg: env.msg,
+        }
     }
 
     /// Application-context receive: raise the node's clock to the
@@ -172,8 +183,11 @@ impl<M: Wire> Endpoint<M> {
     /// Returns the clock after charging.
     pub fn charge_rx(&self, d: &Delivered<M>) -> u64 {
         self.clock.raise_to(d.arrival_vt);
-        let cost =
-            if d.src == self.id { self.cfg.local_delivery_ns } else { self.cfg.handler_ns };
+        let cost = if d.src == self.id {
+            self.cfg.local_delivery_ns
+        } else {
+            self.cfg.handler_ns
+        };
         self.clock.advance(cost)
     }
 
@@ -182,8 +196,11 @@ impl<M: Wire> Endpoint<M> {
     /// application thread. Advances only the CPU timeline.
     pub fn service_rx(&self, d: &Delivered<M>) -> u64 {
         self.clock.service_enter(d.arrival_vt);
-        let cost =
-            if d.src == self.id { self.cfg.local_delivery_ns } else { self.cfg.handler_ns };
+        let cost = if d.src == self.id {
+            self.cfg.local_delivery_ns
+        } else {
+            self.cfg.handler_ns
+        };
         self.clock.service_advance(cost)
     }
 
@@ -198,7 +215,13 @@ impl<M: Wire> Endpoint<M> {
             self.stats.record_send(self.id, msg.kind(), bytes);
             self.clock.service_advance(self.cfg.send_overhead_ns)
         };
-        let env = Envelope { src: self.id, dst, send_vt, wire_bytes: bytes, msg };
+        let env = Envelope {
+            src: self.id,
+            dst,
+            send_vt,
+            wire_bytes: bytes,
+            msg,
+        };
         let _ = self.senders[dst].send(env);
     }
 }

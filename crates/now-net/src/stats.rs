@@ -46,8 +46,16 @@ impl NetStats {
     /// Immutable snapshot of all counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            msgs: self.per_node.iter().map(|c| c.msgs.load(Ordering::Relaxed)).collect(),
-            bytes: self.per_node.iter().map(|c| c.bytes.load(Ordering::Relaxed)).collect(),
+            msgs: self
+                .per_node
+                .iter()
+                .map(|c| c.msgs.load(Ordering::Relaxed))
+                .collect(),
+            bytes: self
+                .per_node
+                .iter()
+                .map(|c| c.bytes.load(Ordering::Relaxed))
+                .collect(),
             per_kind: self.per_kind.lock().clone(),
         }
     }
@@ -92,7 +100,10 @@ impl StatsSnapshot {
     /// Counter-wise difference `self - earlier` (for measuring a phase).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         let sub = |a: &[u64], b: &[u64]| -> Vec<u64> {
-            a.iter().zip(b.iter().chain(std::iter::repeat(&0))).map(|(x, y)| x - y).collect()
+            a.iter()
+                .zip(b.iter().chain(std::iter::repeat(&0)))
+                .map(|(x, y)| x - y)
+                .collect()
         };
         let mut per_kind = self.per_kind.clone();
         for (k, (m, b)) in &earlier.per_kind {
@@ -101,7 +112,11 @@ impl StatsSnapshot {
                 e.1 -= b;
             }
         }
-        StatsSnapshot { msgs: sub(&self.msgs, &earlier.msgs), bytes: sub(&self.bytes, &earlier.bytes), per_kind }
+        StatsSnapshot {
+            msgs: sub(&self.msgs, &earlier.msgs),
+            bytes: sub(&self.bytes, &earlier.bytes),
+            per_kind,
+        }
     }
 }
 

@@ -115,7 +115,10 @@ impl VirtualClock {
 /// time-slicing is invisible to per-thread CPU clocks, unlike wall clocks).
 #[inline]
 pub fn thread_cpu_ns() -> u64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
     // SAFETY: `ts` is a valid, writable timespec; CLOCK_THREAD_CPUTIME_ID is
     // supported on all Linux/glibc targets this crate builds for.
     let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
@@ -141,7 +144,11 @@ pub struct ComputeMeter {
 impl ComputeMeter {
     /// Start metering with the given compute scale factor.
     pub fn new(scale: f64) -> Self {
-        ComputeMeter { mark: thread_cpu_ns(), scale, running: true }
+        ComputeMeter {
+            mark: thread_cpu_ns(),
+            scale,
+            running: true,
+        }
     }
 
     /// The configured compute scale factor.
@@ -254,7 +261,10 @@ mod tests {
         // backlog cap.
         c.service_enter(1_000_000);
         let done = c.service_advance(50_000);
-        assert_eq!(done, 1_000_000 + VirtualClock::SERVICE_BACKLOG_CAP_NS + 50_000);
+        assert_eq!(
+            done,
+            1_000_000 + VirtualClock::SERVICE_BACKLOG_CAP_NS + 50_000
+        );
     }
 
     #[test]

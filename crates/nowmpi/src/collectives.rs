@@ -38,18 +38,26 @@ impl MpiRank {
         let out = self.metered(|s| {
             let (r, p) = (s.rank(), s.size());
             let vr = (r + p - root) % p; // virtual rank with root at 0
-            let mut buf = if r == root { Some(bytes_of(data)) } else { None };
+            let mut buf = if r == root {
+                Some(bytes_of(data))
+            } else {
+                None
+            };
             // Receive from parent (highest set bit of vr).
             if vr != 0 {
                 let parent_vr = vr & (vr - 1); // clear lowest set bit? see below
-                // Binomial tree: parent clears the *lowest* set bit.
+                                               // Binomial tree: parent clears the *lowest* set bit.
                 let parent = (parent_vr + root) % p;
                 let bytes = s.recv_match_raw(parent as i32, TAG_BCAST);
                 buf = Some(bytes);
             }
             let bytes = buf.expect("bcast buffer");
             // Forward to children: set bits above our lowest set bit.
-            let lowest = if vr == 0 { p.next_power_of_two() } else { vr & vr.wrapping_neg() };
+            let lowest = if vr == 0 {
+                p.next_power_of_two()
+            } else {
+                vr & vr.wrapping_neg()
+            };
             let mut mask = 1;
             while mask < lowest && mask < p {
                 let child_vr = vr | mask;
@@ -150,7 +158,11 @@ impl MpiRank {
                 let per = data.len() / p;
                 for dst in 0..p {
                     if dst != r {
-                        s.send_raw(dst, TAG_SCATTER, bytes_of(&data[dst * per..(dst + 1) * per]));
+                        s.send_raw(
+                            dst,
+                            TAG_SCATTER,
+                            bytes_of(&data[dst * per..(dst + 1) * per]),
+                        );
                     }
                 }
                 data[r * per..(r + 1) * per].to_vec()
@@ -174,7 +186,11 @@ impl MpiRank {
             for off in 1..p {
                 let dst = (r + off) % p;
                 let src = (r + p - off) % p;
-                s.send_raw(dst, TAG_ALLTOALL, bytes_of(&data[dst * per..(dst + 1) * per]));
+                s.send_raw(
+                    dst,
+                    TAG_ALLTOALL,
+                    bytes_of(&data[dst * per..(dst + 1) * per]),
+                );
                 let theirs: Vec<T> = vec_from(&s.recv_match_raw(src as i32, TAG_ALLTOALL));
                 out[src * per..(src + 1) * per].copy_from_slice(&theirs);
             }

@@ -100,7 +100,14 @@ impl MpiRank {
     }
 
     pub(crate) fn send_raw(&mut self, dst: usize, tag: i32, bytes: Vec<u8>) {
-        self.ep.send(dst, MpiMsg { tag, bytes, envelope: self.envelope });
+        self.ep.send(
+            dst,
+            MpiMsg {
+                tag,
+                bytes,
+                envelope: self.envelope,
+            },
+        );
     }
 
     /// Blocking typed receive from a specific source and tag
@@ -114,8 +121,11 @@ impl MpiRank {
     pub fn recv_from<T: Pod>(&mut self, src: i32, tag: i32) -> (Vec<T>, Status) {
         self.metered(|s| {
             let d = s.recv_match(src, tag);
-            let status =
-                Status { source: d.src, tag: d.msg.tag, bytes: d.msg.bytes.len() };
+            let status = Status {
+                source: d.src,
+                tag: d.msg.tag,
+                bytes: d.msg.bytes.len(),
+            };
             (vec_from(&d.msg.bytes), status)
         })
     }
@@ -141,8 +151,7 @@ impl MpiRank {
     /// queue first. Arrival time is charged when the message is consumed.
     pub(crate) fn recv_match(&mut self, src: i32, tag: i32) -> Delivered<MpiMsg> {
         let matches = |d: &Delivered<MpiMsg>| {
-            (src == ANY_SOURCE || d.src == src as usize)
-                && (tag == ANY_TAG || d.msg.tag == tag)
+            (src == ANY_SOURCE || d.src == src as usize) && (tag == ANY_TAG || d.msg.tag == tag)
         };
         if let Some(pos) = self.pending.iter().position(matches) {
             let d = self.pending.remove(pos).expect("position valid");
@@ -170,9 +179,11 @@ impl MpiRank {
             while let Some(d) = s.ep.try_recv() {
                 s.pending.push_back(d);
             }
-            s.pending
-                .front()
-                .map(|d| Status { source: d.src, tag: d.msg.tag, bytes: d.msg.bytes.len() })
+            s.pending.front().map(|d| Status {
+                source: d.src,
+                tag: d.msg.tag,
+                bytes: d.msg.bytes.len(),
+            })
         })
     }
 }
@@ -189,12 +200,12 @@ pub(crate) fn bytes_of<T: Pod>(data: &[T]) -> Vec<u8> {
 pub(crate) fn vec_from<T: Pod>(bytes: &[u8]) -> Vec<T> {
     let size = std::mem::size_of::<T>();
     assert!(
-        size == 0 || bytes.len() % size == 0,
+        size == 0 || bytes.len().is_multiple_of(size),
         "payload of {} bytes is not a whole number of {}-byte elements",
         bytes.len(),
         size
     );
-    let n = if size == 0 { 0 } else { bytes.len() / size };
+    let n = bytes.len().checked_div(size).unwrap_or(0);
     let mut out: Vec<T> = Vec::with_capacity(n);
     // SAFETY: T is Pod; capacity reserved; lengths checked above.
     unsafe {
@@ -225,10 +236,18 @@ mod tests {
 
     #[test]
     fn mpi_msg_wire_size_includes_envelope() {
-        let m = MpiMsg { tag: 0, bytes: vec![0; 100], envelope: 16 };
+        let m = MpiMsg {
+            tag: 0,
+            bytes: vec![0; 100],
+            envelope: 16,
+        };
         assert_eq!(m.wire_bytes(), 116);
         assert_eq!(m.kind(), "mpi_pt2pt");
-        let c = MpiMsg { tag: COLLECTIVE_TAG_BASE - 1, bytes: vec![], envelope: 16 };
+        let c = MpiMsg {
+            tag: COLLECTIVE_TAG_BASE - 1,
+            bytes: vec![],
+            envelope: 16,
+        };
         assert_eq!(c.kind(), "mpi_collective");
     }
 }

@@ -17,12 +17,18 @@ pub struct MpiConfig {
 impl MpiConfig {
     /// Paper platform: MPICH over TCP, ~8.8 MB/s max bandwidth.
     pub fn paper(nodes: usize) -> Self {
-        MpiConfig { net: NetworkConfig::paper_tcp(nodes), envelope_bytes: 16 }
+        MpiConfig {
+            net: NetworkConfig::paper_tcp(nodes),
+            envelope_bytes: 16,
+        }
     }
 
     /// Near-zero-cost functional-test configuration.
     pub fn fast_test(nodes: usize) -> Self {
-        MpiConfig { net: NetworkConfig::fast_test(nodes), envelope_bytes: 16 }
+        MpiConfig {
+            net: NetworkConfig::fast_test(nodes),
+            envelope_bytes: 16,
+        }
     }
 
     /// Number of ranks.
@@ -40,6 +46,9 @@ mod tests {
         assert_eq!(MpiConfig::paper(8).ranks(), 8);
         let tcp = MpiConfig::paper(2).net;
         let udp = NetworkConfig::paper_udp(2);
-        assert!(tcp.bandwidth_bps < udp.bandwidth_bps, "TCP path is the slower one");
+        assert!(
+            tcp.bandwidth_bps < udp.bandwidth_bps,
+            "TCP path is the slower one"
+        );
     }
 }

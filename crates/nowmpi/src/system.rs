@@ -60,7 +60,11 @@ where
         results.push(r);
         vt_ns = vt_ns.max(vt);
     }
-    MpiOutcome { results, vt_ns, net: stats_ep.stats() }
+    MpiOutcome {
+        results,
+        vt_ns,
+        net: stats_ep.stats(),
+    }
 }
 
 #[cfg(test)]
@@ -123,8 +127,11 @@ mod tests {
         for p in [2usize, 3, 4, 7] {
             for root in 0..p {
                 let out = run_mpi(cfg(p), move |mpi| {
-                    let mut data =
-                        if mpi.rank() == root { vec![42u64, 43] } else { vec![0u64, 0] };
+                    let mut data = if mpi.rank() == root {
+                        vec![42u64, 43]
+                    } else {
+                        vec![0u64, 0]
+                    };
                     mpi.bcast(root, &mut data);
                     data
                 });
@@ -144,7 +151,7 @@ mod tests {
             (red, all)
         });
         for (r, (red, all)) in out.results.into_iter().enumerate() {
-            assert_eq!(all, vec![0 + 1 + 2 + 3 + 4, 5]);
+            assert_eq!(all, vec![1 + 2 + 3 + 4, 5]); // sum of ranks 0..=4, sum of the ones
             if r == 2 {
                 assert_eq!(red, Some(vec![10, 5]));
             } else {

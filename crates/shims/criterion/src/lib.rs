@@ -1,0 +1,195 @@
+//! Offline vendored subset of `criterion`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the criterion API surface its benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`, `criterion_main!`, `black_box`). Timing is a simple
+//! best-of-N wall-clock measurement printed per benchmark — enough to
+//! compare host costs run to run, with none of criterion's statistics.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; drives the measured iterations.
+pub struct Bencher {
+    samples: usize,
+    best_ns: u128,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            best_ns: u128::MAX,
+            iters_done: 0,
+        }
+    }
+
+    /// Measure `routine` repeatedly, keeping the best sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(dt);
+            self.iters_done += 1;
+        }
+    }
+
+    /// Measure `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            let dt = t0.elapsed().as_nanos();
+            self.best_ns = self.best_ns.min(dt);
+            self.iters_done += 1;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters_done == 0 {
+        println!("bench {name}: no samples");
+    } else {
+        println!(
+            "bench {name}: best {} ns over {} samples",
+            b.best_ns, b.iters_done
+        );
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for subsequent benchmarks in the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<S: Into<String>>(
+        &mut self,
+        id: S,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    /// Parse CLI flags (accepted and ignored for compatibility).
+    pub fn configure_from_args(mut self) -> Self {
+        self.samples = 5;
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 5 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _c: self,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<S: Into<String>>(
+        &mut self,
+        id: S,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let samples = if self.samples == 0 { 5 } else { self.samples };
+        let mut b = Bencher::new(samples);
+        f(&mut b);
+        report(&id, &b);
+        self
+    }
+
+    /// Emit summaries (no-op; exists for API compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("square", |b| b.iter(|| black_box(21u64) * 2));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

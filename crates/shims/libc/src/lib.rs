@@ -1,0 +1,66 @@
+//! Offline vendored subset of `libc`.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the one libc binding it uses: `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`
+//! for per-thread CPU metering. Declarations match the Linux ABI on the
+//! 64-bit targets this project builds for; std already links the system
+//! libc, so the extern resolves without any build script.
+
+#![allow(non_camel_case_types)]
+
+/// Seconds component of a timespec.
+pub type time_t = i64;
+/// Nanoseconds component of a timespec.
+pub type c_long = i64;
+/// C `int`.
+pub type c_int = i32;
+/// POSIX clock identifier.
+pub type clockid_t = c_int;
+
+/// POSIX `struct timespec`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds (0..1e9).
+    pub tv_nsec: c_long,
+}
+
+/// Clock id for the calling thread's CPU time (value is OS-specific).
+#[cfg(target_os = "linux")]
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+/// Clock id for the calling thread's CPU time (value is OS-specific).
+#[cfg(target_os = "macos")]
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 16;
+#[cfg(not(any(target_os = "linux", target_os = "macos")))]
+compile_error!(
+    "vendored libc shim: CLOCK_THREAD_CPUTIME_ID is only defined for Linux and macOS;      add this target's value before building"
+);
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_works_and_advances() {
+        let mut a = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
+        assert_eq!(rc, 0);
+        let mut x = 0u64;
+        for i in 0..3_000_000u64 {
+            x = x.wrapping_add(i * i);
+        }
+        std::hint::black_box(x);
+        let mut b = timespec::default();
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
+        assert_eq!(rc, 0);
+        let ns = |t: &timespec| t.tv_sec as u64 * 1_000_000_000 + t.tv_nsec as u64;
+        assert!(ns(&b) > ns(&a));
+    }
+}

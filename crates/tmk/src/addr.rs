@@ -48,7 +48,10 @@ struct AllocInner {
 impl AllocTable {
     /// Create an empty table for pages of `1 << page_shift` bytes.
     pub fn new(page_shift: u32) -> Arc<Self> {
-        Arc::new(AllocTable { page_shift, inner: RwLock::new(AllocInner::default()) })
+        Arc::new(AllocTable {
+            page_shift,
+            inner: RwLock::new(AllocInner::default()),
+        })
     }
 
     /// Page size in bytes.

@@ -13,10 +13,10 @@
 
 use crate::addr::{AllocTable, PageId};
 use crate::interval::IntervalId;
-use now_net::Wire as _;
 use crate::protocol::{Msg, Region};
 use crate::state::NodeState;
 use crossbeam::channel::Receiver;
+use now_net::Wire as _;
 use now_net::{ComputeMeter, Delivered, Endpoint, VirtualClock};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -69,7 +69,9 @@ impl Tmk {
     }
 
     pub(crate) fn recv_reply(&self) -> Delivered<Msg> {
-        self.app_rx.recv().expect("node service thread disconnected")
+        self.app_rx
+            .recv()
+            .expect("node service thread disconnected")
     }
 
     // ------------------------------------------------------------------
@@ -120,7 +122,13 @@ impl Tmk {
                 self.ep.send(*owner, Msg::PageReq { page: *pid });
             }
             for (pid, node, seqs) in &fetch {
-                self.ep.send(*node, Msg::DiffReq { page: *pid, seqs: seqs.clone() });
+                self.ep.send(
+                    *node,
+                    Msg::DiffReq {
+                        page: *pid,
+                        seqs: seqs.clone(),
+                    },
+                );
             }
             let expected = full.len() + fetch.len();
             let mut by_page: HashMap<PageId, Vec<(usize, u32, Arc<crate::diff::Diff>)>> =
@@ -149,7 +157,14 @@ impl Tmk {
                     .iter()
                     .map(|(node, seq, diff)| {
                         let vc_sum = st.interval_log[&(*node as u32, *seq)].vc_sum;
-                        (IntervalId { node: *node as u32, seq: *seq }, vc_sum, diff.clone())
+                        (
+                            IntervalId {
+                                node: *node as u32,
+                                seq: *seq,
+                            },
+                            vc_sum,
+                            diff.clone(),
+                        )
                     })
                     .collect();
                 st.apply_fetched(page, items);
@@ -174,15 +189,27 @@ impl Tmk {
             let mut st = self.state.lock();
             st.close_interval();
             let bundle = st.bundle_for(&st.known_vc[0]);
-            let vc = st.vc.clone();
-            st.note_sent_vc(0, &vc);
+            let pvc = st.processed_vc.clone();
+            st.note_sent_vc(0, &pvc);
             (bundle, st.diff_store_bytes)
         };
-        self.ep.send(0, Msg::BarrierArrive { epoch, bundle, diff_bytes });
+        self.ep.send(
+            0,
+            Msg::BarrierArrive {
+                epoch,
+                bundle,
+                diff_bytes,
+            },
+        );
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
         let src = d.src;
-        let Msg::BarrierDepart { epoch: e, bundle, gc } = d.msg else {
+        let Msg::BarrierDepart {
+            epoch: e,
+            bundle,
+            gc,
+        } = d.msg
+        else {
             panic!("expected BarrierDepart, got {}", d.msg.kind())
         };
         assert_eq!(e, epoch, "barrier episode mismatch");
@@ -192,27 +219,36 @@ impl Tmk {
             st.stats.barriers += 1;
         }
         if gc {
-            self.run_gc(epoch);
+            // The departure bundle's clock is the GC snapshot: it is built
+            // under one lock tenure at the barrier manager, so every node
+            // receives the identical clock and the GC round is scoped to
+            // the same interval set cluster-wide — even if a manager
+            // node's own log has already grown past it.
+            self.run_gc(epoch, &bundle.pvc);
         }
     }
 
     /// Barrier-time diff garbage collection: validate the pages we own,
-    /// report done, wait for everyone, then drop diffs/notices and
-    /// re-base (see DESIGN.md §2).
-    fn run_gc(&mut self, epoch: u32) {
-        let owners = self.state.lock().compute_gc_owners();
-        let mine: Vec<PageId> =
-            owners.iter().filter(|&(_, &o)| o == self.id).map(|(&p, _)| p).collect();
+    /// report done, wait for everyone, then drop diffs/notices covered by
+    /// the snapshot clock `upto` and re-base (see DESIGN.md §2).
+    fn run_gc(&mut self, epoch: u32, upto: &crate::interval::VectorClock) {
+        let owners = self.state.lock().compute_gc_owners(upto);
+        let mine: Vec<PageId> = owners
+            .iter()
+            .filter(|&(_, &o)| o == self.id)
+            .map(|(&p, _)| p)
+            .collect();
         if !mine.is_empty() {
             self.fault_pages(&mine);
         }
         self.ep.send(0, Msg::GcDone { epoch });
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
-        let Msg::GcComplete { .. } = d.msg else {
+        let Msg::GcComplete { epoch: done_epoch } = d.msg else {
             panic!("expected GcComplete, got {}", d.msg.kind())
         };
-        self.state.lock().apply_gc_complete(&owners);
+        debug_assert_eq!(done_epoch, epoch, "GC episode mismatch");
+        self.state.lock().apply_gc_complete(&owners, upto);
     }
 
     // ------------------------------------------------------------------
@@ -231,15 +267,26 @@ impl Tmk {
     fn lock_acquire_inner(&mut self, lock: u32) {
         let (mgr, vc) = {
             let mut st = self.state.lock();
-            assert!(!st.held_locks.contains(&lock), "recursive lock_acquire({lock})");
+            assert!(
+                !st.held_locks.contains(&lock),
+                "recursive lock_acquire({lock})"
+            );
             st.stats.lock_acquires += 1;
             if st.manager_of(lock) == st.id {
                 st.stats.lock_acquires_local += 1;
             }
-            (st.manager_of(lock), st.vc.clone())
+            (st.manager_of(lock), st.processed_vc.clone())
         };
         let req_vt = self.clock.now();
-        self.ep.send(mgr, Msg::LockAcq { lock, requester: self.id, vc, req_vt });
+        self.ep.send(
+            mgr,
+            Msg::LockAcq {
+                lock,
+                requester: self.id,
+                vc,
+                req_vt,
+            },
+        );
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
         let src = d.src;
@@ -262,12 +309,15 @@ impl Tmk {
     fn lock_release_inner(&mut self, lock: u32) {
         let (mgr, bundle) = {
             let mut st = self.state.lock();
-            assert!(st.held_locks.remove(&lock), "lock_release({lock}) without holding it");
+            assert!(
+                st.held_locks.remove(&lock),
+                "lock_release({lock}) without holding it"
+            );
             st.close_interval();
             let mgr = st.manager_of(lock);
             let bundle = st.bundle_for(&st.known_vc[mgr]);
-            let vc = st.vc.clone();
-            st.note_sent_vc(mgr, &vc);
+            let pvc = st.processed_vc.clone();
+            st.note_sent_vc(mgr, &pvc);
             (mgr, bundle)
         };
         self.ep.send(mgr, Msg::LockRelease { lock, bundle });
@@ -297,17 +347,18 @@ impl Tmk {
             let mut st = self.state.lock();
             st.close_interval();
             let bundle = st.bundle_for(&st.known_vc[mgr]);
-            let vc = st.vc.clone();
-            st.note_sent_vc(mgr, &vc);
+            let pvc = st.processed_vc.clone();
+            st.note_sent_vc(mgr, &pvc);
             st.stats.sema_signals += 1;
             bundle
         };
         self.ep.send(mgr, Msg::SemaSignal { sema, bundle });
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
-        let Msg::SemaAck { .. } = d.msg else {
+        let Msg::SemaAck { sema: acked } = d.msg else {
             panic!("expected SemaAck, got {}", d.msg.kind())
         };
+        debug_assert_eq!(acked, sema, "semaphore ack mismatch");
     }
 
     /// `sema_wait(S)`: acquire semantics; blocks (without busy-waiting)
@@ -319,15 +370,28 @@ impl Tmk {
 
     fn sema_wait_inner(&mut self, sema: u32) {
         let mgr = sema as usize % self.n;
-        let vc = self.state.lock().vc.clone();
+        let vc = self.state.lock().processed_vc.clone();
         let req_vt = self.clock.now();
-        self.ep.send(mgr, Msg::SemaWait { sema, requester: self.id, vc, req_vt });
+        self.ep.send(
+            mgr,
+            Msg::SemaWait {
+                sema,
+                requester: self.id,
+                vc,
+                req_vt,
+            },
+        );
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
         let src = d.src;
-        let Msg::SemaGrant { bundle, .. } = d.msg else {
+        let Msg::SemaGrant {
+            sema: granted,
+            bundle,
+        } = d.msg
+        else {
             panic!("expected SemaGrant, got {}", d.msg.kind())
         };
+        debug_assert_eq!(granted, sema, "semaphore grant mismatch");
         let mut st = self.state.lock();
         st.apply_bundle(src, &bundle);
         st.stats.sema_waits += 1;
@@ -346,17 +410,29 @@ impl Tmk {
     fn cond_wait_inner(&mut self, lock: u32, cond: u32) {
         let (mgr, bundle) = {
             let mut st = self.state.lock();
-            assert!(st.held_locks.remove(&lock), "cond_wait without holding lock {lock}");
+            assert!(
+                st.held_locks.remove(&lock),
+                "cond_wait without holding lock {lock}"
+            );
             st.close_interval(); // the wait releases the lock
             let mgr = st.manager_of(lock);
             let bundle = st.bundle_for(&st.known_vc[mgr]);
-            let vc = st.vc.clone();
-            st.note_sent_vc(mgr, &vc);
+            let pvc = st.processed_vc.clone();
+            st.note_sent_vc(mgr, &pvc);
             st.stats.cond_waits += 1;
             (mgr, bundle)
         };
         let req_vt = self.clock.now();
-        self.ep.send(mgr, Msg::CondWait { lock, cond, requester: self.id, bundle, req_vt });
+        self.ep.send(
+            mgr,
+            Msg::CondWait {
+                lock,
+                cond,
+                requester: self.id,
+                bundle,
+                req_vt,
+            },
+        );
         // Blocked until a signal re-queues us for the critical section.
         let d = self.recv_reply();
         self.ep.charge_rx(&d);
@@ -415,12 +491,12 @@ impl Tmk {
             let mut st = self.state.lock();
             st.close_interval();
             st.stats.flushes += 1;
-            let vc = st.vc.clone();
+            let pvc = st.processed_vc.clone();
             (0..self.n)
                 .filter(|&p| p != me)
                 .map(|p| {
                     let b = st.bundle_for(&st.known_vc[p]);
-                    st.note_sent_vc(p, &vc);
+                    st.note_sent_vc(p, &pvc);
                     (p, b)
                 })
                 .collect()
@@ -459,18 +535,24 @@ impl Tmk {
             let mut st = s.state.lock();
             st.close_interval();
             st.stats.forks += 1;
-            let vc = st.vc.clone();
+            let pvc = st.processed_vc.clone();
             let bundles: Vec<(usize, crate::interval::NoticeBundle)> = (1..s.n)
                 .map(|p| {
                     let b = st.bundle_for(&st.known_vc[p]);
-                    st.note_sent_vc(p, &vc);
+                    st.note_sent_vc(p, &pvc);
                     (p, b)
                 })
                 .collect();
             drop(st);
             // ...delivered to each slave as an acquire at region start.
             for (peer, bundle) in bundles {
-                s.ep.send(peer, Msg::Fork { region: region.clone(), bundle });
+                s.ep.send(
+                    peer,
+                    Msg::Fork {
+                        region: region.clone(),
+                        bundle,
+                    },
+                );
             }
         });
         self.in_region = true;
@@ -482,5 +564,13 @@ impl Tmk {
     /// Whether this thread is currently inside a parallel region.
     pub fn in_parallel(&self) -> bool {
         self.in_region
+    }
+
+    /// Mutate this node's protocol statistics (for runtime layers built on
+    /// top of the DSM — e.g. the OpenMP tasking scheduler — that surface
+    /// their own event counters through [`crate::TmkStats`]). Bookkeeping
+    /// only: runs off the compute meter and touches no protocol state.
+    pub fn bump_stats(&mut self, f: impl FnOnce(&mut crate::TmkStats)) {
+        f(&mut self.state.lock().stats);
     }
 }

@@ -51,7 +51,10 @@ impl Diff {
                 }
                 j += 1;
             }
-            runs.push(DiffRun { offset: start as u32, bytes: current[start..end].to_vec() });
+            runs.push(DiffRun {
+                offset: start as u32,
+                bytes: current[start..end].to_vec(),
+            });
             i = end;
         }
         Diff { runs }

@@ -73,27 +73,50 @@ pub struct IntervalInfo {
 }
 
 /// A batch of write notices sent on a release→acquire edge, together with
-/// the sender's vector clock.
+/// the sender's clocks.
+///
+/// Two clocks travel with every bundle because "knowing of" and "having
+/// processed" an interval are different facts on a network with multiple
+/// channels per node pair: `vc` is the sender's *promise* clock (intervals
+/// it knows exist — some of whose notices may still be in flight to it),
+/// `pvc` its *processed* clock (the contiguous frontier of intervals whose
+/// notices it has actually logged). Receivers merge `vc` into their own
+/// promise clock for happens-before ordering, but acknowledge only `pvc`
+/// as the sender's transferable knowledge — filtering against promise
+/// clocks can permanently withhold a notice whose carrier message was
+/// overtaken, which surfaces as stale reads inside critical sections.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NoticeBundle {
     /// Intervals the receiver has (presumably) not seen.
     pub intervals: Vec<(IntervalId, IntervalInfo)>,
-    /// Sender's vector clock at send time; merged by the receiver after
+    /// Sender's promise clock at send time; merged by the receiver after
     /// processing the notices.
     pub vc: VectorClock,
+    /// Sender's processed clock at send time (see type docs).
+    pub pvc: VectorClock,
 }
 
 impl NoticeBundle {
-    /// An empty bundle carrying just the clock.
+    /// An empty bundle carrying just the clocks.
     pub fn empty(vc: VectorClock) -> Self {
-        NoticeBundle { intervals: Vec::new(), vc }
+        let pvc = vc.clone();
+        NoticeBundle {
+            intervals: Vec::new(),
+            vc,
+            pvc,
+        }
     }
 
-    /// Modeled wire size: clock + 12 bytes per interval header + 4 bytes
-    /// per page id.
+    /// Modeled wire size: both clocks + 12 bytes per interval header +
+    /// 4 bytes per page id.
     pub fn wire_bytes(&self) -> usize {
         self.vc.wire_bytes()
-            + self.intervals.iter().map(|(_, info)| 12 + 4 * info.pages.len()).sum::<usize>()
+            + self.pvc.wire_bytes()
+            + self
+                .intervals
+                .iter()
+                .map(|(_, info)| 12 + 4 * info.pages.len())
+                .sum::<usize>()
     }
 
     /// Total write notices (page entries) carried.
@@ -137,11 +160,15 @@ mod tests {
         let b = NoticeBundle {
             intervals: vec![(
                 IntervalId { node: 0, seq: 1 },
-                IntervalInfo { vc_sum: 1, pages: vec![1, 2, 3] },
+                IntervalInfo {
+                    vc_sum: 1,
+                    pages: vec![1, 2, 3],
+                },
             )],
             vc: VectorClock::zero(4),
+            pvc: VectorClock::zero(4),
         };
-        assert_eq!(b.wire_bytes(), 16 + 12 + 12);
+        assert_eq!(b.wire_bytes(), 16 + 16 + 12 + 12);
         assert_eq!(b.notice_count(), 3);
     }
 

@@ -51,7 +51,11 @@ impl<T> Copy for SharedVec<T> {}
 
 impl<T: Shareable> SharedVec<T> {
     pub(crate) fn new(base: u64, len: usize) -> Self {
-        SharedVec { base, len, _m: PhantomData }
+        SharedVec {
+            base,
+            len,
+            _m: PhantomData,
+        }
     }
 
     /// Number of elements.
@@ -77,7 +81,10 @@ impl<T: Shareable> SharedVec<T> {
     /// the DSM analogue of passing a pointer to a subarray, as QSORT's
     /// task queue does).
     pub fn subvec(&self, range: Range<usize>) -> SharedVec<T> {
-        assert!(range.start <= range.end && range.end <= self.len, "subvec out of bounds");
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "subvec out of bounds"
+        );
         SharedVec::new(self.addr_of(range.start), range.len())
     }
 }
@@ -212,7 +219,11 @@ impl Tmk {
 
     /// Read element `i`.
     pub fn read<T: Shareable>(&mut self, v: &SharedVec<T>, i: usize) -> T {
-        assert!(i < v.len(), "read index {i} out of bounds (len {})", v.len());
+        assert!(
+            i < v.len(),
+            "read index {i} out of bounds (len {})",
+            v.len()
+        );
         self.metered(|s| {
             let addr = v.addr_of(i);
             let size = std::mem::size_of::<T>();
@@ -224,7 +235,11 @@ impl Tmk {
 
     /// Write element `i`.
     pub fn write<T: Shareable>(&mut self, v: &SharedVec<T>, i: usize, val: T) {
-        assert!(i < v.len(), "write index {i} out of bounds (len {})", v.len());
+        assert!(
+            i < v.len(),
+            "write index {i} out of bounds (len {})",
+            v.len()
+        );
         self.metered(|s| {
             let addr = v.addr_of(i);
             let size = std::mem::size_of::<T>();
@@ -260,7 +275,10 @@ impl Tmk {
     /// Dwarkadas et al. (the paper's cited future work, here as an
     /// explicit API a compiler would target).
     pub fn write_slice_push<T: Shareable>(&mut self, v: &SharedVec<T>, start: usize, src: &[T]) {
-        assert!(start + src.len() <= v.len(), "write_slice_push out of bounds");
+        assert!(
+            start + src.len() <= v.len(),
+            "write_slice_push out of bounds"
+        );
         if src.is_empty() {
             return;
         }
@@ -271,7 +289,10 @@ impl Tmk {
             let stale: Vec<usize> = {
                 let mut st = s.state.lock();
                 st.sync_alloc();
-                s.alloc.pages_of_range(addr, bytes).filter(|&p| st.needs_full_fetch(p)).collect()
+                s.alloc
+                    .pages_of_range(addr, bytes)
+                    .filter(|&p| st.needs_full_fetch(p))
+                    .collect()
             };
             for pid in stale {
                 s.page_fault(pid);

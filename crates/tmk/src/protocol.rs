@@ -26,7 +26,9 @@ pub struct Region {
 
 impl std::fmt::Debug for Region {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Region").field("payload_bytes", &self.payload_bytes).finish()
+        f.debug_struct("Region")
+            .field("payload_bytes", &self.payload_bytes)
+            .finish()
     }
 }
 
@@ -67,7 +69,9 @@ pub enum Msg {
         lock: u32,
         /// Requesting node.
         requester: usize,
-        /// Requester's vector clock (for exact write-notice filtering).
+        /// Requester's *processed* clock (grant bundles are filtered
+        /// against it; filtering by the promise clock could omit notices
+        /// still in flight to the requester on another channel).
         vc: VectorClock,
         /// Requester's virtual clock at request time. The manager grants
         /// in `req_vt` order: on real hardware requests are served in
@@ -128,7 +132,7 @@ pub enum Msg {
         sema: u32,
         /// Waiting node.
         requester: usize,
-        /// Waiter's vector clock.
+        /// Waiter's processed clock (grant filter, as for locks).
         vc: VectorClock,
         /// Waiter's virtual clock (grants go to the earliest waiter).
         req_vt: u64,
@@ -266,19 +270,32 @@ mod tests {
 
     #[test]
     fn wire_sizes_scale_with_content() {
-        let small = Msg::DiffReq { page: 1, seqs: vec![1] };
-        let big = Msg::DiffReq { page: 1, seqs: vec![1, 2, 3, 4] };
+        let small = Msg::DiffReq {
+            page: 1,
+            seqs: vec![1],
+        };
+        let big = Msg::DiffReq {
+            page: 1,
+            seqs: vec![1, 2, 3, 4],
+        };
         assert!(big.wire_bytes() > small.wire_bytes());
 
         let vc = VectorClock::zero(8);
-        let empty = Msg::LockGrant { lock: 0, bundle: NoticeBundle::empty(vc.clone()) };
+        let empty = Msg::LockGrant {
+            lock: 0,
+            bundle: NoticeBundle::empty(vc.clone()),
+        };
         let full = Msg::LockGrant {
             lock: 0,
             bundle: NoticeBundle {
                 intervals: vec![(
                     IntervalId { node: 1, seq: 1 },
-                    IntervalInfo { vc_sum: 1, pages: vec![0, 1, 2, 3] },
+                    IntervalInfo {
+                        vc_sum: 1,
+                        pages: vec![0, 1, 2, 3],
+                    },
                 )],
+                pvc: vc.clone(),
                 vc,
             },
         };
@@ -287,14 +304,24 @@ mod tests {
 
     #[test]
     fn kinds_are_distinct_for_key_messages() {
-        let a = Msg::DiffReq { page: 0, seqs: vec![] };
-        let b = Msg::DiffRep { page: 0, diffs: vec![] };
+        let a = Msg::DiffReq {
+            page: 0,
+            seqs: vec![],
+        };
+        let b = Msg::DiffRep {
+            page: 0,
+            diffs: vec![],
+        };
         assert_ne!(a.kind(), b.kind());
     }
 
     #[test]
     fn page_reply_counts_page_bytes() {
-        let m = Msg::PageRep { page: 0, epoch: 1, bytes: vec![0u8; 4096].into() };
+        let m = Msg::PageRep {
+            page: 0,
+            epoch: 1,
+            bytes: vec![0u8; 4096].into(),
+        };
         assert_eq!(m.wire_bytes(), 16 + 4096);
     }
 }

@@ -103,7 +103,12 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
             };
             ep.send_service(src, Msg::PageRep { page, epoch, bytes });
         }
-        Msg::LockAcq { lock, requester, vc, req_vt } => {
+        Msg::LockAcq {
+            lock,
+            requester,
+            vc,
+            req_vt,
+        } => {
             let mut st = state.lock();
             mgr_acquire(ep, &mut st, lock, requester, vc, req_vt);
         }
@@ -112,11 +117,15 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
             st.apply_bundle(src, &bundle);
             mgr_release(ep, &mut st, lock);
         }
-        Msg::BarrierArrive { epoch, bundle, diff_bytes } => {
+        Msg::BarrierArrive {
+            epoch,
+            bundle,
+            diff_bytes,
+        } => {
             let mut st = state.lock();
             debug_assert_eq!(st.id, 0, "barrier manager is node 0");
             debug_assert_eq!(epoch, st.mgr.barrier_epoch, "barrier episode mismatch");
-            let arrival_vc = bundle.vc.clone();
+            let arrival_vc = bundle.pvc.clone();
             st.apply_bundle(src, &bundle);
             st.mgr.arrivals.push((src, arrival_vc, diff_bytes));
             if st.mgr.arrivals.len() == st.n {
@@ -138,16 +147,27 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
             };
             if let Some((_, waiter, wvc)) = waiter {
                 let grant = st.bundle_for(&wvc);
-                let vc_sent = st.vc.clone();
-                st.note_sent_vc(waiter, &vc_sent);
+                let pvc_sent = st.processed_vc.clone();
+                st.note_sent_vc(waiter, &pvc_sent);
                 drop(st);
-                ep.send_service(waiter, Msg::SemaGrant { sema, bundle: grant });
+                ep.send_service(
+                    waiter,
+                    Msg::SemaGrant {
+                        sema,
+                        bundle: grant,
+                    },
+                );
             } else {
                 drop(st);
             }
             ep.send_service(src, Msg::SemaAck { sema });
         }
-        Msg::SemaWait { sema, requester, vc, req_vt } => {
+        Msg::SemaWait {
+            sema,
+            requester,
+            vc,
+            req_vt,
+        } => {
             let mut st = state.lock();
             let grant_now = {
                 let entry = st.mgr.semas.entry(sema).or_default();
@@ -161,20 +181,36 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
             };
             if grant_now {
                 let grant = st.bundle_for(&vc);
-                let vc_sent = st.vc.clone();
-                st.note_sent_vc(requester, &vc_sent);
+                let pvc_sent = st.processed_vc.clone();
+                st.note_sent_vc(requester, &pvc_sent);
                 drop(st);
-                ep.send_service(requester, Msg::SemaGrant { sema, bundle: grant });
+                ep.send_service(
+                    requester,
+                    Msg::SemaGrant {
+                        sema,
+                        bundle: grant,
+                    },
+                );
             }
         }
-        Msg::CondWait { lock, cond, requester, bundle, req_vt } => {
+        Msg::CondWait {
+            lock,
+            cond,
+            requester,
+            bundle,
+            req_vt,
+        } => {
             // The wait releases the lock (possibly granting the next
             // queued requester) and parks the caller on the condition
             // variable.
             let mut st = state.lock();
-            let wvc = bundle.vc.clone();
+            let wvc = bundle.pvc.clone();
             st.apply_bundle(src, &bundle);
-            st.mgr.conds.entry((lock, cond)).or_default().push_back((requester, wvc));
+            st.mgr
+                .conds
+                .entry((lock, cond))
+                .or_default()
+                .push_back((requester, wvc));
             let _ = req_vt;
             mgr_release(ep, &mut st, lock);
         }
@@ -245,8 +281,8 @@ fn mgr_acquire(
     };
     if grant_now {
         let bundle = st.bundle_for(&vc);
-        let vc_sent = st.vc.clone();
-        st.note_sent_vc(requester, &vc_sent);
+        let pvc_sent = st.processed_vc.clone();
+        st.note_sent_vc(requester, &pvc_sent);
         ep.send_service(requester, Msg::LockGrant { lock, bundle });
     }
 }
@@ -268,8 +304,8 @@ fn mgr_release(ep: &Endpoint<Msg>, st: &mut NodeState, lock: u32) {
     };
     if let Some((_, requester, vc)) = next {
         let bundle = st.bundle_for(&vc);
-        let vc_sent = st.vc.clone();
-        st.note_sent_vc(requester, &vc_sent);
+        let pvc_sent = st.processed_vc.clone();
+        st.note_sent_vc(requester, &pvc_sent);
         ep.send_service(requester, Msg::LockGrant { lock, bundle });
     }
 }
@@ -285,13 +321,15 @@ fn release_barrier(ep: &Endpoint<Msg>, st: &mut NodeState, epoch: u32) {
     }
     let arrivals = std::mem::take(&mut st.mgr.arrivals);
     st.mgr.barrier_epoch += 1;
-    let mut departures: Vec<(usize, NoticeBundle)> =
-        arrivals.into_iter().map(|(node, vc, _)| (node, st.bundle_for(&vc))).collect();
+    let mut departures: Vec<(usize, NoticeBundle)> = arrivals
+        .into_iter()
+        .map(|(node, vc, _)| (node, st.bundle_for(&vc)))
+        .collect();
     // Deterministic order: descending node id, manager (node 0) last.
     departures.sort_by_key(|(node, _)| std::cmp::Reverse(*node));
-    let vc_now = st.vc.clone();
+    let pvc_now = st.processed_vc.clone();
     for (node, bundle) in departures {
-        st.note_sent_vc(node, &vc_now);
+        st.note_sent_vc(node, &pvc_now);
         ep.send_service(node, Msg::BarrierDepart { epoch, bundle, gc });
     }
 }

@@ -103,8 +103,18 @@ pub struct NodeState {
     pub mem: Vec<u8>,
     /// Page metadata, indexed by page id.
     pub pages: Vec<PageMeta>,
-    /// Vector clock: intervals whose write notices we have seen.
+    /// Promise clock: intervals we know exist. Raised by merging received
+    /// bundles' `vc`; some covered intervals' notices may still be in
+    /// flight to us on another channel.
     pub vc: VectorClock,
+    /// Processed clock: per source, the contiguous frontier of intervals
+    /// whose notices we have actually logged. This — never the promise
+    /// clock — is what we report to managers as our knowledge, so bundles
+    /// filtered against it can only omit notices we genuinely hold.
+    pub processed_vc: VectorClock,
+    /// Intervals logged out of order, ahead of the processed frontier
+    /// (per source). Absorbed into `processed_vc` as gaps fill.
+    pub ooo: Vec<std::collections::BTreeSet<u32>>,
     /// Sequence number the *open* interval will get when it closes.
     pub next_seq: u32,
     /// Pages twinned in the open interval.
@@ -149,6 +159,8 @@ impl NodeState {
             mem: Vec::new(),
             pages: Vec::new(),
             vc: VectorClock::zero(n),
+            processed_vc: VectorClock::zero(n),
+            ooo: vec![std::collections::BTreeSet::new(); n],
             next_seq: 1,
             dirty: Vec::new(),
             interval_log: BTreeMap::new(),
@@ -177,7 +189,6 @@ impl NodeState {
     pub fn manager_of(&self, id: u32) -> usize {
         id as usize % self.n
     }
-
 
     /// Grow the local memory mirror + page table to cover all allocations.
     pub fn sync_alloc(&mut self) {
@@ -212,6 +223,7 @@ impl NodeState {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.vc.0[self.id] = seq;
+        self.processed_vc.0[self.id] = seq;
         let vc_sum = self.vc.sum();
         let dirty = std::mem::take(&mut self.dirty);
         for &pid in &dirty {
@@ -236,8 +248,13 @@ impl NodeState {
                 other => unreachable!("dirty page in odd state {other:?}"),
             };
         }
-        self.interval_log
-            .insert((self.id as u32, seq), IntervalInfo { vc_sum, pages: dirty });
+        self.interval_log.insert(
+            (self.id as u32, seq),
+            IntervalInfo {
+                vc_sum,
+                pages: dirty,
+            },
+        );
         self.stats.intervals_closed += 1;
     }
 
@@ -251,7 +268,11 @@ impl NodeState {
             .filter(|((node, seq), _)| !receiver_vc.covers(*node as usize, *seq))
             .map(|(&(node, seq), info)| (IntervalId { node, seq }, info.clone()))
             .collect();
-        NoticeBundle { intervals, vc: self.vc.clone() }
+        NoticeBundle {
+            intervals,
+            vc: self.vc.clone(),
+            pvc: self.processed_vc.clone(),
+        }
     }
 
     /// Incorporate a received notice bundle (the acquire side of a
@@ -273,12 +294,38 @@ impl NodeState {
                 continue;
             }
             for &pid in &info.pages {
-                self.invalidate(pid, NoticeRec { id: *id, vc_sum: info.vc_sum });
+                self.invalidate(
+                    pid,
+                    NoticeRec {
+                        id: *id,
+                        vc_sum: info.vc_sum,
+                    },
+                );
             }
             self.interval_log.insert((id.node, id.seq), info.clone());
+            self.note_processed(id.node, id.seq);
         }
         self.vc.merge(&bundle.vc);
-        self.known_vc[from].merge(&bundle.vc);
+        // Acknowledge only the sender's *processed* clock: its promise
+        // clock may cover intervals whose notices are still in flight to
+        // it, and treating those as transferable knowledge lets a later
+        // filtered bundle omit a notice this chain never delivers.
+        self.known_vc[from].merge(&bundle.pvc);
+    }
+
+    /// Advance the processed frontier for `node` past `seq`, absorbing any
+    /// out-of-order intervals that now connect.
+    fn note_processed(&mut self, node: u32, seq: u32) {
+        let j = node as usize;
+        let f = &mut self.processed_vc.0[j];
+        if seq == *f + 1 {
+            *f = seq;
+            while self.ooo[j].remove(&(*f + 1)) {
+                *f += 1;
+            }
+        } else if seq > *f {
+            self.ooo[j].insert(seq);
+        }
     }
 
     /// Record a write notice against a page and invalidate the local copy.
@@ -306,12 +353,6 @@ impl NodeState {
         self.known_vc[dst].merge(vc);
     }
 
-    /// Record a clock received from `src` outside a bundle.
-    pub fn note_recv_vc(&mut self, src: usize, vc: &VectorClock) {
-        self.known_vc[src].merge(vc);
-        self.vc.merge(vc);
-    }
-
     // ---------------------------------------------------------------
     // Twins and diffs
     // ---------------------------------------------------------------
@@ -321,7 +362,9 @@ impl NodeState {
     pub fn materialize_pending(&mut self, pid: PageId) {
         let range = self.page_range(pid);
         let meta = &mut self.pages[pid];
-        let Some((seq, twin)) = meta.pending.take() else { return };
+        let Some((seq, twin)) = meta.pending.take() else {
+            return;
+        };
         // If an open twin exists it snapshots the page at the start of the
         // current interval, i.e. exactly the state the pending interval's
         // writes produced; otherwise the page itself is that state.
@@ -352,11 +395,13 @@ impl NodeState {
                 let d = meta
                     .diffs
                     .get(s)
-                    .unwrap_or_else(|| panic!(
-                        "node {} asked for diff (page {pid}, seq {s}) it does not have — \
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "node {} asked for diff (page {pid}, seq {s}) it does not have — \
                          GC/notice protocol invariant violated",
-                        self.id
-                    ))
+                            self.id
+                        )
+                    })
                     .clone();
                 (*s, d)
             })
@@ -368,7 +413,10 @@ impl NodeState {
     pub fn fault_plan(&self, pid: PageId) -> Vec<(usize, Vec<u32>)> {
         let mut by_node: BTreeMap<usize, Vec<u32>> = BTreeMap::new();
         for rec in &self.pages[pid].unapplied {
-            by_node.entry(rec.id.node as usize).or_default().push(rec.id.seq);
+            by_node
+                .entry(rec.id.node as usize)
+                .or_default()
+                .push(rec.id.seq);
         }
         by_node.into_iter().collect()
     }
@@ -413,7 +461,11 @@ impl NodeState {
     pub fn finish_fault(&mut self, pid: PageId) {
         let meta = &mut self.pages[pid];
         debug_assert!(meta.unapplied.is_empty());
-        meta.state = if meta.twin.is_some() { PageState::Write } else { PageState::ReadOnly };
+        meta.state = if meta.twin.is_some() {
+            PageState::Write
+        } else {
+            PageState::ReadOnly
+        };
     }
 
     /// Prepare `pid` for writing: materialize any pending diff, create the
@@ -475,7 +527,10 @@ impl NodeState {
         self.sync_alloc();
         let range = self.page_range(pid);
         let meta = &self.pages[pid];
-        debug_assert!(!meta.base_lost, "a page owner cannot have lost its own base");
+        debug_assert!(
+            !meta.base_lost,
+            "a page owner cannot have lost its own base"
+        );
         self.charge(self.cfg.twin_ns); // one page copy
         self.stats.page_serves += 1;
         (self.gc_epoch, Arc::from(&self.mem[range]))
@@ -503,12 +558,19 @@ impl NodeState {
     // ---------------------------------------------------------------
 
     /// Determine the post-GC owner of every page written since the last
-    /// GC: the writer of the page's last interval in the linear extension.
-    /// All nodes compute this from identical interval logs at a barrier,
-    /// so they agree without communication.
-    pub fn compute_gc_owners(&self) -> BTreeMap<PageId, usize> {
+    /// GC: the writer of the page's last interval in the linear extension,
+    /// considering only intervals covered by `upto` — the vector clock of
+    /// the triggering barrier's departure, which every node received
+    /// identically. Nodes therefore agree without communication even when
+    /// a manager node's service thread has already merged *newer*
+    /// intervals (next-epoch barrier arrivals, lock releases) into its
+    /// local log while its application thread was still inside the GC.
+    pub fn compute_gc_owners(&self, upto: &VectorClock) -> BTreeMap<PageId, usize> {
         let mut owners: BTreeMap<PageId, (u64, u32, u32)> = BTreeMap::new();
         for (&(node, seq), info) in &self.interval_log {
+            if !upto.covers(node as usize, seq) {
+                continue;
+            }
             for &pid in &info.pages {
                 let key = (info.vc_sum, node, seq);
                 let e = owners.entry(pid).or_insert(key);
@@ -517,31 +579,46 @@ impl NodeState {
                 }
             }
         }
-        owners.into_iter().map(|(pid, (_, node, _))| (pid, node as usize)).collect()
+        owners
+            .into_iter()
+            .map(|(pid, (_, node, _))| (pid, node as usize))
+            .collect()
     }
 
-    /// Drop diffs, pending twins, notices and the interval log after a GC
-    /// round; re-base every affected page.
-    pub fn apply_gc_complete(&mut self, owners: &BTreeMap<PageId, usize>) {
+    /// Drop diffs, pending twins, notices and interval-log entries covered
+    /// by the GC round's snapshot clock `upto`; re-base every affected
+    /// page. State from intervals *newer* than the snapshot — which can
+    /// already be present on manager nodes whose service thread keeps
+    /// applying bundles during the GC — is preserved: its notices stay
+    /// unapplied and its log entries stay available for later fetches.
+    /// (Locally created diffs and pending twins are always covered: this
+    /// node's application thread sits at the GC barrier, so it cannot have
+    /// opened a post-snapshot interval.)
+    pub fn apply_gc_complete(&mut self, owners: &BTreeMap<PageId, usize>, upto: &VectorClock) {
         self.gc_epoch += 1;
+        let covered = |r: &NoticeRec| upto.covers(r.id.node as usize, r.id.seq);
         for (&pid, &owner) in owners {
             let meta = &mut self.pages[pid];
             meta.diffs.clear();
             meta.pending = None;
             meta.owner = owner;
             debug_assert!(meta.twin.is_none(), "open twin across a barrier GC");
+            let covered_unapplied = meta.unapplied.iter().any(covered);
             if owner == self.id {
-                debug_assert!(meta.unapplied.is_empty(), "owner not validated before GC");
+                debug_assert!(!covered_unapplied, "owner not validated before GC");
                 meta.epoch = self.gc_epoch;
                 meta.base_lost = false;
-            } else if meta.unapplied.is_empty() && meta.readable() {
-                // Our copy already equals the owner's: keep it valid.
+            } else if !covered_unapplied && meta.state != PageState::Unmapped {
+                // Our copy already equals the owner's as of the snapshot
+                // (it may still carry unapplied *post*-snapshot notices,
+                // whose diffs remain fetchable): keep the base valid.
                 meta.epoch = self.gc_epoch;
                 meta.base_lost = false;
             } else {
-                // Dropping un-fetched notices invalidates the local base:
-                // the next touch must fetch the full page from the owner.
-                meta.unapplied.clear();
+                // Dropping un-fetched covered notices invalidates the local
+                // base: the next touch must fetch the full page from the
+                // owner (and then apply any post-snapshot diffs on top).
+                meta.unapplied.retain(|r| !covered(r));
                 meta.base_lost = true;
                 meta.state = match meta.state {
                     PageState::Unmapped => PageState::Unmapped,
@@ -549,8 +626,35 @@ impl NodeState {
                 };
             }
         }
-        self.interval_log.clear();
-        self.diff_store_bytes = 0;
+        self.interval_log
+            .retain(|&(node, seq), _| !upto.covers(node as usize, seq));
+        // Everything covered by the snapshot is incorporated into the
+        // rebased pages cluster-wide: raise the processed frontier (and
+        // the knowledge estimates) past it so covered intervals are never
+        // re-requested, and drop now-absorbed out-of-order entries.
+        self.processed_vc.merge(upto);
+        for j in 0..self.n {
+            loop {
+                let next = self.processed_vc.0[j] + 1;
+                if self.ooo[j].remove(&next) {
+                    self.processed_vc.0[j] = next;
+                } else {
+                    break;
+                }
+            }
+            let f = self.processed_vc.0[j];
+            self.ooo[j].retain(|&s| s > f);
+        }
+        for kv in &mut self.known_vc {
+            kv.merge(upto);
+        }
+        // Post-snapshot diffs (on pages outside the owner map) survive the
+        // GC; recount what is actually still cached.
+        self.diff_store_bytes = self
+            .pages
+            .iter()
+            .map(|m| m.diff_storage_bytes() as u64)
+            .sum();
         self.stats.gc_runs += 1;
     }
 }
@@ -662,9 +766,18 @@ mod tests {
     fn fault_plan_groups_by_writer() {
         let mut st = mk(2, 3);
         st.pages[0].unapplied = vec![
-            NoticeRec { id: IntervalId { node: 0, seq: 1 }, vc_sum: 1 },
-            NoticeRec { id: IntervalId { node: 1, seq: 1 }, vc_sum: 1 },
-            NoticeRec { id: IntervalId { node: 0, seq: 2 }, vc_sum: 3 },
+            NoticeRec {
+                id: IntervalId { node: 0, seq: 1 },
+                vc_sum: 1,
+            },
+            NoticeRec {
+                id: IntervalId { node: 1, seq: 1 },
+                vc_sum: 1,
+            },
+            NoticeRec {
+                id: IntervalId { node: 0, seq: 2 },
+                vc_sum: 3,
+            },
         ];
         let plan = st.fault_plan(0);
         assert_eq!(plan, vec![(0, vec![1, 2]), (1, vec![1])]);
@@ -711,8 +824,10 @@ mod tests {
         // b faults: fetches a's diff and applies it over its own copy.
         let plan = b.fault_plan(0);
         let diffs = a.serve_diffs(0, &plan[0].1);
-        let fetched =
-            diffs.into_iter().map(|(s, d)| (IntervalId { node: 0, seq: s }, 1u64, d)).collect();
+        let fetched = diffs
+            .into_iter()
+            .map(|(s, d)| (IntervalId { node: 0, seq: s }, 1u64, d))
+            .collect();
         b.apply_fetched(0, fetched);
         b.finish_fault(0);
         assert_eq!(b.pages[0].state, PageState::Write, "write twin restored");
@@ -728,12 +843,68 @@ mod tests {
     #[test]
     fn gc_owner_is_last_writer_in_linear_order() {
         let mut st = mk(0, 3);
-        st.interval_log.insert((0, 1), IntervalInfo { vc_sum: 1, pages: vec![0, 1] });
-        st.interval_log.insert((1, 1), IntervalInfo { vc_sum: 5, pages: vec![0] });
-        st.interval_log.insert((2, 1), IntervalInfo { vc_sum: 3, pages: vec![1] });
-        let owners = st.compute_gc_owners();
+        st.interval_log.insert(
+            (0, 1),
+            IntervalInfo {
+                vc_sum: 1,
+                pages: vec![0, 1],
+            },
+        );
+        st.interval_log.insert(
+            (1, 1),
+            IntervalInfo {
+                vc_sum: 5,
+                pages: vec![0],
+            },
+        );
+        st.interval_log.insert(
+            (2, 1),
+            IntervalInfo {
+                vc_sum: 3,
+                pages: vec![1],
+            },
+        );
+        let owners = st.compute_gc_owners(&VectorClock(vec![1, 1, 1]));
         assert_eq!(owners[&0], 1, "vc_sum 5 beats 1");
         assert_eq!(owners[&1], 2, "vc_sum 3 beats 1");
+    }
+
+    #[test]
+    fn gc_owner_computation_ignores_post_snapshot_intervals() {
+        // A manager node's service thread can merge next-epoch intervals
+        // into the log while the GC is still in flight; the owner map must
+        // come out as if only snapshot-covered intervals existed, or nodes
+        // would disagree about post-GC page owners.
+        let mut st = mk(0, 3);
+        st.interval_log.insert(
+            (0, 1),
+            IntervalInfo {
+                vc_sum: 1,
+                pages: vec![0],
+            },
+        );
+        st.interval_log.insert(
+            (1, 1),
+            IntervalInfo {
+                vc_sum: 2,
+                pages: vec![0],
+            },
+        );
+        // Premature: node 2's interval 1 arrived after the snapshot.
+        st.interval_log.insert(
+            (2, 1),
+            IntervalInfo {
+                vc_sum: 9,
+                pages: vec![0, 2],
+            },
+        );
+        let snapshot = VectorClock(vec![1, 1, 0]);
+        let owners = st.compute_gc_owners(&snapshot);
+        assert_eq!(owners[&0], 1, "premature interval must not win ownership");
+        assert!(
+            !owners.contains_key(&2),
+            "page only in premature interval is not GC'd"
+        );
     }
 
     #[test]
@@ -743,11 +914,19 @@ mod tests {
         st.pages[0].state = PageState::ReadOnly;
         // Page 1: unapplied notices — must be dropped and refetched later.
         st.pages[1].state = PageState::Invalid;
-        st.pages[1].unapplied =
-            vec![NoticeRec { id: IntervalId { node: 0, seq: 1 }, vc_sum: 1 }];
-        st.interval_log.insert((0, 1), IntervalInfo { vc_sum: 1, pages: vec![0, 1] });
+        st.pages[1].unapplied = vec![NoticeRec {
+            id: IntervalId { node: 0, seq: 1 },
+            vc_sum: 1,
+        }];
+        st.interval_log.insert(
+            (0, 1),
+            IntervalInfo {
+                vc_sum: 1,
+                pages: vec![0, 1],
+            },
+        );
         let owners = BTreeMap::from([(0, 0), (1, 0)]);
-        st.apply_gc_complete(&owners);
+        st.apply_gc_complete(&owners, &VectorClock(vec![1, 0]));
         assert_eq!(st.gc_epoch, 1);
         assert_eq!(st.pages[0].epoch, 1);
         assert!(st.pages[0].readable());
@@ -755,6 +934,48 @@ mod tests {
         assert!(st.needs_full_fetch(1), "dropped notices => base lost");
         assert!(!st.needs_full_fetch(0));
         assert!(st.interval_log.is_empty());
+    }
+
+    #[test]
+    fn gc_complete_preserves_post_snapshot_state() {
+        let mut st = mk(1, 2);
+        // Page 0 is valid as of the snapshot, but node 0's *next* interval
+        // (seq 2, past the snapshot) has already invalidated it — the race
+        // a barrier manager's service thread creates during the GC.
+        st.pages[0].state = PageState::Invalid;
+        st.pages[0].unapplied = vec![NoticeRec {
+            id: IntervalId { node: 0, seq: 2 },
+            vc_sum: 7,
+        }];
+        st.interval_log.insert(
+            (0, 1),
+            IntervalInfo {
+                vc_sum: 1,
+                pages: vec![0],
+            },
+        );
+        st.interval_log.insert(
+            (0, 2),
+            IntervalInfo {
+                vc_sum: 7,
+                pages: vec![0],
+            },
+        );
+        let owners = BTreeMap::from([(0usize, 0usize)]);
+        st.apply_gc_complete(&owners, &VectorClock(vec![1, 0]));
+        // The premature notice survives with its log entry, and the base
+        // is still usable (it equals the owner's snapshot copy).
+        assert_eq!(st.pages[0].unapplied.len(), 1);
+        assert!(
+            st.interval_log.contains_key(&(0, 2)),
+            "post-snapshot log entry kept"
+        );
+        assert!(
+            !st.interval_log.contains_key(&(0, 1)),
+            "covered log entry dropped"
+        );
+        assert!(!st.needs_full_fetch(0), "base valid as of snapshot");
+        assert_eq!(st.pages[0].epoch, 1);
     }
 
     #[test]

@@ -45,6 +45,16 @@ pub struct TmkStats {
     pub gc_runs: u64,
     /// Write-only ("push") page accesses that skipped a fetch.
     pub push_writes: u64,
+    /// OpenMP tasks spawned into a deque (tasking layer).
+    pub tasks_spawned: u64,
+    /// OpenMP tasks executed (tasking layer; includes stolen + inline).
+    pub tasks_executed: u64,
+    /// OpenMP tasks executed after being stolen from a remote deque.
+    pub tasks_stolen: u64,
+    /// Remote-deque probes while hunting for work (hit or miss).
+    pub steal_attempts: u64,
+    /// Tasks executed inline because the local deque was full.
+    pub task_overflows: u64,
 }
 
 impl TmkStats {
@@ -71,6 +81,11 @@ impl TmkStats {
         self.forks += other.forks;
         self.gc_runs += other.gc_runs;
         self.push_writes += other.push_writes;
+        self.tasks_spawned += other.tasks_spawned;
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_stolen += other.tasks_stolen;
+        self.steal_attempts += other.steal_attempts;
+        self.task_overflows += other.task_overflows;
     }
 }
 
@@ -80,8 +95,16 @@ mod tests {
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = TmkStats { read_faults: 1, diffs_created: 2, ..Default::default() };
-        let b = TmkStats { read_faults: 10, barriers: 3, ..Default::default() };
+        let mut a = TmkStats {
+            read_faults: 1,
+            diffs_created: 2,
+            ..Default::default()
+        };
+        let b = TmkStats {
+            read_faults: 10,
+            barriers: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.read_faults, 11);
         assert_eq!(a.diffs_created, 2);

@@ -171,7 +171,12 @@ where
     for st in &states {
         dsm.merge(&st.lock().stats);
     }
-    RunOutcome { result, vt_ns, net, dsm }
+    RunOutcome {
+        result,
+        vt_ns,
+        net,
+        dsm,
+    }
 }
 
 /// Slave node main loop: run forked regions until shutdown.
@@ -181,7 +186,12 @@ fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
     loop {
         match work_rx.recv() {
             Err(_) | Ok(WorkItem::Stop) => break,
-            Ok(WorkItem::Run(ForkJob { region, bundle, src, arrival_vt })) => {
+            Ok(WorkItem::Run(ForkJob {
+                region,
+                bundle,
+                src,
+                arrival_vt,
+            })) => {
                 // Fork delivery: an acquire of the master's sequential
                 // updates.
                 tmk.clock.raise_to(arrival_vt);
@@ -358,7 +368,12 @@ mod tests {
         assert_eq!(out.result, 1234);
         assert_eq!(out.dsm.flushes, 1);
         // 2(n-1) messages for the flush itself: 1 notice + 1 ack.
-        let k = out.net.per_kind.get("flush_notice").copied().unwrap_or((0, 0));
+        let k = out
+            .net
+            .per_kind
+            .get("flush_notice")
+            .copied()
+            .unwrap_or((0, 0));
         assert_eq!(k.0, 1);
     }
 
@@ -396,7 +411,11 @@ mod tests {
             tmk.read_slice(&v, 0..3 * 64)
         });
         // Sum over rounds: 1+2+3+4 = 10 in every slot.
-        assert!(out.result.iter().all(|&x| x == 10), "gc corrupted data: {:?}", &out.result[..8]);
+        assert!(
+            out.result.iter().all(|&x| x == 10),
+            "gc corrupted data: {:?}",
+            &out.result[..8]
+        );
         assert!(out.dsm.gc_runs > 0, "GC never ran");
     }
 

@@ -24,17 +24,34 @@ fn main() {
         });
 
         // !$omp parallel do reduction(+: sum)
-        omp.parallel_reduce(Schedule::Static, 0..n, RedOp::Sum, move |t, i, acc: &mut f64| {
-            *acc += t.read(&a, i);
-        })
+        omp.parallel_reduce(
+            Schedule::Static,
+            0..n,
+            RedOp::Sum,
+            move |t, i, acc: &mut f64| {
+                *acc += t.read(&a, i);
+            },
+        )
     });
 
     let n = 100_000u64;
     let expect = 3.0 * (n * (n - 1) / 2) as f64;
-    println!("sum            = {:.6e} (expected {:.6e})", out.result, expect);
-    println!("virtual time   = {:.3} s on the modeled 1998 cluster", out.vt_seconds());
-    println!("network        = {} messages, {:.2} MB", out.net.total_msgs(), out.net.total_mbytes());
-    println!("DSM activity   = {} page faults, {} diffs created, {} twins",
-        out.dsm.read_faults, out.dsm.diffs_created, out.dsm.twins_created);
+    println!(
+        "sum            = {:.6e} (expected {:.6e})",
+        out.result, expect
+    );
+    println!(
+        "virtual time   = {:.3} s on the modeled 1998 cluster",
+        out.vt_seconds()
+    );
+    println!(
+        "network        = {} messages, {:.2} MB",
+        out.net.total_msgs(),
+        out.net.total_mbytes()
+    );
+    println!(
+        "DSM activity   = {} page faults, {} diffs created, {} twins",
+        out.dsm.read_faults, out.dsm.diffs_created, out.dsm.twins_created
+    );
     assert!((out.result - expect).abs() / expect < 1e-12);
 }

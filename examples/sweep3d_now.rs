@@ -7,7 +7,14 @@ use now_apps::sweep3d::*;
 use openmp_now::prelude::*;
 
 fn main() {
-    let cfg = SweepConfig { nx: 24, ny: 24, nz: 24, n_ang: 4, x_blocks: 6, n_sweeps: 1 };
+    let cfg = SweepConfig {
+        nx: 24,
+        ny: 24,
+        nz: 24,
+        n_ang: 4,
+        x_blocks: 6,
+        n_sweeps: 1,
+    };
     let nodes = 8;
     let seq = run_seq(&cfg, 60.0);
     let omp = run_omp(&cfg, nomp::OmpConfig::paper(nodes));
@@ -25,7 +32,10 @@ fn main() {
         cfg.nx, cfg.ny, cfg.nz, cfg.n_ang, cfg.x_blocks
     );
     println!("version   model-s  speedup  messages      MB");
-    println!("seq      {:>8.3}     1.00         0    0.00", seq.vt_seconds());
+    println!(
+        "seq      {:>8.3}     1.00         0    0.00",
+        seq.vt_seconds()
+    );
     for r in [&omp, &tmkv, &mpi] {
         println!(
             "{:<7}  {:>8.3}  {:>7.2}  {:>8}  {:>6.2}",

@@ -6,9 +6,16 @@
 use openmp_now::prelude::*;
 
 fn main() {
-    let cfg = now_apps::qsort::QsortConfig { n: 32 * 1024, bubble_threshold: 256, seed: 7 };
+    let cfg = now_apps::qsort::QsortConfig {
+        n: 32 * 1024,
+        bubble_threshold: 256,
+        seed: 7,
+    };
     let seq = now_apps::qsort::run_seq(&cfg, 60.0);
-    println!("QSORT, {} integers, bubble threshold {}:", cfg.n, cfg.bubble_threshold);
+    println!(
+        "QSORT, {} integers, bubble threshold {}:",
+        cfg.n, cfg.bubble_threshold
+    );
     println!("  sequential: {:.3} model-seconds", seq.vt_seconds());
     for nodes in [2usize, 4, 8] {
         let par = now_apps::qsort::run_omp(&cfg, OmpConfig::paper(nodes));

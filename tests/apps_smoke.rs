@@ -1,8 +1,8 @@
 //! Full-cluster (8-node) smoke runs of every application — the exact
 //! topology of the paper's evaluation, at test workload sizes.
 
-use now_apps::{fft3d, qsort, sweep3d, tsp, water};
 use nomp::OmpConfig;
+use now_apps::{fft3d, qsort, sweep3d, tsp, water};
 use nowmpi::MpiConfig;
 use tmk::TmkConfig;
 
@@ -17,33 +17,87 @@ fn all_apps_all_versions_eight_nodes() {
 
     let cfg = fft3d::FftConfig::test();
     let seq = fft3d::run_seq(&cfg, 1.0);
-    close(fft3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "fft omp@8");
-    close(fft3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "fft tmk@8");
-    close(fft3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "fft mpi@8");
+    close(
+        fft3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "fft omp@8",
+    );
+    close(
+        fft3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "fft tmk@8",
+    );
+    close(
+        fft3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "fft mpi@8",
+    );
 
     let cfg = water::WaterConfig::test();
     let seq = water::run_seq(&cfg, 1.0);
-    close(water::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "water omp@8");
-    close(water::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "water tmk@8");
-    close(water::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "water mpi@8");
+    close(
+        water::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "water omp@8",
+    );
+    close(
+        water::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "water tmk@8",
+    );
+    close(
+        water::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "water mpi@8",
+    );
 
     let cfg = sweep3d::SweepConfig::test();
     let seq = sweep3d::run_seq(&cfg, 1.0);
-    close(sweep3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum, "sweep omp@8");
-    close(sweep3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum, "sweep tmk@8");
-    close(sweep3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum, "sweep mpi@8");
+    close(
+        sweep3d::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "sweep omp@8",
+    );
+    close(
+        sweep3d::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "sweep tmk@8",
+    );
+    close(
+        sweep3d::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum,
+        seq.checksum,
+        "sweep mpi@8",
+    );
 
     let cfg = qsort::QsortConfig::test();
     let seq = qsort::run_seq(&cfg, 1.0);
-    assert_eq!(qsort::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum);
-    assert_eq!(qsort::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum);
-    assert_eq!(qsort::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(
+        qsort::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
+    assert_eq!(
+        qsort::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
+    assert_eq!(
+        qsort::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
 
     let cfg = tsp::TspConfig::test();
     let seq = tsp::run_seq(&cfg, 1.0);
-    assert_eq!(tsp::run_omp(&cfg, OmpConfig::fast_test(n)).checksum, seq.checksum);
-    assert_eq!(tsp::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum, seq.checksum);
-    assert_eq!(tsp::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum, seq.checksum);
+    assert_eq!(
+        tsp::run_omp(&cfg, OmpConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
+    assert_eq!(
+        tsp::run_tmk(&cfg, TmkConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
+    assert_eq!(
+        tsp::run_mpi(&cfg, MpiConfig::fast_test(n)).checksum,
+        seq.checksum
+    );
 }
 
 #[test]
@@ -54,15 +108,27 @@ fn apps_survive_gc_stress() {
 
     let cfg = water::WaterConfig::test();
     let seq = water::run_seq(&cfg, 1.0);
-    close(water::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "water gc");
+    close(
+        water::run_tmk(&cfg, sys.clone()).checksum,
+        seq.checksum,
+        "water gc",
+    );
 
     let cfg = fft3d::FftConfig::test();
     let seq = fft3d::run_seq(&cfg, 1.0);
-    close(fft3d::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "fft gc");
+    close(
+        fft3d::run_tmk(&cfg, sys.clone()).checksum,
+        seq.checksum,
+        "fft gc",
+    );
 
     let cfg = sweep3d::SweepConfig::test();
     let seq = sweep3d::run_seq(&cfg, 1.0);
-    close(sweep3d::run_tmk(&cfg, sys).checksum, seq.checksum, "sweep gc");
+    close(
+        sweep3d::run_tmk(&cfg, sys).checksum,
+        seq.checksum,
+        "sweep gc",
+    );
 }
 
 #[test]
@@ -72,11 +138,19 @@ fn apps_survive_tiny_pages() {
 
     let cfg = water::WaterConfig::test();
     let seq = water::run_seq(&cfg, 1.0);
-    close(water::run_tmk(&cfg, sys.clone()).checksum, seq.checksum, "water tiny pages");
+    close(
+        water::run_tmk(&cfg, sys.clone()).checksum,
+        seq.checksum,
+        "water tiny pages",
+    );
 
     let cfg = qsort::QsortConfig::test();
     let seq = qsort::run_seq(&cfg, 1.0);
-    assert_eq!(qsort::run_tmk(&cfg, sys).checksum, seq.checksum, "qsort tiny pages");
+    assert_eq!(
+        qsort::run_tmk(&cfg, sys).checksum,
+        seq.checksum,
+        "qsort tiny pages"
+    );
 }
 
 #[test]

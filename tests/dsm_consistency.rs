@@ -36,7 +36,7 @@ fn run_random_rounds(
                     .wrapping_add(node as u64 * 17)
                     .wrapping_add(k as u64 * 13)
                     .wrapping_add(seed);
-                h % 3 != 0
+                !h.is_multiple_of(3)
             })
             .map(|k| node * slots_per_node + k)
             .collect()

@@ -47,7 +47,7 @@ fn threadprivate_persists_across_regions() {
         let tp: ThreadPrivate<u64> = ThreadPrivate::new(|| 0);
         let sink = omp.malloc_vec::<u64>(3);
         for _ in 0..3 {
-            omp.parallel(move |t| {
+            omp.parallel(move |_t| {
                 tp.with(|v| *v += 1);
             });
         }
@@ -98,7 +98,11 @@ impl CombinePublic for i64 {
 
 #[test]
 fn schedules_partition_disjointly_under_contention() {
-    for sched in [Schedule::Static, Schedule::StaticChunk(3), Schedule::Dynamic(5)] {
+    for sched in [
+        Schedule::Static,
+        Schedule::StaticChunk(3),
+        Schedule::Dynamic(5),
+    ] {
         let out = run(OmpConfig::fast_test(4), move |omp| {
             let hits = omp.malloc_vec::<u64>(200);
             omp.parallel_for(sched, 0..200, move |t, i| {

@@ -6,7 +6,11 @@ use tmk::TmkConfig;
 /// Count network messages attributable to one operation by running a
 /// region that performs it `reps` times on top of a baseline region that
 /// does not, and differencing.
-fn marginal_msgs(nodes: usize, reps: u64, op: impl Fn(&mut tmk::Tmk) + Send + Sync + Clone + 'static) -> f64 {
+fn marginal_msgs(
+    nodes: usize,
+    reps: u64,
+    op: impl Fn(&mut tmk::Tmk) + Send + Sync + Clone + 'static,
+) -> f64 {
     let run = |k: u64, op: Box<dyn Fn(&mut tmk::Tmk) + Send + Sync>| -> u64 {
         let out = tmk::run_system(TmkConfig::fast_test(nodes), move |t| {
             t.parallel(0, move |t| {
