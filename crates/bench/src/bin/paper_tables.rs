@@ -3,10 +3,10 @@
 //! ```text
 //! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
 //! experiments: table1 table2 figure5 micro pipeline taskqueue
-//!              tasking pagesize fft_push scale_sweep all   (default: all)
+//!              tasking pagesize fft_push scale_sweep ompc all   (default: all)
 //! ```
 
-use now_bench::{ablation, micro, tables, tasking};
+use now_bench::{ablation, micro, ompc, tables, tasking};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +66,9 @@ fn main() {
     }
     if want("tasking") {
         tasking::tasking_ablation();
+    }
+    if want("ompc") {
+        ompc::ompc_overhead();
     }
     if want("pagesize") {
         ablation::page_size_ablation();

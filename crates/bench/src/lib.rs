@@ -13,6 +13,8 @@
 //! * [`ablation::page_size_ablation`], [`tables::scale_sweep`] — model ablations
 //! * [`tasking::tasking_ablation`] — centralized task queue vs cross-node
 //!   work stealing (the tasking-runtime extension)
+//! * [`ompc::ompc_overhead`] — translated (`.omp` front-end) vs
+//!   hand-written kernel, the cost of the translation pipeline
 //!
 //! Run everything with `cargo run -p now-bench --release --bin paper_tables`.
 
@@ -21,6 +23,7 @@
 pub mod ablation;
 pub mod fmt;
 pub mod micro;
+pub mod ompc;
 pub mod tables;
 pub mod tasking;
 

@@ -9,6 +9,10 @@ pub struct OmpConfig {
     pub tmk: TmkConfig,
     /// Default chunk size for `Schedule::Dynamic` when unspecified.
     pub default_dynamic_chunk: usize,
+    /// What `schedule(runtime)` resolves to (the `OMP_SCHEDULE`
+    /// environment variable of a real runtime). A value of
+    /// [`Schedule::Runtime`] itself falls back to [`Schedule::Static`].
+    pub runtime_schedule: Schedule,
 }
 
 impl OmpConfig {
@@ -17,6 +21,7 @@ impl OmpConfig {
         OmpConfig {
             tmk: TmkConfig::paper(nodes),
             default_dynamic_chunk: 16,
+            runtime_schedule: Schedule::Static,
         }
     }
 
@@ -25,6 +30,7 @@ impl OmpConfig {
         OmpConfig {
             tmk: TmkConfig::fast_test(nodes),
             default_dynamic_chunk: 16,
+            runtime_schedule: Schedule::Static,
         }
     }
 
@@ -39,6 +45,7 @@ impl From<TmkConfig> for OmpConfig {
         OmpConfig {
             tmk,
             default_dynamic_chunk: 16,
+            runtime_schedule: Schedule::Static,
         }
     }
 }
@@ -57,6 +64,10 @@ pub enum Schedule {
     Dynamic(usize),
     /// Exponentially shrinking chunks (`schedule(guided, min_chunk)`).
     Guided(usize),
+    /// Deferred to [`OmpConfig::runtime_schedule`] (`schedule(runtime)`);
+    /// resolved by [`Env`](crate::Env) before a loop plan is built, so
+    /// directive front-ends can emit it verbatim.
+    Runtime,
 }
 
 impl Schedule {
@@ -110,9 +121,10 @@ mod tests {
         assert_eq!(OmpConfig::fast_test(5).threads(), 5);
     }
 
-    /// Run `range` under `sched` and return how often each index ran.
-    fn coverage(sched: Schedule, n: usize, nodes: usize) -> Vec<u64> {
-        let out = crate::env::run(OmpConfig::fast_test(nodes), move |omp| {
+    /// Run `range` under `sched` with `cfg` and return how often each
+    /// index ran, plus the summed DSM stats.
+    fn coverage_cfg(cfg: OmpConfig, sched: Schedule, n: usize) -> (Vec<u64>, tmk::TmkStats) {
+        let out = crate::env::run(cfg, move |omp| {
             let hits = omp.malloc_vec::<u64>(n.max(1));
             omp.parallel_for(sched, 0..n, move |t, i| {
                 let v = t.read(&hits, i);
@@ -120,7 +132,12 @@ mod tests {
             });
             omp.read_slice(&hits, 0..n)
         });
-        out.result
+        (out.result, out.dsm)
+    }
+
+    /// Run `range` under `sched` and return how often each index ran.
+    fn coverage(sched: Schedule, n: usize, nodes: usize) -> Vec<u64> {
+        coverage_cfg(OmpConfig::fast_test(nodes), sched, n).0
     }
 
     #[test]
@@ -168,6 +185,7 @@ mod tests {
                 Schedule::StaticChunk(3),
                 Schedule::Dynamic(3),
                 Schedule::Guided(2),
+                Schedule::Runtime,
             ] {
                 let hits = coverage(sched, n, nodes);
                 assert!(
@@ -176,5 +194,34 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn runtime_schedule_resolves_from_config() {
+        // With runtime_schedule = Dynamic the loop must draw chunks from
+        // the shared counter — observable as lock acquisitions — and
+        // still cover every index exactly once.
+        let mut dyn_cfg = OmpConfig::fast_test(3);
+        dyn_cfg.runtime_schedule = Schedule::Dynamic(4);
+        let (hits, stats) = coverage_cfg(dyn_cfg, Schedule::Runtime, 37);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+        assert!(
+            stats.lock_acquires > 0,
+            "dynamic resolution must use the shared loop counter"
+        );
+
+        // The static default pays no lock traffic.
+        let (hits, stats) = coverage_cfg(OmpConfig::fast_test(3), Schedule::Runtime, 37);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+        assert_eq!(stats.lock_acquires, 0, "static resolution must be free");
+    }
+
+    #[test]
+    fn runtime_schedule_pointing_at_itself_falls_back_to_static() {
+        let mut cfg = OmpConfig::fast_test(2);
+        cfg.runtime_schedule = Schedule::Runtime;
+        let (hits, stats) = coverage_cfg(cfg, Schedule::Runtime, 11);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+        assert_eq!(stats.lock_acquires, 0);
     }
 }

@@ -55,10 +55,54 @@ impl Env<'_> {
         self.t.nprocs()
     }
 
+    /// `omp_get_wtime()`: the master's virtual clock in seconds — elapsed
+    /// modeled time on the simulated network, not host time.
+    pub fn wtime(&mut self) -> f64 {
+        self.t.now_ns() as f64 / 1e9
+    }
+
     /// A fresh runtime-internal lock id (for loop counters, reductions).
     fn next_runtime_lock(&mut self) -> u32 {
         self.loop_seq = self.loop_seq.wrapping_add(1);
         RUNTIME_LOCK_BASE + (self.loop_seq & 0x0fff)
+    }
+
+    /// A fresh runtime-internal lock id for layers built on top of the
+    /// runtime (directive front-ends allocating reduction locks).
+    pub fn alloc_runtime_lock(&mut self) -> u32 {
+        self.next_runtime_lock()
+    }
+
+    /// Substitute [`Schedule::Runtime`] with the configured
+    /// [`OmpConfig::runtime_schedule`] (itself defaulting to static if it
+    /// degenerately points back at `Runtime`).
+    pub fn resolve_schedule(&self, sched: Schedule) -> Schedule {
+        match sched {
+            Schedule::Runtime => match self.cfg.runtime_schedule {
+                Schedule::Runtime => Schedule::Static,
+                s => s,
+            },
+            s => s,
+        }
+    }
+
+    /// Allocate the zeroed shared chunk counter + runtime lock a
+    /// dynamic/guided loop plan needs (`None` for static policies).
+    /// Master-side hook for directive front-ends; `sched` should already
+    /// be resolved.
+    pub fn alloc_loop_counter(&mut self, sched: Schedule) -> Option<(tmk::SharedScalar<u64>, u32)> {
+        self.loop_counter_for(sched)
+    }
+
+    /// Build a [`LoopPlan`] for `range` under `sched` (resolving
+    /// `schedule(runtime)` and allocating the shared counter if the
+    /// policy needs one). Master-side hook for directive front-ends; the
+    /// plan is `Clone + Send` and is consumed inside the region with
+    /// [`LoopPlan::next_chunk`] or [`LoopPlan::run`].
+    pub fn plan_loop(&mut self, sched: Schedule, range: Range<usize>) -> LoopPlan {
+        let sched = self.resolve_schedule(sched);
+        let counter = self.loop_counter_for(sched);
+        LoopPlan::new(sched, range, counter)
     }
 
     /// `!$omp parallel` … `!$omp end parallel`.
@@ -109,8 +153,7 @@ impl Env<'_> {
         range: Range<usize>,
         body: impl Fn(&mut OmpThread<'_>, Range<usize>) + Send + Sync + 'static,
     ) {
-        let counter = self.loop_counter_for(sched);
-        let plan = LoopPlan::new(sched, range, counter);
+        let plan = self.plan_loop(sched, range);
         let body = Arc::new(body);
         self.parallel(move |th| {
             plan.run(th, &mut |th: &mut OmpThread<'_>, r: Range<usize>| {
@@ -148,8 +191,7 @@ impl Env<'_> {
     ) -> T {
         let acc = self.t.malloc_scalar::<T>(T::identity(op));
         let lock = self.next_runtime_lock();
-        let counter = self.loop_counter_for(sched);
-        let plan = LoopPlan::new(sched, range, counter);
+        let plan = self.plan_loop(sched, range);
         let body = Arc::new(body);
         self.parallel(move |th| {
             let mut local = T::identity(op);
@@ -291,6 +333,27 @@ mod tests {
             omp.read_slice(&v, 0..2)
         });
         assert_eq!(out.result, vec![7, 9]);
+    }
+
+    #[test]
+    fn wtime_is_monotone_virtual_seconds() {
+        let out = run(OmpConfig::paper(2), |omp| {
+            let t0 = omp.wtime();
+            let v = omp.malloc_vec::<u64>(64);
+            omp.parallel(move |t| {
+                let w = t.wtime();
+                assert!(w >= 0.0);
+                let me = t.thread_num();
+                t.write(&v, me, me as u64);
+            });
+            let t1 = omp.wtime();
+            (t0, t1)
+        });
+        let (t0, t1) = out.result;
+        // Fork + barrier traffic must advance the virtual clock, and the
+        // final reading agrees with the run's reported virtual time.
+        assert!(t1 > t0, "wtime must advance across a region ({t0} -> {t1})");
+        assert!(t1 <= out.vt_ns as f64 / 1e9 + 1e-9);
     }
 
     #[test]

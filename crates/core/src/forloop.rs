@@ -5,6 +5,12 @@
 //! on software DSM every grab is a lock transfer plus a page fetch, which
 //! is why the paper's applications all use static partitioning — the cost
 //! difference is measurable with the `sync_ablation` bench.
+//!
+//! [`LoopPlan`] is public so that directive front-ends (the `ompc`
+//! translator) can drive work-shared loops chunk by chunk with
+//! [`LoopPlan::next_chunk`] while keeping their own execution context
+//! between chunks; [`Env::plan_loop`](crate::Env::plan_loop) builds a plan
+//! with the shared counter pre-allocated.
 
 use crate::config::Schedule;
 use crate::thread::OmpThread;
@@ -12,8 +18,16 @@ use std::ops::Range;
 use tmk::SharedScalar;
 
 /// Run-time plan for executing one work-shared loop on one thread.
+///
+/// Built by [`Env::plan_loop`](crate::Env::plan_loop) (master side, so the
+/// shared counter of dynamic policies lives in DSM space) and consumed
+/// inside the region either with [`LoopPlan::run`] or chunk by chunk with
+/// [`LoopPlan::next_chunk`].
 #[derive(Clone)]
-pub(crate) enum LoopPlan {
+pub struct LoopPlan(Plan);
+
+#[derive(Clone)]
+enum Plan {
     /// Contiguous block per thread.
     Static { start: usize, end: usize },
     /// Round-robin chunks.
@@ -33,32 +47,50 @@ pub(crate) enum LoopPlan {
 }
 
 #[derive(Clone, Copy)]
-pub(crate) enum SharedPolicy {
+enum SharedPolicy {
     Dynamic { chunk: usize },
     Guided { min_chunk: usize },
 }
 
+/// Per-thread progress through a [`LoopPlan`]'s static chunk sequence
+/// (dynamic policies keep their progress in the shared counter instead).
+#[derive(Default)]
+pub struct LoopCursor {
+    pos: usize,
+    started: bool,
+}
+
+impl LoopCursor {
+    /// A cursor at the start of the thread's chunk sequence.
+    pub fn new() -> Self {
+        LoopCursor::default()
+    }
+}
+
 impl LoopPlan {
     /// Build the plan for `range` under `sched`. `counter` must be
-    /// provided (pre-allocated, zeroed) for dynamic/guided schedules.
-    pub(crate) fn new(
+    /// provided (pre-allocated, zeroed) for dynamic/guided schedules —
+    /// [`Env::alloc_loop_counter`](crate::Env::alloc_loop_counter) does
+    /// this. `sched` must already be resolved: [`Schedule::Runtime`] is
+    /// substituted by [`Env::resolve_schedule`](crate::Env::resolve_schedule).
+    pub fn new(
         sched: Schedule,
         range: Range<usize>,
         counter: Option<(SharedScalar<u64>, u32)>,
     ) -> Self {
-        match sched {
-            Schedule::Static => LoopPlan::Static {
+        LoopPlan(match sched {
+            Schedule::Static => Plan::Static {
                 start: range.start,
                 end: range.end,
             },
-            Schedule::StaticChunk(c) => LoopPlan::StaticChunk {
+            Schedule::StaticChunk(c) => Plan::StaticChunk {
                 start: range.start,
                 end: range.end,
                 chunk: c.max(1),
             },
             Schedule::Dynamic(c) => {
                 let (counter, lock) = counter.expect("dynamic schedule needs a shared counter");
-                LoopPlan::Shared {
+                Plan::Shared {
                     start: range.start,
                     end: range.end,
                     counter,
@@ -68,7 +100,7 @@ impl LoopPlan {
             }
             Schedule::Guided(m) => {
                 let (counter, lock) = counter.expect("guided schedule needs a shared counter");
-                LoopPlan::Shared {
+                Plan::Shared {
                     start: range.start,
                     end: range.end,
                     counter,
@@ -78,34 +110,51 @@ impl LoopPlan {
                     },
                 }
             }
-        }
+            Schedule::Runtime => {
+                panic!("Schedule::Runtime must be resolved first (see Env::resolve_schedule)")
+            }
+        })
     }
 
-    /// Drive `body` over this thread's chunks.
-    pub(crate) fn run(
+    /// The next iteration chunk this thread should execute, or `None` when
+    /// the thread's share of the loop is exhausted. `cursor` carries the
+    /// thread's progress between calls and must start as
+    /// [`LoopCursor::new`] for each execution of the loop.
+    pub fn next_chunk(
         &self,
         th: &mut OmpThread<'_>,
-        body: &mut dyn FnMut(&mut OmpThread<'_>, Range<usize>),
-    ) {
+        cursor: &mut LoopCursor,
+    ) -> Option<Range<usize>> {
         let (tid, p) = (th.thread_num(), th.num_threads());
-        match self {
-            LoopPlan::Static { start, end } => {
+        match &self.0 {
+            Plan::Static { start, end } => {
+                if cursor.started {
+                    return None;
+                }
+                cursor.started = true;
                 let total = end - start;
                 let b = Schedule::static_block(total, p, tid);
-                if !b.is_empty() {
-                    body(th, start + b.start..start + b.end);
+                if b.is_empty() {
+                    None
+                } else {
+                    Some(start + b.start..start + b.end)
                 }
             }
-            LoopPlan::StaticChunk { start, end, chunk } => {
+            Plan::StaticChunk { start, end, chunk } => {
+                if !cursor.started {
+                    cursor.started = true;
+                    cursor.pos = tid * chunk;
+                }
                 let total = end - start;
-                let mut lo = tid * chunk;
-                while lo < total {
-                    let hi = (lo + chunk).min(total);
-                    body(th, start + lo..start + hi);
-                    lo += p * chunk;
+                if cursor.pos >= total {
+                    return None;
                 }
+                let lo = cursor.pos;
+                let hi = (lo + chunk).min(total);
+                cursor.pos += p * chunk;
+                Some(start + lo..start + hi)
             }
-            LoopPlan::Shared {
+            Plan::Shared {
                 start,
                 end,
                 counter,
@@ -113,31 +162,38 @@ impl LoopPlan {
                 policy,
             } => {
                 let total = (end - start) as u64;
-                loop {
-                    let claim = th.critical(*lock, |th| {
-                        let cur = counter.get(th);
-                        if cur >= total {
-                            return None;
-                        }
-                        let remaining = total - cur;
-                        let len = match policy {
-                            SharedPolicy::Dynamic { chunk } => (*chunk as u64).min(remaining),
-                            SharedPolicy::Guided { min_chunk } => (remaining / (2 * p as u64))
-                                .max(*min_chunk as u64)
-                                .min(remaining),
-                        };
-                        counter.set(th, cur + len);
-                        Some((cur, len))
-                    });
-                    match claim {
-                        None => break,
-                        Some((cur, len)) => {
-                            let lo = start + cur as usize;
-                            body(th, lo..lo + len as usize);
-                        }
+                let claim = th.critical(*lock, |th| {
+                    let cur = counter.get(th);
+                    if cur >= total {
+                        return None;
                     }
-                }
+                    let remaining = total - cur;
+                    let len = match policy {
+                        SharedPolicy::Dynamic { chunk } => (*chunk as u64).min(remaining),
+                        SharedPolicy::Guided { min_chunk } => (remaining / (2 * p as u64))
+                            .max(*min_chunk as u64)
+                            .min(remaining),
+                    };
+                    counter.set(th, cur + len);
+                    Some((cur, len))
+                });
+                claim.map(|(cur, len)| {
+                    let lo = start + cur as usize;
+                    lo..lo + len as usize
+                })
             }
+        }
+    }
+
+    /// Drive `body` over this thread's chunks.
+    pub fn run(
+        &self,
+        th: &mut OmpThread<'_>,
+        body: &mut dyn FnMut(&mut OmpThread<'_>, Range<usize>),
+    ) {
+        let mut cursor = LoopCursor::new();
+        while let Some(r) = self.next_chunk(th, &mut cursor) {
+            body(th, r);
         }
     }
 }
@@ -190,5 +246,41 @@ mod tests {
     fn empty_loop_is_fine() {
         let hits = collect_indices(Schedule::Static, 0, 2);
         assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn next_chunk_matches_run_for_static_policies() {
+        // Drive the same loop through the cursor API and the callback API
+        // on every thread; both must produce identical coverage.
+        let out = run(OmpConfig::fast_test(3), |omp| {
+            let a = omp.malloc_vec::<u64>(40);
+            let b = omp.malloc_vec::<u64>(40);
+            let plan = omp.plan_loop(Schedule::StaticChunk(7), 0..40);
+            let plan2 = plan.clone();
+            omp.parallel(move |t| {
+                let mut cur = LoopCursor::new();
+                while let Some(r) = plan.next_chunk(t, &mut cur) {
+                    for i in r {
+                        let v = t.read(&a, i);
+                        t.write(&a, i, v + 1);
+                    }
+                }
+                plan2.run(t, &mut |t, r| {
+                    for i in r {
+                        let v = t.read(&b, i);
+                        t.write(&b, i, v + 1);
+                    }
+                });
+            });
+            (omp.read_slice(&a, 0..40), omp.read_slice(&b, 0..40))
+        });
+        assert_eq!(out.result.0, out.result.1);
+        assert!(out.result.0.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be resolved")]
+    fn unresolved_runtime_schedule_is_rejected() {
+        let _ = LoopPlan::new(Schedule::Runtime, 0..10, None);
     }
 }

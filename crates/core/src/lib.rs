@@ -76,6 +76,7 @@ mod thread;
 pub use config::{OmpConfig, Schedule};
 pub use data::ThreadPrivate;
 pub use env::{run, Env};
+pub use forloop::{LoopCursor, LoopPlan};
 pub use reduction::{RedOp, Reduce};
 pub use tasking::{TaskArgs, TaskSched, TaskScope, TaskScopeConfig};
 pub use thread::{critical_id, OmpThread};

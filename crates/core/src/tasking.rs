@@ -83,6 +83,10 @@ pub struct TaskScopeConfig {
     /// Ring-buffer slots per deque. A full deque executes further spawns
     /// inline (OpenMP "undeferred" semantics) and counts an overflow.
     pub deque_capacity: usize,
+    /// Modeled firstprivate-environment size added to the scope's fork
+    /// message (see [`Env::parallel_sized`]); used by directive
+    /// front-ends shipping a copied-in frame.
+    pub fork_payload_bytes: usize,
 }
 
 impl Default for TaskScopeConfig {
@@ -90,6 +94,7 @@ impl Default for TaskScopeConfig {
         TaskScopeConfig {
             sched: TaskSched::WorkSteal,
             deque_capacity: 1024,
+            fork_payload_bytes: 0,
         }
     }
 }
@@ -608,7 +613,7 @@ impl Env<'_> {
         };
         let body: TaskBody = Arc::new(body);
         let init = Arc::new(init);
-        self.parallel(move |th| {
+        self.parallel_sized(cfg.fork_payload_bytes, move |th| {
             let me = th.thread_num();
             let order = match rt.sched {
                 TaskSched::Centralized => vec![0],

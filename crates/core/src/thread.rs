@@ -55,6 +55,12 @@ impl<'t> OmpThread<'t> {
         self.t.nprocs()
     }
 
+    /// `omp_get_wtime()`: this workstation's virtual clock in seconds —
+    /// elapsed modeled time on the simulated network, not host time.
+    pub fn wtime(&mut self) -> f64 {
+        self.t.now_ns() as f64 / 1e9
+    }
+
     /// `!$omp critical` with an explicit lock id.
     pub fn critical<R>(&mut self, lock: u32, f: impl FnOnce(&mut Self) -> R) -> R {
         self.t.lock_acquire(lock);

@@ -1,0 +1,228 @@
+//! Parse tree for the `.omp` source language: a small C subset plus
+//! `#pragma omp` directive statements. The semantic pass
+//! ([`crate::sema`]) resolves names, classifies variables (the paper's
+//! Modification 1) and lowers this tree to the executable IR.
+
+use crate::diag::Span;
+
+/// Declared types. All values are IEEE doubles at run time; `int`
+/// declarations add C-style truncation on store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Ty {
+    Int,
+    Double,
+    Void,
+}
+
+#[derive(Debug)]
+pub(crate) struct Program {
+    pub globals: Vec<Global>,
+    pub funcs: Vec<Func>,
+}
+
+/// A file-scope declaration. Globals are the program's *shared* data:
+/// they live in DSM space (Modification 1 — stack variables cannot be
+/// shared).
+#[derive(Debug)]
+pub(crate) struct Global {
+    pub ty: Ty,
+    pub name: String,
+    pub span: Span,
+    pub kind: GlobalKind,
+}
+
+#[derive(Debug)]
+pub(crate) enum GlobalKind {
+    Scalar(Option<Expr>),
+    Array(Expr),
+}
+
+#[derive(Debug)]
+pub(crate) struct Func {
+    pub ty: Ty,
+    pub name: String,
+    pub span: Span,
+    pub params: Vec<Param>,
+    pub body: Vec<Stmt>,
+}
+
+#[derive(Debug)]
+pub(crate) struct Param {
+    pub ty: Ty,
+    pub name: String,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) enum Expr {
+    Num(f64, Span),
+    Var(String, Span),
+    Index(String, Box<Expr>, Span),
+    Un(UnOp, Box<Expr>, Span),
+    Bin(BinOp, Box<Expr>, Box<Expr>, Span),
+    Call(String, Vec<Expr>, Span),
+}
+
+impl Expr {
+    pub(crate) fn span(&self) -> Span {
+        match self {
+            Expr::Num(_, s)
+            | Expr::Var(_, s)
+            | Expr::Index(_, _, s)
+            | Expr::Un(_, _, s)
+            | Expr::Bin(_, _, _, s)
+            | Expr::Call(_, _, s) => *s,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+#[derive(Debug)]
+pub(crate) enum Stmt {
+    Decl {
+        ty: Ty,
+        name: String,
+        init: Option<Expr>,
+        span: Span,
+    },
+    Assign {
+        target: Target,
+        value: Expr,
+    },
+    If {
+        cond: Expr,
+        then_: Vec<Stmt>,
+        else_: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    For(ForLoop),
+    Return {
+        value: Option<Expr>,
+        span: Span,
+    },
+    Print {
+        parts: Vec<PrintPart>,
+    },
+    Expr(Expr),
+    Block(Vec<Stmt>),
+    Omp(OmpStmt),
+}
+
+/// A C-style `for`. Work-shared (`#pragma omp for`) loops must be in the
+/// canonical form `for (i = LO; i < HI; i = i + 1)`; sequential loops are
+/// unrestricted.
+#[derive(Debug)]
+pub(crate) struct ForLoop {
+    pub init: Option<Box<Stmt>>,
+    pub cond: Option<Expr>,
+    pub step: Option<Box<Stmt>>,
+    pub body: Vec<Stmt>,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) enum Target {
+    Var(String, Span),
+    Elem(String, Expr, Span),
+}
+
+#[derive(Debug)]
+pub(crate) enum PrintPart {
+    Str(String),
+    Expr(Expr),
+}
+
+/// A `#pragma omp` directive and (where applicable) its annotated
+/// statement.
+#[derive(Debug)]
+pub(crate) struct OmpStmt {
+    pub dir: Dir,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) enum Dir {
+    Parallel {
+        clauses: Vec<Clause>,
+        body: Vec<Stmt>,
+    },
+    ParallelFor {
+        clauses: Vec<Clause>,
+        loop_: ForLoop,
+    },
+    For {
+        clauses: Vec<Clause>,
+        loop_: ForLoop,
+    },
+    Single {
+        body: Vec<Stmt>,
+    },
+    Critical {
+        name: Option<String>,
+        body: Vec<Stmt>,
+    },
+    Barrier,
+    Task {
+        clauses: Vec<Clause>,
+        body: Vec<Stmt>,
+    },
+    Taskwait,
+}
+
+#[derive(Debug)]
+pub(crate) enum Clause {
+    Shared(Vec<(String, Span)>),
+    Private(Vec<(String, Span)>),
+    Firstprivate(Vec<(String, Span)>),
+    Reduction {
+        op: RedKind,
+        vars: Vec<(String, Span)>,
+        span: Span,
+    },
+    Schedule {
+        kind: SchedKind,
+        chunk: Option<usize>,
+        span: Span,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RedKind {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SchedKind {
+    Static,
+    Dynamic,
+    Guided,
+    Runtime,
+}

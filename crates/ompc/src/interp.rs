@@ -1,0 +1,664 @@
+//! Tree-walking interpreter executing the lowered IR on the NOW runtime.
+//!
+//! Sequential code runs in the master's context ([`nomp::Env`]); a
+//! [`LStmt::Parallel`] statement outlines its region body into a closure
+//! and forks it onto every simulated workstation exactly like a
+//! hand-written `nomp` program, shipping a copy of the enclosing private
+//! frame as the firstprivate environment (modeled in the fork payload).
+//! Shared globals are `SharedScalar`/`SharedVec` handles, so every
+//! access a translated program makes pays real protocol traffic and
+//! virtual time on the simulated network.
+//!
+//! Regions from which a `task`/`taskwait` is reachable (lexically or
+//! through called functions — resolved by sema) run as distributed task
+//! scopes ([`nomp::Env::task_scope`]): the region body becomes the
+//! scope's init phase and each `task` construct ships its ≤3 captured
+//! privates through the 32-byte task descriptor. Other regions fork as
+//! plain parallel regions and pay no tasking overhead.
+//!
+//! Compile-time errors are [`crate::Diag`]s; *runtime* errors (index out
+//! of bounds, invalid array length, modulo by zero) panic with a spanned
+//! `ompc runtime error` message, the translated analogue of a segfault.
+
+use crate::ast::{BinOp, SchedKind, UnOp};
+use crate::ir::*;
+use nomp::{
+    Env, LoopCursor, LoopPlan, OmpThread, Reduce, Schedule, SharedScalar, SharedVec, TaskArgs,
+    TaskScope, TaskScopeConfig, Tmk,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared global's DSM handle.
+#[derive(Clone, Copy)]
+pub(crate) enum GSlot {
+    Scalar(SharedScalar<f64>),
+    Array(SharedVec<f64>),
+}
+
+/// Resolved work-shared loop site: schedule plus the master-allocated
+/// shared chunk counter (dynamic policies only).
+type LoopRt = (Schedule, Option<(SharedScalar<u64>, u32)>);
+
+/// The execution context a statement runs in.
+pub(crate) enum Exec<'a, 'b, 't> {
+    /// Master sequential sections (can fork regions).
+    Master(&'a mut Env<'t>),
+    /// One thread of a plain parallel region.
+    Thread(&'a mut OmpThread<'t>),
+    /// One thread of a task-scope region (can spawn tasks).
+    Tasks(&'a mut TaskScope<'b, 't>),
+}
+
+impl<'a, 'b, 't> Exec<'a, 'b, 't> {
+    fn tmk(&mut self) -> &mut Tmk {
+        match self {
+            Exec::Master(e) => e,
+            Exec::Thread(t) => t,
+            Exec::Tasks(s) => s,
+        }
+    }
+
+    fn env(&mut self) -> &mut Env<'t> {
+        match self {
+            Exec::Master(e) => e,
+            _ => unreachable!("region fork outside sequential context (sema bug)"),
+        }
+    }
+
+    fn th(&mut self) -> &mut OmpThread<'t> {
+        match self {
+            Exec::Thread(t) => t,
+            Exec::Tasks(s) => s,
+            Exec::Master(_) => unreachable!("worksharing outside a parallel region (sema bug)"),
+        }
+    }
+
+    fn is_master_seq(&self) -> bool {
+        matches!(self, Exec::Master(_))
+    }
+
+    fn spawn(&mut self, args: TaskArgs) {
+        match self {
+            Exec::Tasks(s) => s.task(args),
+            _ => unreachable!("task spawn outside a task scope (sema bug)"),
+        }
+    }
+
+    fn taskwait(&mut self) {
+        match self {
+            Exec::Tasks(s) => s.taskwait(),
+            _ => unreachable!("taskwait outside a task scope (sema bug)"),
+        }
+    }
+}
+
+/// Bound on translated-program call nesting: runaway recursion must be
+/// a clean spanned runtime error, not a host stack overflow (the parser
+/// bounds expression nesting the same way).
+const MAX_CALL_DEPTH: u32 = 256;
+
+/// Shared interpreter state for one execution context.
+struct Icx<'x> {
+    prog: &'x Arc<LProgram>,
+    globals: &'x [GSlot],
+    /// Resolved loop sites of the enclosing region (empty elsewhere).
+    loops: &'x [LoopRt],
+    /// Print sink: captured on the master, flushed with a `[t<id>]`
+    /// prefix at the end of a region/task on workers.
+    lines: &'x mut Vec<String>,
+    /// Current translated-program call depth (bounded by
+    /// [`MAX_CALL_DEPTH`]).
+    depth: u32,
+}
+
+enum Flow {
+    Normal,
+    Ret(f64),
+}
+
+// ----------------------------------------------------------------------
+// Program entry
+// ----------------------------------------------------------------------
+
+/// Everything `run` gives back to the embedder (see [`crate::OmpOutcome`]).
+pub(crate) struct MasterOut {
+    pub ret: f64,
+    pub lines: Vec<String>,
+    pub scalars: BTreeMap<String, f64>,
+    pub arrays: BTreeMap<String, Vec<f64>>,
+}
+
+pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
+    let mut globals: Vec<GSlot> = Vec::with_capacity(prog.globals.len());
+    let mut lines: Vec<String> = Vec::new();
+
+    for g in &prog.globals {
+        match &g.kind {
+            LGlobalKind::Scalar { init } => {
+                let v = match init {
+                    Some(e) => {
+                        let mut ex = Exec::Master(env);
+                        let mut frame = Vec::new();
+                        let mut cx = Icx {
+                            prog,
+                            globals: &globals,
+                            loops: &[],
+                            lines: &mut lines,
+                            depth: 0,
+                        };
+                        eval(&mut cx, &mut ex, &mut frame, e)
+                    }
+                    None => 0.0,
+                };
+                let v = if g.trunc { v.trunc() } else { v };
+                globals.push(GSlot::Scalar(env.malloc_scalar(v)));
+            }
+            LGlobalKind::Array { len } => {
+                let mut ex = Exec::Master(env);
+                let mut frame = Vec::new();
+                let mut cx = Icx {
+                    prog,
+                    globals: &globals,
+                    loops: &[],
+                    lines: &mut lines,
+                    depth: 0,
+                };
+                let n = eval(&mut cx, &mut ex, &mut frame, len).trunc();
+                if !(1.0..=1e8).contains(&n) {
+                    panic!(
+                        "ompc runtime error at line {}: array `{}` has invalid length {n}",
+                        g.span, g.name
+                    );
+                }
+                globals.push(GSlot::Array(env.malloc_vec::<f64>(n as usize)));
+            }
+        }
+    }
+
+    let f = &prog.funcs[prog.main_fn];
+    let mut frame = vec![0.0; f.frame];
+    let flow = {
+        let mut ex = Exec::Master(env);
+        let mut cx = Icx {
+            prog,
+            globals: &globals,
+            loops: &[],
+            lines: &mut lines,
+            depth: 0,
+        };
+        exec_stmts(&mut cx, &mut ex, &mut frame, &f.body)
+    };
+    let ret = match flow {
+        Flow::Ret(v) => v,
+        Flow::Normal => 0.0,
+    };
+
+    let mut scalars = BTreeMap::new();
+    let mut arrays = BTreeMap::new();
+    for (g, slot) in prog.globals.iter().zip(&globals) {
+        match slot {
+            GSlot::Scalar(s) => {
+                scalars.insert(g.name.clone(), s.get(env));
+            }
+            GSlot::Array(a) => {
+                arrays.insert(g.name.clone(), env.read_slice(a, 0..a.len()));
+            }
+        }
+    }
+    MasterOut {
+        ret,
+        lines,
+        scalars,
+        arrays,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Region + task execution
+// ----------------------------------------------------------------------
+
+fn fork_region(cx: &mut Icx, ex: &mut Exec, frame: &mut [f64], rid: usize) {
+    let env = ex.env();
+    let reg = &cx.prog.regions[rid];
+    let default_chunk = env.default_dynamic_chunk();
+    let loops: Vec<LoopRt> = reg
+        .loops
+        .iter()
+        .map(|ls| {
+            let sched = env.resolve_schedule(to_schedule(*ls, default_chunk));
+            let counter = env.alloc_loop_counter(sched);
+            (sched, counter)
+        })
+        .collect();
+    let snapshot: Vec<f64> = frame.to_vec();
+    // The fork message carries the firstprivate environment: the whole
+    // enclosing frame, 8 bytes per slot.
+    let payload = snapshot.len() * 8;
+    let prog = cx.prog.clone();
+    let globals: Vec<GSlot> = cx.globals.to_vec();
+    if reg.uses_tasks {
+        let prog2 = prog.clone();
+        let globals2 = globals.clone();
+        env.task_scope(
+            TaskScopeConfig {
+                fork_payload_bytes: payload,
+                ..Default::default()
+            },
+            move |s| {
+                let mut ex = Exec::Tasks(s);
+                run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mut ex);
+            },
+            move |s, args| {
+                let mut ex = Exec::Tasks(s);
+                run_task_site(&prog2, &globals2, args, &mut ex);
+            },
+        );
+    } else {
+        env.parallel_sized(payload, move |t| {
+            let mut ex = Exec::Thread(t);
+            run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mut ex);
+        });
+    }
+}
+
+fn run_region_thread(
+    prog: &Arc<LProgram>,
+    globals: &[GSlot],
+    loops: &[LoopRt],
+    rid: usize,
+    snapshot: &[f64],
+    ex: &mut Exec,
+) {
+    let reg = &prog.regions[rid];
+    let mut frame = snapshot.to_vec();
+    frame.resize(reg.frame, 0.0);
+    for red in &reg.reds {
+        frame[red.slot as usize] = f64::identity(red.op);
+    }
+    let mut lines = Vec::new();
+    let flow = {
+        let mut cx = Icx {
+            prog,
+            globals,
+            loops,
+            lines: &mut lines,
+            depth: 0,
+        };
+        exec_stmts(&mut cx, ex, &mut frame, &reg.body)
+    };
+    debug_assert!(matches!(flow, Flow::Normal), "return escaped a region");
+    for red in &reg.reds {
+        combine_red(ex, globals, red, frame[red.slot as usize]);
+    }
+    flush_lines(ex, lines);
+}
+
+fn run_task_site(prog: &Arc<LProgram>, globals: &[GSlot], args: TaskArgs, ex: &mut Exec) {
+    let site = &prog.tasks[args.a as usize];
+    let mut frame = vec![0.0; site.frame];
+    let words = [args.b, args.c, args.d];
+    for (i, &slot) in site.caps.iter().enumerate() {
+        frame[slot as usize] = f64::from_bits(words[i]);
+    }
+    let mut lines = Vec::new();
+    let flow = {
+        let mut cx = Icx {
+            prog,
+            globals,
+            loops: &[],
+            lines: &mut lines,
+            depth: 0,
+        };
+        exec_stmts(&mut cx, ex, &mut frame, &site.body)
+    };
+    debug_assert!(matches!(flow, Flow::Normal), "return escaped a task");
+    flush_lines(ex, lines);
+}
+
+fn flush_lines(ex: &mut Exec, lines: Vec<String>) {
+    if lines.is_empty() {
+        return;
+    }
+    let tid = ex.tmk().proc_id();
+    for l in lines {
+        println!("[t{tid}] {l}");
+    }
+}
+
+// ----------------------------------------------------------------------
+// Statements
+// ----------------------------------------------------------------------
+
+fn exec_stmts(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, stmts: &[LStmt]) -> Flow {
+    for s in stmts {
+        match exec_stmt(cx, ex, frame, s) {
+            Flow::Normal => {}
+            ret => return ret,
+        }
+    }
+    Flow::Normal
+}
+
+fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Flow {
+    match s {
+        LStmt::SetLocal { slot, trunc, val } => {
+            let v = eval(cx, ex, frame, val);
+            frame[*slot as usize] = if *trunc { v.trunc() } else { v };
+        }
+        LStmt::SetGlobal { gid, trunc, val } => {
+            let v = eval(cx, ex, frame, val);
+            let v = if *trunc { v.trunc() } else { v };
+            let GSlot::Scalar(s) = cx.globals[*gid as usize] else {
+                unreachable!("SetGlobal on array");
+            };
+            s.set(ex.tmk(), v);
+        }
+        LStmt::SetElem {
+            gid,
+            trunc,
+            idx,
+            val,
+            span,
+        } => {
+            let i = eval(cx, ex, frame, idx);
+            let v = eval(cx, ex, frame, val);
+            let v = if *trunc { v.trunc() } else { v };
+            let GSlot::Array(a) = cx.globals[*gid as usize] else {
+                unreachable!("SetElem on scalar");
+            };
+            let i = check_index(cx, *gid, i, a.len(), *span);
+            ex.tmk().write(&a, i, v);
+        }
+        LStmt::If { cond, then_, else_ } => {
+            let c = eval(cx, ex, frame, cond);
+            let branch = if c != 0.0 { then_ } else { else_ };
+            return exec_stmts(cx, ex, frame, branch);
+        }
+        LStmt::While { cond, body } => {
+            while eval(cx, ex, frame, cond) != 0.0 {
+                match exec_stmts(cx, ex, frame, body) {
+                    Flow::Normal => {}
+                    ret => return ret,
+                }
+            }
+        }
+        LStmt::Return(v) => {
+            let val = v.as_ref().map(|e| eval(cx, ex, frame, e)).unwrap_or(0.0);
+            return Flow::Ret(val);
+        }
+        LStmt::Expr(e) => {
+            eval(cx, ex, frame, e);
+        }
+        LStmt::Print(parts) => {
+            let mut line = String::new();
+            for p in parts {
+                match p {
+                    LPrint::Str(s) => line.push_str(s),
+                    LPrint::Val(e) => {
+                        let v = eval(cx, ex, frame, e);
+                        line.push_str(&fmt_val(v));
+                    }
+                }
+            }
+            cx.lines.push(line);
+        }
+        LStmt::Parallel { region } => {
+            fork_region(cx, ex, frame, *region as usize);
+        }
+        LStmt::WsFor(w) => exec_ws_for(cx, ex, frame, w),
+        LStmt::Single(body) => {
+            if ex.tmk().proc_id() == 0 {
+                let flow = exec_stmts(cx, ex, frame, body);
+                debug_assert!(matches!(flow, Flow::Normal));
+            }
+            ex.tmk().barrier();
+        }
+        LStmt::Critical { lock, body } => {
+            // In a sequential section only the master runs — no
+            // contention is possible, so the lock is elided.
+            let seq = ex.is_master_seq();
+            if !seq {
+                ex.tmk().lock_acquire(*lock);
+            }
+            let flow = exec_stmts(cx, ex, frame, body);
+            if !seq {
+                ex.tmk().lock_release(*lock);
+            }
+            debug_assert!(matches!(flow, Flow::Normal));
+        }
+        LStmt::Barrier => ex.tmk().barrier(),
+        LStmt::Task { site } => {
+            let t = &cx.prog.tasks[*site as usize];
+            let mut words = [0u64; 3];
+            for (i, &slot) in t.caps.iter().enumerate() {
+                words[i] = frame[slot as usize].to_bits();
+            }
+            ex.spawn(TaskArgs {
+                a: *site as u64,
+                b: words[0],
+                c: words[1],
+                d: words[2],
+            });
+        }
+        LStmt::Taskwait => ex.taskwait(),
+    }
+    Flow::Normal
+}
+
+fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
+    let (sched, counter) = cx.loops[w.loop_idx as usize];
+    let lo = eval(cx, ex, frame, &w.lo).trunc();
+    let hi = eval(cx, ex, frame, &w.hi).trunc();
+    if !(lo >= 0.0 && hi <= 1e15 && hi.is_finite()) {
+        panic!("ompc runtime error: work-shared loop bounds out of range ({lo}..{hi})");
+    }
+    let lo = lo as usize;
+    let hi = (hi.max(0.0) as usize).max(lo);
+    let plan = LoopPlan::new(sched, lo..hi, counter);
+    for red in &w.reds {
+        frame[red.slot as usize] = f64::identity(red.op);
+    }
+    let mut cursor = LoopCursor::new();
+    while let Some(r) = plan.next_chunk(ex.th(), &mut cursor) {
+        for i in r {
+            frame[w.var as usize] = i as f64;
+            let flow = exec_stmts(cx, ex, frame, &w.body);
+            debug_assert!(matches!(flow, Flow::Normal), "return escaped a loop");
+        }
+    }
+    for red in &w.reds {
+        combine_red(ex, cx.globals, red, frame[red.slot as usize]);
+    }
+    if w.barrier_after {
+        // The implied end-of-worksharing barrier.
+        ex.tmk().barrier();
+    }
+    if w.reset_after {
+        if let Some((c, _)) = counter {
+            // The region may run this loop again: zero the shared chunk
+            // counter behind the implied barrier, and fence the reset so
+            // no thread can re-enter early.
+            if ex.tmk().proc_id() == 0 {
+                c.set(ex.tmk(), 0);
+            }
+            ex.tmk().barrier();
+        }
+    }
+}
+
+fn combine_red(ex: &mut Exec, globals: &[GSlot], red: &RedSite, local: f64) {
+    let GSlot::Scalar(s) = globals[red.gid as usize] else {
+        unreachable!("reduction on array global");
+    };
+    ex.tmk().lock_acquire(red.lock);
+    let t = ex.tmk();
+    let cur = s.get(t);
+    let next = f64::combine(red.op, cur, local);
+    s.set(t, if red.trunc { next.trunc() } else { next });
+    ex.tmk().lock_release(red.lock);
+}
+
+// ----------------------------------------------------------------------
+// Expressions
+// ----------------------------------------------------------------------
+
+fn eval(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
+    match e {
+        LExpr::Num(v) => *v,
+        LExpr::Local(slot) => frame[*slot as usize],
+        LExpr::Global(gid) => {
+            let GSlot::Scalar(s) = cx.globals[*gid as usize] else {
+                unreachable!("scalar read of array");
+            };
+            s.get(ex.tmk())
+        }
+        LExpr::Elem(gid, idx, span) => {
+            let i = eval(cx, ex, frame, idx);
+            let GSlot::Array(a) = cx.globals[*gid as usize] else {
+                unreachable!("indexed read of scalar");
+            };
+            let i = check_index(cx, *gid, i, a.len(), *span);
+            ex.tmk().read(&a, i)
+        }
+        LExpr::Un(op, a) => {
+            let v = eval(cx, ex, frame, a);
+            match op {
+                UnOp::Neg => -v,
+                UnOp::Not => {
+                    if v == 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+            }
+        }
+        LExpr::Bin(op, a, b) => {
+            // Short-circuit logicals first.
+            match op {
+                BinOp::And => {
+                    return if eval(cx, ex, frame, a) != 0.0 && eval(cx, ex, frame, b) != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                BinOp::Or => {
+                    return if eval(cx, ex, frame, a) != 0.0 || eval(cx, ex, frame, b) != 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                _ => {}
+            }
+            let x = eval(cx, ex, frame, a);
+            let y = eval(cx, ex, frame, b);
+            let bool_to_f = |b: bool| if b { 1.0 } else { 0.0 };
+            match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                BinOp::Mod => {
+                    let yi = y.trunc() as i64;
+                    if yi == 0 {
+                        panic!("ompc runtime error: modulo by zero");
+                    }
+                    ((x.trunc() as i64) % yi) as f64
+                }
+                BinOp::Eq => bool_to_f(x == y),
+                BinOp::Ne => bool_to_f(x != y),
+                BinOp::Lt => bool_to_f(x < y),
+                BinOp::Le => bool_to_f(x <= y),
+                BinOp::Gt => bool_to_f(x > y),
+                BinOp::Ge => bool_to_f(x >= y),
+                BinOp::And | BinOp::Or => unreachable!(),
+            }
+        }
+        LExpr::Call(fid, args) => {
+            let f = &cx.prog.funcs[*fid as usize];
+            let mut new_frame = vec![0.0; f.frame];
+            for (i, a) in args.iter().enumerate() {
+                let v = eval(cx, ex, frame, a);
+                new_frame[i] = if f.param_trunc[i] { v.trunc() } else { v };
+            }
+            cx.depth += 1;
+            if cx.depth > MAX_CALL_DEPTH {
+                panic!(
+                    "ompc runtime error: call depth exceeded {MAX_CALL_DEPTH} (runaway recursion?)"
+                );
+            }
+            let r = match exec_stmts(cx, ex, &mut new_frame, &f.body) {
+                Flow::Ret(v) => v,
+                Flow::Normal => 0.0,
+            };
+            cx.depth -= 1;
+            r
+        }
+        LExpr::Builtin(b, args) => {
+            let mut vals = [0.0f64; 2];
+            for (i, a) in args.iter().enumerate() {
+                vals[i] = eval(cx, ex, frame, a);
+            }
+            match b {
+                Builtin::Sqrt => vals[0].sqrt(),
+                Builtin::Fabs => vals[0].abs(),
+                Builtin::Floor => vals[0].floor(),
+                Builtin::Sin => vals[0].sin(),
+                Builtin::Cos => vals[0].cos(),
+                Builtin::Exp => vals[0].exp(),
+                Builtin::ThreadNum => ex.tmk().proc_id() as f64,
+                Builtin::NumThreads => {
+                    if ex.is_master_seq() {
+                        1.0
+                    } else {
+                        ex.tmk().nprocs() as f64
+                    }
+                }
+                Builtin::NumProcs => ex.tmk().nprocs() as f64,
+                Builtin::Wtime => ex.tmk().now_ns() as f64 / 1e9,
+            }
+        }
+    }
+}
+
+fn check_index(cx: &Icx, gid: u16, i: f64, len: usize, span: crate::diag::Span) -> usize {
+    let ii = i.trunc();
+    // NB: the comparison is written so NaN fails it too.
+    if !(ii >= 0.0 && ii < len as f64) {
+        panic!(
+            "ompc runtime error at line {span}: index {i} out of bounds for `{}` (len {len})",
+            cx.prog.globals[gid as usize].name
+        );
+    }
+    ii as usize
+}
+
+fn to_schedule(ls: LSched, default_dynamic: usize) -> Schedule {
+    match ls.kind {
+        SchedKind::Static => {
+            if ls.chunk == 0 {
+                Schedule::Static
+            } else {
+                Schedule::StaticChunk(ls.chunk)
+            }
+        }
+        SchedKind::Dynamic => Schedule::Dynamic(if ls.chunk == 0 {
+            default_dynamic
+        } else {
+            ls.chunk
+        }),
+        SchedKind::Guided => Schedule::Guided(ls.chunk.max(1)),
+        SchedKind::Runtime => Schedule::Runtime,
+    }
+}
+
+fn fmt_val(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}

@@ -1,0 +1,191 @@
+//! The lowered, name-resolved IR the interpreter executes.
+//!
+//! Produced by [`crate::sema`]. Every variable reference is resolved to
+//! either a *private frame slot* (`Local`) or a *shared DSM global*
+//! (`Global`/`Elem`) — the paper's Modification 1 made explicit in the
+//! instruction set: there is no way to express a shared stack variable.
+
+use crate::ast::{BinOp, SchedKind, UnOp};
+use crate::diag::Span;
+use nomp::RedOp;
+
+#[derive(Debug)]
+pub(crate) struct LProgram {
+    pub globals: Vec<LGlobal>,
+    pub funcs: Vec<LFunc>,
+    pub regions: Vec<LRegion>,
+    pub tasks: Vec<LTask>,
+    pub main_fn: usize,
+}
+
+#[derive(Debug)]
+pub(crate) struct LGlobal {
+    pub name: String,
+    /// `int`-declared: C-style truncation on store.
+    pub trunc: bool,
+    pub kind: LGlobalKind,
+    pub span: Span,
+}
+
+#[derive(Debug)]
+pub(crate) enum LGlobalKind {
+    Scalar { init: Option<LExpr> },
+    Array { len: LExpr },
+}
+
+#[derive(Debug)]
+pub(crate) struct LFunc {
+    /// Private frame slots (params + all locals).
+    pub frame: usize,
+    /// Parameter slots are 0..params.len(); `trunc` per parameter.
+    pub param_trunc: Vec<bool>,
+    pub body: Vec<LStmt>,
+}
+
+/// An outlined parallel region (the paper's region-outlining pass).
+#[derive(Debug)]
+pub(crate) struct LRegion {
+    pub body: Vec<LStmt>,
+    /// Frame size of the enclosing function; the whole frame is shipped
+    /// as the firstprivate environment (modeled in the fork payload).
+    pub frame: usize,
+    /// Work-shared loops in this region, in `loop_idx` order; the master
+    /// resolves schedules and pre-allocates shared chunk counters at
+    /// fork time.
+    pub loops: Vec<LSched>,
+    /// Region-level `reduction` clauses (on `parallel` itself).
+    pub reds: Vec<RedSite>,
+    /// A `task`/`taskwait` is reachable from this region (lexically or
+    /// through called functions): run it as a distributed task scope.
+    pub uses_tasks: bool,
+}
+
+/// An outlined `task` construct.
+#[derive(Debug)]
+pub(crate) struct LTask {
+    pub body: Vec<LStmt>,
+    /// Enclosing-function frame slots captured firstprivate into the
+    /// 32-byte task descriptor (at most [`crate::MAX_TASK_CAPTURES`]).
+    pub caps: Vec<u16>,
+    /// Frame size of the enclosing function.
+    pub frame: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LSched {
+    pub kind: SchedKind,
+    /// 0 = unspecified (dynamic falls back to the configured default).
+    pub chunk: usize,
+}
+
+/// One reduction variable at one construct: the private accumulator
+/// slot, the shared global it folds into, and the lock serializing the
+/// end-of-construct combine.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RedSite {
+    pub op: RedOp,
+    pub gid: u16,
+    pub slot: u16,
+    pub trunc: bool,
+    pub lock: u32,
+}
+
+#[derive(Debug)]
+pub(crate) enum LExpr {
+    Num(f64),
+    Local(u16),
+    Global(u16),
+    Elem(u16, Box<LExpr>, Span),
+    Un(UnOp, Box<LExpr>),
+    Bin(BinOp, Box<LExpr>, Box<LExpr>),
+    Call(u16, Vec<LExpr>),
+    Builtin(Builtin, Vec<LExpr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Builtin {
+    Sqrt,
+    Fabs,
+    Floor,
+    Sin,
+    Cos,
+    Exp,
+    ThreadNum,
+    NumThreads,
+    NumProcs,
+    Wtime,
+}
+
+#[derive(Debug)]
+pub(crate) enum LStmt {
+    SetLocal {
+        slot: u16,
+        trunc: bool,
+        val: LExpr,
+    },
+    SetGlobal {
+        gid: u16,
+        trunc: bool,
+        val: LExpr,
+    },
+    SetElem {
+        gid: u16,
+        trunc: bool,
+        idx: LExpr,
+        val: LExpr,
+        span: Span,
+    },
+    If {
+        cond: LExpr,
+        then_: Vec<LStmt>,
+        else_: Vec<LStmt>,
+    },
+    While {
+        cond: LExpr,
+        body: Vec<LStmt>,
+    },
+    Return(Option<LExpr>),
+    Expr(LExpr),
+    Print(Vec<LPrint>),
+    /// Fork the outlined region on every workstation.
+    Parallel {
+        region: u16,
+    },
+    /// A work-shared loop inside a region.
+    WsFor(Box<WsFor>),
+    Single(Vec<LStmt>),
+    Critical {
+        lock: u32,
+        body: Vec<LStmt>,
+    },
+    Barrier,
+    /// Spawn task `site`, capturing the listed frame slots by value.
+    Task {
+        site: u16,
+    },
+    Taskwait,
+}
+
+#[derive(Debug)]
+pub(crate) enum LPrint {
+    Str(String),
+    Val(LExpr),
+}
+
+#[derive(Debug)]
+pub(crate) struct WsFor {
+    /// Index into the owning region's `loops` table.
+    pub loop_idx: u16,
+    /// Private loop-variable slot.
+    pub var: u16,
+    pub lo: LExpr,
+    pub hi: LExpr,
+    pub body: Vec<LStmt>,
+    pub reds: Vec<RedSite>,
+    /// Interior `omp for`: run the implied end-of-loop barrier (combined
+    /// `parallel for` relies on the region join instead).
+    pub barrier_after: bool,
+    /// Interior loops also reset their shared chunk counter so the region
+    /// can execute the loop again (costs one extra barrier).
+    pub reset_after: bool,
+}

@@ -1,0 +1,416 @@
+//! Lexer for the `.omp` source language.
+//!
+//! Mostly a conventional C-subset tokenizer; the one directive-specific
+//! wrinkle is that `#pragma omp` lines are line-delimited: the `#` sigil
+//! produces a [`Tok::PragmaOmp`] token, the pragma's clauses are lexed as
+//! ordinary tokens, and the terminating newline produces
+//! [`Tok::PragmaEnd`] so the parser can tell where the directive stops
+//! and the annotated statement begins.
+
+use crate::diag::{Diag, Span};
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Num(f64),
+    Str(String),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBrack,
+    RBrack,
+    Semi,
+    Comma,
+    Colon,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    /// `#pragma omp`
+    PragmaOmp,
+    /// End of a `#pragma omp` line.
+    PragmaEnd,
+    Eof,
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    in_pragma: bool,
+    out: Vec<Token>,
+}
+
+pub(crate) fn lex(src: &str) -> Result<Vec<Token>, Diag> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        in_pragma: false,
+        out: Vec::new(),
+    };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn push(&mut self, tok: Tok, span: Span) {
+        self.out.push(Token { tok, span });
+    }
+
+    /// Consume a newline-sensitive whitespace/comment run. Returns an
+    /// error for unterminated block comments.
+    fn skip_trivia(&mut self) -> Result<(), Diag> {
+        loop {
+            match self.peek() {
+                Some('\n') => {
+                    if self.in_pragma {
+                        let sp = self.span();
+                        self.push(Tok::PragmaEnd, sp);
+                        self.in_pragma = false;
+                    }
+                    self.bump();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.span();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(Diag::new(start, "unterminated block comment"));
+                            }
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(&mut self) -> Result<(), Diag> {
+        loop {
+            self.skip_trivia()?;
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                if self.in_pragma {
+                    self.push(Tok::PragmaEnd, span);
+                    self.in_pragma = false;
+                }
+                self.push(Tok::Eof, span);
+                return Ok(());
+            };
+            match c {
+                '#' => self.lex_pragma_intro(span)?,
+                '"' => self.lex_string(span)?,
+                c if c.is_ascii_digit() => self.lex_number(span)?,
+                c if c.is_alphabetic() || c == '_' => {
+                    let mut s = String::new();
+                    while let Some(c) = self.peek() {
+                        if c.is_alphanumeric() || c == '_' {
+                            s.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(Tok::Ident(s), span);
+                }
+                _ => self.lex_punct(span)?,
+            }
+        }
+    }
+
+    /// `#pragma omp` — anything else after `#` is an error (this language
+    /// has no preprocessor).
+    fn lex_pragma_intro(&mut self, span: Span) -> Result<(), Diag> {
+        self.bump(); // '#'
+        let word = |lx: &mut Self| -> String {
+            while matches!(lx.peek(), Some(c) if c == ' ' || c == '\t') {
+                lx.bump();
+            }
+            let mut s = String::new();
+            while let Some(c) = lx.peek() {
+                if c.is_alphanumeric() || c == '_' {
+                    s.push(c);
+                    lx.bump();
+                } else {
+                    break;
+                }
+            }
+            s
+        };
+        let w1 = word(self);
+        if w1 != "pragma" {
+            return Err(Diag::new(
+                span,
+                format!("expected `#pragma`, found `#{w1}`"),
+            ));
+        }
+        let w2 = word(self);
+        if w2 != "omp" {
+            return Err(Diag::new(
+                span,
+                format!("expected `#pragma omp`, found `#pragma {w2}`"),
+            ));
+        }
+        self.in_pragma = true;
+        self.push(Tok::PragmaOmp, span);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, span: Span) -> Result<(), Diag> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None | Some('\n') => {
+                    return Err(Diag::new(span, "unterminated string literal"));
+                }
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some('\\') => {
+                    self.bump();
+                    match self.bump() {
+                        Some('n') => s.push('\n'),
+                        Some('t') => s.push('\t'),
+                        Some('\\') => s.push('\\'),
+                        Some('"') => s.push('"'),
+                        other => {
+                            return Err(Diag::new(
+                                span,
+                                format!("unknown escape `\\{}`", other.unwrap_or(' ')),
+                            ));
+                        }
+                    }
+                }
+                Some(c) => {
+                    s.push(c);
+                    self.bump();
+                }
+            }
+        }
+        self.push(Tok::Str(s), span);
+        Ok(())
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<(), Diag> {
+        let mut s = String::new();
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            s.push(self.bump().unwrap());
+        }
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            s.push(self.bump().unwrap());
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                s.push(self.bump().unwrap());
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            let mut e = String::from(self.bump().unwrap());
+            if matches!(self.peek(), Some('+' | '-')) {
+                e.push(self.bump().unwrap());
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(Diag::new(span, format!("malformed number `{s}{e}`")));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                e.push(self.bump().unwrap());
+            }
+            s.push_str(&e);
+        }
+        match s.parse::<f64>() {
+            Ok(v) if v.is_finite() => {
+                self.push(Tok::Num(v), span);
+                Ok(())
+            }
+            _ => Err(Diag::new(span, format!("malformed number `{s}`"))),
+        }
+    }
+
+    fn lex_punct(&mut self, span: Span) -> Result<(), Diag> {
+        let c = self.bump().unwrap();
+        let two = |lx: &mut Self, next: char, yes: Tok, no: Tok| -> Tok {
+            if lx.peek() == Some(next) {
+                lx.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let tok = match c {
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '{' => Tok::LBrace,
+            '}' => Tok::RBrace,
+            '[' => Tok::LBrack,
+            ']' => Tok::RBrack,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            ':' => Tok::Colon,
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '=' => two(self, '=', Tok::Eq, Tok::Assign),
+            '!' => two(self, '=', Tok::Ne, Tok::Not),
+            '<' => two(self, '=', Tok::Le, Tok::Lt),
+            '>' => two(self, '=', Tok::Ge, Tok::Gt),
+            '&' => {
+                if self.peek() == Some('&') {
+                    self.bump();
+                    Tok::AndAnd
+                } else {
+                    return Err(Diag::new(span, "single `&` is not an operator (use `&&`)"));
+                }
+            }
+            '|' => {
+                if self.peek() == Some('|') {
+                    self.bump();
+                    Tok::OrOr
+                } else {
+                    return Err(Diag::new(span, "single `|` is not an operator (use `||`)"));
+                }
+            }
+            other => {
+                return Err(Diag::new(span, format!("unexpected character `{other}`")));
+            }
+        };
+        self.push(tok, span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn pragma_lines_are_delimited() {
+        let ts = kinds("#pragma omp parallel for\nx = 1;");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::PragmaOmp,
+                Tok::Ident("parallel".into()),
+                Tok::Ident("for".into()),
+                Tok::PragmaEnd,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(1.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let ts = kinds("a <= 1.5e2 % 3");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Num(150.0),
+                Tok::Percent,
+                Tok::Num(3.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_errors_are_spanned() {
+        assert_eq!(kinds("// c\n/* x\ny */ 7"), vec![Tok::Num(7.0), Tok::Eof]);
+        let e = lex("  $").unwrap_err();
+        assert_eq!((e.span.line, e.span.col), (1, 3));
+        assert!(lex("#pragma once\n").is_err());
+        assert!(lex("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn pragma_at_eof_still_closes() {
+        let ts = kinds("#pragma omp barrier");
+        assert_eq!(
+            ts,
+            vec![
+                Tok::PragmaOmp,
+                Tok::Ident("barrier".into()),
+                Tok::PragmaEnd,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! # ompc — an OpenMP directive front-end for the NOW runtime
+//!
+//! The SC'98 paper's headline contribution is its *translator*: OpenMP
+//! source programs are compiled onto TreadMarks calls — shared/private
+//! data classification, parallel-region outlining, directive lowering.
+//! This crate reproduces that pipeline for a small C-like language:
+//!
+//! ```text
+//!   .omp source ──lex/parse──▶ AST ──classify+lower──▶ IR ──interpret──▶ nomp::Env
+//!                 (lex, parse)       (sema)                 (interp)     on the
+//!                                                                        simulated NOW
+//! ```
+//!
+//! Translated programs execute through the same [`nomp`] runtime as the
+//! hand-written Rust applications, on the same simulated network — they
+//! pay real DSM protocol traffic and virtual time, so the translated-vs-
+//! hand-written overhead is measurable (see the `ompc_overhead` bench).
+//!
+//! ## Lowering rules
+//!
+//! | Source construct | Classification / lowering |
+//! |---|---|
+//! | global `double x;` / `double a[N];` | **shared**: DSM-resident `SharedScalar`/`SharedVec` (Modification 1) |
+//! | function locals, params | **private**: slots in a per-thread frame |
+//! | `#pragma omp parallel` | region body outlined; enclosing frame copied per thread (firstprivate environment, modeled in the fork payload); implicit join barrier |
+//! | `#pragma omp parallel for` / `omp for` | canonical `for (int i = LO; i < HI; i = i + 1)` driven chunk-wise through [`nomp::LoopPlan`]; interior `omp for` adds the implied end barrier |
+//! | `schedule(static[,c] \| dynamic[,c] \| guided[,c] \| runtime)` | [`nomp::Schedule`]; `runtime` resolves from [`nomp::OmpConfig::runtime_schedule`]; dynamic/guided draw chunks from a DSM counter under a runtime lock |
+//! | `shared(g)` | legal only for globals; `shared(local)` is a compile error (stack data cannot live in DSM — Modification 1) |
+//! | `private(x)` / `firstprivate(x)` | locals: cleared / captured copy; globals: rebound to a fresh private slot (zeroed / seeded from the global) |
+//! | `reduction(op:g)` | `g` rebound to a private accumulator seeded with `op`'s identity; combined into the shared global under a per-site lock at construct end |
+//! | `#pragma omp critical [(name)]` | [`nomp::critical_id`] lock around the block |
+//! | `#pragma omp barrier` | DSM barrier (context-checked over the call graph) |
+//! | `#pragma omp single` | thread 0 executes + implied barrier |
+//! | `#pragma omp task` | body outlined; ≤[`MAX_TASK_CAPTURES`] referenced privates packed into the 32-byte [`nomp::TaskArgs`] descriptor; regions from which tasks are reachable run as work-stealing task scopes (others fork as plain regions) |
+//! | `#pragma omp taskwait` | [`nomp::TaskScope::taskwait`] (four-counter quiescence) |
+//! | `int` declarations | value truncated on store (C semantics); `%` is integer modulo |
+//!
+//! Context rules are enforced over the *call graph*, not just lexically:
+//! `task`/`taskwait`/`barrier` may be orphaned in functions called from
+//! parallel regions, but are compile errors in any function reachable
+//! from sequential context; `for`/`single` must be lexically inside a
+//! `parallel`; `parallel` cannot nest.
+//!
+//! ## Example
+//!
+//! ```
+//! use nomp::OmpConfig;
+//!
+//! let out = ompc::run_source(
+//!     r#"
+//!     double pi;
+//!     int main() {
+//!         int n = 1000;
+//!         double step = 1.0 / n;
+//!         #pragma omp parallel for reduction(+:pi) schedule(static)
+//!         for (int i = 0; i < n; i = i + 1) {
+//!             double x = (i + 0.5) * step;
+//!             pi = pi + 4.0 / (1.0 + x * x);
+//!         }
+//!         pi = pi * step;
+//!         return 0;
+//!     }
+//!     "#,
+//!     OmpConfig::fast_test(2),
+//! )
+//! .unwrap();
+//! assert!((out.scalars["pi"] - std::f64::consts::PI).abs() < 1e-5);
+//! assert!(out.msgs > 0); // the translated program paid real DSM traffic
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod diag;
+mod interp;
+mod ir;
+mod lex;
+mod parse;
+mod sema;
+
+pub use diag::{Diag, Span};
+
+use interp::run_master;
+use ir::LProgram;
+use nomp::{OmpConfig, TmkStats};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How many private variables a `task` body may capture: the 32-byte
+/// task descriptor holds the site id plus three value words.
+pub const MAX_TASK_CAPTURES: usize = 3;
+
+/// A compiled `.omp` program, ready to run (cheaply cloneable).
+#[derive(Clone)]
+pub struct Compiled {
+    l: Arc<LProgram>,
+}
+
+/// Parse, classify and lower an `.omp` source program.
+///
+/// All front-end errors — lexical, syntactic and semantic — come back as
+/// a spanned [`Diag`]; this function never panics.
+pub fn compile(src: &str) -> Result<Compiled, Diag> {
+    let ast = parse::parse(src)?;
+    let l = sema::lower(&ast)?;
+    Ok(Compiled { l: Arc::new(l) })
+}
+
+/// Result of executing a translated program.
+#[derive(Debug, Clone)]
+pub struct OmpOutcome {
+    /// `main`'s return value.
+    pub ret: f64,
+    /// Lines printed from sequential context (parallel-context prints go
+    /// to stdout with a `[t<id>]` prefix as they happen).
+    pub printed: Vec<String>,
+    /// Final values of all global scalars.
+    pub scalars: BTreeMap<String, f64>,
+    /// Final contents of all global arrays.
+    pub arrays: BTreeMap<String, Vec<f64>>,
+    /// Modeled run time in virtual nanoseconds.
+    pub vt_ns: u64,
+    /// Remote messages the program's DSM traffic needed.
+    pub msgs: u64,
+    /// Payload bytes on the wire.
+    pub bytes: u64,
+    /// DSM protocol event counters.
+    pub dsm: TmkStats,
+}
+
+impl OmpOutcome {
+    /// Modeled run time in virtual seconds.
+    pub fn vt_seconds(&self) -> f64 {
+        self.vt_ns as f64 / 1e9
+    }
+}
+
+/// Run a compiled program on the simulated network described by `cfg`.
+///
+/// Runtime errors in the translated program (out-of-bounds indexing,
+/// invalid array lengths, modulo by zero) panic with a spanned
+/// `ompc runtime error` message — the translated analogue of a segfault.
+pub fn run_compiled(prog: &Compiled, cfg: OmpConfig) -> OmpOutcome {
+    let l = prog.l.clone();
+    let out = nomp::run(cfg, move |env| run_master(&l, env));
+    let m = out.result;
+    OmpOutcome {
+        ret: m.ret,
+        printed: m.lines,
+        scalars: m.scalars,
+        arrays: m.arrays,
+        vt_ns: out.vt_ns,
+        msgs: out.net.total_msgs(),
+        bytes: out.net.total_bytes(),
+        dsm: out.dsm,
+    }
+}
+
+/// [`compile`] + [`run_compiled`] in one step.
+pub fn run_source(src: &str, cfg: OmpConfig) -> Result<OmpOutcome, Diag> {
+    let prog = compile(src)?;
+    Ok(run_compiled(&prog, cfg))
+}

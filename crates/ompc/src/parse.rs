@@ -1,0 +1,884 @@
+//! Recursive-descent parser producing the [`crate::ast`] tree.
+//!
+//! Errors are always spanned [`Diag`]s — the parser must never panic,
+//! whatever the input (property-tested in `tests/errors.rs`). Recursion
+//! depth is bounded so pathological nesting is a diagnostic, not a stack
+//! overflow.
+
+use crate::ast::*;
+use crate::diag::{Diag, Span};
+use crate::lex::{lex, Tok, Token};
+
+const MAX_DEPTH: u32 = 200;
+
+pub(crate) fn parse(src: &str) -> Result<Program, Diag> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<(), Diag> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {}", describe(self.peek()))))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Diag {
+        Diag::new(self.span(), msg)
+    }
+
+    fn enter(&mut self) -> Result<(), Diag> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), Diag> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Ident(s) => Ok((s, span)),
+            other => Err(Diag::new(
+                span,
+                format!("expected {what}, found {}", describe(&other)),
+            )),
+        }
+    }
+
+    /// Peek whether the current token is the identifier `kw`.
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_ty(&self) -> Option<Ty> {
+        match self.peek() {
+            Tok::Ident(s) if s == "int" => Some(Ty::Int),
+            Tok::Ident(s) if s == "double" => Some(Ty::Double),
+            Tok::Ident(s) if s == "void" => Some(Ty::Void),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Items
+    // ------------------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, Diag> {
+        let mut globals = Vec::new();
+        let mut funcs = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Eof => break,
+                Tok::PragmaOmp => {
+                    return Err(self.err("directives must appear inside a function body"));
+                }
+                _ => {}
+            }
+            let Some(ty) = self.peek_ty() else {
+                return Err(self.err(format!(
+                    "expected a declaration (`int`, `double` or `void`), found {}",
+                    describe(self.peek())
+                )));
+            };
+            self.bump();
+            let (name, span) = self.ident("a name")?;
+            match self.peek() {
+                Tok::LParen => {
+                    funcs.push(self.func(ty, name, span)?);
+                }
+                Tok::LBrack => {
+                    if ty == Ty::Void {
+                        return Err(Diag::new(span, "arrays cannot be `void`"));
+                    }
+                    self.bump();
+                    let len = self.expr()?;
+                    self.expect(&Tok::RBrack, "`]`")?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    globals.push(Global {
+                        ty,
+                        name,
+                        span,
+                        kind: GlobalKind::Array(len),
+                    });
+                }
+                _ => {
+                    if ty == Ty::Void {
+                        return Err(Diag::new(span, "variables cannot be `void`"));
+                    }
+                    let init = if self.eat(&Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    self.expect(&Tok::Semi, "`;`")?;
+                    globals.push(Global {
+                        ty,
+                        name,
+                        span,
+                        kind: GlobalKind::Scalar(init),
+                    });
+                }
+            }
+        }
+        Ok(Program { globals, funcs })
+    }
+
+    fn func(&mut self, ty: Ty, name: String, span: Span) -> Result<Func, Diag> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let Some(pty) = self.peek_ty() else {
+                    return Err(self.err("expected a parameter type"));
+                };
+                if pty == Ty::Void {
+                    return Err(self.err("parameters cannot be `void`"));
+                }
+                self.bump();
+                let (pname, pspan) = self.ident("a parameter name")?;
+                params.push(Param {
+                    ty: pty,
+                    name: pname,
+                    span: pspan,
+                });
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "`,` or `)`")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Func {
+            ty,
+            name,
+            span,
+            params,
+            body,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, Diag> {
+        self.expect(&Tok::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if matches!(self.peek(), Tok::Eof) {
+                return Err(self.err("unexpected end of input (missing `}`)"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A single statement, normalized to a `Vec` (so `if (c) x = 1;` and
+    /// `if (c) { x = 1; }` lower identically).
+    fn stmt_as_block(&mut self) -> Result<Vec<Stmt>, Diag> {
+        if matches!(self.peek(), Tok::LBrace) {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diag> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.leave();
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, Diag> {
+        let span = self.span();
+        match self.peek().clone() {
+            Tok::PragmaOmp => self.pragma(),
+            Tok::LBrace => Ok(Stmt::Block(self.block()?)),
+            Tok::Ident(kw) => match kw.as_str() {
+                "int" | "double" => {
+                    let s = self.decl()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(s)
+                }
+                "void" => Err(self.err("variables cannot be `void`")),
+                "if" => {
+                    self.bump();
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    let then_ = self.stmt_as_block()?;
+                    let else_ = if self.eat_kw("else") {
+                        self.stmt_as_block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::If { cond, then_, else_ })
+                }
+                "while" => {
+                    self.bump();
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let cond = self.expr()?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    let body = self.stmt_as_block()?;
+                    Ok(Stmt::While { cond, body })
+                }
+                "for" => Ok(Stmt::For(self.for_loop()?)),
+                "return" => {
+                    self.bump();
+                    let value = if self.eat(&Tok::Semi) {
+                        None
+                    } else {
+                        let e = self.expr()?;
+                        self.expect(&Tok::Semi, "`;`")?;
+                        Some(e)
+                    };
+                    Ok(Stmt::Return { value, span })
+                }
+                "print" => {
+                    self.bump();
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let mut parts = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            if let Tok::Str(s) = self.peek() {
+                                parts.push(PrintPart::Str(s.clone()));
+                                self.bump();
+                            } else {
+                                parts.push(PrintPart::Expr(self.expr()?));
+                            }
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,` or `)`")?;
+                        }
+                    }
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(Stmt::Print { parts })
+                }
+                _ => {
+                    let s = self.assign_or_expr()?;
+                    self.expect(&Tok::Semi, "`;`")?;
+                    Ok(s)
+                }
+            },
+            _ => {
+                let s = self.assign_or_expr()?;
+                self.expect(&Tok::Semi, "`;`")?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// `int x` / `double x` with optional initializer — no trailing `;`
+    /// (shared with `for` headers). Local arrays are rejected here: stack
+    /// data cannot be shared (Modification 1), so arrays are global-only.
+    fn decl(&mut self) -> Result<Stmt, Diag> {
+        let ty = self.peek_ty().unwrap();
+        self.bump();
+        let (name, span) = self.ident("a variable name")?;
+        if matches!(self.peek(), Tok::LBrack) {
+            return Err(Diag::new(
+                span,
+                format!(
+                    "local array `{name}` is not supported: arrays live in shared memory \
+                     and must be declared at global scope (Modification 1)"
+                ),
+            ));
+        }
+        let init = if self.eat(&Tok::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Decl {
+            ty,
+            name,
+            init,
+            span,
+        })
+    }
+
+    /// Assignment (`x = e`, `a[i] = e`) without the trailing `;`, or a
+    /// bare expression statement (a call).
+    fn assign_or_expr(&mut self) -> Result<Stmt, Diag> {
+        if let Tok::Ident(name) = self.peek().clone() {
+            let span = self.span();
+            match self.toks.get(self.pos + 1).map(|t| &t.tok) {
+                Some(Tok::Assign) => {
+                    self.bump();
+                    self.bump();
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        target: Target::Var(name, span),
+                        value,
+                    });
+                }
+                Some(Tok::LBrack) => {
+                    self.bump();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBrack, "`]`")?;
+                    self.expect(&Tok::Assign, "`=` (array reads belong in expressions)")?;
+                    let value = self.expr()?;
+                    return Ok(Stmt::Assign {
+                        target: Target::Elem(name, idx, span),
+                        value,
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Stmt::Expr(self.expr()?))
+    }
+
+    fn for_loop(&mut self) -> Result<ForLoop, Diag> {
+        let span = self.span();
+        self.bump(); // `for`
+        self.expect(&Tok::LParen, "`(`")?;
+        let init = if self.eat(&Tok::Semi) {
+            None
+        } else {
+            let s = if self.peek_ty().is_some() {
+                self.decl()?
+            } else {
+                self.assign_or_expr()?
+            };
+            if !matches!(s, Stmt::Decl { .. } | Stmt::Assign { .. }) {
+                return Err(self.err("`for` initializer must be a declaration or assignment"));
+            }
+            self.expect(&Tok::Semi, "`;`")?;
+            Some(Box::new(s))
+        };
+        let cond = if self.eat(&Tok::Semi) {
+            None
+        } else {
+            let e = self.expr()?;
+            self.expect(&Tok::Semi, "`;`")?;
+            Some(e)
+        };
+        let step = if self.eat(&Tok::RParen) {
+            None
+        } else {
+            let s = self.assign_or_expr()?;
+            if !matches!(s, Stmt::Assign { .. }) {
+                return Err(self.err("`for` step must be an assignment"));
+            }
+            self.expect(&Tok::RParen, "`)`")?;
+            Some(Box::new(s))
+        };
+        let body = self.stmt_as_block()?;
+        Ok(ForLoop {
+            init,
+            cond,
+            step,
+            body,
+            span,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Directives
+    // ------------------------------------------------------------------
+
+    fn pragma(&mut self) -> Result<Stmt, Diag> {
+        let span = self.span();
+        self.bump(); // PragmaOmp
+        let dir = match self.peek().clone() {
+            Tok::Ident(d) => d,
+            Tok::PragmaEnd => {
+                return Err(Diag::new(span, "`#pragma omp` is missing a directive"));
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a directive after `#pragma omp`, found {}",
+                    describe(&other)
+                )));
+            }
+        };
+        self.bump();
+        let dir = match dir.as_str() {
+            "parallel" => {
+                if self.eat_kw("for") {
+                    let clauses = self.clauses()?;
+                    self.expect(&Tok::PragmaEnd, "end of pragma line")?;
+                    let loop_ = self.expect_for("`#pragma omp parallel for`")?;
+                    Dir::ParallelFor { clauses, loop_ }
+                } else {
+                    let clauses = self.clauses()?;
+                    self.expect(&Tok::PragmaEnd, "end of pragma line")?;
+                    let body = self.stmt_as_block()?;
+                    Dir::Parallel { clauses, body }
+                }
+            }
+            "for" => {
+                let clauses = self.clauses()?;
+                self.expect(&Tok::PragmaEnd, "end of pragma line")?;
+                let loop_ = self.expect_for("`#pragma omp for`")?;
+                Dir::For { clauses, loop_ }
+            }
+            "single" => {
+                self.expect(
+                    &Tok::PragmaEnd,
+                    "end of pragma line (`single` takes no clauses)",
+                )?;
+                Dir::Single {
+                    body: self.stmt_as_block()?,
+                }
+            }
+            "critical" => {
+                let name = if self.eat(&Tok::LParen) {
+                    let (n, _) = self.ident("a critical section name")?;
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Some(n)
+                } else {
+                    None
+                };
+                self.expect(&Tok::PragmaEnd, "end of pragma line")?;
+                Dir::Critical {
+                    name,
+                    body: self.stmt_as_block()?,
+                }
+            }
+            "barrier" => {
+                self.expect(
+                    &Tok::PragmaEnd,
+                    "end of pragma line (`barrier` stands alone)",
+                )?;
+                Dir::Barrier
+            }
+            "task" => {
+                let clauses = self.clauses()?;
+                self.expect(&Tok::PragmaEnd, "end of pragma line")?;
+                Dir::Task {
+                    clauses,
+                    body: self.stmt_as_block()?,
+                }
+            }
+            "taskwait" => {
+                self.expect(
+                    &Tok::PragmaEnd,
+                    "end of pragma line (`taskwait` stands alone)",
+                )?;
+                Dir::Taskwait
+            }
+            other => {
+                return Err(Diag::new(span, format!("unknown directive `{other}`")));
+            }
+        };
+        Ok(Stmt::Omp(OmpStmt { dir, span }))
+    }
+
+    fn expect_for(&mut self, after: &str) -> Result<ForLoop, Diag> {
+        if self.at_kw("for") {
+            self.for_loop()
+        } else {
+            Err(self.err(format!("expected a `for` loop after {after}")))
+        }
+    }
+
+    fn clauses(&mut self) -> Result<Vec<Clause>, Diag> {
+        let mut clauses = Vec::new();
+        loop {
+            // Optional separating commas between clauses.
+            while self.eat(&Tok::Comma) {}
+            let span = self.span();
+            let Tok::Ident(name) = self.peek().clone() else {
+                break;
+            };
+            self.bump();
+            let clause = match name.as_str() {
+                "shared" => Clause::Shared(self.name_list()?),
+                "private" => Clause::Private(self.name_list()?),
+                "firstprivate" => Clause::Firstprivate(self.name_list()?),
+                "reduction" => {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let op = match self.bump() {
+                        Tok::Plus => RedKind::Sum,
+                        Tok::Star => RedKind::Prod,
+                        Tok::Ident(s) if s == "min" => RedKind::Min,
+                        Tok::Ident(s) if s == "max" => RedKind::Max,
+                        other => {
+                            return Err(Diag::new(
+                                span,
+                                format!(
+                                    "unsupported reduction operator {} (use +, *, min or max)",
+                                    describe(&other)
+                                ),
+                            ));
+                        }
+                    };
+                    self.expect(&Tok::Colon, "`:`")?;
+                    let mut vars = Vec::new();
+                    loop {
+                        vars.push(self.ident("a reduction variable")?);
+                        if self.eat(&Tok::RParen) {
+                            break;
+                        }
+                        self.expect(&Tok::Comma, "`,` or `)`")?;
+                    }
+                    Clause::Reduction { op, vars, span }
+                }
+                "schedule" => {
+                    self.expect(&Tok::LParen, "`(`")?;
+                    let (kind_name, kspan) = self.ident("a schedule kind")?;
+                    let kind = match kind_name.as_str() {
+                        "static" => SchedKind::Static,
+                        "dynamic" => SchedKind::Dynamic,
+                        "guided" => SchedKind::Guided,
+                        "runtime" => SchedKind::Runtime,
+                        other => {
+                            return Err(Diag::new(
+                                kspan,
+                                format!(
+                                    "unknown schedule kind `{other}` \
+                                     (static, dynamic, guided or runtime)"
+                                ),
+                            ));
+                        }
+                    };
+                    let chunk = if self.eat(&Tok::Comma) {
+                        let cspan = self.span();
+                        match self.bump() {
+                            Tok::Num(v) if v.fract() == 0.0 && (1.0..=1e9).contains(&v) => {
+                                Some(v as usize)
+                            }
+                            other => {
+                                return Err(Diag::new(
+                                    cspan,
+                                    format!(
+                                        "chunk size must be a positive integer literal, \
+                                         found {}",
+                                        describe(&other)
+                                    ),
+                                ));
+                            }
+                        }
+                    } else {
+                        None
+                    };
+                    if kind == SchedKind::Runtime && chunk.is_some() {
+                        return Err(Diag::new(span, "schedule(runtime) takes no chunk size"));
+                    }
+                    self.expect(&Tok::RParen, "`)`")?;
+                    Clause::Schedule { kind, chunk, span }
+                }
+                other => {
+                    return Err(Diag::new(span, format!("unknown clause `{other}`")));
+                }
+            };
+            clauses.push(clause);
+        }
+        Ok(clauses)
+    }
+
+    fn name_list(&mut self) -> Result<Vec<(String, Span)>, Diag> {
+        self.expect(&Tok::LParen, "`(`")?;
+        let mut names = Vec::new();
+        loop {
+            names.push(self.ident("a variable name")?);
+            if self.eat(&Tok::RParen) {
+                break;
+            }
+            self.expect(&Tok::Comma, "`,` or `)`")?;
+        }
+        Ok(names)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, Diag> {
+        self.enter()?;
+        let r = self.or_expr();
+        self.leave();
+        r
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Eq => BinOp::Eq,
+                Tok::Ne => BinOp::Ne,
+                Tok::Lt => BinOp::Lt,
+                Tok::Le => BinOp::Le,
+                Tok::Gt => BinOp::Gt,
+                Tok::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.add_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, Diag> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diag> {
+        self.enter()?;
+        let span = self.span();
+        let r = match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(e), span))
+            }
+            Tok::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Not, Box::new(e), span))
+            }
+            _ => self.primary(),
+        };
+        self.leave();
+        r
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diag> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Num(v, span)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => match self.peek() {
+                Tok::LParen => {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.eat(&Tok::RParen) {
+                                break;
+                            }
+                            self.expect(&Tok::Comma, "`,` or `)`")?;
+                        }
+                    }
+                    Ok(Expr::Call(name, args, span))
+                }
+                Tok::LBrack => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBrack, "`]`")?;
+                    Ok(Expr::Index(name, Box::new(idx), span))
+                }
+                _ => Ok(Expr::Var(name, span)),
+            },
+            Tok::Str(_) => Err(Diag::new(
+                span,
+                "string literals are only allowed in `print`",
+            )),
+            other => Err(Diag::new(
+                span,
+                format!("expected an expression, found {}", describe(&other)),
+            )),
+        }
+    }
+}
+
+fn describe(t: &Tok) -> String {
+    match t {
+        Tok::Ident(s) => format!("`{s}`"),
+        Tok::Num(v) => format!("`{v}`"),
+        Tok::Str(_) => "a string literal".into(),
+        Tok::LParen => "`(`".into(),
+        Tok::RParen => "`)`".into(),
+        Tok::LBrace => "`{`".into(),
+        Tok::RBrace => "`}`".into(),
+        Tok::LBrack => "`[`".into(),
+        Tok::RBrack => "`]`".into(),
+        Tok::Semi => "`;`".into(),
+        Tok::Comma => "`,`".into(),
+        Tok::Colon => "`:`".into(),
+        Tok::Assign => "`=`".into(),
+        Tok::Plus => "`+`".into(),
+        Tok::Minus => "`-`".into(),
+        Tok::Star => "`*`".into(),
+        Tok::Slash => "`/`".into(),
+        Tok::Percent => "`%`".into(),
+        Tok::Eq => "`==`".into(),
+        Tok::Ne => "`!=`".into(),
+        Tok::Lt => "`<`".into(),
+        Tok::Le => "`<=`".into(),
+        Tok::Gt => "`>`".into(),
+        Tok::Ge => "`>=`".into(),
+        Tok::AndAnd => "`&&`".into(),
+        Tok::OrOr => "`||`".into(),
+        Tok::Not => "`!`".into(),
+        Tok::PragmaOmp => "`#pragma omp`".into(),
+        Tok::PragmaEnd => "end of pragma line".into(),
+        Tok::Eof => "end of input".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_program() {
+        let p = parse(
+            "double a[10];\n\
+             int main() {\n\
+               #pragma omp parallel for schedule(static)\n\
+               for (int i = 0; i < 10; i = i + 1) { a[i] = i; }\n\
+               return 0;\n\
+             }\n",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 1);
+        assert_eq!(p.funcs.len(), 1);
+        assert_eq!(p.funcs[0].name, "main");
+    }
+
+    #[test]
+    fn malformed_pragmas_are_spanned_errors() {
+        let cases = [
+            "int main() { #pragma omp paralel\n{} }",
+            "int main() { #pragma omp\nint x; }",
+            "int main() { #pragma omp parallel for\nint x; }",
+            "int main() { #pragma omp for schedule(bogus)\nfor (int i=0;i<3;i=i+1){} }",
+            "int main() { #pragma omp for schedule(dynamic, 0)\nfor (int i=0;i<3;i=i+1){} }",
+            "int main() { #pragma omp barrier extra\n }",
+            "int main() { #pragma omp parallel nowait\n{} }",
+        ];
+        for src in cases {
+            let e = parse(src).unwrap_err();
+            assert!(e.span.line >= 1, "{src}: {e}");
+        }
+    }
+
+    #[test]
+    fn directive_outside_function_is_an_error() {
+        let e = parse("#pragma omp parallel\nint main() {}").unwrap_err();
+        assert!(e.msg.contains("inside a function"), "{e}");
+    }
+
+    #[test]
+    fn deep_nesting_is_a_diagnostic_not_a_crash() {
+        let mut src = String::from("int main() { x = ");
+        src.push_str(&"(".repeat(5000));
+        src.push('1');
+        src.push_str(&")".repeat(5000));
+        src.push_str("; }");
+        let e = parse(&src).unwrap_err();
+        assert!(e.msg.contains("nesting too deep"), "{e}");
+    }
+
+    #[test]
+    fn local_arrays_are_rejected_with_modification1_hint() {
+        let e = parse("int main() { double a[4]; }").unwrap_err();
+        assert!(e.msg.contains("global scope"), "{e}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Run `.omp` programs through the `ompc` front-end on the simulated
+//! workstation network.
+//!
+//! ```text
+//! cargo run --release --example omp_runner                  # all bundled examples, 4 nodes
+//! cargo run --release --example omp_runner -- --nodes 8     # all, 8 nodes
+//! cargo run --release --example omp_runner -- my.omp        # one file
+//! ```
+
+use nomp::OmpConfig;
+
+const BUNDLED: &[(&str, &str)] = &[
+    ("pi.omp", include_str!("omp/pi.omp")),
+    ("dotprod.omp", include_str!("omp/dotprod.omp")),
+    ("jacobi.omp", include_str!("omp/jacobi.omp")),
+    ("fib.omp", include_str!("omp/fib.omp")),
+    ("qsort.omp", include_str!("omp/qsort.omp")),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes = 4usize;
+    let mut files: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                nodes = it.next().and_then(|v| v.parse().ok()).expect("--nodes N");
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+
+    let programs: Vec<(String, String)> = if files.is_empty() {
+        BUNDLED
+            .iter()
+            .map(|(n, s)| (n.to_string(), s.to_string()))
+            .collect()
+    } else {
+        files
+            .into_iter()
+            .map(|f| {
+                let src =
+                    std::fs::read_to_string(&f).unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
+                (f, src)
+            })
+            .collect()
+    };
+
+    let mut failed = false;
+    for (name, src) in &programs {
+        println!("== {name} on {nodes} simulated workstations ==");
+        match ompc::run_source(src, OmpConfig::paper(nodes)) {
+            Ok(out) => {
+                for line in &out.printed {
+                    println!("  {line}");
+                }
+                println!(
+                    "  [exit {}; {:.3} virtual s; {} msgs; {:.2} MB]\n",
+                    out.ret,
+                    out.vt_seconds(),
+                    out.msgs,
+                    out.bytes as f64 / 1e6
+                );
+                if name == "qsort.omp" && out.ret != 0.0 {
+                    eprintln!("  ERROR: qsort reported {} inversions", out.ret);
+                    failed = true;
+                }
+            }
+            Err(d) => {
+                eprintln!("  compile error: {d}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Acceptance tests for the `ompc` front-end: every bundled `.omp`
+//! example program parses, lowers, and executes on 1/2/4/8 simulated
+//! workstations with results matching a native-Rust reference
+//! implementation.
+
+use nomp::{OmpConfig, Schedule};
+
+const NODES: [usize; 4] = [1, 2, 4, 8];
+
+const PI: &str = include_str!("../examples/omp/pi.omp");
+const DOTPROD: &str = include_str!("../examples/omp/dotprod.omp");
+const JACOBI: &str = include_str!("../examples/omp/jacobi.omp");
+const FIB: &str = include_str!("../examples/omp/fib.omp");
+const QSORT: &str = include_str!("../examples/omp/qsort.omp");
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
+}
+
+#[test]
+fn pi_matches_native_reference() {
+    // Native reference: same midpoint rule, same trip count.
+    let n = 20_000;
+    let step = 1.0 / n as f64;
+    let expect: f64 = (0..n)
+        .map(|i| 4.0 / (1.0 + ((i as f64 + 0.5) * step).powi(2)))
+        .sum::<f64>()
+        * step;
+    for nodes in NODES {
+        let out = ompc::run_source(PI, OmpConfig::fast_test(nodes)).unwrap();
+        let pi = out.scalars["pi"];
+        assert!(
+            close(pi, expect, 1e-9),
+            "{nodes} nodes: {pi} vs reference {expect}"
+        );
+        assert!((pi - std::f64::consts::PI).abs() < 1e-7);
+        // The translated program paid real fork/barrier/page traffic.
+        if nodes > 1 {
+            assert!(out.msgs > 0, "{nodes} nodes: no DSM traffic?");
+        }
+        assert!(out.vt_ns > 0);
+    }
+}
+
+#[test]
+fn dotprod_matches_native_reference() {
+    let n = 4096;
+    let expect: f64 = (0..n)
+        .map(|i| (0.5 + (i % 17) as f64) * (1.0 / (1 + i % 13) as f64))
+        .sum();
+    for nodes in NODES {
+        // Also exercise schedule(runtime): the second loop defers to the
+        // configuration, which we point at dynamic chunking.
+        let mut cfg = OmpConfig::fast_test(nodes);
+        cfg.runtime_schedule = Schedule::Dynamic(256);
+        let out = ompc::run_source(DOTPROD, cfg).unwrap();
+        assert!(
+            close(out.scalars["dot"], expect, 1e-9),
+            "{nodes} nodes: {} vs {expect}",
+            out.scalars["dot"]
+        );
+    }
+}
+
+#[test]
+fn jacobi_matches_native_reference_exactly() {
+    // The stencil update is element-wise deterministic, so the final
+    // grid must match bit-for-bit on any node count.
+    let n = 258usize;
+    let sweeps = 40;
+    let mut u = vec![0.0f64; n];
+    let mut unew = vec![0.0f64; n];
+    u[0] = 1.0;
+    unew[0] = 1.0;
+    for _ in 0..sweeps {
+        for i in 1..n - 1 {
+            unew[i] = 0.5 * (u[i - 1] + u[i + 1]);
+        }
+        u[1..n - 1].copy_from_slice(&unew[1..n - 1]);
+    }
+    let resid = (1..n - 1)
+        .map(|i| (0.5 * (u[i - 1] + u[i + 1]) - u[i]).abs())
+        .fold(0.0f64, f64::max);
+    for nodes in NODES {
+        let out = ompc::run_source(JACOBI, OmpConfig::fast_test(nodes)).unwrap();
+        assert_eq!(out.arrays["u"], u, "{nodes} nodes: grid diverged");
+        assert!(
+            close(out.scalars["resid"], resid, 1e-12),
+            "{nodes} nodes: residual {} vs {resid}",
+            out.scalars["resid"]
+        );
+    }
+}
+
+#[test]
+fn fib_matches_native_reference() {
+    fn fib(n: u64) -> u64 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    let expect = fib(16) as f64;
+    for nodes in NODES {
+        let out = ompc::run_source(FIB, OmpConfig::fast_test(nodes)).unwrap();
+        assert_eq!(out.scalars["count"], expect, "{nodes} nodes");
+        assert!(out.dsm.tasks_executed > 0, "{nodes} nodes: no tasks ran");
+    }
+}
+
+#[test]
+fn qsort_matches_native_reference() {
+    // Replicate the program's LCG fill, sort natively, compare final
+    // array contents exactly.
+    let n = 400usize;
+    let mut seed = 7i64;
+    let mut expect = Vec::with_capacity(n);
+    for _ in 0..n {
+        seed = (seed * 1069 + 1) % 65536;
+        expect.push((seed % 1000) as f64);
+    }
+    expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    for nodes in NODES {
+        let out = ompc::run_source(QSORT, OmpConfig::fast_test(nodes)).unwrap();
+        assert_eq!(out.ret, 0.0, "{nodes} nodes: sort left inversions");
+        assert_eq!(out.arrays["a"], expect, "{nodes} nodes: wrong contents");
+    }
+}
+
+#[test]
+fn printed_output_is_captured_from_sequential_context() {
+    let out = ompc::run_source(PI, OmpConfig::fast_test(2)).unwrap();
+    assert_eq!(out.printed.len(), 2);
+    assert!(out.printed[0].starts_with("pi = 3.14"), "{:?}", out.printed);
+    assert!(
+        out.printed[1].starts_with("elapsed virtual seconds = "),
+        "{:?}",
+        out.printed
+    );
+}
