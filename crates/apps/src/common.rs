@@ -38,7 +38,9 @@ pub struct Report {
     pub app: &'static str,
     /// Implementation variant.
     pub version: VersionKind,
-    /// Workstations used (1 for sequential).
+    /// Degree of parallelism: workstations (MPI ranks / Tmk processes),
+    /// or total OpenMP threads — `nodes × threads_per_node` on SMP
+    /// topologies. 1 for sequential.
     pub nodes: usize,
     /// Virtual run time in nanoseconds.
     pub vt_ns: u64,

@@ -7,7 +7,16 @@ use crate::common::{Report, VersionKind};
 use nomp::OmpConfig;
 
 /// Run the OpenMP/DSM version.
+///
+/// `n × 1` topologies only: the pipeline blocks in `sema_wait`, which a
+/// multi-threaded SMP node cannot do (a parked waiter holds the node's
+/// protocol gate) — rejected up front instead of dying mid-run.
 pub fn run_omp(cfg: &SweepConfig, sys: OmpConfig) -> Report {
+    assert_eq!(
+        sys.threads_per_node(),
+        1,
+        "Sweep3D's semaphore pipeline requires threads_per_node == 1"
+    );
     let cfg = *cfg;
     let nodes = sys.threads();
     let out = nomp::run(sys, move |omp| {

@@ -3,10 +3,11 @@
 //! ```text
 //! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
 //! experiments: table1 table2 figure5 micro pipeline taskqueue
-//!              tasking pagesize fft_push scale_sweep ompc all   (default: all)
+//!              tasking pagesize fft_push scale_sweep ompc smp all
+//!              (default: all)
 //! ```
 
-use now_bench::{ablation, micro, ompc, tables, tasking};
+use now_bench::{ablation, micro, ompc, smp, tables, tasking};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +70,9 @@ fn main() {
     }
     if want("ompc") {
         ompc::ompc_overhead();
+    }
+    if want("smp") {
+        smp::smp_topology_table();
     }
     if want("pagesize") {
         ablation::page_size_ablation();

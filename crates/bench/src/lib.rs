@@ -15,6 +15,9 @@
 //!   work stealing (the tasking-runtime extension)
 //! * [`ompc::ompc_overhead`] — translated (`.omp` front-end) vs
 //!   hand-written kernel, the cost of the translation pipeline
+//! * [`smp::smp_topology_table`] — SMP-cluster topologies at equal total
+//!   parallelism (`8×1`, `4×2`, `2×4`, `1×8`): moving threads on-node
+//!   sheds DSM messages, down to zero on one SMP node
 //!
 //! Run everything with `cargo run -p now-bench --release --bin paper_tables`.
 
@@ -24,6 +27,7 @@ pub mod ablation;
 pub mod fmt;
 pub mod micro;
 pub mod ompc;
+pub mod smp;
 pub mod tables;
 pub mod tasking;
 

@@ -1,12 +1,21 @@
 //! OpenMP runtime configuration.
 
+use smp::SmpConfig;
 use tmk::TmkConfig;
 
 /// Configuration for an OpenMP-on-NOW program.
+///
+/// The execution topology is `nodes × threads_per_node`: `tmk.nodes()`
+/// simulated workstations, each hosting [`OmpConfig::threads_per_node`]
+/// application threads sharing that node's DSM process. The paper's
+/// platform is `n × 1`; SMP-cluster topologies (`4×2`, `2×4`, `1×8`, …)
+/// move synchronization on-node and shed DSM messages.
 #[derive(Debug, Clone)]
 pub struct OmpConfig {
     /// The underlying DSM + interconnect configuration.
     pub tmk: TmkConfig,
+    /// The intra-node (SMP) team size and cost model.
+    pub smp: SmpConfig,
     /// Default chunk size for `Schedule::Dynamic` when unspecified.
     pub default_dynamic_chunk: usize,
     /// What `schedule(runtime)` resolves to (the `OMP_SCHEDULE`
@@ -16,10 +25,18 @@ pub struct OmpConfig {
 }
 
 impl OmpConfig {
-    /// Paper platform defaults (8 nodes unless overridden).
+    /// Paper platform defaults (8 nodes unless overridden, one thread per
+    /// workstation).
     pub fn paper(nodes: usize) -> Self {
+        Self::paper_smp(nodes, 1)
+    }
+
+    /// Paper cost model on an SMP-cluster topology:
+    /// `nodes × threads_per_node`.
+    pub fn paper_smp(nodes: usize, threads_per_node: usize) -> Self {
         OmpConfig {
             tmk: TmkConfig::paper(nodes),
+            smp: SmpConfig::paper(threads_per_node),
             default_dynamic_chunk: 16,
             runtime_schedule: Schedule::Static,
         }
@@ -27,16 +44,34 @@ impl OmpConfig {
 
     /// Near-zero-cost functional-test configuration.
     pub fn fast_test(nodes: usize) -> Self {
+        Self::fast_test_smp(nodes, 1)
+    }
+
+    /// Functional-test cost model on an SMP-cluster topology:
+    /// `nodes × threads_per_node`.
+    pub fn fast_test_smp(nodes: usize, threads_per_node: usize) -> Self {
         OmpConfig {
             tmk: TmkConfig::fast_test(nodes),
+            smp: SmpConfig::fast_test(threads_per_node),
             default_dynamic_chunk: 16,
             runtime_schedule: Schedule::Static,
         }
     }
 
-    /// Number of OpenMP threads (one per workstation, as in the paper).
+    /// Total OpenMP threads: `nodes × threads_per_node`
+    /// (`omp_get_num_threads()` inside a region).
     pub fn threads(&self) -> usize {
-        self.tmk.nodes()
+        self.tmk.nodes() * self.smp.threads_per_node
+    }
+
+    /// Application threads per workstation.
+    pub fn threads_per_node(&self) -> usize {
+        self.smp.threads_per_node
+    }
+
+    /// The `nodes × threads_per_node` topology as a display string.
+    pub fn topology(&self) -> String {
+        format!("{}x{}", self.tmk.nodes(), self.smp.threads_per_node)
     }
 }
 
@@ -44,6 +79,7 @@ impl From<TmkConfig> for OmpConfig {
     fn from(tmk: TmkConfig) -> Self {
         OmpConfig {
             tmk,
+            smp: SmpConfig::paper(1),
             default_dynamic_chunk: 16,
             runtime_schedule: Schedule::Static,
         }
@@ -71,6 +107,56 @@ pub enum Schedule {
 }
 
 impl Schedule {
+    /// Parse an `OMP_SCHEDULE`-style string: `kind[,chunk]` with kind one
+    /// of `static`, `dynamic`, `guided`, `runtime`, `auto` (mapped to
+    /// static). Whitespace around tokens is ignored; a chunk of 0 is
+    /// legal and normalized to 1 by the loop planner.
+    ///
+    /// ```
+    /// use nomp::Schedule;
+    /// assert_eq!(Schedule::parse("static").unwrap(), Schedule::Static);
+    /// assert_eq!(Schedule::parse("dynamic,4").unwrap(), Schedule::Dynamic(4));
+    /// assert_eq!(Schedule::parse("guided, 8").unwrap(), Schedule::Guided(8));
+    /// assert!(Schedule::parse("fractal,3").is_err());
+    /// ```
+    pub fn parse(s: &str) -> Result<Schedule, String> {
+        let mut parts = s.split(',');
+        let kind = parts.next().unwrap_or("").trim().to_ascii_lowercase();
+        let chunk = match parts.next() {
+            None => None,
+            Some(c) => {
+                let c = c.trim();
+                Some(c.parse::<usize>().map_err(|_| {
+                    format!("invalid schedule chunk `{c}` in `{s}` (expected an unsigned integer)")
+                })?)
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(format!(
+                "trailing `,{}` in schedule `{s}` (expected `kind[,chunk]`)",
+                extra.trim()
+            ));
+        }
+        let sched = match (kind.as_str(), chunk) {
+            ("static" | "auto", None) => Schedule::Static,
+            ("static" | "auto", Some(c)) => Schedule::StaticChunk(c),
+            ("dynamic", c) => Schedule::Dynamic(c.unwrap_or(1)),
+            ("guided", c) => Schedule::Guided(c.unwrap_or(1)),
+            ("runtime", None) => Schedule::Runtime,
+            ("runtime", Some(_)) => {
+                return Err(format!("schedule `runtime` takes no chunk (got `{s}`)"))
+            }
+            ("", _) => return Err("empty schedule string".to_string()),
+            (k, _) => {
+                return Err(format!(
+                    "unknown schedule kind `{k}` in `{s}` (expected \
+                     static|dynamic|guided|runtime|auto)"
+                ))
+            }
+        };
+        Ok(sched)
+    }
+
     /// Iterations of `0..total` assigned to `tid` under a static policy.
     /// (Dynamic policies consult the shared counter at run time instead.)
     pub fn static_block(total: usize, nthreads: usize, tid: usize) -> std::ops::Range<usize> {
@@ -119,6 +205,53 @@ mod tests {
     #[test]
     fn config_threads_tracks_nodes() {
         assert_eq!(OmpConfig::fast_test(5).threads(), 5);
+    }
+
+    #[test]
+    fn config_threads_track_topology() {
+        let cfg = OmpConfig::fast_test_smp(4, 2);
+        assert_eq!(cfg.threads(), 8);
+        assert_eq!(cfg.threads_per_node(), 2);
+        assert_eq!(cfg.topology(), "4x2");
+        assert_eq!(OmpConfig::paper_smp(1, 8).threads(), 8);
+    }
+
+    #[test]
+    fn schedule_parse_accepts_omp_schedule_forms() {
+        assert_eq!(Schedule::parse("static").unwrap(), Schedule::Static);
+        assert_eq!(
+            Schedule::parse("static,16").unwrap(),
+            Schedule::StaticChunk(16)
+        );
+        assert_eq!(
+            Schedule::parse(" STATIC , 3 ").unwrap(),
+            Schedule::StaticChunk(3)
+        );
+        assert_eq!(Schedule::parse("dynamic").unwrap(), Schedule::Dynamic(1));
+        assert_eq!(Schedule::parse("dynamic,4").unwrap(), Schedule::Dynamic(4));
+        assert_eq!(Schedule::parse("guided,8").unwrap(), Schedule::Guided(8));
+        assert_eq!(Schedule::parse("guided").unwrap(), Schedule::Guided(1));
+        assert_eq!(Schedule::parse("runtime").unwrap(), Schedule::Runtime);
+        assert_eq!(Schedule::parse("auto").unwrap(), Schedule::Static);
+        // Chunk 0 parses; the loop planner normalizes it to 1.
+        assert_eq!(Schedule::parse("dynamic,0").unwrap(), Schedule::Dynamic(0));
+    }
+
+    #[test]
+    fn schedule_parse_rejects_malformed_strings() {
+        for bad in [
+            "",
+            "fractal",
+            "static,",
+            "static,x",
+            "dynamic,-1",
+            "dynamic,4,9",
+            "runtime,2",
+            "static,4x",
+        ] {
+            let e = Schedule::parse(bad).unwrap_err();
+            assert!(!e.is_empty(), "{bad:?} must produce a message");
+        }
     }
 
     /// Run `range` under `sched` with `cfg` and return how often each

@@ -1,11 +1,18 @@
 //! `threadprivate` storage.
 //!
 //! OpenMP `threadprivate` common blocks are global (they persist across
-//! parallel regions) but private per thread. In this runtime every OpenMP
-//! thread is one long-lived OS thread per workstation, so Rust's
-//! `thread_local!` storage gives exactly these semantics. The handle below
-//! adds per-instance keys so multiple `threadprivate` "blocks" of the same
-//! type coexist.
+//! parallel regions) but private per thread. On the paper's `n × 1`
+//! topology every OpenMP thread is one long-lived OS thread per
+//! workstation, so Rust's `thread_local!` storage gives exactly these
+//! semantics. The handle below adds per-instance keys so multiple
+//! `threadprivate` "blocks" of the same type coexist.
+//!
+//! SMP-cluster caveat: with `threads_per_node > 1` the non-primary team
+//! threads are re-spawned per region, so their `threadprivate` copies do
+//! *not* persist across regions (the OpenMP standard makes the same
+//! values unspecified unless the team size is stable and `copyin` is
+//! used — programs needing cross-region persistence should keep it on
+//! thread 0 or in shared memory).
 
 use std::any::{Any, TypeId};
 use std::cell::RefCell;

@@ -50,9 +50,20 @@ where
 }
 
 impl Env<'_> {
-    /// Number of OpenMP threads (one per workstation).
+    /// Number of OpenMP threads a region will run:
+    /// `nodes × threads_per_node`.
     pub fn num_threads(&self) -> usize {
+        self.t.nprocs() * self.cfg.smp.threads_per_node
+    }
+
+    /// Number of workstations (DSM nodes).
+    pub fn num_nodes(&self) -> usize {
         self.t.nprocs()
+    }
+
+    /// Application threads per workstation.
+    pub fn threads_per_node(&self) -> usize {
+        self.cfg.smp.threads_per_node
     }
 
     /// `omp_get_wtime()`: the master's virtual clock in seconds — elapsed
@@ -117,15 +128,30 @@ impl Env<'_> {
 
     /// [`Env::parallel`] with an explicit modeled firstprivate payload
     /// size in bytes (added to the fork message).
+    ///
+    /// On an SMP topology (`threads_per_node > 1`) each forked node runs
+    /// the body on a team of local threads sharing the node's DSM
+    /// process: one fork message per node brings up `threads_per_node`
+    /// OpenMP threads, and the implicit join barrier is two-level.
     pub fn parallel_sized(
         &mut self,
         payload_bytes: usize,
         body: impl Fn(&mut OmpThread<'_>) + Send + Sync + 'static,
     ) {
-        self.t.parallel(payload_bytes, move |t| {
-            let mut th = OmpThread::new(t);
-            body(&mut th);
-        });
+        let smp_cfg = self.cfg.smp;
+        if smp_cfg.threads_per_node <= 1 {
+            self.t.parallel(payload_bytes, move |t| {
+                let mut th = OmpThread::new(t);
+                body(&mut th);
+            });
+        } else {
+            self.t.parallel(payload_bytes, move |t| {
+                smp::run_team(t, smp_cfg, |t, team, local_tid| {
+                    let mut th = OmpThread::new_smp(t, team, local_tid);
+                    body(&mut th);
+                });
+            });
+        }
     }
 
     /// `!$omp parallel do`: fork a region executing `body(i)` for every
@@ -182,6 +208,11 @@ impl Env<'_> {
     /// private accumulator seeded with the identity; partial results are
     /// combined in a critical section at region end. Returns the reduced
     /// value (also visible to later regions via shared memory semantics).
+    ///
+    /// **Two-level** on SMP topologies: the team first combines in node
+    /// shared memory (message-free) and publishes one DSM contribution
+    /// per node, so the critical-section traffic scales with nodes, not
+    /// threads.
     pub fn parallel_reduce<T: Reduce>(
         &mut self,
         sched: Schedule,
@@ -200,11 +231,13 @@ impl Env<'_> {
                     body(th, i, &mut local);
                 }
             });
-            th.critical(lock, |th| {
-                let cur = acc.get(th);
-                let next = T::combine(op, cur, local);
-                acc.set(th, next);
-            });
+            if let Some(total) = th.reduce_combine(lock, local, move |a, b| T::combine(op, a, b)) {
+                th.critical(lock, |th| {
+                    let cur = acc.get(th);
+                    let next = T::combine(op, cur, total);
+                    acc.set(th, next);
+                });
+            }
         });
         acc.get(self.t)
     }
@@ -226,13 +259,21 @@ impl Env<'_> {
         self.parallel(move |th| {
             let mut local = vec![T::identity(op); len];
             body(th, &mut local);
-            th.critical(lock, |th| {
-                th.view_mut(&acc, 0..len, |global| {
-                    for (g, l) in global.iter_mut().zip(&local) {
-                        *g = T::combine(op, *g, *l);
-                    }
+            let fold = move |mut a: Vec<T>, b: Vec<T>| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x = T::combine(op, *x, y);
+                }
+                a
+            };
+            if let Some(total) = th.reduce_combine(lock, local, fold) {
+                th.critical(lock, |th| {
+                    th.view_mut(&acc, 0..len, |global| {
+                        for (g, l) in global.iter_mut().zip(&total) {
+                            *g = T::combine(op, *g, *l);
+                        }
+                    });
                 });
-            });
+            }
         });
         self.t.read_slice(&acc, 0..len)
     }

@@ -58,6 +58,9 @@ enum SharedPolicy {
 pub struct LoopCursor {
     pos: usize,
     started: bool,
+    /// SMP topologies: cached handle to the node's chunk buffer for this
+    /// loop site, so the hot sub-chunk take skips the team's site map.
+    site: Option<smp::SharedChunkBuf>,
 }
 
 impl LoopCursor {
@@ -162,6 +165,50 @@ impl LoopPlan {
                 policy,
             } => {
                 let total = (end - start) as u64;
+                if let Some((team, tpn)) = th.smp_team() {
+                    // Two-level scheduling: one thread grabs a *node-level*
+                    // chunk from the DSM counter (tpn× the per-thread
+                    // chunk) and the team subdivides it through the node's
+                    // message-free chunk buffer — DSM grab traffic scales
+                    // with nodes, not threads.
+                    let nodes = th.nprocs() as u64;
+                    let site = cursor
+                        .site
+                        .get_or_insert_with(|| team.loop_site(*lock))
+                        .clone();
+                    let mut buf = site.lock();
+                    th.lane_advance(team.cfg().local_lock_ns);
+                    if buf.lo >= buf.hi {
+                        let claim = th.critical(*lock, |th| {
+                            let cur = counter.get(th);
+                            if cur >= total {
+                                return None;
+                            }
+                            let remaining = total - cur;
+                            let len = match policy {
+                                SharedPolicy::Dynamic { chunk } => {
+                                    ((*chunk).max(1) as u64 * tpn as u64).min(remaining)
+                                }
+                                SharedPolicy::Guided { min_chunk } => (remaining / (2 * nodes))
+                                    .max((*min_chunk).max(1) as u64)
+                                    .min(remaining),
+                            };
+                            counter.set(th, cur + len);
+                            Some((cur, len))
+                        });
+                        let (cur, len) = claim?;
+                        buf.lo = cur as usize;
+                        buf.hi = (cur + len) as usize;
+                        buf.take = match policy {
+                            SharedPolicy::Dynamic { chunk } => (*chunk).max(1),
+                            SharedPolicy::Guided { .. } => (len as usize).div_ceil(tpn).max(1),
+                        };
+                    }
+                    let lo = buf.lo;
+                    let hi = (lo + buf.take.max(1)).min(buf.hi);
+                    buf.lo = hi;
+                    return Some(start + lo..start + hi);
+                }
                 let claim = th.critical(*lock, |th| {
                     let cur = counter.get(th);
                     if cur >= total {
@@ -282,5 +329,35 @@ mod tests {
     #[should_panic(expected = "must be resolved")]
     fn unresolved_runtime_schedule_is_rejected() {
         let _ = LoopPlan::new(Schedule::Runtime, 0..10, None);
+    }
+
+    #[test]
+    fn zero_chunk_is_normalized_to_one_in_the_plan() {
+        // `Schedule::Dynamic(0)` / `Guided(0)` would never advance the
+        // shared counter; LoopPlan::new normalizes the chunk to 1 so the
+        // plan always makes progress. Observable at plan level: every
+        // claim under chunk 0 has length exactly 1, and the loop
+        // terminates with full single coverage.
+        for sched in [Schedule::Dynamic(0), Schedule::Guided(0)] {
+            let out = run(OmpConfig::fast_test(2), move |omp| {
+                let hits = omp.malloc_vec::<u64>(9);
+                let plan = omp.plan_loop(sched, 0..9);
+                omp.parallel(move |t| {
+                    let mut cur = LoopCursor::new();
+                    while let Some(r) = plan.next_chunk(t, &mut cur) {
+                        assert!(!r.is_empty(), "{sched:?}: degenerate empty chunk");
+                        if matches!(sched, Schedule::Dynamic(0)) {
+                            assert_eq!(r.len(), 1, "{sched:?}: chunk 0 must act as 1");
+                        }
+                        for i in r {
+                            let v = t.read(&hits, i);
+                            t.write(&hits, i, v + 1);
+                        }
+                    }
+                });
+                omp.read_slice(&hits, 0..9)
+            });
+            assert!(out.result.iter().all(|&h| h == 1), "{sched:?}: {out:?}");
+        }
     }
 }

@@ -24,14 +24,21 @@
 //! | `taskwait` | [`TaskScope::taskwait`] / [`omp_taskwait!`] |
 //! | `single` | [`OmpThread::single`] / [`TaskScope::single`] / [`omp_single!`] |
 //! | `flush` | [`tmk::Tmk::flush`] / [`omp_flush!`] — kept for the cost ablation |
-//! | *proposed* `sema_wait`/`sema_signal` | [`tmk::Tmk::sema_wait`]/[`sema_signal`](tmk::Tmk::sema_signal) |
-//! | *proposed* condition variables | [`OmpThread::cond_wait`]/[`cond_signal`](OmpThread::cond_signal)/[`cond_broadcast`](OmpThread::cond_broadcast) |
+//! | *proposed* `sema_wait`/`sema_signal` | [`OmpThread::sema_wait`]/[`sema_signal`](OmpThread::sema_signal) — `n × 1` topologies only (the wait parks holding the node gate) |
+//! | *proposed* condition variables | [`OmpThread::cond_wait`]/[`cond_signal`](OmpThread::cond_signal)/[`cond_broadcast`](OmpThread::cond_broadcast) — `cond_wait` is `n × 1` only |
 //!
 //! Beyond the paper, the runtime adds a distributed **tasking** subsystem
 //! ([`Env::task_scope`]): per-node task deques in DSM space with
 //! cross-node work stealing and condvar-based termination — the construct
 //! that extends the system to irregular workloads (see [`tasking`]'s
-//! module docs and the `task_ablation` bench).
+//! module docs and the `task_ablation` bench) — and **SMP-cluster
+//! execution**: `nodes × threads_per_node` topologies
+//! ([`OmpConfig::paper_smp`]) where each workstation hosts a team of
+//! threads sharing one DSM process and every synchronization construct
+//! is two-level (local sense-reversing barrier with one DSM
+//! representative per node, reductions combined in node shared memory
+//! with one DSM contribution per node, node-level loop chunks, local
+//! task deques preferred before cross-node steals).
 //!
 //! The paper's two proposed modifications to the standard fall out of the
 //! embedding:
@@ -74,10 +81,12 @@ pub mod tasking;
 mod thread;
 
 pub use config::{OmpConfig, Schedule};
+// The intra-node (SMP) team-size + cost-model half of `OmpConfig`.
 pub use data::ThreadPrivate;
 pub use env::{run, Env};
 pub use forloop::{LoopCursor, LoopPlan};
 pub use reduction::{RedOp, Reduce};
+pub use smp::SmpConfig;
 pub use tasking::{TaskArgs, TaskSched, TaskScope, TaskScopeConfig};
 pub use thread::{critical_id, OmpThread};
 

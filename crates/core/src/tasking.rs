@@ -133,21 +133,27 @@ fn term_lock(n: usize) -> u32 {
 /// Shared handles of one task scope (plain copyable descriptors).
 #[derive(Clone)]
 struct TaskRt {
-    /// One deque region per node (page-disjoint: no false sharing between
-    /// deques).
+    /// One deque region per **node** (page-disjoint: no false sharing
+    /// between deques). On SMP topologies a node's local threads share
+    /// its deque — local push/pop/steal stay message-free and only
+    /// cross-node steals touch the wire.
     deques: Vec<SharedVec<u64>>,
-    /// `[idle, done, wakeups]` under the termination lock.
+    /// `[idle, done, wakeups]` under the termination lock. `idle` counts
+    /// parked *nodes* (a node parks when all of its local threads are
+    /// idle and one of them — the node's agent — enters the DSM-level
+    /// termination protocol).
     term: SharedVec<u64>,
     cap: usize,
+    /// Number of nodes (deques), not threads.
     n: usize,
     sched: TaskSched,
 }
 
 impl TaskRt {
-    /// The deque a given thread pushes to and pops from first.
-    fn home(&self, me: usize) -> usize {
+    /// The deque a thread on `node` pushes to and pops from first.
+    fn home(&self, node: usize) -> usize {
         match self.sched {
-            TaskSched::WorkSteal => me,
+            TaskSched::WorkSteal => node,
             TaskSched::Centralized => 0,
         }
     }
@@ -163,7 +169,10 @@ pub struct TaskScope<'a, 't> {
     th: &'a mut OmpThread<'t>,
     rt: TaskRt,
     body: TaskBody,
+    /// Global thread id.
     me: usize,
+    /// This thread's workstation (its home deque under work stealing).
+    node: usize,
     /// Number of *deque-borne* task frames on this thread's stack (inline
     /// overflow frames are excluded: they never touch the counters).
     /// [`TaskScope::taskwait`] subtracts this from the global deficit —
@@ -256,7 +265,7 @@ impl TaskScope<'_, '_> {
     /// [`TaskSched::Centralized`]) and may be executed by any workstation.
     /// If the deque is full the task runs inline instead (undeferred).
     pub fn task(&mut self, args: TaskArgs) {
-        let home = self.rt.home(self.me);
+        let home = self.rt.home(self.node);
         let dq = self.rt.deques[home];
         let lock = deque_lock(self.rt.n, home);
         let cap = self.rt.cap as u64;
@@ -294,6 +303,14 @@ impl TaskScope<'_, '_> {
             return;
         }
         self.th.bump_stats(|s| s.tasks_spawned += 1);
+        // Recruit help: bump the local wake generation unconditionally (a
+        // sibling mid-sweep must observe the push or it would park over
+        // available work) — a shared-memory wake, message-free. Then, if
+        // a pre-sleep sweep marked this deque hungry, wake a parked node
+        // agent through the DSM condvar.
+        if let Some((team, _)) = self.th.smp_team() {
+            team.task_wake();
+        }
         if was_hungry {
             self.wake_one();
         }
@@ -318,7 +335,7 @@ impl TaskScope<'_, '_> {
         // deficit bottoms out at the *sum* of the suspended chains (no
         // single waiter's own depth), so each waiter must know about the
         // others to recognize quiescence.
-        let home = self.rt.home(self.me);
+        let home = self.rt.home(self.node);
         let delta = self.depth - self.published;
         self.adjust_waiting(home, delta as i64);
         self.published += delta;
@@ -371,10 +388,13 @@ impl TaskScope<'_, '_> {
         self.th.barrier();
     }
 
-    /// Whether taking from deque `k` counts as a steal (only meaningful
-    /// under work stealing; the centralized queue has no steal notion).
+    /// Whether taking from deque `k` counts as a steal: crossing to
+    /// another *node's* deque (only meaningful under work stealing; the
+    /// centralized queue has no steal notion, and a sibling thread of the
+    /// same workstation taking from the shared node deque is message-free
+    /// local scheduling, not a steal).
     fn is_steal(&self, k: usize) -> bool {
-        self.rt.sched == TaskSched::WorkSteal && k != self.me
+        self.rt.sched == TaskSched::WorkSteal && k != self.node
     }
 
     /// Pop (own deque) or steal one task and execute it; `false` when no
@@ -393,7 +413,7 @@ impl TaskScope<'_, '_> {
     fn execute_taken(&mut self, k: usize, args: TaskArgs) {
         let stolen = self.is_steal(k);
         self.run_task(args, stolen, true);
-        self.complete(self.rt.home(self.me));
+        self.complete(self.rt.home(self.node));
     }
 
     /// Take one task from deque `k` under its lock. The owner takes the
@@ -408,7 +428,7 @@ impl TaskScope<'_, '_> {
         let dq = self.rt.deques[k];
         let lock = deque_lock(self.rt.n, k);
         let cap = self.rt.cap as u64;
-        let owner_end = k == self.rt.home(self.me) && self.rt.sched == TaskSched::WorkSteal;
+        let owner_end = k == self.rt.home(self.node) && self.rt.sched == TaskSched::WorkSteal;
         let (args, remaining) = self.th.critical(lock, |th| {
             take_locked(th, &dq, k, cap, owner_end, mark, None)
         })?;
@@ -419,11 +439,15 @@ impl TaskScope<'_, '_> {
     /// If this worker was just signalled awake and its take left more
     /// tasks behind, pass the signal on to the next sleeper (a push only
     /// ever wakes one worker, so bursts are matched with workers by this
-    /// cascade).
+    /// cascade). Parked local siblings are recruited first (shared-memory
+    /// wake), then the next parked node agent over the wire.
     fn propagate_wake(&mut self, remaining: u64) {
         if self.woke {
             self.woke = false;
             if remaining > 0 {
+                if let Some((team, _)) = self.th.smp_team() {
+                    team.task_wake();
+                }
                 self.wake_one();
             }
         }
@@ -487,7 +511,7 @@ impl TaskScope<'_, '_> {
             }
             let dq = self.rt.deques[k];
             let lock = deque_lock(self.rt.n, k);
-            let owner_end = k == self.rt.home(self.me) && self.rt.sched == TaskSched::WorkSteal;
+            let owner_end = k == self.rt.home(self.node) && self.rt.sched == TaskSched::WorkSteal;
             let cap = self.rt.cap as u64;
             let found = self.th.critical(lock, |th| {
                 take_locked(th, &dq, k, cap, owner_end, false, Some(&mut totals))
@@ -515,15 +539,39 @@ impl TaskScope<'_, '_> {
     }
 
     /// The scheduler loop every thread runs after the init phase: execute
-    /// until the scope is globally quiescent, parking on the termination
-    /// condvar instead of busy-waiting while no work is available.
+    /// until the scope is globally quiescent, parking instead of
+    /// busy-waiting while no work is available.
+    ///
+    /// **Two-level termination** on SMP topologies: a thread that finds
+    /// nothing goes *locally* idle first. All but the last of a node's
+    /// threads park on the team's host condvar (woken by a local push —
+    /// shared-memory, message-free). The last thread to idle becomes the
+    /// node's **agent** and runs the DSM-level protocol below with
+    /// `TERM_IDLE` counting parked *nodes* — so the paper-era distributed
+    /// termination detection is paid once per node, not once per thread.
+    /// While an agent is parked in the DSM condvar its siblings are all
+    /// locally parked, so no local thread can need the node's (held)
+    /// operation gate — the hierarchy is deadlock-free by construction.
     fn scheduler(&mut self) {
         let term = self.rt.term;
         let tlock = term_lock(self.rt.n);
         let p = self.rt.n as u64;
+        let team = self.th.smp_team().map(|(team, _)| team);
         loop {
+            // Sample the local wake generation *before* sweeping: a local
+            // push landing after an empty observation bumps it and turns
+            // the idle attempt below into a retry.
+            let gen0 = team.map(|tm| tm.task_gen());
             // Drain everything reachable.
             while self.run_one() {}
+            if let (Some(tm), Some(gen0)) = (team, gen0) {
+                match tm.task_enter_idle(gen0) {
+                    smp::IdleOutcome::Done => return,
+                    smp::IdleOutcome::Retry => continue,
+                    smp::IdleOutcome::Agent => {}
+                }
+            }
+            // --- DSM level (the node's agent; every thread on n×1) ---
             // Announce intent to sleep, then do the marking sweep: a push
             // that lands after our empty observation of a deque sees the
             // hungry flag under that deque's lock and will signal.
@@ -537,6 +585,9 @@ impl TaskScope<'_, '_> {
                     let idle = th.read(&term, TERM_IDLE);
                     th.write(&term, TERM_IDLE, idle - 1);
                 });
+                if let Some(tm) = team {
+                    tm.task_leave_idle();
+                }
                 self.execute_taken(k, args);
                 continue;
             }
@@ -554,14 +605,16 @@ impl TaskScope<'_, '_> {
                     return false;
                 }
                 if th.read(&term, TERM_IDLE) == p {
-                    // Everyone swept their view clean and parked: any task
+                    // Every node swept its view clean and parked: any task
                     // pushed before the last sweep of its deque was
                     // consumed, so the scope is quiescent.
                     th.write(&term, TERM_DONE, 1);
                     th.cond_broadcast(tlock, TERM_CV);
                     return true;
                 }
-                th.cond_wait(tlock, TERM_CV);
+                // Agent-only park: every sibling of this node is locally
+                // parked, so holding the gate across the wait is safe.
+                th.cond_wait_agent(tlock, TERM_CV);
                 let finished = th.read(&term, TERM_DONE) == 1;
                 if !finished {
                     let idle = th.read(&term, TERM_IDLE);
@@ -571,7 +624,14 @@ impl TaskScope<'_, '_> {
                 finished
             });
             if done {
+                if let Some(tm) = team {
+                    // Release the locally parked siblings for good.
+                    tm.task_done();
+                }
                 return;
+            }
+            if let Some(tm) = team {
+                tm.task_leave_idle();
             }
             if woke {
                 self.woke = true;
@@ -598,7 +658,10 @@ impl Env<'_> {
         I: Fn(&mut TaskScope<'_, '_>) + Send + Sync + 'static,
         F: Fn(&mut TaskScope<'_, '_>, TaskArgs) + Send + Sync + 'static,
     {
-        let n = self.num_threads();
+        // One deque per *node*: an SMP node's local threads share it
+        // (message-free local scheduling); only cross-node steals pay
+        // protocol traffic.
+        let n = self.num_nodes();
         let cap = cfg.deque_capacity.max(1);
         let deques: Vec<SharedVec<u64>> = (0..n)
             .map(|_| self.t.malloc_vec::<u64>(HDR_WORDS + cap * SLOT_WORDS))
@@ -615,15 +678,17 @@ impl Env<'_> {
         let init = Arc::new(init);
         self.parallel_sized(cfg.fork_payload_bytes, move |th| {
             let me = th.thread_num();
+            let node = th.node_id();
             let order = match rt.sched {
                 TaskSched::Centralized => vec![0],
-                TaskSched::WorkSteal => (0..rt.n).map(|o| (me + o) % rt.n).collect(),
+                TaskSched::WorkSteal => (0..rt.n).map(|o| (node + o) % rt.n).collect(),
             };
             let mut scope = TaskScope {
                 th,
                 rt: rt.clone(),
                 body: body.clone(),
                 me,
+                node,
                 depth: 0,
                 published: 0,
                 order,

@@ -49,4 +49,4 @@ pub use message::{Delivered, Envelope, Wire};
 pub use network::{Endpoint, Network};
 pub use pod::Pod;
 pub use stats::{NetStats, StatsSnapshot};
-pub use time::{thread_cpu_ns, ComputeMeter, MeterPause, VirtualClock};
+pub use time::{thread_cpu_ns, ComputeMeter, MeterPause, ThreadLane, VirtualClock};

@@ -108,6 +108,72 @@ impl VirtualClock {
     }
 }
 
+/// One application thread's view of a node's virtual time (SMP-cluster
+/// mode: several application threads share one workstation).
+///
+/// Each thread registered on a node keeps its own frontier `vt`; pure
+/// compute advances only the lane, so threads of one node genuinely run
+/// in parallel in virtual time. Node-serialized resources (the network
+/// interface, the DSM protocol) live on the shared [`VirtualClock`]: a
+/// lane [`push`es](ThreadLane::push_to_node) its frontier onto the node
+/// clock before such an operation and [`pull`s](ThreadLane::pull_from_node)
+/// the post-operation clock back, so protocol work serializes across the
+/// node's threads exactly like a single NIC would.
+#[derive(Debug)]
+pub struct ThreadLane {
+    node: Arc<VirtualClock>,
+    vt: u64,
+}
+
+impl ThreadLane {
+    /// Register a lane on `node`, starting at the node's current frontier.
+    pub fn register(node: &Arc<VirtualClock>) -> Self {
+        Self::register_at(node, node.now())
+    }
+
+    /// Register a lane starting at an explicit instant (e.g. the moment a
+    /// parallel region's local threads are spawned).
+    pub fn register_at(node: &Arc<VirtualClock>, vt: u64) -> Self {
+        ThreadLane {
+            node: node.clone(),
+            vt,
+        }
+    }
+
+    /// This thread's virtual frontier in ns.
+    #[inline]
+    pub fn now(&self) -> u64 {
+        self.vt
+    }
+
+    /// Thread-local compute of `ns`. Returns the new frontier.
+    #[inline]
+    pub fn advance(&mut self, ns: u64) -> u64 {
+        self.vt += ns;
+        self.vt
+    }
+
+    /// Raise the frontier to at least `ns` (local barrier departure).
+    #[inline]
+    pub fn raise_to(&mut self, ns: u64) {
+        self.vt = self.vt.max(ns);
+    }
+
+    /// Raise the node clock to this lane (entering a node-serialized
+    /// operation: protocol messages must not be stamped before the thread
+    /// reached them).
+    #[inline]
+    pub fn push_to_node(&self) {
+        self.node.raise_to(self.vt);
+    }
+
+    /// Adopt the node clock (leaving a node-serialized operation).
+    #[inline]
+    pub fn pull_from_node(&mut self) {
+        self.vt = self.vt.max(self.node.now());
+    }
+}
+
 /// Reads the calling thread's CPU time.
 ///
 /// Uses `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` so that measurements stay
@@ -156,18 +222,36 @@ impl ComputeMeter {
         self.scale
     }
 
-    /// Charge CPU burned since the last mark to `clock` and stop metering.
-    /// Returns the charged virtual nanoseconds.
-    pub fn charge(&mut self, clock: &VirtualClock) -> u64 {
+    /// Compute the virtual ns burned since the last mark and stop
+    /// metering (0 if not running). Shared by every charge target so the
+    /// scaling/rounding rule cannot diverge between node and lane time.
+    fn take_virt_ns(&mut self) -> u64 {
         if !self.running {
             return 0;
         }
         self.running = false;
-        let now = thread_cpu_ns();
-        let burned = now.saturating_sub(self.mark);
-        let virt = (burned as f64 * self.scale) as u64;
+        let burned = thread_cpu_ns().saturating_sub(self.mark);
+        (burned as f64 * self.scale) as u64
+    }
+
+    /// Charge CPU burned since the last mark to `clock` and stop metering.
+    /// Returns the charged virtual nanoseconds.
+    pub fn charge(&mut self, clock: &VirtualClock) -> u64 {
+        let virt = self.take_virt_ns();
         if virt > 0 {
             clock.advance(virt);
+        }
+        virt
+    }
+
+    /// Charge CPU burned since the last mark to a [`ThreadLane`] and stop
+    /// metering (SMP-cluster mode: each of a node's application threads
+    /// owns a meter feeding its lane on the shared node clock). Returns
+    /// the charged virtual nanoseconds.
+    pub fn charge_lane(&mut self, lane: &mut ThreadLane) -> u64 {
+        let virt = self.take_virt_ns();
+        if virt > 0 {
+            lane.advance(virt);
         }
         virt
     }
@@ -305,6 +389,50 @@ mod tests {
             let _p = MeterPause::new(&mut meter, &clock);
         }
         assert!(meter.is_running());
+    }
+
+    #[test]
+    fn lanes_run_in_parallel_and_serialize_on_the_node() {
+        let node = VirtualClock::new();
+        node.advance(100);
+        let mut a = ThreadLane::register(&node);
+        let mut b = ThreadLane::register(&node);
+        // Pure compute advances only the lanes: the node clock is untouched,
+        // so two threads computing 1 ms each cost 1 ms, not 2.
+        a.advance(1_000_000);
+        b.advance(1_000_000);
+        assert_eq!(node.now(), 100);
+        assert_eq!(a.now(), 1_000_100);
+        // A node-serialized operation pushes the lane onto the node clock
+        // and pulls the post-operation instant back.
+        a.push_to_node();
+        assert_eq!(node.now(), 1_000_100);
+        node.advance(50); // the operation itself
+        a.pull_from_node();
+        assert_eq!(a.now(), 1_000_150);
+        // The second thread's operation queues behind the first (one NIC).
+        b.push_to_node();
+        assert_eq!(node.now(), 1_000_150, "node clock never regresses");
+        node.advance(50);
+        b.pull_from_node();
+        assert_eq!(b.now(), 1_000_200);
+    }
+
+    #[test]
+    fn meter_charges_lane_not_node() {
+        let node = VirtualClock::new();
+        let mut lane = ThreadLane::register(&node);
+        let mut meter = ComputeMeter::new(5.0);
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i ^ (i << 3));
+        }
+        std::hint::black_box(x);
+        let charged = meter.charge_lane(&mut lane);
+        assert!(charged > 0);
+        assert_eq!(lane.now(), charged);
+        assert_eq!(node.now(), 0, "lane compute must not advance the node");
+        assert_eq!(meter.charge_lane(&mut lane), 0, "double charge is a no-op");
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl MpiRank {
     /// `MPI_Allreduce` = reduce to 0 + broadcast.
     pub fn allreduce<T: Pod>(&mut self, local: &[T], op: impl Fn(T, T) -> T) -> Vec<T> {
         let reduced = self.reduce(0, local, op);
-        let mut data = reduced.unwrap_or_else(|| vec![local[0]; local.len()]);
+        // Non-root ranks only need a correctly-typed placeholder — the
+        // broadcast overwrites it. (`local` itself also covers the
+        // zero-length case, where indexing for a fill value would panic.)
+        let mut data = reduced.unwrap_or_else(|| local.to_vec());
         self.bcast(0, &mut data);
         data
     }

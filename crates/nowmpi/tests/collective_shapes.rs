@@ -1,0 +1,136 @@
+//! Collectives on awkward shapes: a single rank, non-power-of-two rank
+//! counts, and zero-length buffers. The binomial-tree and pairwise
+//! algorithms all branch on bit patterns of the rank count; these shapes
+//! exercise every branch the five applications' "nice" sizes never hit.
+
+use nowmpi::{run_mpi, MpiConfig};
+
+const ODD_SIZES: [usize; 4] = [3, 5, 6, 7];
+
+#[test]
+fn single_rank_collectives_are_identities() {
+    let out = run_mpi(MpiConfig::fast_test(1), |mpi| {
+        mpi.barrier();
+        let mut b = vec![7u64, 8];
+        mpi.bcast(0, &mut b);
+        let red = mpi.reduce(0, &[5u64], |a, b| a + b);
+        let all = mpi.allreduce(&[3u64], |a, b| a + b);
+        let a2a = mpi.alltoall(&[1u32, 2, 3]);
+        let g = mpi.gather(0, &[9u32]);
+        (b, red, all, a2a, g)
+    });
+    let (b, red, all, a2a, g) = out.results.into_iter().next().unwrap();
+    assert_eq!(b, vec![7, 8]);
+    assert_eq!(red, Some(vec![5]));
+    assert_eq!(all, vec![3]);
+    assert_eq!(a2a, vec![1, 2, 3]);
+    assert_eq!(g, Some(vec![9]));
+    assert_eq!(out.net.total_msgs(), 0, "one rank never touches the wire");
+}
+
+#[test]
+fn bcast_non_power_of_two_every_root() {
+    for p in ODD_SIZES {
+        for root in 0..p {
+            let out = run_mpi(MpiConfig::fast_test(p), move |mpi| {
+                let mut data = if mpi.rank() == root {
+                    vec![root as u64, 1_000 + root as u64]
+                } else {
+                    vec![0u64; 2]
+                };
+                mpi.bcast(root, &mut data);
+                data
+            });
+            for (r, got) in out.results.into_iter().enumerate() {
+                assert_eq!(
+                    got,
+                    vec![root as u64, 1_000 + root as u64],
+                    "p={p} root={root} rank={r}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_non_power_of_two_every_root() {
+    for p in ODD_SIZES {
+        for root in 0..p {
+            let out = run_mpi(MpiConfig::fast_test(p), move |mpi| {
+                let local = vec![mpi.rank() as u64, 1];
+                mpi.reduce(root, &local, |a, b| a + b)
+            });
+            let rank_sum: u64 = (0..p as u64).sum();
+            for (r, got) in out.results.into_iter().enumerate() {
+                if r == root {
+                    assert_eq!(got, Some(vec![rank_sum, p as u64]), "p={p} root={root}");
+                } else {
+                    assert_eq!(got, None, "p={p} root={root} rank={r}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn alltoall_non_power_of_two() {
+    for p in ODD_SIZES {
+        let out = run_mpi(MpiConfig::fast_test(p), move |mpi| {
+            let r = mpi.rank();
+            // Two elements per block: block j of rank r is [r*100+j, j].
+            let send: Vec<u32> = (0..p)
+                .flat_map(|j| [(r * 100 + j) as u32, j as u32])
+                .collect();
+            mpi.alltoall(&send)
+        });
+        for (r, recv) in out.results.into_iter().enumerate() {
+            let expect: Vec<u32> = (0..p)
+                .flat_map(|j| [(j * 100 + r) as u32, r as u32])
+                .collect();
+            assert_eq!(recv, expect, "p={p} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn zero_length_bcast() {
+    for p in [1usize, 2, 5] {
+        let out = run_mpi(MpiConfig::fast_test(p), |mpi| {
+            let mut data: Vec<u64> = Vec::new();
+            mpi.bcast(0, &mut data);
+            data.len()
+        });
+        assert!(out.results.iter().all(|&l| l == 0), "p={p}");
+    }
+}
+
+#[test]
+fn zero_length_reduce_and_allreduce() {
+    for p in [1usize, 3, 4] {
+        let out = run_mpi(MpiConfig::fast_test(p), |mpi| {
+            let empty: Vec<u64> = Vec::new();
+            let red = mpi.reduce(0, &empty, |a, b| a + b);
+            let all = mpi.allreduce(&empty, |a, b| a + b);
+            (red, all)
+        });
+        for (r, (red, all)) in out.results.into_iter().enumerate() {
+            if r == 0 {
+                assert_eq!(red, Some(Vec::new()), "p={p}");
+            } else {
+                assert_eq!(red, None, "p={p} rank={r}");
+            }
+            assert_eq!(all, Vec::<u64>::new(), "p={p} rank={r}");
+        }
+    }
+}
+
+#[test]
+fn zero_length_alltoall() {
+    for p in [1usize, 3, 6] {
+        let out = run_mpi(MpiConfig::fast_test(p), |mpi| {
+            let empty: Vec<u32> = Vec::new();
+            mpi.alltoall(&empty)
+        });
+        assert!(out.results.iter().all(|v| v.is_empty()), "p={p}");
+    }
+}

@@ -78,6 +78,25 @@ impl<'a, 'b, 't> Exec<'a, 'b, 't> {
         matches!(self, Exec::Master(_))
     }
 
+    /// The executing thread's global id (0 in sequential context).
+    fn thread_id(&mut self) -> usize {
+        match self {
+            Exec::Master(_) => 0,
+            Exec::Thread(t) => t.thread_num(),
+            Exec::Tasks(s) => s.thread_num(),
+        }
+    }
+
+    /// Total processors of the simulated machine:
+    /// `nodes × threads_per_node`.
+    fn total_procs(&mut self) -> usize {
+        match self {
+            Exec::Master(e) => e.num_threads(),
+            Exec::Thread(t) => t.num_threads(),
+            Exec::Tasks(s) => s.num_threads(),
+        }
+    }
+
     fn spawn(&mut self, args: TaskArgs) {
         match self {
             Exec::Tasks(s) => s.task(args),
@@ -320,7 +339,7 @@ fn flush_lines(ex: &mut Exec, lines: Vec<String>) {
     if lines.is_empty() {
         return;
     }
-    let tid = ex.tmk().proc_id();
+    let tid = ex.thread_id();
     for l in lines {
         println!("[t{tid}] {l}");
     }
@@ -408,26 +427,28 @@ fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Fl
         }
         LStmt::WsFor(w) => exec_ws_for(cx, ex, frame, w),
         LStmt::Single(body) => {
-            if ex.tmk().proc_id() == 0 {
+            if ex.thread_id() == 0 {
                 let flow = exec_stmts(cx, ex, frame, body);
                 debug_assert!(matches!(flow, Flow::Normal));
             }
-            ex.tmk().barrier();
+            // Implied barrier (two-level on SMP topologies).
+            ex.th().barrier();
         }
         LStmt::Critical { lock, body } => {
             // In a sequential section only the master runs — no
-            // contention is possible, so the lock is elided.
+            // contention is possible, so the lock is elided. The guard
+            // frees the node gate on unwind, so a translated-program
+            // runtime panic inside the section cannot wedge an SMP node.
             let seq = ex.is_master_seq();
-            if !seq {
-                ex.tmk().lock_acquire(*lock);
-            }
+            let txn = (!seq).then(|| ex.th().enter_critical(*lock));
             let flow = exec_stmts(cx, ex, frame, body);
             if !seq {
-                ex.tmk().lock_release(*lock);
+                ex.th().exit_critical(*lock);
             }
+            drop(txn);
             debug_assert!(matches!(flow, Flow::Normal));
         }
-        LStmt::Barrier => ex.tmk().barrier(),
+        LStmt::Barrier => ex.th().barrier(),
         LStmt::Task { site } => {
             let t = &cx.prog.tasks[*site as usize];
             let mut words = [0u64; 3];
@@ -471,18 +492,18 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
         combine_red(ex, cx.globals, red, frame[red.slot as usize]);
     }
     if w.barrier_after {
-        // The implied end-of-worksharing barrier.
-        ex.tmk().barrier();
+        // The implied end-of-worksharing barrier (two-level on SMP).
+        ex.th().barrier();
     }
     if w.reset_after {
         if let Some((c, _)) = counter {
             // The region may run this loop again: zero the shared chunk
             // counter behind the implied barrier, and fence the reset so
             // no thread can re-enter early.
-            if ex.tmk().proc_id() == 0 {
+            if ex.thread_id() == 0 {
                 c.set(ex.tmk(), 0);
             }
-            ex.tmk().barrier();
+            ex.th().barrier();
         }
     }
 }
@@ -491,12 +512,18 @@ fn combine_red(ex: &mut Exec, globals: &[GSlot], red: &RedSite, local: f64) {
     let GSlot::Scalar(s) = globals[red.gid as usize] else {
         unreachable!("reduction on array global");
     };
-    ex.tmk().lock_acquire(red.lock);
-    let t = ex.tmk();
-    let cur = s.get(t);
-    let next = f64::combine(red.op, cur, local);
-    s.set(t, if red.trunc { next.trunc() } else { next });
-    ex.tmk().lock_release(red.lock);
+    // Two-level: combine in node shared memory first; one thread per
+    // node publishes the node total under the site's lock (a single DSM
+    // contribution per node — on n×1 every thread publishes its own).
+    let (op, trunc, lock) = (red.op, red.trunc, red.lock);
+    let th = ex.th();
+    if let Some(total) = th.reduce_combine(lock, local, move |a, b| f64::combine(op, a, b)) {
+        th.enter_critical(lock);
+        let cur = s.get(th);
+        let next = f64::combine(op, cur, total);
+        s.set(th, if trunc { next.trunc() } else { next });
+        th.exit_critical(lock);
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -609,15 +636,15 @@ fn eval(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
                 Builtin::Sin => vals[0].sin(),
                 Builtin::Cos => vals[0].cos(),
                 Builtin::Exp => vals[0].exp(),
-                Builtin::ThreadNum => ex.tmk().proc_id() as f64,
+                Builtin::ThreadNum => ex.thread_id() as f64,
                 Builtin::NumThreads => {
                     if ex.is_master_seq() {
                         1.0
                     } else {
-                        ex.tmk().nprocs() as f64
+                        ex.total_procs() as f64
                     }
                 }
-                Builtin::NumProcs => ex.tmk().nprocs() as f64,
+                Builtin::NumProcs => ex.total_procs() as f64,
                 Builtin::Wtime => ex.tmk().now_ns() as f64 / 1e9,
             }
         }

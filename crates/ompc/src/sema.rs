@@ -49,6 +49,10 @@ struct LocalVar {
     trunc: bool,
 }
 
+/// The `sync_ctx` label of a critical section — compared against to
+/// apply the critical-only nesting restrictions (`taskwait`).
+const CRITICAL_CTX: &str = "a `critical` section";
+
 /// What a name resolves to at a use site.
 enum Resolved {
     Local(LocalVar),
@@ -75,6 +79,11 @@ struct FnInfo {
     /// inside a work-shared loop, `single` or `critical` (the barrier
     /// would not be reached by every thread).
     has_barrier: bool,
+    /// Contains a `taskwait` anywhere in its body — illegal to call from
+    /// inside a `critical` section (the waiter blocks holding the lock
+    /// while an unfinished task may need it; on an SMP node it also
+    /// pins the node's protocol gate).
+    has_taskwait: bool,
 }
 
 struct Sema<'p> {
@@ -321,12 +330,22 @@ impl<'p> Sema<'p> {
     /// over the call graph like the other context checks).
     fn check_sync_context_calls(&self) -> Result<(), Diag> {
         let barriery = self.transitive_flag(|f| f.has_barrier);
+        let taskwaity = self.transitive_flag(|f| f.has_taskwait);
         for &(callee, span, ctx) in &self.sync_calls {
             if barriery[callee] {
                 return Err(Diag::new(
                     span,
                     format!(
                         "function `{}` contains a `barrier` and is called from inside {ctx} (not every thread would reach the barrier)",
+                        self.ast.funcs[callee].name
+                    ),
+                ));
+            }
+            if ctx == CRITICAL_CTX && taskwaity[callee] {
+                return Err(Diag::new(
+                    span,
+                    format!(
+                        "function `{}` contains a `taskwait` and is called from inside {ctx} (the waiter would block holding the lock)",
                         self.ast.funcs[callee].name
                     ),
                 ));
@@ -715,7 +734,7 @@ impl<'p> Sema<'p> {
             }
             Dir::Critical { name, body } => {
                 let lock = nomp::critical_id(name.as_deref().unwrap_or("<ompc>"));
-                let saved_ctx = cx.sync_ctx.replace("a `critical` section");
+                let saved_ctx = cx.sync_ctx.replace(CRITICAL_CTX);
                 let body = self.lower_scoped(cx, body);
                 cx.sync_ctx = saved_ctx;
                 out.push(LStmt::Critical { lock, body: body? });
@@ -782,6 +801,15 @@ impl<'p> Sema<'p> {
             }
             Dir::Taskwait => {
                 self.fninfos[cx.fid].has_task_like = true;
+                self.fninfos[cx.fid].has_taskwait = true;
+                if cx.sync_ctx == Some(CRITICAL_CTX) {
+                    return Err(Diag::new(
+                        span,
+                        "`taskwait` may not be closely nested inside a `critical` \
+                         section (the waiter blocks holding the lock while an \
+                         unfinished task may need it)",
+                    ));
+                }
                 if cx.loops.is_some() {
                     cx.region_tasky = true;
                 }

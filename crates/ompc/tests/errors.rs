@@ -227,6 +227,58 @@ fn closely_nested_region_restrictions_are_compile_errors_not_deadlocks() {
 }
 
 #[test]
+fn taskwait_inside_critical_is_a_compile_error_not_a_deadlock() {
+    // The waiter would block holding the critical's lock while an
+    // unfinished task may need it (and on an SMP node it pins the
+    // node's protocol gate): rejected lexically...
+    let d = diag(
+        "int main() {\n\
+         #pragma omp parallel\n\
+         {\n\
+         #pragma omp task\n\
+         { }\n\
+         #pragma omp critical\n\
+         {\n\
+         #pragma omp taskwait\n\
+         }\n\
+         }\n}",
+    );
+    assert!(d.msg.contains("closely nested"), "{d}");
+    assert_eq!(d.span.line, 8, "{d}");
+
+    // ...and over the call graph, at the call site inside the critical.
+    let d = diag(
+        "void drain() {\n\
+         #pragma omp taskwait\n\
+         }\n\
+         int main() {\n\
+         #pragma omp parallel\n\
+         {\n\
+         #pragma omp task\n\
+         { }\n\
+         #pragma omp critical\n\
+         { drain(); }\n\
+         }\n\
+         return 0;\n}",
+    );
+    assert!(d.msg.contains("contains a `taskwait`"), "{d}");
+    assert_eq!(d.span.line, 10, "{d}");
+
+    // taskwait inside a task body (the canonical divide-and-conquer
+    // shape) stays legal.
+    let ok = "int main() {\n\
+         #pragma omp parallel\n\
+         {\n\
+         #pragma omp task\n\
+         {\n\
+         #pragma omp taskwait\n\
+         }\n\
+         }\n\
+         return 0;\n}";
+    assert!(compile(ok).is_ok(), "{:?}", compile(ok).err());
+}
+
+#[test]
 fn nested_parallel_is_rejected_lexically_and_over_the_call_graph() {
     let d = diag(
         "int main() {\n\

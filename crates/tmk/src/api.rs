@@ -17,11 +17,98 @@ use crate::protocol::{Msg, Region};
 use crate::state::NodeState;
 use crossbeam::channel::Receiver;
 use now_net::Wire as _;
-use now_net::{ComputeMeter, Delivered, Endpoint, VirtualClock};
+use now_net::{ComputeMeter, Delivered, Endpoint, ThreadLane, VirtualClock};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::ThreadId;
 
-/// Per-thread handle to the DSM system (one per simulated workstation).
+/// A node-wide **re-entrant** gate serializing the DSM protocol across
+/// the local application threads of one SMP workstation (one protocol
+/// engine / NIC per node). Re-entrancy lets a thread that holds the gate
+/// for a compound transaction (a whole critical section, a parked
+/// condition wait) run its constituent shared-memory operations without
+/// self-deadlock. Holding the gate across entire lock tenures is what
+/// makes the two-level runtime deadlock-free: a node never holds a DSM
+/// lock while a *sibling* blocks the gate on a remote acquire.
+#[derive(Default)]
+pub(crate) struct NodeGate {
+    m: StdMutex<GateState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct GateState {
+    owner: Option<ThreadId>,
+    depth: usize,
+}
+
+impl NodeGate {
+    pub(crate) fn enter(&self) {
+        let me = std::thread::current().id();
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        while st.owner.is_some() && st.owner != Some(me) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.owner = Some(me);
+        st.depth += 1;
+    }
+
+    pub(crate) fn exit(&self) {
+        let mut st = self.m.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert_eq!(
+            st.owner,
+            Some(std::thread::current().id()),
+            "gate exit by non-owner"
+        );
+        st.depth -= 1;
+        if st.depth == 0 {
+            st.owner = None;
+            self.cv.notify_one();
+        }
+    }
+}
+
+/// RAII hold of a node's operation gate across a compound protocol
+/// transaction (see [`Tmk::node_transaction`]). Dropping releases the
+/// hold — also on unwind. A no-op outside SMP mode.
+pub struct NodeTransaction {
+    gate: Option<Arc<NodeGate>>,
+}
+
+impl Drop for NodeTransaction {
+    fn drop(&mut self) {
+        if let Some(g) = &self.gate {
+            g.exit();
+        }
+    }
+}
+
+/// RAII tenure of a [`NodeGate`] (panic-safe exit).
+struct GateTenure<'g>(&'g NodeGate);
+
+impl<'g> GateTenure<'g> {
+    fn new(g: &'g NodeGate) -> Self {
+        g.enter();
+        GateTenure(g)
+    }
+}
+
+impl Drop for GateTenure<'_> {
+    fn drop(&mut self) {
+        self.0.exit();
+    }
+}
+
+/// Per-thread handle to the DSM system.
+///
+/// One per simulated workstation in the paper's configuration. In
+/// SMP-cluster mode several application threads share one node's DSM
+/// process: the primary handle calls [`Tmk::smp_enter`] and derives one
+/// sibling handle per additional local thread with [`Tmk::smp_fork`]. All
+/// handles of a node share pages, twins, diffs and protocol state —
+/// intra-node accesses are message-free — while a node-wide operation
+/// gate serializes protocol operations (one network interface) and each
+/// thread's compute is metered onto its own [`ThreadLane`].
 pub struct Tmk {
     pub(crate) id: usize,
     pub(crate) n: usize,
@@ -33,6 +120,17 @@ pub struct Tmk {
     pub(crate) alloc: Arc<AllocTable>,
     pub(crate) in_region: bool,
     pub(crate) barrier_epoch: u32,
+    /// SMP mode: serializes this node's DSM operations across its local
+    /// application threads (`None` with one thread per node).
+    pub(crate) gate: Option<Arc<NodeGate>>,
+    /// SMP mode: this thread's virtual-time lane on the node clock.
+    pub(crate) lane: Option<ThreadLane>,
+    /// True for handles created by [`Tmk::smp_fork`] (never the node's
+    /// region entry thread — those must not run node-level protocol
+    /// operations like the DSM barrier).
+    pub(crate) derived: bool,
+    /// Cached [`crate::TmkConfig::smp_access_ns`].
+    pub(crate) smp_access_ns: u64,
 }
 
 impl Tmk {
@@ -48,9 +146,13 @@ impl Tmk {
         self.n
     }
 
-    /// This node's virtual clock value in nanoseconds.
+    /// This thread's virtual clock value in nanoseconds (the node clock,
+    /// or this thread's lane in SMP-cluster mode).
     pub fn now_ns(&mut self) -> u64 {
-        self.metered(|s| s.clock.now())
+        self.metered(|s| match &s.lane {
+            Some(l) => l.now(),
+            None => s.clock.now(),
+        })
     }
 
     /// Yield the host CPU briefly (used by busy-wait loops such as the
@@ -60,11 +162,46 @@ impl Tmk {
     }
 
     /// Charge outstanding compute, run `f` off the meter, restart.
+    ///
+    /// In SMP mode compute is charged to this thread's lane (plus the
+    /// intra-node access cost) and `f` runs under the node's operation
+    /// gate, serializing protocol work across the node's local threads.
     #[inline]
     pub(crate) fn metered<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
-        self.meter.charge(&self.clock);
-        let r = f(self);
+        match &mut self.lane {
+            Some(lane) => {
+                self.meter.charge_lane(lane);
+                lane.advance(self.smp_access_ns);
+            }
+            None => {
+                self.meter.charge(&self.clock);
+            }
+        }
+        let r = match self.gate.clone() {
+            Some(g) => {
+                let _node_op = GateTenure::new(&g);
+                f(self)
+            }
+            None => f(self),
+        };
         self.meter.restart();
+        r
+    }
+
+    /// Bracket a network-touching protocol segment: the node clock (which
+    /// stamps messages) is raised to this thread's lane on entry, and the
+    /// lane adopts the post-operation clock on exit. Pure intra-node work
+    /// never calls this, so local threads genuinely overlap in virtual
+    /// time and only NIC/protocol work serializes on the node clock.
+    #[inline]
+    pub(crate) fn on_wire<T>(&mut self, f: impl FnOnce(&mut Self) -> T) -> T {
+        if let Some(l) = &self.lane {
+            l.push_to_node();
+        }
+        let r = f(self);
+        if let Some(l) = &mut self.lane {
+            l.pull_from_node();
+        }
         r
     }
 
@@ -92,6 +229,10 @@ impl Tmk {
     /// overlaps (the request-aggregation effect of the compiler/runtime
     /// integration the paper cites as future work).
     pub(crate) fn fault_pages(&mut self, pids: &[PageId]) {
+        self.on_wire(|s| s.fault_pages_inner(pids));
+    }
+
+    fn fault_pages_inner(&mut self, pids: &[PageId]) {
         use std::collections::HashMap;
         loop {
             // Classify every page under one lock round.
@@ -179,7 +320,12 @@ impl Tmk {
     /// Global barrier (`Tmk_barrier`): arrival is a release, departure an
     /// acquire delivering every write notice this node has not seen.
     pub fn barrier(&mut self) {
-        self.metered(|s| s.barrier_inner());
+        debug_assert!(
+            !self.derived,
+            "DSM barrier from a non-representative SMP thread (use the \
+             runtime's two-level barrier)"
+        );
+        self.metered(|s| s.on_wire(|s| s.barrier_inner()));
     }
 
     fn barrier_inner(&mut self) {
@@ -261,7 +407,7 @@ impl Tmk {
     /// the requester lacks. A manager-local acquire costs no network
     /// messages (self-sends are free).
     pub fn lock_acquire(&mut self, lock: u32) {
-        self.metered(|s| s.lock_acquire_inner(lock));
+        self.metered(|s| s.on_wire(|s| s.lock_acquire_inner(lock)));
     }
 
     fn lock_acquire_inner(&mut self, lock: u32) {
@@ -303,7 +449,7 @@ impl Tmk {
     /// notifies the manager, which passes the lock (and our new write
     /// notices) to the earliest waiter.
     pub fn lock_release(&mut self, lock: u32) {
-        self.metered(|s| s.lock_release_inner(lock));
+        self.metered(|s| s.on_wire(|s| s.lock_release_inner(lock)));
     }
 
     fn lock_release_inner(&mut self, lock: u32) {
@@ -338,7 +484,7 @@ impl Tmk {
     /// `sema_signal(S)`: release semantics; two messages (to the manager,
     /// plus its acknowledgment), independent of the node count.
     pub fn sema_signal(&mut self, sema: u32) {
-        self.metered(|s| s.sema_signal_inner(sema));
+        self.metered(|s| s.on_wire(|s| s.sema_signal_inner(sema)));
     }
 
     fn sema_signal_inner(&mut self, sema: u32) {
@@ -365,7 +511,7 @@ impl Tmk {
     /// until a signal is available, then applies the consistency
     /// information the manager forwards.
     pub fn sema_wait(&mut self, sema: u32) {
-        self.metered(|s| s.sema_wait_inner(sema));
+        self.metered(|s| s.on_wire(|s| s.sema_wait_inner(sema)));
     }
 
     fn sema_wait_inner(&mut self, sema: u32) {
@@ -404,7 +550,7 @@ impl Tmk {
     /// `cond_wait(cond)` under `lock`: atomically release the lock and
     /// block until signaled; re-acquires the lock before returning.
     pub fn cond_wait(&mut self, lock: u32, cond: u32) {
-        self.metered(|s| s.cond_wait_inner(lock, cond));
+        self.metered(|s| s.on_wire(|s| s.cond_wait_inner(lock, cond)));
     }
 
     fn cond_wait_inner(&mut self, lock: u32, cond: u32) {
@@ -449,28 +595,32 @@ impl Tmk {
     /// none — unlike a semaphore signal).
     pub fn cond_signal(&mut self, lock: u32, cond: u32) {
         self.metered(|s| {
-            debug_assert!(
-                s.state.lock().held_locks.contains(&lock),
-                "cond_signal outside critical section {lock}"
-            );
-            s.state.lock().stats.cond_signals += 1;
-            let mgr = s.state.lock().manager_of(lock);
-            let req_vt = s.clock.now();
-            s.ep.send(mgr, Msg::CondSignal { lock, cond, req_vt });
+            s.on_wire(|s| {
+                debug_assert!(
+                    s.state.lock().held_locks.contains(&lock),
+                    "cond_signal outside critical section {lock}"
+                );
+                s.state.lock().stats.cond_signals += 1;
+                let mgr = s.state.lock().manager_of(lock);
+                let req_vt = s.clock.now();
+                s.ep.send(mgr, Msg::CondSignal { lock, cond, req_vt });
+            })
         });
     }
 
     /// `cond_broadcast(cond)` under `lock`: unblock all waiters.
     pub fn cond_broadcast(&mut self, lock: u32, cond: u32) {
         self.metered(|s| {
-            debug_assert!(
-                s.state.lock().held_locks.contains(&lock),
-                "cond_broadcast outside critical section {lock}"
-            );
-            s.state.lock().stats.cond_broadcasts += 1;
-            let mgr = s.state.lock().manager_of(lock);
-            let req_vt = s.clock.now();
-            s.ep.send(mgr, Msg::CondBroadcast { lock, cond, req_vt });
+            s.on_wire(|s| {
+                debug_assert!(
+                    s.state.lock().held_locks.contains(&lock),
+                    "cond_broadcast outside critical section {lock}"
+                );
+                s.state.lock().stats.cond_broadcasts += 1;
+                let mgr = s.state.lock().manager_of(lock);
+                let req_vt = s.clock.now();
+                s.ep.send(mgr, Msg::CondBroadcast { lock, cond, req_vt });
+            })
         });
     }
 
@@ -482,7 +632,7 @@ impl Tmk {
     /// threads. Costs 2(n−1) messages — the expense that motivates the
     /// paper's semaphore/condition-variable proposal.
     pub fn flush(&mut self) {
-        self.metered(|s| s.flush_inner());
+        self.metered(|s| s.on_wire(|s| s.flush_inner()));
     }
 
     fn flush_inner(&mut self) {
@@ -564,6 +714,123 @@ impl Tmk {
     /// Whether this thread is currently inside a parallel region.
     pub fn in_parallel(&self) -> bool {
         self.in_region
+    }
+
+    // ------------------------------------------------------------------
+    // SMP-cluster mode: several application threads per DSM process
+    // ------------------------------------------------------------------
+
+    /// Enter SMP mode on this node's primary handle: the calling thread
+    /// becomes one of several local application threads sharing this DSM
+    /// process. Installs the node-wide operation gate (shared with every
+    /// [`Tmk::smp_fork`] sibling); from here until [`Tmk::smp_finish`],
+    /// compute is metered onto this thread's own virtual-time lane and
+    /// protocol operations serialize on the gate.
+    pub fn smp_enter(&mut self) {
+        assert!(self.lane.is_none(), "nested smp_enter");
+        self.meter.charge(&self.clock);
+        self.smp_access_ns = self.state.lock().cfg.smp_access_ns;
+        self.lane = Some(ThreadLane::register(&self.clock));
+        self.gate = Some(Arc::new(NodeGate::default()));
+        self.meter.restart();
+    }
+
+    /// Hold the node's operation gate across a *compound* protocol
+    /// transaction — a whole `lock_acquire … lock_release` tenure. The
+    /// gate is re-entrant, so the constituent operations run normally;
+    /// holding it for the full span keeps the two-level runtime
+    /// deadlock-free (a sibling can never interleave its own blocking
+    /// acquire while this node holds a DSM lock whose critical section
+    /// still needs protocol operations). No-op outside SMP mode.
+    ///
+    /// The returned guard releases the hold on drop — including on
+    /// unwind, so a panic inside a critical section frees the node's
+    /// siblings instead of wedging them on the gate forever.
+    pub fn node_transaction(&self) -> NodeTransaction {
+        if let Some(g) = &self.gate {
+            g.enter();
+        }
+        NodeTransaction {
+            gate: self.gate.clone(),
+        }
+    }
+
+    /// Derive a sibling handle for one additional local application
+    /// thread of this node's DSM process. The sibling shares all protocol
+    /// state (pages, twins, diffs, interval log — intra-node accesses are
+    /// message-free) and the operation gate, with its own compute meter
+    /// and virtual-time lane starting at the caller's frontier. Call
+    /// [`Tmk::smp_enter`] first; the returned handle is moved to its
+    /// thread, which must call [`Tmk::rearm_meter`] before running
+    /// application code and [`Tmk::smp_finish`] after.
+    pub fn smp_fork(&self) -> Tmk {
+        let lane = self.lane.as_ref().expect("smp_fork before smp_enter").now();
+        Tmk {
+            id: self.id,
+            n: self.n,
+            ep: self.ep.clone(),
+            clock: self.clock.clone(),
+            state: self.state.clone(),
+            app_rx: self.app_rx.clone(),
+            meter: ComputeMeter::new(self.meter.scale()),
+            alloc: self.alloc.clone(),
+            in_region: true,
+            barrier_epoch: self.barrier_epoch,
+            gate: self.gate.clone(),
+            lane: Some(ThreadLane::register_at(&self.clock, lane)),
+            derived: true,
+            smp_access_ns: self.smp_access_ns,
+        }
+    }
+
+    /// Leave SMP mode: charge trailing compute to the lane and detach it.
+    /// Returns this thread's final virtual frontier, which the caller
+    /// folds into the node clock via [`Tmk::smp_absorb`] on the primary
+    /// handle (the node cannot depart the region before its slowest
+    /// thread).
+    pub fn smp_finish(&mut self) -> u64 {
+        let mut lane = self.lane.take().expect("smp_finish without smp_enter");
+        self.meter.charge_lane(&mut lane);
+        let vt = lane.now();
+        self.gate = None;
+        self.meter.restart();
+        vt
+    }
+
+    /// Primary handle only: raise the node clock to the team's final
+    /// frontier (the slowest local thread) after all siblings finished.
+    pub fn smp_absorb(&mut self, vt: u64) {
+        assert!(!self.derived, "smp_absorb on a derived handle");
+        self.clock.raise_to(vt);
+    }
+
+    /// Re-arm the compute meter on the calling thread. Required after a
+    /// handle crosses threads (a [`Tmk::smp_fork`] sibling moved to its
+    /// local thread): per-thread CPU clocks are not transferable.
+    pub fn rearm_meter(&mut self) {
+        self.meter.restart();
+    }
+
+    /// SMP mode: charge a modeled intra-node cost (local barrier, local
+    /// lock) to this thread's lane. No-op with one thread per node.
+    pub fn lane_advance(&mut self, ns: u64) {
+        if let Some(l) = &mut self.lane {
+            l.advance(ns);
+        }
+    }
+
+    /// SMP mode: raise this thread's lane (local barrier departure:
+    /// adopt the team's combined frontier). No-op with one thread per
+    /// node.
+    pub fn lane_raise(&mut self, vt: u64) {
+        if let Some(l) = &mut self.lane {
+            l.raise_to(vt);
+        }
+    }
+
+    /// Whether this handle runs in SMP mode (a lane is attached).
+    pub fn smp_active(&self) -> bool {
+        self.lane.is_some()
     }
 
     /// Mutate this node's protocol statistics (for runtime layers built on

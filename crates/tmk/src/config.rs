@@ -27,6 +27,11 @@ pub struct TmkConfig {
     /// Modeled payload bytes of a `Tmk_fork` message (region descriptor +
     /// copied-in firstprivate environment).
     pub fork_payload_bytes: usize,
+    /// SMP-cluster mode: modeled per-operation cost of an intra-node
+    /// shared-memory access (bus/coherence overhead) charged to a local
+    /// thread's lane when several application threads share this DSM
+    /// process. Irrelevant (never charged) with one thread per node.
+    pub smp_access_ns: u64,
 }
 
 impl TmkConfig {
@@ -44,6 +49,7 @@ impl TmkConfig {
             gc_threshold_bytes: 16 << 20,
             gc_every_barrier: false,
             fork_payload_bytes: 128,
+            smp_access_ns: 120,
         }
     }
 
@@ -59,6 +65,7 @@ impl TmkConfig {
             gc_threshold_bytes: 16 << 20,
             gc_every_barrier: false,
             fork_payload_bytes: 128,
+            smp_access_ns: 1,
         }
     }
 

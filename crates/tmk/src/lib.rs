@@ -60,7 +60,7 @@ mod stats;
 mod system;
 
 pub use addr::{AllocTable, PageId, RegionId, RegionInfo};
-pub use api::Tmk;
+pub use api::{NodeTransaction, Tmk};
 pub use config::TmkConfig;
 pub use diff::{Diff, DiffRun};
 pub use interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};

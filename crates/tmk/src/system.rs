@@ -88,6 +88,10 @@ where
             alloc: alloc.clone(),
             in_region: false,
             barrier_epoch: 0,
+            gate: None,
+            lane: None,
+            derived: false,
+            smp_access_ns: 0,
         });
         states.push(state);
         work_rxs.push(work_rx);

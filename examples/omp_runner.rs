@@ -4,10 +4,18 @@
 //! ```text
 //! cargo run --release --example omp_runner                  # all bundled examples, 4 nodes
 //! cargo run --release --example omp_runner -- --nodes 8     # all, 8 nodes
+//! cargo run --release --example omp_runner -- --nodes 4 --tpn 2   # 4x2 SMP cluster
+//! cargo run --release --example omp_runner -- --schedule dynamic,64 dotprod.omp
+//! OMP_SCHEDULE=guided,8 cargo run --release --example omp_runner
 //! cargo run --release --example omp_runner -- my.omp        # one file
 //! ```
+//!
+//! `--schedule` (or the `OMP_SCHEDULE` environment variable, exactly as
+//! in a real OpenMP runtime; the flag wins when both are given) sets
+//! what `schedule(runtime)` loops resolve to. Malformed strings are
+//! rejected with a diagnostic and exit code 2.
 
-use nomp::OmpConfig;
+use nomp::{OmpConfig, Schedule};
 
 const BUNDLED: &[(&str, &str)] = &[
     ("pi.omp", include_str!("omp/pi.omp")),
@@ -17,17 +25,50 @@ const BUNDLED: &[(&str, &str)] = &[
     ("qsort.omp", include_str!("omp/qsort.omp")),
 ];
 
+fn parse_schedule(src: &str, origin: &str) -> Schedule {
+    match Schedule::parse(src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid {origin} schedule: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut nodes = 4usize;
+    let mut tpn = 1usize;
+    let mut schedule: Option<Schedule> = None;
     let mut files: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--nodes" => {
-                nodes = it.next().and_then(|v| v.parse().ok()).expect("--nodes N");
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .expect("--nodes N (N >= 1)");
+            }
+            "--tpn" => {
+                tpn = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 1)
+                    .expect("--tpn T (T >= 1)");
+            }
+            "--schedule" => {
+                let s = it.next().expect("--schedule KIND[,CHUNK]");
+                schedule = Some(parse_schedule(s, "--schedule"));
             }
             f => files.push(f.to_string()),
+        }
+    }
+    // `OMP_SCHEDULE` exactly as in a real runtime; the CLI flag wins.
+    if schedule.is_none() {
+        if let Ok(env) = std::env::var("OMP_SCHEDULE") {
+            schedule = Some(parse_schedule(&env, "OMP_SCHEDULE"));
         }
     }
 
@@ -49,8 +90,12 @@ fn main() {
 
     let mut failed = false;
     for (name, src) in &programs {
-        println!("== {name} on {nodes} simulated workstations ==");
-        match ompc::run_source(src, OmpConfig::paper(nodes)) {
+        println!("== {name} on {nodes} simulated workstations x {tpn} threads ==",);
+        let mut cfg = OmpConfig::paper_smp(nodes, tpn);
+        if let Some(s) = schedule {
+            cfg.runtime_schedule = s;
+        }
+        match ompc::run_source(src, cfg) {
             Ok(out) => {
                 for line in &out.printed {
                     println!("  {line}");

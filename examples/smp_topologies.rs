@@ -1,0 +1,89 @@
+//! SMP-cluster execution: run the bundled kernels on a
+//! `nodes × threads_per_node` topology and report traffic.
+//!
+//! ```text
+//! cargo run --release --example smp_topologies                 # sweep 8x1, 4x2, 2x4, 1x8
+//! cargo run --release --example smp_topologies -- --topo 4x2   # one topology
+//! ```
+//!
+//! Exits non-zero if any kernel's result diverges from its native
+//! reference, or (in sweep mode) if DSM messages fail to fall as
+//! threads move on-node. Kernel sources, the reference values, and the
+//! per-topology runner are shared with `now_bench::smp` (the
+//! `paper_tables -- smp` ablation).
+
+use now_bench::smp::{native_reference, run_kernel, KERNELS, TOPOLOGIES};
+
+fn parse_topo(s: &str) -> (usize, usize) {
+    let parse = |p: &str| p.trim().parse::<usize>().ok().filter(|&v| v >= 1);
+    let mut it = s.split('x');
+    match (
+        it.next().and_then(parse),
+        it.next().and_then(parse),
+        it.next(),
+    ) {
+        (Some(n), Some(t), None) => (n, t),
+        _ => {
+            eprintln!("invalid topology `{s}` (expected NODESxTHREADS, e.g. 4x2)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut topos: Vec<(usize, usize)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--topo" => topos.push(parse_topo(it.next().expect("--topo NxM"))),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    let sweep = topos.is_empty();
+    if sweep {
+        topos = TOPOLOGIES.to_vec();
+    }
+
+    let mut failed = false;
+    for (name, src) in KERNELS {
+        let expect = native_reference(name);
+        println!("== {name} ==");
+        let mut msgs = Vec::new();
+        for &(nodes, tpn) in &topos {
+            let row = run_kernel(name, src, nodes, tpn);
+            let ok = (row.result - expect).abs() <= 1e-9 * expect.abs().max(1.0);
+            println!(
+                "  {nodes}x{tpn}: {:.3} virtual s, {} msgs, {:.2} MB{}",
+                row.vt_ns as f64 / 1e9,
+                row.msgs,
+                row.bytes as f64 / 1e6,
+                if ok { "" } else { "  MISMATCH" }
+            );
+            if !ok {
+                eprintln!(
+                    "  ERROR: {name} on {nodes}x{tpn}: {} vs reference {expect}",
+                    row.result
+                );
+                failed = true;
+            }
+            msgs.push(row.msgs);
+        }
+        if sweep {
+            if !msgs.windows(2).all(|w| w[0] > w[1]) {
+                eprintln!("  ERROR: {name}: messages did not fall on-node: {msgs:?}");
+                failed = true;
+            }
+            if msgs.last() != Some(&0) {
+                eprintln!("  ERROR: {name}: 1x8 sent remote messages");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

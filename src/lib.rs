@@ -5,7 +5,9 @@
 //! architecture and DESIGN.md for the system inventory.
 //!
 //! * [`nomp`] — the OpenMP runtime + directive macros (the paper's
-//!   contribution)
+//!   contribution), two-level on SMP-cluster topologies
+//! * [`smp`] — the SMP node subsystem: thread teams sharing one DSM
+//!   process (`nodes × threads_per_node` topologies)
 //! * [`tmk`] — the TreadMarks-style software DSM it compiles to
 //! * [`nowmpi`] — the MPI baseline
 //! * [`now_net`] — the simulated workstation network + virtual time
@@ -24,7 +26,7 @@
 //! assert_eq!(out.result, 81);
 //! ```
 
-pub use {nomp, now_apps, now_net, nowmpi, tmk};
+pub use {nomp, now_apps, now_net, nowmpi, smp, tmk};
 
 /// Common imports for writing OpenMP-on-NOW programs.
 pub mod prelude {

@@ -1,9 +1,15 @@
 //! Acceptance tests for the `ompc` front-end: every bundled `.omp`
 //! example program parses, lowers, and executes on 1/2/4/8 simulated
-//! workstations with results matching a native-Rust reference
-//! implementation.
+//! workstations — and on mixed SMP-cluster topologies — with results
+//! matching a native-Rust reference implementation.
+//!
+//! The scalar references for pi/dotprod/jacobi are the single source in
+//! [`now_bench::smp::native_reference`] (shared with the bench ablation
+//! and the `smp_topologies` example); the grid/array references that
+//! must match bit-for-bit are computed by the helpers below.
 
 use nomp::{OmpConfig, Schedule};
+use now_bench::smp::native_reference;
 
 const NODES: [usize; 4] = [1, 2, 4, 8];
 
@@ -17,15 +23,47 @@ fn close(a: f64, b: f64, tol: f64) -> bool {
     (a - b).abs() <= tol * a.abs().max(b.abs()).max(1.0)
 }
 
+/// jacobi.omp's final grid (element-wise deterministic, so translated
+/// runs must match bit-for-bit on any topology).
+fn jacobi_reference_grid() -> Vec<f64> {
+    let n = 258usize;
+    let mut u = vec![0.0f64; n];
+    let mut unew = vec![0.0f64; n];
+    u[0] = 1.0;
+    unew[0] = 1.0;
+    for _ in 0..40 {
+        for i in 1..n - 1 {
+            unew[i] = 0.5 * (u[i - 1] + u[i + 1]);
+        }
+        u[1..n - 1].copy_from_slice(&unew[1..n - 1]);
+    }
+    u
+}
+
+fn fib(n: u64) -> u64 {
+    if n < 2 {
+        n
+    } else {
+        fib(n - 1) + fib(n - 2)
+    }
+}
+
+/// qsort.omp's array after sorting (replicates the program's LCG fill).
+fn qsort_reference_sorted() -> Vec<f64> {
+    let n = 400usize;
+    let mut seed = 7i64;
+    let mut expect = Vec::with_capacity(n);
+    for _ in 0..n {
+        seed = (seed * 1069 + 1) % 65536;
+        expect.push((seed % 1000) as f64);
+    }
+    expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    expect
+}
+
 #[test]
 fn pi_matches_native_reference() {
-    // Native reference: same midpoint rule, same trip count.
-    let n = 20_000;
-    let step = 1.0 / n as f64;
-    let expect: f64 = (0..n)
-        .map(|i| 4.0 / (1.0 + ((i as f64 + 0.5) * step).powi(2)))
-        .sum::<f64>()
-        * step;
+    let expect = native_reference("pi");
     for nodes in NODES {
         let out = ompc::run_source(PI, OmpConfig::fast_test(nodes)).unwrap();
         let pi = out.scalars["pi"];
@@ -44,10 +82,7 @@ fn pi_matches_native_reference() {
 
 #[test]
 fn dotprod_matches_native_reference() {
-    let n = 4096;
-    let expect: f64 = (0..n)
-        .map(|i| (0.5 + (i % 17) as f64) * (1.0 / (1 + i % 13) as f64))
-        .sum();
+    let expect = native_reference("dotprod");
     for nodes in NODES {
         // Also exercise schedule(runtime): the second loop defers to the
         // configuration, which we point at dynamic chunking.
@@ -64,23 +99,8 @@ fn dotprod_matches_native_reference() {
 
 #[test]
 fn jacobi_matches_native_reference_exactly() {
-    // The stencil update is element-wise deterministic, so the final
-    // grid must match bit-for-bit on any node count.
-    let n = 258usize;
-    let sweeps = 40;
-    let mut u = vec![0.0f64; n];
-    let mut unew = vec![0.0f64; n];
-    u[0] = 1.0;
-    unew[0] = 1.0;
-    for _ in 0..sweeps {
-        for i in 1..n - 1 {
-            unew[i] = 0.5 * (u[i - 1] + u[i + 1]);
-        }
-        u[1..n - 1].copy_from_slice(&unew[1..n - 1]);
-    }
-    let resid = (1..n - 1)
-        .map(|i| (0.5 * (u[i - 1] + u[i + 1]) - u[i]).abs())
-        .fold(0.0f64, f64::max);
+    let u = jacobi_reference_grid();
+    let resid = native_reference("jacobi");
     for nodes in NODES {
         let out = ompc::run_source(JACOBI, OmpConfig::fast_test(nodes)).unwrap();
         assert_eq!(out.arrays["u"], u, "{nodes} nodes: grid diverged");
@@ -94,13 +114,6 @@ fn jacobi_matches_native_reference_exactly() {
 
 #[test]
 fn fib_matches_native_reference() {
-    fn fib(n: u64) -> u64 {
-        if n < 2 {
-            n
-        } else {
-            fib(n - 1) + fib(n - 2)
-        }
-    }
     let expect = fib(16) as f64;
     for nodes in NODES {
         let out = ompc::run_source(FIB, OmpConfig::fast_test(nodes)).unwrap();
@@ -111,21 +124,81 @@ fn fib_matches_native_reference() {
 
 #[test]
 fn qsort_matches_native_reference() {
-    // Replicate the program's LCG fill, sort natively, compare final
-    // array contents exactly.
-    let n = 400usize;
-    let mut seed = 7i64;
-    let mut expect = Vec::with_capacity(n);
-    for _ in 0..n {
-        seed = (seed * 1069 + 1) % 65536;
-        expect.push((seed % 1000) as f64);
-    }
-    expect.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let expect = qsort_reference_sorted();
     for nodes in NODES {
         let out = ompc::run_source(QSORT, OmpConfig::fast_test(nodes)).unwrap();
         assert_eq!(out.ret, 0.0, "{nodes} nodes: sort left inversions");
         assert_eq!(out.arrays["a"], expect, "{nodes} nodes: wrong contents");
     }
+}
+
+/// SMP-cluster acceptance: every bundled program produces results
+/// matching its native reference on mixed `nodes × threads_per_node`
+/// topologies — translated programs run unchanged on any topology
+/// because `omp_get_num_threads()` resolves to the total thread count.
+#[test]
+fn all_programs_match_references_on_mixed_topologies() {
+    const MIXED: [(usize, usize); 3] = [(2, 2), (4, 2), (2, 4)];
+    let pi_ref = native_reference("pi");
+    let dot_ref = native_reference("dotprod");
+    let u = jacobi_reference_grid();
+    let sorted = qsort_reference_sorted();
+
+    for (nodes, tpn) in MIXED {
+        let cfg = || OmpConfig::fast_test_smp(nodes, tpn);
+
+        let out = ompc::run_source(PI, cfg()).unwrap();
+        assert!(
+            close(out.scalars["pi"], pi_ref, 1e-9),
+            "pi {nodes}x{tpn}: {} vs {pi_ref}",
+            out.scalars["pi"]
+        );
+
+        let mut dcfg = cfg();
+        dcfg.runtime_schedule = Schedule::Dynamic(256);
+        let out = ompc::run_source(DOTPROD, dcfg).unwrap();
+        assert!(
+            close(out.scalars["dot"], dot_ref, 1e-9),
+            "dotprod {nodes}x{tpn}: {} vs {dot_ref}",
+            out.scalars["dot"]
+        );
+
+        let out = ompc::run_source(JACOBI, cfg()).unwrap();
+        assert_eq!(out.arrays["u"], u, "jacobi {nodes}x{tpn}: grid diverged");
+
+        let out = ompc::run_source(FIB, cfg()).unwrap();
+        assert_eq!(out.scalars["count"], fib(16) as f64, "fib {nodes}x{tpn}");
+        assert!(
+            out.dsm.tasks_executed > 0,
+            "fib {nodes}x{tpn}: no tasks ran"
+        );
+
+        let out = ompc::run_source(QSORT, cfg()).unwrap();
+        assert_eq!(out.ret, 0.0, "qsort {nodes}x{tpn}: inversions");
+        assert_eq!(out.arrays["a"], sorted, "qsort {nodes}x{tpn}: contents");
+    }
+}
+
+/// Moving the 8 threads of the pi kernel on-node sheds DSM messages
+/// monotonically; one SMP node needs none at all.
+#[test]
+fn pi_traffic_falls_as_threads_move_on_node() {
+    let msgs: Vec<u64> = [(8, 1), (4, 2), (2, 4), (1, 8)]
+        .into_iter()
+        .map(|(nodes, tpn)| {
+            let out = ompc::run_source(PI, OmpConfig::fast_test_smp(nodes, tpn)).unwrap();
+            assert!(
+                (out.scalars["pi"] - std::f64::consts::PI).abs() < 1e-7,
+                "{nodes}x{tpn}"
+            );
+            out.msgs
+        })
+        .collect();
+    assert!(
+        msgs.windows(2).all(|w| w[0] > w[1]),
+        "pi DSM messages must fall as threads move on-node: {msgs:?}"
+    );
+    assert_eq!(msgs[3], 0, "1x8 runs the whole program without the wire");
 }
 
 #[test]
