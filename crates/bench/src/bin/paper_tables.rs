@@ -3,11 +3,11 @@
 //! ```text
 //! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
 //! experiments: table1 table2 figure5 micro pipeline taskqueue
-//!              tasking pagesize fft_push scale_sweep ompc smp all
+//!              tasking pagesize fft_push scale_sweep ompc smp hetero all
 //!              (default: all)
 //! ```
 
-use now_bench::{ablation, micro, ompc, smp, tables, tasking};
+use now_bench::{ablation, hetero, micro, ompc, smp, tables, tasking};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +73,16 @@ fn main() {
     }
     if want("smp") {
         smp::smp_topology_table();
+    }
+    if want("hetero") {
+        // The sweep's cost grows quadratically with cluster size (5
+        // schedules × 3 scenarios × 3 kernels per node count), so it is
+        // pinned to a small cluster independent of --nodes.
+        let hetero_nodes = campaign.nodes.clamp(2, 4);
+        if hetero_nodes != campaign.nodes {
+            println!("# hetero sweep runs on {hetero_nodes} workstations (clamped from --nodes)");
+        }
+        hetero::hetero_table(hetero_nodes);
     }
     if want("pagesize") {
         ablation::page_size_ablation();

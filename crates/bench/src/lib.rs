@@ -18,6 +18,11 @@
 //! * [`smp::smp_topology_table`] — SMP-cluster topologies at equal total
 //!   parallelism (`8×1`, `4×2`, `2×4`, `1×8`): moving threads on-node
 //!   sheds DSM messages, down to zero on one SMP node
+//! * [`hetero::hetero_table`] — heterogeneous/loaded clusters: loop
+//!   schedules {static, dynamic, guided, adaptive, affinity} ×
+//!   {uniform, one-2×-slow-node, bursty} on pi/dotprod/jacobi, in
+//!   virtual time and DSM messages (the regime beyond the paper's
+//!   dedicated machines)
 //!
 //! Run everything with `cargo run -p now-bench --release --bin paper_tables`.
 
@@ -25,6 +30,7 @@
 
 pub mod ablation;
 pub mod fmt;
+pub mod hetero;
 pub mod micro;
 pub mod ompc;
 pub mod smp;

@@ -1,5 +1,6 @@
 //! OpenMP runtime configuration.
 
+use now_net::ClusterLoad;
 use smp::SmpConfig;
 use tmk::TmkConfig;
 
@@ -73,6 +74,15 @@ impl OmpConfig {
     pub fn topology(&self) -> String {
         format!("{}x{}", self.tmk.nodes(), self.smp.threads_per_node)
     }
+
+    /// Attach a heterogeneity model (per-node speed factors and seeded
+    /// background-load traces) to this configuration. The model must
+    /// validate; the default is the paper's uniform, dedicated cluster.
+    pub fn with_load(mut self, load: ClusterLoad) -> Self {
+        load.validate().expect("invalid cluster load model");
+        self.tmk.net.load = load;
+        self
+    }
 }
 
 impl From<TmkConfig> for OmpConfig {
@@ -100,17 +110,48 @@ pub enum Schedule {
     Dynamic(usize),
     /// Exponentially shrinking chunks (`schedule(guided, min_chunk)`).
     Guided(usize),
+    /// Factoring-style shrinking batches re-sized by *observed per-node
+    /// throughput* (`schedule(adaptive, min_chunk)`): each claim takes
+    /// `remaining × my_rate / (2 × Σ rates)` iterations, clamped to at
+    /// least `min_chunk`. Rates are measured in virtual time, so slow or
+    /// loaded workstations automatically receive proportionally less
+    /// work — the schedule for heterogeneous NOWs.
+    Adaptive(usize),
+    /// Per-node home partitions with history (`schedule(affinity)`): each
+    /// workstation consumes its own contiguous block through a counter
+    /// *it* manages (local claims are message-free), rebalancing by
+    /// stealing from the most-loaded victim only when it runs dry.
+    /// Partitions are deterministic per loop, so re-executions of the
+    /// same loop reuse the pages a node already holds.
+    Affinity,
     /// Deferred to [`OmpConfig::runtime_schedule`] (`schedule(runtime)`);
     /// resolved by [`Env`](crate::Env) before a loop plan is built, so
     /// directive front-ends can emit it verbatim.
     Runtime,
 }
 
+impl std::fmt::Display for Schedule {
+    /// The canonical `OMP_SCHEDULE`-style string; [`Schedule::parse`]
+    /// round-trips every value (`parse(s.to_string()) == s`).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Schedule::Static => write!(f, "static"),
+            Schedule::StaticChunk(c) => write!(f, "static,{c}"),
+            Schedule::Dynamic(c) => write!(f, "dynamic,{c}"),
+            Schedule::Guided(c) => write!(f, "guided,{c}"),
+            Schedule::Adaptive(c) => write!(f, "adaptive,{c}"),
+            Schedule::Affinity => write!(f, "affinity"),
+            Schedule::Runtime => write!(f, "runtime"),
+        }
+    }
+}
+
 impl Schedule {
     /// Parse an `OMP_SCHEDULE`-style string: `kind[,chunk]` with kind one
-    /// of `static`, `dynamic`, `guided`, `runtime`, `auto` (mapped to
-    /// static). Whitespace around tokens is ignored; a chunk of 0 is
-    /// legal and normalized to 1 by the loop planner.
+    /// of `static`, `dynamic`, `guided`, `adaptive`, `affinity`,
+    /// `runtime`, `auto` (mapped to static). Whitespace around tokens is
+    /// ignored; a chunk of 0 is legal and normalized to 1 by the loop
+    /// planner.
     ///
     /// ```
     /// use nomp::Schedule;
@@ -142,6 +183,11 @@ impl Schedule {
             ("static" | "auto", Some(c)) => Schedule::StaticChunk(c),
             ("dynamic", c) => Schedule::Dynamic(c.unwrap_or(1)),
             ("guided", c) => Schedule::Guided(c.unwrap_or(1)),
+            ("adaptive", c) => Schedule::Adaptive(c.unwrap_or(1)),
+            ("affinity", None) => Schedule::Affinity,
+            ("affinity", Some(_)) => {
+                return Err(format!("schedule `affinity` takes no chunk (got `{s}`)"))
+            }
             ("runtime", None) => Schedule::Runtime,
             ("runtime", Some(_)) => {
                 return Err(format!("schedule `runtime` takes no chunk (got `{s}`)"))
@@ -150,7 +196,7 @@ impl Schedule {
             (k, _) => {
                 return Err(format!(
                     "unknown schedule kind `{k}` in `{s}` (expected \
-                     static|dynamic|guided|runtime|auto)"
+                     static|dynamic|guided|adaptive|affinity|runtime|auto)"
                 ))
             }
         };
@@ -235,6 +281,32 @@ mod tests {
         assert_eq!(Schedule::parse("auto").unwrap(), Schedule::Static);
         // Chunk 0 parses; the loop planner normalizes it to 1.
         assert_eq!(Schedule::parse("dynamic,0").unwrap(), Schedule::Dynamic(0));
+        // The heterogeneity-aware kinds.
+        assert_eq!(Schedule::parse("adaptive").unwrap(), Schedule::Adaptive(1));
+        assert_eq!(
+            Schedule::parse("adaptive,16").unwrap(),
+            Schedule::Adaptive(16)
+        );
+        assert_eq!(Schedule::parse("affinity").unwrap(), Schedule::Affinity);
+        assert_eq!(Schedule::parse(" AFFINITY ").unwrap(), Schedule::Affinity);
+    }
+
+    #[test]
+    fn schedule_display_round_trips() {
+        for s in [
+            Schedule::Static,
+            Schedule::StaticChunk(7),
+            Schedule::Dynamic(0),
+            Schedule::Dynamic(16),
+            Schedule::Guided(0),
+            Schedule::Guided(3),
+            Schedule::Adaptive(1),
+            Schedule::Adaptive(64),
+            Schedule::Affinity,
+            Schedule::Runtime,
+        ] {
+            assert_eq!(Schedule::parse(&s.to_string()).unwrap(), s, "{s}");
+        }
     }
 
     #[test]
@@ -247,6 +319,8 @@ mod tests {
             "dynamic,-1",
             "dynamic,4,9",
             "runtime,2",
+            "affinity,2",
+            "adaptive,x",
             "static,4x",
         ] {
             let e = Schedule::parse(bad).unwrap_err();

@@ -1,7 +1,7 @@
 //! The master-side OpenMP execution environment.
 
 use crate::config::{OmpConfig, Schedule};
-use crate::forloop::LoopPlan;
+use crate::forloop::{LoopPlan, LoopShared};
 use crate::reduction::{RedOp, Reduce};
 use crate::thread::{OmpThread, RUNTIME_LOCK_BASE};
 use std::ops::{Deref, DerefMut, Range};
@@ -97,12 +97,13 @@ impl Env<'_> {
         }
     }
 
-    /// Allocate the zeroed shared chunk counter + runtime lock a
-    /// dynamic/guided loop plan needs (`None` for static policies).
-    /// Master-side hook for directive front-ends; `sched` should already
-    /// be resolved.
-    pub fn alloc_loop_counter(&mut self, sched: Schedule) -> Option<(tmk::SharedScalar<u64>, u32)> {
-        self.loop_counter_for(sched)
+    /// Allocate the zeroed DSM-resident state a non-static loop plan
+    /// needs (`None` for static policies): the shared chunk counter of
+    /// dynamic/guided, the rate table of adaptive, or the per-node
+    /// partition descriptors of affinity. Master-side hook for directive
+    /// front-ends; `sched` should already be resolved.
+    pub fn alloc_loop_shared(&mut self, sched: Schedule) -> Option<LoopShared> {
+        self.loop_shared_for(sched)
     }
 
     /// Build a [`LoopPlan`] for `range` under `sched` (resolving
@@ -112,8 +113,8 @@ impl Env<'_> {
     /// [`LoopPlan::next_chunk`] or [`LoopPlan::run`].
     pub fn plan_loop(&mut self, sched: Schedule, range: Range<usize>) -> LoopPlan {
         let sched = self.resolve_schedule(sched);
-        let counter = self.loop_counter_for(sched);
-        LoopPlan::new(sched, range, counter)
+        let shared = self.loop_shared_for(sched);
+        LoopPlan::new(sched, range, shared)
     }
 
     /// `!$omp parallel` … `!$omp end parallel`.
@@ -193,12 +194,32 @@ impl Env<'_> {
         self.cfg.default_dynamic_chunk
     }
 
-    fn loop_counter_for(&mut self, sched: Schedule) -> Option<(tmk::SharedScalar<u64>, u32)> {
+    fn loop_shared_for(&mut self, sched: Schedule) -> Option<LoopShared> {
         match sched {
             Schedule::Dynamic(_) | Schedule::Guided(_) => {
-                let c = self.t.malloc_scalar::<u64>(0);
+                let counter = self.t.malloc_scalar::<u64>(0);
                 let lock = self.next_runtime_lock();
-                Some((c, lock))
+                Some(LoopShared::Counter { counter, lock })
+            }
+            Schedule::Adaptive(_) => {
+                // `[next, rate per node…]` — rates ride the page the
+                // claim already holds, so publishing them is free.
+                let n = self.t.nprocs();
+                let state = self.t.malloc_vec::<u64>(1 + n);
+                let lock = self.next_runtime_lock();
+                Some(LoopShared::Adaptive { state, lock })
+            }
+            Schedule::Affinity => {
+                // One page-disjoint `[init, next, end]` descriptor per
+                // node (the allocator never shares pages across regions),
+                // each under a lock managed by its home node.
+                let n = self.t.nprocs();
+                let parts = (0..n)
+                    .map(|_| self.t.malloc_vec::<u64>(crate::forloop::AFF_WORDS))
+                    .collect();
+                self.loop_seq = self.loop_seq.wrapping_add(1);
+                let site = self.loop_seq & 0x3ff;
+                Some(LoopShared::Affinity { parts, site })
             }
             _ => None,
         }

@@ -84,11 +84,13 @@ pub use config::{OmpConfig, Schedule};
 // The intra-node (SMP) team-size + cost-model half of `OmpConfig`.
 pub use data::ThreadPrivate;
 pub use env::{run, Env};
-pub use forloop::{LoopCursor, LoopPlan};
+pub use forloop::{LoopCursor, LoopPlan, LoopShared};
 pub use reduction::{RedOp, Reduce};
 pub use smp::SmpConfig;
 pub use tasking::{TaskArgs, TaskSched, TaskScope, TaskScopeConfig};
 pub use thread::{critical_id, OmpThread};
 
-// Re-export the substrate types applications touch directly.
+// Re-export the substrate types applications touch directly, including
+// the heterogeneity model (per-node speeds + seeded load traces).
+pub use now_net::{ClusterLoad, LoadSpec, LoadTrace};
 pub use tmk::{RunOutcome, Shareable, SharedScalar, SharedVec, Tmk, TmkConfig, TmkStats};

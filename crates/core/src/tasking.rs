@@ -19,10 +19,15 @@
 //!   message-free; a remote steal costs the usual small constant number of
 //!   messages (lock transfer + deque-page diff).
 //! * **Work stealing.** The owner pushes and pops LIFO (locality); thieves
-//!   take the oldest task FIFO from the other end, sweeping victims round
-//!   robin. [`TaskSched::Centralized`] funnels everything through node 0's
-//!   deque instead — the Figure-4 baseline the bench ablation compares
-//!   against.
+//!   take the oldest task FIFO from the other end. Victim sweeps are
+//!   **load-aware**: the thief orders victims by their published backlog
+//!   (a stale, message-free read of each deque's cached header page)
+//!   divided by the victim's current effective speed — the deque that
+//!   will take longest to drain is raided first — with ties broken by a
+//!   per-thief, per-sweep rotating offset so concurrent thieves do not
+//!   convoy on one victim. [`TaskSched::Centralized`] funnels everything
+//!   through node 0's deque instead — the Figure-4 baseline the bench
+//!   ablation compares against.
 //! * **Termination without busy-waiting.** Idle workers park on a
 //!   condition variable under a termination lock (the paper's proposed
 //!   §3.2.3 primitive). Before parking, a worker marks every deque it
@@ -184,15 +189,43 @@ pub struct TaskScope<'a, 't> {
     /// outer waits have not, or the chain would be double-counted and the
     /// quiescence condition unreachable.
     published: u64,
-    /// Deque visit order for sweeps (home first, then victims round
-    /// robin); fixed per thread, computed once.
-    order: Vec<usize>,
+    /// Sweeps performed so far: rotates the victim-order tie-break so a
+    /// thief does not start every sweep at the same offset (and different
+    /// thieves start at different offsets), breaking steal convoys.
+    sweeps: u64,
     /// Set when this worker was just signalled out of the parked state: a
     /// single push only ever wakes one sleeper (it clears the hungry flag
     /// for the burst that follows), so the woken worker re-propagates —
     /// after taking a task that left more behind, it wakes the next
     /// sleeper, cascading until the burst is matched with workers.
     woke: bool,
+}
+
+/// Victim visit order for one sweep (the home deque is always tried
+/// first, before this order is even computed): every other deque sorted
+/// by descending score (estimated backlog over effective speed — raid
+/// the deque that will take longest to drain), with ties broken by a
+/// round-robin rotation of `rotor` so concurrent thieves (and
+/// consecutive sweeps of one thief) start at different victims instead
+/// of convoying on the first non-empty deque.
+fn victim_order(n: usize, home: usize, rotor: u64, score: impl Fn(usize) -> f64) -> Vec<usize> {
+    if n <= 1 {
+        return Vec::new();
+    }
+    let v = n - 1;
+    let mut victims: Vec<usize> = (0..v)
+        .map(|i| {
+            let off = 1 + (i + (rotor % v as u64) as usize) % v;
+            (home + off) % n
+        })
+        .collect();
+    // Stable: equal scores keep the rotated round-robin order.
+    victims.sort_by(|&a, &b| {
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    victims
 }
 
 impl<'t> std::ops::Deref for TaskScope<'_, 't> {
@@ -499,24 +532,50 @@ impl TaskScope<'_, '_> {
         });
     }
 
-    /// One sweep over all deques reading the spawn/complete/waiting
-    /// counters under each deque's lock. Returns `None` (and executes the
-    /// task) if work was found instead.
+    /// The victims of one sweep, ordered by descending published backlog
+    /// over effective speed (stale, message-free reads of each deque's
+    /// cached header), rotation breaking ties. Computed only after the
+    /// home take came up empty, so the message-free local-work fast path
+    /// never pays for victim scoring. Each call advances the rotation.
+    fn victim_sweep(&mut self) -> Vec<usize> {
+        let n = self.rt.n;
+        if self.rt.sched == TaskSched::Centralized || n <= 1 {
+            return Vec::new();
+        }
+        self.sweeps = self.sweeps.wrapping_add(1);
+        let rotor = self.sweeps.wrapping_add(self.me as u64);
+        let mut est = vec![0.0f64; n];
+        for (k, e) in est.iter_mut().enumerate() {
+            if k == self.node {
+                continue;
+            }
+            // Unlocked reads of the victim's cached deque header: stale
+            // but free (the page re-faults only after this thief's next
+            // acquire delivers fresh write notices). Good enough to rank
+            // victims; the actual take re-checks under the lock.
+            let dq = self.rt.deques[k];
+            let head = self.th.read(&dq, HDR_HEAD);
+            let tail = self.th.read(&dq, HDR_TAIL);
+            let backlog = tail.saturating_sub(head) as f64;
+            *e = backlog / self.th.node_speed(k).max(1e-6);
+        }
+        victim_order(n, self.node, rotor, |k| est[k])
+    }
+
+    /// One sweep over all deques (home first, then scored victims)
+    /// reading the spawn/complete/waiting counters under each deque's
+    /// lock. Returns `None` (and executes the task) if work was found
+    /// instead.
     fn counter_sweep(&mut self) -> Option<(u64, u64, u64)> {
         let mut totals = (0u64, 0u64, 0u64);
-        for i in 0..self.order.len() {
-            let k = self.order[i];
-            if self.is_steal(k) {
-                self.th.bump_stats(|s| s.steal_attempts += 1);
-            }
-            let dq = self.rt.deques[k];
-            let lock = deque_lock(self.rt.n, k);
-            let owner_end = k == self.rt.home(self.node) && self.rt.sched == TaskSched::WorkSteal;
-            let cap = self.rt.cap as u64;
-            let found = self.th.critical(lock, |th| {
-                take_locked(th, &dq, k, cap, owner_end, false, Some(&mut totals))
-            });
-            if let Some((args, remaining)) = found {
+        let home = self.rt.home(self.node);
+        if let Some((args, remaining)) = self.counter_take(home, &mut totals) {
+            self.propagate_wake(remaining);
+            self.execute_taken(home, args);
+            return None;
+        }
+        for k in self.victim_sweep() {
+            if let Some((args, remaining)) = self.counter_take(k, &mut totals) {
                 self.propagate_wake(remaining);
                 self.execute_taken(k, args);
                 return None;
@@ -525,12 +584,32 @@ impl TaskScope<'_, '_> {
         Some(totals)
     }
 
-    /// Sweep all deques looking for work; with `mark`, flag every deque
-    /// found empty as hungry (the pre-sleep pass). Returns the source
-    /// deque alongside the task.
+    /// The locked take-or-accumulate step of [`TaskScope::counter_sweep`]
+    /// for one deque.
+    fn counter_take(&mut self, k: usize, totals: &mut (u64, u64, u64)) -> Option<(TaskArgs, u64)> {
+        if self.is_steal(k) {
+            self.th.bump_stats(|s| s.steal_attempts += 1);
+        }
+        let dq = self.rt.deques[k];
+        let lock = deque_lock(self.rt.n, k);
+        let owner_end = k == self.rt.home(self.node) && self.rt.sched == TaskSched::WorkSteal;
+        let cap = self.rt.cap as u64;
+        self.th.critical(lock, |th| {
+            take_locked(th, &dq, k, cap, owner_end, false, Some(totals))
+        })
+    }
+
+    /// Sweep all deques looking for work — home first (message-free when
+    /// local work exists; victim scoring is skipped entirely), then the
+    /// backlog-ordered victims. With `mark`, flag every deque found empty
+    /// as hungry (the pre-sleep pass). Returns the source deque alongside
+    /// the task.
     fn hunt(&mut self, mark: bool) -> Option<(usize, TaskArgs)> {
-        for i in 0..self.order.len() {
-            let k = self.order[i];
+        let home = self.rt.home(self.node);
+        if let Some(args) = self.take_from(home, mark) {
+            return Some((home, args));
+        }
+        for k in self.victim_sweep() {
             if let Some(args) = self.take_from(k, mark) {
                 return Some((k, args));
             }
@@ -679,10 +758,6 @@ impl Env<'_> {
         self.parallel_sized(cfg.fork_payload_bytes, move |th| {
             let me = th.thread_num();
             let node = th.node_id();
-            let order = match rt.sched {
-                TaskSched::Centralized => vec![0],
-                TaskSched::WorkSteal => (0..rt.n).map(|o| (node + o) % rt.n).collect(),
-            };
             let mut scope = TaskScope {
                 th,
                 rt: rt.clone(),
@@ -691,7 +766,7 @@ impl Env<'_> {
                 node,
                 depth: 0,
                 published: 0,
-                order,
+                sweeps: 0,
                 woke: false,
             };
             init(&mut scope);
@@ -977,6 +1052,94 @@ mod tests {
             out.result,
             vec![3, 2, 1],
             "each level saw its child's write"
+        );
+    }
+
+    #[test]
+    fn victim_order_rotates_per_sweep_and_per_thief() {
+        let flat = |_k: usize| 0.0;
+        // Victims cover everyone except home exactly once.
+        for n in [2usize, 3, 5, 8] {
+            for home in 0..n {
+                for rotor in 0..(3 * n as u64) {
+                    let o = victim_order(n, home, rotor, flat);
+                    assert!(!o.contains(&home), "home is tried before the victims");
+                    let mut seen: Vec<usize> = o.clone();
+                    seen.sort_unstable();
+                    let expect: Vec<usize> = (0..n).filter(|&k| k != home).collect();
+                    assert_eq!(seen, expect, "n={n} home={home}");
+                }
+            }
+        }
+        // With flat scores, consecutive sweeps start at different victims
+        // (the convoy fix), cycling through all of them...
+        let firsts: Vec<usize> = (0..3u64).map(|r| victim_order(4, 0, r, flat)[0]).collect();
+        assert_eq!(firsts.len(), 3);
+        assert!(firsts.windows(2).all(|w| w[0] != w[1]), "{firsts:?}");
+        let distinct: std::collections::HashSet<usize> = firsts.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "rotation must cycle all victims");
+        // ...and different thieves (rotor seeded by thread id) start at
+        // different victims on the same sweep number.
+        assert_ne!(
+            victim_order(4, 0, 1, flat)[0],
+            victim_order(4, 0, 2, flat)[0]
+        );
+        // A single deque has no victims at all.
+        assert!(victim_order(1, 0, 0, flat).is_empty());
+    }
+
+    #[test]
+    fn victim_order_prefers_bigger_backlog() {
+        // Scores dominate the rotation: the fullest deque is raided
+        // first, regardless of the rotor.
+        let scores = [0.0, 1.0, 9.0, 4.0];
+        for rotor in 0..8u64 {
+            let o = victim_order(4, 0, rotor, |k| scores[k]);
+            assert_eq!(o, vec![2, 3, 1], "rotor {rotor}");
+        }
+    }
+
+    #[test]
+    fn steals_spread_across_victims() {
+        // Each victim node seeds a batch of light tasks and then a long
+        // "blocker"; the victim's owner pops LIFO, so it sits on the
+        // blocker while its light tasks stay stealable. Node 0 seeds
+        // nothing and lives off steals: with backlog-ordered sweeps
+        // (plus rotation on ties) they must come from more than one
+        // victim — the convoy bug pinned every steal to one deque.
+        let out = run(OmpConfig::fast_test(4), |omp| {
+            // origins[o] counts tasks of origin o executed by node 0.
+            let origins = omp.malloc_vec::<u64>(4);
+            omp.task_scope(
+                TaskScopeConfig::default(),
+                move |s| {
+                    let me = s.thread_num();
+                    if me > 0 {
+                        for _ in 0..12 {
+                            s.task(TaskArgs::ab(me as u64, 0));
+                        }
+                        s.task(TaskArgs::ab(me as u64, 1)); // the blocker
+                    }
+                },
+                move |s, t| {
+                    let burn = if t.b == 1 { 20_000_000u64 } else { 20_000 };
+                    std::hint::black_box((0..burn).sum::<u64>());
+                    if s.thread_num() == 0 {
+                        let o = t.a as usize;
+                        let v = s.read(&origins, o);
+                        s.write(&origins, o, v + 1);
+                    }
+                },
+            );
+            omp.read_slice(&origins, 0..4)
+        });
+        let by_node0: u64 = out.result.iter().sum();
+        assert!(by_node0 > 0, "node 0 must steal at least once");
+        let distinct = out.result[1..].iter().filter(|&&c| c > 0).count();
+        assert!(
+            distinct >= 2,
+            "steals must spread across victims, got {:?}",
+            out.result
         );
     }
 

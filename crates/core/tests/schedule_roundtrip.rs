@@ -1,0 +1,54 @@
+//! Property test: `Schedule::parse` round-trips `Display` for every
+//! schedule kind — `--schedule` / `OMP_SCHEDULE` strings are stable.
+
+use nomp::Schedule;
+use proptest::prelude::*;
+
+fn arb_schedule(kind: usize, chunk: usize) -> Schedule {
+    match kind % 7 {
+        0 => Schedule::Static,
+        1 => Schedule::StaticChunk(chunk),
+        2 => Schedule::Dynamic(chunk),
+        3 => Schedule::Guided(chunk),
+        4 => Schedule::Adaptive(chunk),
+        5 => Schedule::Affinity,
+        _ => Schedule::Runtime,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+    #[test]
+    fn display_parse_round_trips(kind in 0usize..7, chunk in 0usize..1_000_000) {
+        let s = arb_schedule(kind, chunk);
+        let printed = s.to_string();
+        let back = Schedule::parse(&printed)
+            .unwrap_or_else(|e| panic!("{printed}: {e}"));
+        prop_assert_eq!(back, s, "{} did not round-trip", printed);
+    }
+
+    #[test]
+    fn parse_tolerates_case_and_whitespace(kind in 0usize..7, chunk in 0usize..1_000_000) {
+        let s = arb_schedule(kind, chunk);
+        let noisy = format!("  {}  ", s.to_string().to_uppercase());
+        // Chunked forms get interior whitespace too.
+        let noisy = noisy.replace(',', " , ");
+        prop_assert_eq!(Schedule::parse(&noisy).unwrap(), s, "{}", noisy);
+    }
+}
+
+#[test]
+fn zero_chunks_round_trip_without_normalizing_the_string() {
+    // `Dynamic(0)`/`Guided(0)`/`Adaptive(0)` are legal parses whose
+    // normalization to chunk 1 happens at plan level (covered by the
+    // forloop tests), NOT in the string representation — the round trip
+    // must preserve the written value exactly.
+    for s in [
+        Schedule::Dynamic(0),
+        Schedule::Guided(0),
+        Schedule::Adaptive(0),
+        Schedule::StaticChunk(0),
+    ] {
+        assert_eq!(Schedule::parse(&s.to_string()).unwrap(), s);
+    }
+}

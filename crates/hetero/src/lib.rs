@@ -1,0 +1,614 @@
+//! # hetero — heterogeneous & loaded workstations
+//!
+//! The SC'98 paper measures OpenMP/TreadMarks on *dedicated, identical*
+//! workstations. The defining property of a real network of workstations
+//! is that nodes differ in speed and carry background load — exactly the
+//! regime where static partitioning collapses and schedule choice becomes
+//! the dominant effect. This crate is the pure model half of that axis:
+//!
+//! * **Per-node speed factors** ([`ClusterLoad::speeds`]): a node with
+//!   speed `0.5` executes every CPU charge at half pace (a `2×`-slow
+//!   machine). Speed `1.0` is the paper's nominal workstation.
+//! * **Background-load traces** ([`LoadTrace`]): deterministic, seeded,
+//!   time-varying slowdown generators — a step (a daemon starts and never
+//!   stops), a phase (a periodic cron-style job), or seeded bursts (an
+//!   interactive user). A trace is a pure function of
+//!   `(seed, node, virtual time)`: the same seed reproduces bit-identical
+//!   load curves, so simulations stay replayable.
+//!
+//! The crate is dependency-free and purely arithmetic; `now-net` samples
+//! [`ClusterLoad::effective_speed`] on every virtual-clock charge, which
+//! is what turns the model into per-node time dilation. Sampling is
+//! point-in-time at the instant a charge begins (charges are the
+//! fine-grained per-operation meter marks of the runtime, so a charge
+//! spanning a load transition is sampled at its start).
+
+#![warn(missing_docs)]
+
+/// One node's time-varying background load: a multiplicative slowdown
+/// `≥ 1.0` as a pure function of `(seed, node, virtual time)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadTrace {
+    /// No background load (the paper's dedicated machine).
+    Flat,
+    /// A background job starts at `at_ns` and never stops: slowdown is
+    /// `1.0` before and `slowdown` after.
+    Step {
+        /// Virtual instant the load appears.
+        at_ns: u64,
+        /// Multiplicative slowdown while loaded (`≥ 1.0`).
+        slowdown: f64,
+    },
+    /// A periodic job: the first `busy_ns` of every `period_ns` window is
+    /// loaded. Deterministic and unseeded (a cron job is not random).
+    Phase {
+        /// Square-wave period.
+        period_ns: u64,
+        /// Loaded prefix of each period (clamped to the period).
+        busy_ns: u64,
+        /// Multiplicative slowdown while loaded (`≥ 1.0`).
+        slowdown: f64,
+    },
+    /// Seeded random bursts: every `period_ns` window contains one
+    /// `busy_ns` burst at a pseudo-random offset derived from
+    /// `(seed, node, window index)`. Same seed ⇒ identical burst
+    /// placement; different nodes get independent streams.
+    Burst {
+        /// Window length containing exactly one burst.
+        period_ns: u64,
+        /// Burst length (clamped to the period).
+        busy_ns: u64,
+        /// Multiplicative slowdown while loaded (`≥ 1.0`).
+        slowdown: f64,
+    },
+}
+
+impl LoadTrace {
+    /// The slowdown this trace imposes on `node` at virtual time `t_ns`
+    /// under `seed`. Always `≥ 1.0` for well-formed traces.
+    pub fn slowdown_at(&self, seed: u64, node: usize, t_ns: u64) -> f64 {
+        match *self {
+            LoadTrace::Flat => 1.0,
+            LoadTrace::Step { at_ns, slowdown } => {
+                if t_ns >= at_ns {
+                    slowdown
+                } else {
+                    1.0
+                }
+            }
+            LoadTrace::Phase {
+                period_ns,
+                busy_ns,
+                slowdown,
+            } => {
+                let period = period_ns.max(1);
+                if t_ns % period < busy_ns.min(period) {
+                    slowdown
+                } else {
+                    1.0
+                }
+            }
+            LoadTrace::Burst {
+                period_ns,
+                busy_ns,
+                slowdown,
+            } => {
+                let period = period_ns.max(1);
+                let busy = busy_ns.min(period);
+                let window = t_ns / period;
+                let slack = period - busy;
+                let offset = if slack == 0 {
+                    0
+                } else {
+                    splitmix64(seed ^ mix_node_window(node, window)) % (slack + 1)
+                };
+                let in_window = t_ns - window * period;
+                if in_window >= offset && in_window < offset + busy {
+                    slowdown
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Whether this trace ever imposes load.
+    pub fn is_flat(&self) -> bool {
+        match *self {
+            LoadTrace::Flat => true,
+            LoadTrace::Step { slowdown, .. }
+            | LoadTrace::Phase { slowdown, .. }
+            | LoadTrace::Burst { slowdown, .. } => slowdown <= 1.0,
+        }
+    }
+}
+
+/// Hash a `(node, window)` pair into the seed stream (two rounds of
+/// splitmix so adjacent windows decorrelate).
+fn mix_node_window(node: usize, window: u64) -> u64 {
+    splitmix64((node as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ window)
+}
+
+/// SplitMix64: the standard 64-bit finalizer-style PRNG step. Pure, so
+/// trace evaluation never carries state — determinism by construction.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The whole cluster's heterogeneity: per-node base speeds plus per-node
+/// load traces under one seed. The default ([`ClusterLoad::uniform`]) is
+/// the paper's platform — identical, unloaded machines — and is
+/// guaranteed to leave every virtual-time charge bit-identical to a
+/// simulation without the model.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterLoad {
+    /// Per-node relative speed (`1.0` = nominal, `0.5` = a 2×-slow
+    /// machine). Nodes beyond the vector's length are nominal; an empty
+    /// vector is a fully uniform cluster. All factors must be `> 0`.
+    pub speeds: Vec<f64>,
+    /// Per-node background-load traces. Nodes beyond the vector's length
+    /// are unloaded.
+    pub traces: Vec<LoadTrace>,
+    /// Seed for the stochastic traces ([`LoadTrace::Burst`]). The same
+    /// seed reproduces bit-identical load curves.
+    pub seed: u64,
+}
+
+impl ClusterLoad {
+    /// The paper's platform: identical, dedicated workstations.
+    pub fn uniform() -> Self {
+        ClusterLoad::default()
+    }
+
+    /// A cluster with the given per-node base speeds and no load traces.
+    pub fn with_speeds(speeds: Vec<f64>) -> Self {
+        ClusterLoad {
+            speeds,
+            ..ClusterLoad::default()
+        }
+    }
+
+    /// One node slowed by `factor` (e.g. `2.0` = a 2×-slow machine),
+    /// everyone else nominal.
+    pub fn one_slow_node(nodes: usize, slow: usize, factor: f64) -> Self {
+        assert!(
+            slow < nodes,
+            "slow node {slow} out of range (nodes {nodes})"
+        );
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        let mut speeds = vec![1.0; nodes];
+        speeds[slow] = 1.0 / factor;
+        ClusterLoad::with_speeds(speeds)
+    }
+
+    /// The same trace on every one of `nodes` nodes (burst offsets still
+    /// differ per node through the seed stream).
+    pub fn with_trace_all(nodes: usize, trace: LoadTrace, seed: u64) -> Self {
+        ClusterLoad {
+            speeds: Vec::new(),
+            traces: vec![trace; nodes],
+            seed,
+        }
+    }
+
+    /// Whether this model is the identity (no scaling anywhere): the
+    /// fast-path check that keeps uniform simulations bit-identical.
+    pub fn is_uniform(&self) -> bool {
+        self.speeds.iter().all(|&s| s == 1.0) && self.traces.iter().all(|t| t.is_flat())
+    }
+
+    /// `node`'s base speed factor.
+    pub fn base_speed(&self, node: usize) -> f64 {
+        self.speeds.get(node).copied().unwrap_or(1.0)
+    }
+
+    /// `node`'s effective speed at virtual time `t_ns`: base speed divided
+    /// by the current trace slowdown. A CPU charge of `ns` nominal
+    /// nanoseconds beginning at `t_ns` takes `ns / effective_speed`.
+    pub fn effective_speed(&self, node: usize, t_ns: u64) -> f64 {
+        let base = self.base_speed(node);
+        debug_assert!(base > 0.0, "node {node} has non-positive speed {base}");
+        match self.traces.get(node) {
+            None => base,
+            Some(tr) => base / tr.slowdown_at(self.seed, node, t_ns).max(1.0),
+        }
+    }
+
+    /// Validate the model: every speed positive and finite, every trace
+    /// slowdown `≥ 1.0` and finite. Returns a human-readable complaint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, &s) in self.speeds.iter().enumerate() {
+            if !(s.is_finite() && s > 0.0) {
+                return Err(format!("node {i} speed {s} must be a positive number"));
+            }
+        }
+        for (i, t) in self.traces.iter().enumerate() {
+            let f = match *t {
+                LoadTrace::Flat => continue,
+                LoadTrace::Step { slowdown, .. }
+                | LoadTrace::Phase { slowdown, .. }
+                | LoadTrace::Burst { slowdown, .. } => slowdown,
+            };
+            if !(f.is_finite() && f >= 1.0) {
+                return Err(format!("node {i} trace slowdown {f} must be ≥ 1.0"));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// CLI spec parsing (shared by omp_runner-style tools)
+// ----------------------------------------------------------------------
+
+/// Parse a `--speeds` list: comma-separated positive factors, one per
+/// node (`1.0,0.5,1.0,1.0`). Mirrors `Schedule::parse` error style:
+/// malformed input yields a clear one-line message.
+pub fn parse_speeds(s: &str) -> Result<Vec<f64>, String> {
+    if s.trim().is_empty() {
+        return Err("empty --speeds list (expected comma-separated factors, e.g. 1.0,0.5)".into());
+    }
+    s.split(',')
+        .map(|tok| {
+            let tok = tok.trim();
+            let v: f64 = tok.parse().map_err(|_| {
+                format!("invalid speed factor `{tok}` in `{s}` (expected a positive number)")
+            })?;
+            if !(v.is_finite() && v > 0.0) {
+                return Err(format!(
+                    "speed factor `{tok}` in `{s}` must be a positive number"
+                ));
+            }
+            Ok(v)
+        })
+        .collect()
+}
+
+/// A parsed `--load` trace spec: what to apply, to whom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadSpec {
+    /// `none` — no background load.
+    None,
+    /// `step:<node>@<ms>x<factor>` — one node slows from an instant on.
+    Step {
+        /// Target node.
+        node: usize,
+        /// Onset in virtual nanoseconds.
+        at_ns: u64,
+        /// Slowdown factor.
+        slowdown: f64,
+    },
+    /// `phase:<period_ms>/<busy_ms>x<factor>` or
+    /// `burst:<period_ms>/<busy_ms>x<factor>` — every node.
+    All(LoadTrace),
+}
+
+/// Parse `<ms>` (fractional milliseconds) into nanoseconds.
+fn parse_ms(tok: &str, spec: &str) -> Result<u64, String> {
+    let v: f64 = tok
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid milliseconds `{tok}` in load spec `{spec}`"))?;
+    if !(v.is_finite() && v >= 0.0) {
+        return Err(format!(
+            "milliseconds `{tok}` in load spec `{spec}` must be non-negative"
+        ));
+    }
+    Ok((v * 1e6) as u64)
+}
+
+fn parse_factor(tok: &str, spec: &str) -> Result<f64, String> {
+    let v: f64 = tok
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid slowdown factor `{tok}` in load spec `{spec}`"))?;
+    if !(v.is_finite() && v >= 1.0) {
+        return Err(format!(
+            "slowdown factor `{tok}` in load spec `{spec}` must be ≥ 1"
+        ));
+    }
+    Ok(v)
+}
+
+impl LoadSpec {
+    /// Parse a `--load` trace spec. Grammar (times in fractional
+    /// milliseconds of virtual time):
+    ///
+    /// ```text
+    /// none
+    /// step:<node>@<ms>x<factor>        step:1@5x2       (node 1, 2x slow from 5 ms)
+    /// phase:<period>/<busy>x<factor>   phase:20/5x3     (3x slow 5 of every 20 ms)
+    /// burst:<period>/<busy>x<factor>   burst:40/10x3    (seeded burst placement)
+    /// ```
+    pub fn parse(spec: &str) -> Result<LoadSpec, String> {
+        let spec = spec.trim();
+        if spec.eq_ignore_ascii_case("none") || spec.eq_ignore_ascii_case("flat") {
+            return Ok(LoadSpec::None);
+        }
+        let (kind, rest) = spec.split_once(':').ok_or_else(|| {
+            format!(
+                "invalid load spec `{spec}` (expected none | step:<node>@<ms>x<factor> | \
+                 phase:<period>/<busy>x<factor> | burst:<period>/<busy>x<factor>)"
+            )
+        })?;
+        let (body, factor) = rest
+            .rsplit_once(['x', 'X'])
+            .ok_or_else(|| format!("load spec `{spec}` is missing the `x<factor>` suffix"))?;
+        let slowdown = parse_factor(factor, spec)?;
+        match kind.trim().to_ascii_lowercase().as_str() {
+            "step" => {
+                let (node, at) = body.split_once('@').ok_or_else(|| {
+                    format!("step load spec `{spec}` must be step:<node>@<ms>x<factor>")
+                })?;
+                let node: usize = node
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("invalid node `{}` in load spec `{spec}`", node.trim()))?;
+                Ok(LoadSpec::Step {
+                    node,
+                    at_ns: parse_ms(at, spec)?,
+                    slowdown,
+                })
+            }
+            k @ ("phase" | "burst") => {
+                let (period, busy) = body.split_once('/').ok_or_else(|| {
+                    format!("{k} load spec `{spec}` must be {k}:<period_ms>/<busy_ms>x<factor>")
+                })?;
+                let period_ns = parse_ms(period, spec)?;
+                let busy_ns = parse_ms(busy, spec)?;
+                if period_ns == 0 {
+                    return Err(format!("load spec `{spec}` has a zero period"));
+                }
+                if busy_ns > period_ns {
+                    return Err(format!(
+                        "load spec `{spec}`: busy window exceeds the period"
+                    ));
+                }
+                let trace = if k == "phase" {
+                    LoadTrace::Phase {
+                        period_ns,
+                        busy_ns,
+                        slowdown,
+                    }
+                } else {
+                    LoadTrace::Burst {
+                        period_ns,
+                        busy_ns,
+                        slowdown,
+                    }
+                };
+                Ok(LoadSpec::All(trace))
+            }
+            other => Err(format!(
+                "unknown load kind `{other}` in `{spec}` (expected none|step|phase|burst)"
+            )),
+        }
+    }
+
+    /// Expand the spec into per-node traces for a cluster of `nodes`
+    /// workstations. Errors when a `step` targets a node out of range.
+    pub fn into_traces(self, nodes: usize) -> Result<Vec<LoadTrace>, String> {
+        match self {
+            LoadSpec::None => Ok(Vec::new()),
+            LoadSpec::Step {
+                node,
+                at_ns,
+                slowdown,
+            } => {
+                if node >= nodes {
+                    return Err(format!(
+                        "load spec targets node {node}, but the cluster has {nodes} nodes"
+                    ));
+                }
+                let mut traces = vec![LoadTrace::Flat; nodes];
+                traces[node] = LoadTrace::Step { at_ns, slowdown };
+                Ok(traces)
+            }
+            LoadSpec::All(trace) => Ok(vec![trace; nodes]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_identity() {
+        let u = ClusterLoad::uniform();
+        assert!(u.is_uniform());
+        assert_eq!(u.effective_speed(0, 0), 1.0);
+        assert_eq!(u.effective_speed(7, 123_456_789), 1.0);
+        // Explicit 1.0 factors and flat traces are still uniform.
+        let e = ClusterLoad {
+            speeds: vec![1.0, 1.0],
+            traces: vec![LoadTrace::Flat; 2],
+            seed: 9,
+        };
+        assert!(e.is_uniform());
+    }
+
+    #[test]
+    fn base_speeds_scale_nodes_independently() {
+        let l = ClusterLoad::with_speeds(vec![1.0, 0.5]);
+        assert!(!l.is_uniform());
+        assert_eq!(l.effective_speed(0, 0), 1.0);
+        assert_eq!(l.effective_speed(1, 0), 0.5);
+        assert_eq!(l.effective_speed(2, 0), 1.0, "nodes beyond vec are nominal");
+        let s = ClusterLoad::one_slow_node(4, 2, 2.0);
+        assert_eq!(s.effective_speed(2, 5), 0.5);
+        assert_eq!(s.effective_speed(0, 5), 1.0);
+    }
+
+    #[test]
+    fn step_trace_switches_at_onset() {
+        let t = LoadTrace::Step {
+            at_ns: 1_000,
+            slowdown: 2.0,
+        };
+        assert_eq!(t.slowdown_at(0, 0, 999), 1.0);
+        assert_eq!(t.slowdown_at(0, 0, 1_000), 2.0);
+        assert_eq!(t.slowdown_at(0, 0, u64::MAX), 2.0);
+    }
+
+    #[test]
+    fn phase_trace_is_periodic() {
+        let t = LoadTrace::Phase {
+            period_ns: 100,
+            busy_ns: 30,
+            slowdown: 3.0,
+        };
+        for k in 0..5u64 {
+            assert_eq!(t.slowdown_at(1, 0, k * 100), 3.0);
+            assert_eq!(t.slowdown_at(1, 0, k * 100 + 29), 3.0);
+            assert_eq!(t.slowdown_at(1, 0, k * 100 + 30), 1.0);
+            assert_eq!(t.slowdown_at(1, 0, k * 100 + 99), 1.0);
+        }
+    }
+
+    #[test]
+    fn burst_trace_is_seed_deterministic_and_covers_busy_ns() {
+        let t = LoadTrace::Burst {
+            period_ns: 1_000,
+            busy_ns: 250,
+            slowdown: 2.0,
+        };
+        // Same seed ⇒ identical curve; different seed ⇒ different curve.
+        let curve = |seed: u64, node: usize| -> Vec<f64> {
+            (0..5_000)
+                .map(|t_ns| t.slowdown_at(seed, node, t_ns))
+                .collect()
+        };
+        assert_eq!(curve(42, 1), curve(42, 1));
+        assert_ne!(curve(42, 1), curve(43, 1), "seed must matter");
+        assert_ne!(curve(42, 1), curve(42, 2), "node streams must differ");
+        // Every window is loaded for exactly busy_ns instants.
+        for w in 0..5u64 {
+            let loaded = (w * 1_000..(w + 1) * 1_000)
+                .filter(|&t_ns| t.slowdown_at(42, 1, t_ns) > 1.0)
+                .count();
+            assert_eq!(loaded, 250, "window {w}");
+        }
+    }
+
+    #[test]
+    fn burst_with_zero_slack_fills_the_period() {
+        let t = LoadTrace::Burst {
+            period_ns: 100,
+            busy_ns: 100,
+            slowdown: 2.0,
+        };
+        assert!((0..300).all(|t_ns| t.slowdown_at(7, 0, t_ns) == 2.0));
+    }
+
+    #[test]
+    fn effective_speed_combines_base_and_trace() {
+        let l = ClusterLoad {
+            speeds: vec![0.5],
+            traces: vec![LoadTrace::Step {
+                at_ns: 10,
+                slowdown: 2.0,
+            }],
+            seed: 0,
+        };
+        assert_eq!(l.effective_speed(0, 0), 0.5);
+        assert_eq!(l.effective_speed(0, 10), 0.25);
+    }
+
+    #[test]
+    fn validate_rejects_bad_models() {
+        assert!(ClusterLoad::with_speeds(vec![1.0, 0.0]).validate().is_err());
+        assert!(ClusterLoad::with_speeds(vec![f64::NAN]).validate().is_err());
+        let bad_trace = ClusterLoad {
+            traces: vec![LoadTrace::Step {
+                at_ns: 0,
+                slowdown: 0.5,
+            }],
+            ..ClusterLoad::default()
+        };
+        assert!(bad_trace.validate().is_err());
+        assert!(ClusterLoad::one_slow_node(4, 3, 2.0).validate().is_ok());
+    }
+
+    #[test]
+    fn parse_speeds_accepts_lists_and_rejects_garbage() {
+        assert_eq!(parse_speeds("1.0,0.5").unwrap(), vec![1.0, 0.5]);
+        assert_eq!(parse_speeds(" 2 , 1 ").unwrap(), vec![2.0, 1.0]);
+        for bad in ["", "1.0,,2", "1.0,zero", "-1", "0", "1.0,inf"] {
+            let e = parse_speeds(bad).unwrap_err();
+            assert!(!e.is_empty(), "{bad:?} must produce a message");
+        }
+    }
+
+    #[test]
+    fn parse_load_specs() {
+        assert_eq!(LoadSpec::parse("none").unwrap(), LoadSpec::None);
+        assert_eq!(
+            LoadSpec::parse("step:1@5x2").unwrap(),
+            LoadSpec::Step {
+                node: 1,
+                at_ns: 5_000_000,
+                slowdown: 2.0
+            }
+        );
+        assert_eq!(
+            LoadSpec::parse("phase:20/5x3").unwrap(),
+            LoadSpec::All(LoadTrace::Phase {
+                period_ns: 20_000_000,
+                busy_ns: 5_000_000,
+                slowdown: 3.0
+            })
+        );
+        assert_eq!(
+            LoadSpec::parse("burst:40/10x1.5").unwrap(),
+            LoadSpec::All(LoadTrace::Burst {
+                period_ns: 40_000_000,
+                busy_ns: 10_000_000,
+                slowdown: 1.5
+            })
+        );
+        for bad in [
+            "",
+            "step",
+            "step:1x2",
+            "step:x@5x2",
+            "phase:0/0x2",
+            "phase:5/9x2",
+            "burst:10/5x0.5",
+            "tsunami:1/1x2",
+            "step:1@5",
+        ] {
+            let e = LoadSpec::parse(bad).unwrap_err();
+            assert!(!e.is_empty(), "{bad:?} must produce a message");
+        }
+    }
+
+    #[test]
+    fn load_spec_expands_to_traces() {
+        let t = LoadSpec::parse("step:2@1x2")
+            .unwrap()
+            .into_traces(4)
+            .unwrap();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], LoadTrace::Flat);
+        assert!(matches!(t[2], LoadTrace::Step { .. }));
+        assert!(LoadSpec::parse("step:5@1x2")
+            .unwrap()
+            .into_traces(4)
+            .is_err());
+        assert!(LoadSpec::parse("none")
+            .unwrap()
+            .into_traces(3)
+            .unwrap()
+            .is_empty());
+        let all = LoadSpec::parse("burst:10/2x2")
+            .unwrap()
+            .into_traces(3)
+            .unwrap();
+        assert_eq!(all.len(), 3);
+    }
+}

@@ -20,6 +20,17 @@
 //! Higher layers — the `tmk` software DSM and the `nowmpi` message-passing
 //! library — run their full protocols over this substrate.
 //!
+//! **Heterogeneous & loaded NOWs.** [`NetworkConfig::load`] attaches a
+//! [`hetero::ClusterLoad`] — per-node speed factors plus deterministic,
+//! seeded, time-varying background-load traces — and every CPU charge on
+//! a node (application compute, protocol handling, modeled protocol
+//! costs) is divided by the node's current effective speed. Metered
+//! application compute additionally dilates *host* execution pace
+//! ([`ComputeMeter::charge`]), so time-shared races (dynamic chunk
+//! claims, work stealing) unfold as on a real non-uniform cluster.
+//! [`NetworkConfig::link_latency`] optionally makes individual links
+//! slower. The same seed reproduces bit-identical load curves.
+//!
 //! ```
 //! use now_net::{Network, NetworkConfig, Wire};
 //!
@@ -45,8 +56,9 @@ mod stats;
 mod time;
 
 pub use config::NetworkConfig;
+pub use hetero::{ClusterLoad, LoadSpec, LoadTrace};
 pub use message::{Delivered, Envelope, Wire};
 pub use network::{Endpoint, Network};
 pub use pod::Pod;
 pub use stats::{NetStats, StatsSnapshot};
-pub use time::{thread_cpu_ns, ComputeMeter, MeterPause, ThreadLane, VirtualClock};
+pub use time::{thread_cpu_ns, ComputeMeter, MeterPause, NodeSpeed, ThreadLane, VirtualClock};

@@ -11,7 +11,7 @@
 use crate::config::NetworkConfig;
 use crate::message::{Delivered, Envelope, Wire};
 use crate::stats::{NetStats, StatsSnapshot};
-use crate::time::VirtualClock;
+use crate::time::{NodeSpeed, VirtualClock};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -41,7 +41,10 @@ impl Network {
             .map(|(id, receiver)| Endpoint {
                 id,
                 cfg: cfg.clone(),
-                clock: VirtualClock::new(),
+                // Each node's clock carries its view of the heterogeneity
+                // model: every CPU charge on this node dilates by its
+                // current effective speed.
+                clock: VirtualClock::with_speed(NodeSpeed::of(id, &cfg.load)),
                 senders: senders.clone(),
                 receiver,
                 stats: stats.clone(),
@@ -168,7 +171,7 @@ impl<M: Wire> Endpoint<M> {
         let arrival_vt = if env.src == self.id {
             env.send_vt
         } else {
-            env.send_vt + self.cfg.fly_time_ns(env.wire_bytes)
+            env.send_vt + self.cfg.fly_time_link_ns(env.src, self.id, env.wire_bytes)
         };
         Delivered {
             src: env.src,

@@ -23,9 +23,83 @@
 //! Application compute advances `vt` by *measured thread CPU time* scaled
 //! by [`crate::NetworkConfig::compute_scale`]. Clocks on different nodes
 //! are related only through message timestamps.
+//!
+//! **Heterogeneity.** Every clock carries a [`NodeSpeed`] — the node's
+//! view of the cluster's [`hetero::ClusterLoad`]. CPU charges (application
+//! compute, protocol handling, modeled protocol costs — every `advance`)
+//! are divided by the node's current effective speed, so a 2×-slow or
+//! loaded workstation genuinely takes longer in virtual time. Waits
+//! (`raise_to`) are unaffected: being slow does not delay message
+//! arrival. A uniform model takes the exact `ns` fast path, keeping
+//! homogeneous simulations bit-identical to the pre-heterogeneity ones.
 
+use hetero::ClusterLoad;
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// One node's handle onto the cluster's heterogeneity model: answers
+/// "how fast is this node right now" and stretches CPU charges
+/// accordingly. `Default` (and [`NodeSpeed::uniform`]) is the identity.
+#[derive(Debug, Clone, Default)]
+pub struct NodeSpeed(Option<Arc<SpeedInner>>);
+
+#[derive(Debug)]
+struct SpeedInner {
+    node: usize,
+    load: ClusterLoad,
+}
+
+impl NodeSpeed {
+    /// The nominal, unloaded workstation (identity scaling).
+    pub fn uniform() -> Self {
+        NodeSpeed(None)
+    }
+
+    /// `node`'s view of `load`. Collapses to the identity when the model
+    /// is uniform, so the hot charge path stays a plain addition.
+    pub fn of(node: usize, load: &ClusterLoad) -> Self {
+        if load.is_uniform() {
+            NodeSpeed(None)
+        } else {
+            NodeSpeed(Some(Arc::new(SpeedInner {
+                node,
+                load: load.clone(),
+            })))
+        }
+    }
+
+    /// The node's effective speed at virtual time `t_ns` (1.0 nominal).
+    #[inline]
+    pub fn speed_at(&self, t_ns: u64) -> f64 {
+        match &self.0 {
+            None => 1.0,
+            Some(i) => i.load.effective_speed(i.node, t_ns),
+        }
+    }
+
+    /// Stretch a CPU charge of `ns` nominal nanoseconds beginning at
+    /// virtual time `t_ns` through the node's current effective speed.
+    #[inline]
+    pub fn stretch(&self, ns: u64, t_ns: u64) -> u64 {
+        match &self.0 {
+            None => ns,
+            Some(i) => {
+                let s = i.load.effective_speed(i.node, t_ns);
+                if s == 1.0 {
+                    ns
+                } else {
+                    (ns as f64 / s).round() as u64
+                }
+            }
+        }
+    }
+
+    /// Whether this handle scales anything.
+    #[inline]
+    pub fn is_uniform(&self) -> bool {
+        self.0.is_none()
+    }
+}
 
 #[derive(Debug, Default, Clone, Copy)]
 struct Clocks {
@@ -36,39 +110,58 @@ struct Clocks {
 /// A monotonically non-decreasing per-node virtual clock (nanoseconds),
 /// with separate application (`vt`) and CPU (`cpu`) timelines.
 #[derive(Debug, Default)]
-pub struct VirtualClock(Mutex<Clocks>);
+pub struct VirtualClock {
+    c: Mutex<Clocks>,
+    speed: NodeSpeed,
+}
 
 impl VirtualClock {
-    /// A fresh clock at t = 0.
+    /// A fresh clock at t = 0 on a nominal workstation.
     pub fn new() -> Arc<Self> {
         Arc::new(VirtualClock::default())
+    }
+
+    /// A fresh clock at t = 0 on a workstation with the given speed model.
+    pub fn with_speed(speed: NodeSpeed) -> Arc<Self> {
+        Arc::new(VirtualClock {
+            c: Mutex::new(Clocks::default()),
+            speed,
+        })
+    }
+
+    /// This node's speed model.
+    #[inline]
+    pub fn speed(&self) -> &NodeSpeed {
+        &self.speed
     }
 
     /// Current application virtual time in ns.
     #[inline]
     pub fn now(&self) -> u64 {
-        self.0.lock().vt
+        self.c.lock().vt
     }
 
     /// Latest instant the node's CPU is reserved.
     #[inline]
     pub fn cpu_now(&self) -> u64 {
-        self.0.lock().cpu
+        self.c.lock().cpu
     }
 
-    /// Application-context CPU work of `ns`. Returns the new `vt`.
+    /// Application-context CPU work of `ns` nominal nanoseconds (stretched
+    /// by the node's current effective speed). Returns the new `vt`.
     #[inline]
     pub fn advance(&self, ns: u64) -> u64 {
-        let mut c = self.0.lock();
-        c.vt += ns;
+        let mut c = self.c.lock();
+        c.vt += self.speed.stretch(ns, c.vt);
         c.vt
     }
 
     /// Raise the application frontier to at least `ns` (message arrival /
-    /// wakeup after blocking — consumes no CPU). Returns the new `vt`.
+    /// wakeup after blocking — consumes no CPU, so the load model does
+    /// not apply). Returns the new `vt`.
     #[inline]
     pub fn raise_to(&self, ns: u64) -> u64 {
-        let mut c = self.0.lock();
+        let mut c = self.c.lock();
         c.vt = c.vt.max(ns);
         c.vt
     }
@@ -88,23 +181,25 @@ impl VirtualClock {
     /// service work.
     #[inline]
     pub fn service_enter(&self, arrival: u64) {
-        let mut c = self.0.lock();
+        let mut c = self.c.lock();
         c.cpu = arrival.max(c.cpu.min(arrival + Self::SERVICE_BACKLOG_CAP_NS));
     }
 
     /// Service-context CPU work (request handling, diff creation, reply
-    /// send overhead). Returns the new `cpu` time, which is the timestamp
-    /// basis for replies.
+    /// send overhead), stretched by the node's current effective speed.
+    /// Returns the new `cpu` time, which is the timestamp basis for
+    /// replies.
     #[inline]
     pub fn service_advance(&self, ns: u64) -> u64 {
-        let mut c = self.0.lock();
-        c.cpu += ns;
+        let mut c = self.c.lock();
+        c.cpu += self.speed.stretch(ns, c.cpu);
         c.cpu
     }
 
-    /// Reset both timelines to zero (between benchmark repetitions).
+    /// Reset both timelines to zero (between benchmark repetitions). The
+    /// speed model is kept — load traces replay from t = 0.
     pub fn reset(&self) {
-        *self.0.lock() = Clocks::default();
+        *self.c.lock() = Clocks::default();
     }
 }
 
@@ -146,10 +241,19 @@ impl ThreadLane {
         self.vt
     }
 
-    /// Thread-local compute of `ns`. Returns the new frontier.
+    /// The node's speed model (lanes dilate like their node: background
+    /// load slows every local thread of the workstation).
+    #[inline]
+    pub fn speed(&self) -> &NodeSpeed {
+        self.node.speed()
+    }
+
+    /// Thread-local compute of `ns` nominal nanoseconds (stretched by the
+    /// node's current effective speed at this lane's frontier). Returns
+    /// the new frontier.
     #[inline]
     pub fn advance(&mut self, ns: u64) -> u64 {
-        self.vt += ns;
+        self.vt += self.node.speed().stretch(ns, self.vt);
         self.vt
     }
 
@@ -222,24 +326,39 @@ impl ComputeMeter {
         self.scale
     }
 
-    /// Compute the virtual ns burned since the last mark and stop
-    /// metering (0 if not running). Shared by every charge target so the
-    /// scaling/rounding rule cannot diverge between node and lane time.
-    fn take_virt_ns(&mut self) -> u64 {
+    /// Host CPU ns burned since the last mark; stops metering (0 if not
+    /// running). Shared by every charge target so the measurement rule
+    /// cannot diverge between node and lane time.
+    fn take_host_ns(&mut self) -> u64 {
         if !self.running {
             return 0;
         }
         self.running = false;
-        let burned = thread_cpu_ns().saturating_sub(self.mark);
-        (burned as f64 * self.scale) as u64
+        thread_cpu_ns().saturating_sub(self.mark)
     }
+
+    /// Bound on the host CPU burned per charge by heterogeneity dilation
+    /// (pathological slowdown factors must not hang the simulation).
+    const DILATION_BURN_CAP_NS: u64 = 250_000_000;
 
     /// Charge CPU burned since the last mark to `clock` and stop metering.
     /// Returns the charged virtual nanoseconds.
+    ///
+    /// On a slowed/loaded node ([`NodeSpeed`]) the virtual charge is
+    /// stretched by the clock, and the *host* thread additionally burns
+    /// the matching extra CPU time (`burned × (1/speed − 1)`). The burn
+    /// is what makes host-time execution pace mirror virtual-time
+    /// heterogeneity, so time-shared races — dynamic chunk claims, work
+    /// stealing, affinity rebalancing — unfold as they would on a real
+    /// non-uniform cluster: a 2×-slow node claims chunks at half the
+    /// rate instead of racing ahead at full host speed.
     pub fn charge(&mut self, clock: &VirtualClock) -> u64 {
-        let virt = self.take_virt_ns();
+        let burned = self.take_host_ns();
+        let virt = (burned as f64 * self.scale) as u64;
         if virt > 0 {
+            let speed = clock.speed().speed_at(clock.now());
             clock.advance(virt);
+            Self::dilate_host(burned, speed);
         }
         virt
     }
@@ -247,13 +366,31 @@ impl ComputeMeter {
     /// Charge CPU burned since the last mark to a [`ThreadLane`] and stop
     /// metering (SMP-cluster mode: each of a node's application threads
     /// owns a meter feeding its lane on the shared node clock). Returns
-    /// the charged virtual nanoseconds.
+    /// the charged virtual nanoseconds. Applies the same host-time
+    /// dilation as [`ComputeMeter::charge`].
     pub fn charge_lane(&mut self, lane: &mut ThreadLane) -> u64 {
-        let virt = self.take_virt_ns();
+        let burned = self.take_host_ns();
+        let virt = (burned as f64 * self.scale) as u64;
         if virt > 0 {
+            let speed = lane.speed().speed_at(lane.now());
             lane.advance(virt);
+            Self::dilate_host(burned, speed);
         }
         virt
+    }
+
+    /// Burn `burned × (1/speed − 1)` host CPU nanoseconds (no-op at
+    /// nominal speed), capped so extreme factors stay bounded.
+    fn dilate_host(burned: u64, speed: f64) {
+        if speed >= 1.0 || burned == 0 {
+            return;
+        }
+        let extra = ((burned as f64) * (1.0 / speed - 1.0)) as u64;
+        let extra = extra.min(Self::DILATION_BURN_CAP_NS);
+        let until = thread_cpu_ns() + extra;
+        while thread_cpu_ns() < until {
+            std::hint::spin_loop();
+        }
     }
 
     /// Resume metering from the current CPU time.
@@ -442,5 +579,78 @@ mod tests {
         c.reset();
         assert_eq!(c.now(), 0);
         assert_eq!(c.cpu_now(), 0);
+    }
+
+    #[test]
+    fn uniform_speed_is_the_exact_identity() {
+        let s = NodeSpeed::of(3, &ClusterLoad::uniform());
+        assert!(s.is_uniform());
+        for ns in [0u64, 1, 999, 123_456_789] {
+            assert_eq!(s.stretch(ns, 42), ns);
+        }
+        // Explicit 1.0 factors also collapse to the fast path.
+        let s = NodeSpeed::of(0, &ClusterLoad::with_speeds(vec![1.0, 1.0]));
+        assert!(s.is_uniform());
+    }
+
+    #[test]
+    fn slow_node_stretches_all_charge_paths() {
+        let load = ClusterLoad::with_speeds(vec![1.0, 0.5]);
+        let slow = VirtualClock::with_speed(NodeSpeed::of(1, &load));
+        let fast = VirtualClock::with_speed(NodeSpeed::of(0, &load));
+        // Application timeline.
+        assert_eq!(slow.advance(1_000), 2_000);
+        assert_eq!(fast.advance(1_000), 1_000);
+        // Service timeline.
+        slow.service_enter(0);
+        assert_eq!(slow.service_advance(1_000), 2_000);
+        // Waits are not CPU: raise_to is unscaled.
+        assert_eq!(slow.raise_to(10_000), 10_000);
+        // Lanes dilate like their node.
+        let mut lane = ThreadLane::register(&slow);
+        let before = lane.now();
+        lane.advance(1_000);
+        assert_eq!(lane.now(), before + 2_000);
+    }
+
+    #[test]
+    fn time_varying_trace_changes_speed_over_virtual_time() {
+        let load = ClusterLoad {
+            speeds: Vec::new(),
+            traces: vec![hetero::LoadTrace::Step {
+                at_ns: 1_000,
+                slowdown: 4.0,
+            }],
+            seed: 7,
+        };
+        let c = VirtualClock::with_speed(NodeSpeed::of(0, &load));
+        assert_eq!(c.advance(500), 500, "before onset: nominal");
+        c.raise_to(1_000);
+        assert_eq!(c.advance(500), 3_000, "after onset: 4x slower");
+    }
+
+    #[test]
+    fn meter_dilates_host_time_on_slow_nodes() {
+        // A slowed node's metered charge must burn matching extra host
+        // CPU, so host-time races mirror virtual-time heterogeneity.
+        let load = ClusterLoad::with_speeds(vec![0.25]);
+        let clock = VirtualClock::with_speed(NodeSpeed::of(0, &load));
+        let mut meter = ComputeMeter::new(1.0);
+        let mut x = 0u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_add(i ^ (i << 5));
+        }
+        std::hint::black_box(x);
+        let h0 = thread_cpu_ns();
+        let virt = meter.charge(&clock);
+        let burn = thread_cpu_ns() - h0;
+        assert!(virt > 0);
+        assert_eq!(clock.now(), virt * 4, "virtual charge stretched 4x");
+        // The burn is ~3x the metered work; require at least 1x to stay
+        // robust against scheduler noise.
+        assert!(
+            burn > virt,
+            "slow node must burn extra host time (virt {virt}, burn {burn})"
+        );
     }
 }

@@ -224,5 +224,7 @@ pub(crate) enum SchedKind {
     Static,
     Dynamic,
     Guided,
+    Adaptive,
+    Affinity,
     Runtime,
 }

@@ -23,8 +23,8 @@
 use crate::ast::{BinOp, SchedKind, UnOp};
 use crate::ir::*;
 use nomp::{
-    Env, LoopCursor, LoopPlan, OmpThread, Reduce, Schedule, SharedScalar, SharedVec, TaskArgs,
-    TaskScope, TaskScopeConfig, Tmk,
+    Env, LoopCursor, LoopPlan, LoopShared, OmpThread, Reduce, Schedule, SharedScalar, SharedVec,
+    TaskArgs, TaskScope, TaskScopeConfig, Tmk,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -37,8 +37,9 @@ pub(crate) enum GSlot {
 }
 
 /// Resolved work-shared loop site: schedule plus the master-allocated
-/// shared chunk counter (dynamic policies only).
-type LoopRt = (Schedule, Option<(SharedScalar<u64>, u32)>);
+/// shared loop state (chunk counter, adaptive rate table, or affinity
+/// partitions — non-static policies only).
+type LoopRt = (Schedule, Option<LoopShared>);
 
 /// The execution context a statement runs in.
 pub(crate) enum Exec<'a, 'b, 't> {
@@ -246,8 +247,8 @@ fn fork_region(cx: &mut Icx, ex: &mut Exec, frame: &mut [f64], rid: usize) {
         .iter()
         .map(|ls| {
             let sched = env.resolve_schedule(to_schedule(*ls, default_chunk));
-            let counter = env.alloc_loop_counter(sched);
-            (sched, counter)
+            let shared = env.alloc_loop_shared(sched);
+            (sched, shared)
         })
         .collect();
     let snapshot: Vec<f64> = frame.to_vec();
@@ -468,7 +469,11 @@ fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Fl
 }
 
 fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
-    let (sched, counter) = cx.loops[w.loop_idx as usize];
+    // Copy the slice reference out of `cx` so the loop-site borrow does
+    // not pin `cx` across the bound evaluations below.
+    let loops = cx.loops;
+    let (sched, shared) = &loops[w.loop_idx as usize];
+    let (sched, shared) = (*sched, shared.as_ref());
     let lo = eval(cx, ex, frame, &w.lo).trunc();
     let hi = eval(cx, ex, frame, &w.hi).trunc();
     if !(lo >= 0.0 && hi <= 1e15 && hi.is_finite()) {
@@ -476,7 +481,7 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
     }
     let lo = lo as usize;
     let hi = (hi.max(0.0) as usize).max(lo);
-    let plan = LoopPlan::new(sched, lo..hi, counter);
+    let plan = LoopPlan::new(sched, lo..hi, shared.cloned());
     for red in &w.reds {
         frame[red.slot as usize] = f64::identity(red.op);
     }
@@ -496,12 +501,14 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
         ex.th().barrier();
     }
     if w.reset_after {
-        if let Some((c, _)) = counter {
-            // The region may run this loop again: zero the shared chunk
-            // counter behind the implied barrier, and fence the reset so
-            // no thread can re-enter early.
+        if let Some(sh) = shared {
+            // The region may run this loop again: reset the shared loop
+            // state behind the implied barrier, and fence the reset so
+            // no thread can re-enter early. (Adaptive rate history and
+            // affinity partition identity survive the reset — that is
+            // the cross-execution history those policies exploit.)
             if ex.thread_id() == 0 {
-                c.set(ex.tmk(), 0);
+                sh.reset(ex.tmk());
             }
             ex.th().barrier();
         }
@@ -678,6 +685,8 @@ fn to_schedule(ls: LSched, default_dynamic: usize) -> Schedule {
             ls.chunk
         }),
         SchedKind::Guided => Schedule::Guided(ls.chunk.max(1)),
+        SchedKind::Adaptive => Schedule::Adaptive(ls.chunk.max(1)),
+        SchedKind::Affinity => Schedule::Affinity,
         SchedKind::Runtime => Schedule::Runtime,
     }
 }

@@ -578,13 +578,16 @@ impl Parser {
                         "static" => SchedKind::Static,
                         "dynamic" => SchedKind::Dynamic,
                         "guided" => SchedKind::Guided,
+                        "adaptive" => SchedKind::Adaptive,
+                        "affinity" => SchedKind::Affinity,
                         "runtime" => SchedKind::Runtime,
                         other => {
                             return Err(Diag::new(
                                 kspan,
                                 format!(
                                     "unknown schedule kind `{other}` \
-                                     (static, dynamic, guided or runtime)"
+                                     (static, dynamic, guided, adaptive, \
+                                     affinity or runtime)"
                                 ),
                             ));
                         }
@@ -611,6 +614,9 @@ impl Parser {
                     };
                     if kind == SchedKind::Runtime && chunk.is_some() {
                         return Err(Diag::new(span, "schedule(runtime) takes no chunk size"));
+                    }
+                    if kind == SchedKind::Affinity && chunk.is_some() {
+                        return Err(Diag::new(span, "schedule(affinity) takes no chunk size"));
                     }
                     self.expect(&Tok::RParen, "`)`")?;
                     Clause::Schedule { kind, chunk, span }

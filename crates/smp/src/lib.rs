@@ -116,6 +116,11 @@ pub struct ChunkBuf {
     pub hi: usize,
     /// Per-local-thread take size for the current node chunk.
     pub take: usize,
+    /// Adaptive scheduling: virtual instant of the node's previous
+    /// DSM-level claim (the refill turns it into an observed rate).
+    pub claim_vt: u64,
+    /// Adaptive scheduling: length of the node's previous claim.
+    pub claim_len: u64,
 }
 
 type Cell = (usize, Option<Box<dyn Any + Send>>);

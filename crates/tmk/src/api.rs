@@ -840,4 +840,17 @@ impl Tmk {
     pub fn bump_stats(&mut self, f: impl FnOnce(&mut crate::TmkStats)) {
         f(&mut self.state.lock().stats);
     }
+
+    /// `node`'s current effective speed under the configured
+    /// heterogeneity model ([`now_net::ClusterLoad`]), sampled at this
+    /// thread's virtual time. 1.0 on uniform clusters. Bookkeeping only
+    /// (load-aware scheduling heuristics); runs off the meter and costs
+    /// no messages — published load information, like published backlog.
+    pub fn node_speed(&mut self, node: usize) -> f64 {
+        let t = match &self.lane {
+            Some(l) => l.now(),
+            None => self.clock.now(),
+        };
+        self.state.lock().cfg.net.load.effective_speed(node, t)
+    }
 }

@@ -55,6 +55,9 @@ pub struct TmkStats {
     pub steal_attempts: u64,
     /// Tasks executed inline because the local deque was full.
     pub task_overflows: u64,
+    /// Affinity-scheduled loop chunks taken from another node's home
+    /// partition (remote rebalancing after the taker ran dry).
+    pub loop_steals: u64,
 }
 
 impl TmkStats {
@@ -86,6 +89,7 @@ impl TmkStats {
         self.tasks_stolen += other.tasks_stolen;
         self.steal_attempts += other.steal_attempts;
         self.task_overflows += other.task_overflows;
+        self.loop_steals += other.loop_steals;
     }
 }
 

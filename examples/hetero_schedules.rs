@@ -1,0 +1,42 @@
+//! Heterogeneous-NOW schedule sweep: run {static, dynamic, guided,
+//! adaptive, affinity} × {uniform, one-2×-slow-node, bursty} on
+//! pi/dotprod/jacobi, print the tables, assert the invariants (adaptive
+//! and affinity must beat static on virtual wall time with a 2×-slow
+//! node while paying strictly fewer DSM messages than dynamic), and emit
+//! the machine-readable `BENCH_hetero.json`.
+//!
+//! ```text
+//! cargo run --release --example hetero_schedules                # 4 nodes
+//! cargo run --release --example hetero_schedules -- --nodes 8
+//! cargo run --release --example hetero_schedules -- --out /tmp/h.json
+//! ```
+
+use now_bench::hetero;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes = 4usize;
+    let mut out_path = "BENCH_hetero.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => {
+                nodes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 2)
+                    .expect("--nodes N (N >= 2)");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out PATH").clone();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    // Prints the per-kernel tables and asserts the sweep's invariants —
+    // a failed invariant panics, failing CI.
+    let rows = hetero::hetero_table(nodes);
+    let json = hetero::rows_to_json(nodes, &rows);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} rows to {out_path}", rows.len());
+}

@@ -8,14 +8,23 @@
 //! cargo run --release --example omp_runner -- --schedule dynamic,64 dotprod.omp
 //! OMP_SCHEDULE=guided,8 cargo run --release --example omp_runner
 //! cargo run --release --example omp_runner -- my.omp        # one file
+//! # Heterogeneous / loaded clusters:
+//! cargo run --release --example omp_runner -- --nodes 4 --speeds 1.0,1.0,1.0,0.5
+//! cargo run --release --example omp_runner -- --load burst:40/10x3 --load-seed 7
+//! cargo run --release --example omp_runner -- --load step:1@5x2 --schedule adaptive,8
 //! ```
 //!
 //! `--schedule` (or the `OMP_SCHEDULE` environment variable, exactly as
 //! in a real OpenMP runtime; the flag wins when both are given) sets
-//! what `schedule(runtime)` loops resolve to. Malformed strings are
-//! rejected with a diagnostic and exit code 2.
+//! what `schedule(runtime)` loops resolve to. `--speeds` gives per-node
+//! speed factors (`0.5` = a 2×-slow machine), `--load` a background-load
+//! trace spec (`none`, `step:<node>@<ms>x<factor>`,
+//! `phase:<period_ms>/<busy_ms>x<factor>`,
+//! `burst:<period_ms>/<busy_ms>x<factor>`), and `--load-seed` the seed
+//! driving burst placement. Malformed strings are rejected with a
+//! diagnostic and exit code 2.
 
-use nomp::{OmpConfig, Schedule};
+use nomp::{ClusterLoad, OmpConfig, Schedule};
 
 const BUNDLED: &[(&str, &str)] = &[
     ("pi.omp", include_str!("omp/pi.omp")),
@@ -25,73 +34,60 @@ const BUNDLED: &[(&str, &str)] = &[
     ("qsort.omp", include_str!("omp/qsort.omp")),
 ];
 
-fn parse_schedule(src: &str, origin: &str) -> Schedule {
-    match Schedule::parse(src) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("invalid {origin} schedule: {e}");
-            std::process::exit(2);
-        }
-    }
+/// Print a parse failure and exit 2 (the runner's "bad usage" status).
+fn bail(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut nodes = 4usize;
-    let mut tpn = 1usize;
-    let mut schedule: Option<Schedule> = None;
-    let mut files: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--nodes" => {
-                nodes = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&v| v >= 1)
-                    .expect("--nodes N (N >= 1)");
-            }
-            "--tpn" => {
-                tpn = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&v| v >= 1)
-                    .expect("--tpn T (T >= 1)");
-            }
-            "--schedule" => {
-                let s = it.next().expect("--schedule KIND[,CHUNK]");
-                schedule = Some(parse_schedule(s, "--schedule"));
-            }
-            f => files.push(f.to_string()),
-        }
-    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match openmp_now::cli::RunnerArgs::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => bail(&e),
+    };
+    let (nodes, tpn) = (args.nodes, args.tpn);
     // `OMP_SCHEDULE` exactly as in a real runtime; the CLI flag wins.
-    if schedule.is_none() {
-        if let Ok(env) = std::env::var("OMP_SCHEDULE") {
-            schedule = Some(parse_schedule(&env, "OMP_SCHEDULE"));
-        }
-    }
+    let schedule: Option<Schedule> = match args.schedule {
+        Some(s) => Some(s),
+        None => match std::env::var("OMP_SCHEDULE") {
+            Ok(env) => match Schedule::parse(&env) {
+                Ok(s) => Some(s),
+                Err(e) => bail(&format!("invalid OMP_SCHEDULE schedule: {e}")),
+            },
+            Err(_) => None,
+        },
+    };
+    let load: ClusterLoad = match args.cluster_load() {
+        Ok(l) => l,
+        Err(e) => bail(&e),
+    };
 
-    let programs: Vec<(String, String)> = if files.is_empty() {
+    let programs: Vec<(String, String)> = if args.files.is_empty() {
         BUNDLED
             .iter()
             .map(|(n, s)| (n.to_string(), s.to_string()))
             .collect()
     } else {
-        files
-            .into_iter()
+        args.files
+            .iter()
             .map(|f| {
                 let src =
-                    std::fs::read_to_string(&f).unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
-                (f, src)
+                    std::fs::read_to_string(f).unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
+                (f.clone(), src)
             })
             .collect()
     };
 
     let mut failed = false;
     for (name, src) in &programs {
-        println!("== {name} on {nodes} simulated workstations x {tpn} threads ==",);
-        let mut cfg = OmpConfig::paper_smp(nodes, tpn);
+        let hetero_note = if load.is_uniform() {
+            ""
+        } else {
+            " (heterogeneous)"
+        };
+        println!("== {name} on {nodes} simulated workstations x {tpn} threads{hetero_note} ==",);
+        let mut cfg = OmpConfig::paper_smp(nodes, tpn).with_load(load.clone());
         if let Some(s) = schedule {
             cfg.runtime_schedule = s;
         }

@@ -36,3 +36,141 @@ pub mod prelude {
     };
     pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
 }
+
+/// Command-line argument parsing for the `omp_runner` example (kept in
+/// the library so the CLI surface is unit-testable: malformed flags must
+/// produce a clear message, which the runner maps to exit code 2).
+pub mod cli {
+    use nomp::{ClusterLoad, LoadSpec, Schedule};
+
+    /// Parsed `omp_runner` arguments.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RunnerArgs {
+        /// Simulated workstations.
+        pub nodes: usize,
+        /// Application threads per workstation.
+        pub tpn: usize,
+        /// What `schedule(runtime)` resolves to (`--schedule` wins over
+        /// the `OMP_SCHEDULE` environment variable).
+        pub schedule: Option<Schedule>,
+        /// Per-node speed factors (`--speeds`), `None` = uniform.
+        pub speeds: Option<Vec<f64>>,
+        /// Background-load trace (`--load`), `None` = dedicated machines.
+        pub load: Option<LoadSpec>,
+        /// Seed driving stochastic traces (`--load-seed`).
+        pub load_seed: u64,
+        /// `.omp` files to run (empty = the bundled examples).
+        pub files: Vec<String>,
+    }
+
+    impl Default for RunnerArgs {
+        fn default() -> Self {
+            RunnerArgs {
+                nodes: 4,
+                tpn: 1,
+                schedule: None,
+                speeds: None,
+                load: None,
+                load_seed: 0,
+                files: Vec::new(),
+            }
+        }
+    }
+
+    fn value_of<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<&'a str, String> {
+        it.next()
+            .map(|s| s.as_str())
+            .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    impl RunnerArgs {
+        /// Parse an argument list (without the program name). Malformed
+        /// flags yield a one-line message for the caller to print before
+        /// exiting with status 2.
+        pub fn parse(args: &[String]) -> Result<RunnerArgs, String> {
+            let mut a = RunnerArgs::default();
+            let mut it = args.iter();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--nodes" => {
+                        let v = value_of(&mut it, "--nodes")?;
+                        a.nodes = v
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| format!("--nodes expects N >= 1, got `{v}`"))?;
+                    }
+                    "--tpn" => {
+                        let v = value_of(&mut it, "--tpn")?;
+                        a.tpn = v
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| format!("--tpn expects T >= 1, got `{v}`"))?;
+                    }
+                    "--schedule" => {
+                        let v = value_of(&mut it, "--schedule")?;
+                        a.schedule = Some(
+                            Schedule::parse(v).map_err(|e| format!("invalid --schedule: {e}"))?,
+                        );
+                    }
+                    "--speeds" => {
+                        let v = value_of(&mut it, "--speeds")?;
+                        a.speeds = Some(
+                            hetero::parse_speeds(v)
+                                .map_err(|e| format!("invalid --speeds: {e}"))?,
+                        );
+                    }
+                    "--load" => {
+                        let v = value_of(&mut it, "--load")?;
+                        a.load =
+                            Some(LoadSpec::parse(v).map_err(|e| format!("invalid --load: {e}"))?);
+                    }
+                    "--load-seed" => {
+                        let v = value_of(&mut it, "--load-seed")?;
+                        a.load_seed = v.parse().map_err(|_| {
+                            format!("--load-seed expects an unsigned integer, got `{v}`")
+                        })?;
+                    }
+                    f if f.starts_with("--") => {
+                        return Err(format!(
+                            "unknown flag `{f}` (expected --nodes, --tpn, --schedule, \
+                             --speeds, --load, --load-seed, or a .omp file)"
+                        ));
+                    }
+                    f => a.files.push(f.to_string()),
+                }
+            }
+            if let Some(s) = &a.speeds {
+                if s.len() != a.nodes {
+                    return Err(format!(
+                        "--speeds lists {} factors for {} nodes",
+                        s.len(),
+                        a.nodes
+                    ));
+                }
+            }
+            Ok(a)
+        }
+
+        /// The heterogeneity model these arguments describe.
+        pub fn cluster_load(&self) -> Result<ClusterLoad, String> {
+            let traces = match self.load.clone() {
+                None => Vec::new(),
+                Some(spec) => spec
+                    .into_traces(self.nodes)
+                    .map_err(|e| format!("invalid --load: {e}"))?,
+            };
+            let load = ClusterLoad {
+                speeds: self.speeds.clone().unwrap_or_default(),
+                traces,
+                seed: self.load_seed,
+            };
+            load.validate()?;
+            Ok(load)
+        }
+    }
+}
