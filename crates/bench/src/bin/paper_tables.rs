@@ -3,11 +3,12 @@
 //! ```text
 //! paper_tables [--quick] [--nodes N] [--scale S] [experiments...]
 //! experiments: table1 table2 figure5 micro pipeline taskqueue
-//!              tasking pagesize fft_push scale_sweep ompc smp hetero all
+//!              tasking pagesize fft_push scale_sweep ompc smp hetero
+//!              warm_cluster all
 //!              (default: all)
 //! ```
 
-use now_bench::{ablation, hetero, micro, ompc, smp, tables, tasking};
+use now_bench::{ablation, hetero, micro, ompc, smp, tables, tasking, warm};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +74,9 @@ fn main() {
     }
     if want("smp") {
         smp::smp_topology_table();
+    }
+    if want("warm_cluster") {
+        warm::warm_cluster_table(8);
     }
     if want("hetero") {
         // The sweep's cost grows quadratically with cluster size (5

@@ -18,6 +18,10 @@
 //! * [`smp::smp_topology_table`] — SMP-cluster topologies at equal total
 //!   parallelism (`8×1`, `4×2`, `2×4`, `1×8`): moving threads on-node
 //!   sheds DSM messages, down to zero on one SMP node
+//! * [`warm::warm_cluster_table`] — the `Cluster` session API: host
+//!   cost of a job on a warm cluster vs a cold build-run-teardown cycle,
+//!   with virtual results asserted bit-identical (job N+1 pays no
+//!   cluster spin-up)
 //! * [`hetero::hetero_table`] — heterogeneous/loaded clusters: loop
 //!   schedules {static, dynamic, guided, adaptive, affinity} ×
 //!   {uniform, one-2×-slow-node, bursty} on pi/dotprod/jacobi, in
@@ -36,6 +40,7 @@ pub mod ompc;
 pub mod smp;
 pub mod tables;
 pub mod tasking;
+pub mod warm;
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@
 //! the CPU meter exactly like application compute.
 
 use crate::fmt::{f2, print_table, secs};
-use nomp::{OmpConfig, RedOp, Schedule};
+use nomp::{Cluster, Env, RedOp, Schedule};
 
 /// The translated kernel (kept in sync with `examples/omp/pi.omp`, with
 /// the self-timing dropped so both versions do identical work).
@@ -51,28 +51,31 @@ impl OverheadRow {
     }
 }
 
-/// Run the translated kernel once.
-pub fn translated_once(nodes: usize) -> (f64, u64, u64) {
-    let out = ompc::run_source(PI_OMP, OmpConfig::paper(nodes)).expect("pi.omp must compile");
-    (out.scalars["pi"], out.vt_ns, out.msgs)
+/// Run the translated kernel as a job on the warm cluster.
+pub fn translated_once(cluster: &mut Cluster) -> (f64, u64, u64) {
+    let prog = ompc::compile(PI_OMP).expect("pi.omp must compile");
+    let out = cluster.run(&prog).expect("cluster job");
+    (out.result.scalars["pi"], out.vt_ns, out.msgs())
 }
 
-/// Run the hand-written kernel once.
-pub fn native_once(nodes: usize) -> (f64, u64, u64) {
-    let out = nomp::run(OmpConfig::paper(nodes), |omp| {
-        let step = 1.0 / N as f64;
-        let sum = omp.parallel_reduce(
-            Schedule::Static,
-            0..N,
-            RedOp::Sum,
-            move |_t, i, acc: &mut f64| {
-                let x = (i as f64 + 0.5) * step;
-                *acc += 4.0 / (1.0 + x * x);
-            },
-        );
-        sum * step
-    });
-    (out.result, out.vt_ns, out.net.total_msgs())
+/// Run the hand-written kernel as a job on the same warm cluster.
+pub fn native_once(cluster: &mut Cluster) -> (f64, u64, u64) {
+    let out = cluster
+        .run(|omp: &mut Env| {
+            let step = 1.0 / N as f64;
+            let sum = omp.parallel_reduce(
+                Schedule::Static,
+                0..N,
+                RedOp::Sum,
+                move |_t, i, acc: &mut f64| {
+                    let x = (i as f64 + 0.5) * step;
+                    *acc += 4.0 / (1.0 + x * x);
+                },
+            );
+            sum * step
+        })
+        .expect("cluster job");
+    (out.result, out.vt_ns, out.msgs())
 }
 
 /// Measure translated vs hand-written at each node count.
@@ -80,8 +83,15 @@ pub fn overhead_rows(node_counts: &[usize]) -> Vec<OverheadRow> {
     node_counts
         .iter()
         .map(|&nodes| {
-            let (pi_t, omp_vt, omp_msgs) = translated_once(nodes);
-            let (pi_n, native_vt, native_msgs) = native_once(nodes);
+            // Both versions run as jobs on one warm cluster per node
+            // count (the translated/hand-written comparison shares the
+            // simulated network).
+            let mut cluster = Cluster::builder()
+                .nodes(nodes)
+                .build()
+                .expect("valid cluster");
+            let (pi_t, omp_vt, omp_msgs) = translated_once(&mut cluster);
+            let (pi_n, native_vt, native_msgs) = native_once(&mut cluster);
             assert!(
                 (pi_t - pi_n).abs() < 1e-9,
                 "translated and native results diverged: {pi_t} vs {pi_n}"

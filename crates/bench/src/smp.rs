@@ -14,7 +14,7 @@
 //! from the paper.
 
 use crate::fmt::{print_table, secs};
-use nomp::OmpConfig;
+use nomp::Cluster;
 
 /// Equal-total-parallelism topologies (8 threads).
 pub const TOPOLOGIES: [(usize, usize); 4] = [(8, 1), (4, 2), (2, 4), (1, 8)];
@@ -84,20 +84,25 @@ pub fn native_reference(name: &str) -> f64 {
 /// Run one kernel on one topology (paper cost model) and pull out its
 /// checked result scalar.
 pub fn run_kernel(name: &str, src: &str, nodes: usize, tpn: usize) -> TopoRow {
-    let out = ompc::run_source(src, OmpConfig::paper_smp(nodes, tpn))
-        .unwrap_or_else(|d| panic!("{name} must compile: {d}"));
+    let mut cluster = Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .build()
+        .expect("valid cluster");
+    let prog = ompc::compile(src).unwrap_or_else(|d| panic!("{name} must compile: {d}"));
+    let out = cluster.run(&prog).expect("cluster job");
     let result = match name {
-        "pi" => out.scalars["pi"],
-        "dotprod" => out.scalars["dot"],
-        "jacobi" => out.scalars["resid"],
+        "pi" => out.result.scalars["pi"],
+        "dotprod" => out.result.scalars["dot"],
+        "jacobi" => out.result.scalars["resid"],
         other => panic!("unknown kernel {other}"),
     };
     TopoRow {
         nodes,
         tpn,
         vt_ns: out.vt_ns,
-        msgs: out.msgs,
-        bytes: out.bytes,
+        msgs: out.msgs(),
+        bytes: out.bytes(),
         result,
     }
 }
@@ -182,8 +187,8 @@ mod tests {
         assert_eq!(rows.len(), TOPOLOGIES.len());
         assert!((rows[0].result - std::f64::consts::PI).abs() < 1e-7);
         // tpn = 1 is bit-identical to the pre-SMP runtime path: the same
-        // program through OmpConfig::paper matches the 8×1 row's traffic.
-        let flat = ompc::run_source(PI, OmpConfig::paper(8)).unwrap();
+        // program through the one-job shim matches the 8×1 row's traffic.
+        let flat = ompc::run_source(PI, nomp::OmpConfig::paper(8)).unwrap();
         assert_eq!(rows[0].msgs, flat.msgs, "n×1 path must be unchanged");
     }
 

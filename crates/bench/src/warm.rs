@@ -1,0 +1,198 @@
+//! Warm-cluster session ablation: what job N+1 saves by reusing a live
+//! cluster instead of cold-starting one per run.
+//!
+//! The `Cluster` session API keeps host threads, the simulated network
+//! and the DSM system alive between jobs, resetting DSM state behind
+//! each job's final quiescence point. Cluster spin-up (spawning
+//! `2 × nodes` host threads plus channels and page tables) is *host*
+//! cost, not modeled cost — so the table below reports **host**
+//! milliseconds per job for a cold one-shot run (build + job + teardown
+//! every time) versus jobs on one warm cluster, while asserting the
+//! *virtual* measurements stay identical either way (the reset
+//! guarantees job N+1 starts from the bit-identical state a fresh
+//! cluster would have).
+
+use crate::fmt::{f2, print_table};
+use nomp::{Cluster, Env, NowProgram, RunReport, Schedule};
+use std::time::Instant;
+
+/// The measured kernel: two barrier-structured regions (parallel fill,
+/// parallel transform) and a master-side checksum. Deliberately free of
+/// lock-based constructs: with measured compute and per-message CPU
+/// zeroed for run-to-run comparability, symmetric lock requests tie in
+/// virtual time and the manager's host-order arrival would pick the
+/// first holder nondeterministically.
+fn kernel() -> impl NowProgram<Output = u64> {
+    |omp: &mut Env| {
+        let n = 4096usize;
+        let v = omp.malloc_vec::<u64>(n);
+        omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
+            t.view_mut(&v, r.clone(), |chunk| {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = (r.start + k) as u64;
+                }
+            });
+        });
+        omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
+            t.view_mut(&v, r, |chunk| {
+                for x in chunk.iter_mut() {
+                    *x = x.wrapping_mul(2654435761);
+                }
+            });
+        });
+        omp.read_slice(&v, 0..n)
+            .iter()
+            .fold(0u64, |a, &x| a.wrapping_add(x))
+    }
+}
+
+/// One topology's cold-vs-warm measurement.
+pub struct WarmRow {
+    /// Workstations.
+    pub nodes: usize,
+    /// Threads per workstation.
+    pub tpn: usize,
+    /// Host ms per job, cold one-shot runs (build + teardown each time).
+    pub cold_ms: f64,
+    /// Host ms for job 0 on the warm cluster (includes the one build).
+    pub first_ms: f64,
+    /// Host ms per job for jobs 1..N on the warm cluster.
+    pub warm_ms: f64,
+    /// Virtual time of every run (asserted identical cold vs warm).
+    pub vt_ns: u64,
+    /// Messages of every run (asserted identical cold vs warm).
+    pub msgs: u64,
+}
+
+impl WarmRow {
+    /// Host-time speedup of a warm job over a cold one-shot run.
+    pub fn speedup(&self) -> f64 {
+        self.cold_ms / self.warm_ms.max(1e-6)
+    }
+}
+
+fn check_same(name: &str, a: &RunReport<u64>, b: &RunReport<u64>) {
+    assert_eq!(a.result, b.result, "{name}: results diverged");
+    assert_eq!(
+        a.dsm, b.dsm,
+        "{name}: per-job DSM stats must be exact deltas"
+    );
+    assert_eq!(a.msgs(), b.msgs(), "{name}: traffic diverged");
+    assert_eq!(a.vt_ns, b.vt_ns, "{name}: virtual times diverged");
+}
+
+/// Measure one topology: `reps` cold one-shot runs vs `reps` jobs on one
+/// warm cluster. Uses the deterministic fast-test model with measured
+/// compute disabled so virtual measurements are comparable run to run.
+pub fn warm_row(nodes: usize, tpn: usize, reps: usize) -> WarmRow {
+    let builder = || {
+        Cluster::builder()
+            .nodes(nodes)
+            .threads_per_node(tpn)
+            .fast_test()
+            // Order-robust determinism (as the hetero determinism tests):
+            // measured compute and per-message CPU contribute nothing, so
+            // every timestamp — and hence every lock-grant order — is a
+            // pure function of the modeled protocol costs.
+            .tmk(|t| {
+                t.net.compute_scale = 0.0;
+                t.net.send_overhead_ns = 0;
+                t.net.handler_ns = 0;
+                t.net.local_delivery_ns = 0;
+            })
+    };
+
+    // Cold: build + one job + teardown, every repetition.
+    let t0 = Instant::now();
+    let mut cold_report = None;
+    for _ in 0..reps {
+        let mut c = builder().build().expect("valid cluster");
+        let r = c.run(kernel()).expect("cluster job");
+        c.shutdown();
+        if let Some(prev) = &cold_report {
+            check_same("cold", prev, &r);
+        }
+        cold_report = Some(r);
+    }
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+    let cold_report = cold_report.expect("at least one repetition");
+
+    // Warm: one build, `reps` jobs.
+    let t0 = Instant::now();
+    let mut cluster = builder().build().expect("valid cluster");
+    let first = cluster.run(kernel()).expect("cluster job");
+    let first_ms = t0.elapsed().as_secs_f64() * 1e3;
+    check_same("warm job 0", &cold_report, &first);
+    let t1 = Instant::now();
+    for _ in 1..reps {
+        let r = cluster.run(kernel()).expect("cluster job");
+        check_same("warm job N+1", &cold_report, &r);
+    }
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3 / (reps - 1).max(1) as f64;
+    cluster.shutdown();
+
+    WarmRow {
+        nodes,
+        tpn,
+        cold_ms,
+        first_ms,
+        warm_ms,
+        vt_ns: cold_report.vt_ns,
+        msgs: cold_report.msgs(),
+    }
+}
+
+/// Print the warm-cluster table: job N+1 pays no cluster spin-up.
+pub fn warm_cluster_table(reps: usize) {
+    let rows: Vec<WarmRow> = [(4usize, 1usize), (8, 1), (2, 2)]
+        .iter()
+        .map(|&(n, t)| warm_row(n, t, reps))
+        .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}x{}", r.nodes, r.tpn),
+                f2(r.cold_ms),
+                f2(r.first_ms),
+                f2(r.warm_ms),
+                format!("{:.1}x", r.speedup()),
+                r.msgs.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "warm_cluster — host ms/job: cold one-shot vs jobs on one warm cluster \
+         (virtual results asserted bit-identical)",
+        &[
+            "topology",
+            "cold ms",
+            "warm job0 ms",
+            "warm jobN+1 ms",
+            "speedup",
+            "msgs/job",
+        ],
+        &table,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_jobs_skip_spinup_and_stay_bit_identical() {
+        // The row constructor itself asserts result/stats/traffic
+        // equality between cold runs and warm jobs; here we additionally
+        // require that a warm job costs less host time than a cold
+        // build+run+teardown cycle.
+        let r = warm_row(4, 1, 6);
+        assert!(r.msgs > 0);
+        assert!(
+            r.warm_ms < r.cold_ms,
+            "a warm job ({:.2} ms) must beat a cold one-shot run ({:.2} ms)",
+            r.warm_ms,
+            r.cold_ms
+        );
+    }
+}

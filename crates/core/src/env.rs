@@ -31,22 +31,41 @@ impl DerefMut for Env<'_> {
     }
 }
 
-/// Run an OpenMP program: bring up the DSM system and execute `f` as the
-/// master's sequential code.
+impl<'t> Env<'t> {
+    /// The master's execution environment for one job on `t`'s node
+    /// (cluster-internal: jobs receive it ready-made).
+    pub(crate) fn new(t: &'t mut Tmk, cfg: OmpConfig) -> Env<'t> {
+        Env {
+            t,
+            cfg,
+            loop_seq: 0,
+        }
+    }
+}
+
+/// Run one OpenMP program on a fresh cluster and tear it down.
+///
+/// One-job shim over the [`Cluster`](crate::Cluster) session API —
+/// `Cluster::builder()…build()?.run(job)` is the primary way in, and a
+/// warm cluster amortizes bring-up over a stream of jobs.
 pub fn run<R, F>(cfg: OmpConfig, f: F) -> RunOutcome<R>
 where
     R: Send + 'static,
     F: FnOnce(&mut Env) -> R + Send + 'static,
 {
-    let tmk_cfg = cfg.tmk.clone();
-    tmk::run_system(tmk_cfg, move |t| {
-        let mut env = Env {
-            t,
-            cfg,
-            loop_seq: 0,
-        };
-        f(&mut env)
-    })
+    let mut cluster = crate::cluster::Cluster::from_config(cfg);
+    let report = cluster
+        .run(crate::cluster::Job::new(f))
+        .expect("a freshly built cluster accepts a job");
+    // Explicit shutdown so a node-thread panic surfaces here, exactly as
+    // the historical one-shot runner propagated it.
+    cluster.shutdown();
+    RunOutcome {
+        result: report.result,
+        vt_ns: report.vt_ns,
+        net: report.net,
+        dsm: report.dsm,
+    }
 }
 
 impl Env<'_> {

@@ -52,10 +52,17 @@
 //!
 //! ## Example
 //!
-//! ```
-//! use nomp::{run, OmpConfig, RedOp, Schedule};
+//! The public way in is the [`Cluster`] session API: one builder, one
+//! [`Job`] abstraction (closures and compiled `.omp` programs), one
+//! [`RunReport`], with the cluster kept warm across jobs. The one-shot
+//! [`run`] remains as a one-job shim.
 //!
-//! let out = run(OmpConfig::fast_test(2), |omp| {
+//! ```
+//! use nomp::{Cluster, Env, RedOp, Schedule};
+//!
+//! # fn main() -> Result<(), nomp::NowError> {
+//! let mut cluster = Cluster::builder().nodes(2).fast_test().build()?;
+//! let out = cluster.run(|omp: &mut Env| {
 //!     let a = omp.malloc_vec::<f64>(1000);
 //!     omp.parallel_for_chunks(Schedule::Static, 0..1000, move |t, r| {
 //!         t.view_mut(&a, r.clone(), |chunk| {
@@ -65,22 +72,27 @@
 //!     omp.parallel_reduce(Schedule::Static, 0..1000, RedOp::Sum, move |t, i, acc: &mut f64| {
 //!         *acc += t.read(&a, i);
 //!     })
-//! });
+//! })?;
 //! assert_eq!(out.result, 499_500.0);
+//! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
 
+mod cluster;
 mod config;
 mod data;
 mod env;
+mod error;
 mod forloop;
 mod macros;
 mod reduction;
 pub mod tasking;
 mod thread;
 
+pub use cluster::{Cluster, ClusterBuilder, Job, NowProgram, RunReport};
 pub use config::{OmpConfig, Schedule};
+pub use error::{Diag, NowError, Span};
 // The intra-node (SMP) team-size + cost-model half of `OmpConfig`.
 pub use data::ThreadPrivate;
 pub use env::{run, Env};
@@ -93,4 +105,6 @@ pub use thread::{critical_id, OmpThread};
 // Re-export the substrate types applications touch directly, including
 // the heterogeneity model (per-node speeds + seeded load traces).
 pub use now_net::{ClusterLoad, LoadSpec, LoadTrace};
-pub use tmk::{RunOutcome, Shareable, SharedScalar, SharedVec, Tmk, TmkConfig, TmkStats};
+pub use tmk::{
+    RunOutcome, Shareable, SharedScalar, SharedVec, StatsSnapshot, Tmk, TmkConfig, TmkStats,
+};

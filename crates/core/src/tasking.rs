@@ -15,7 +15,7 @@
 //!   shared-memory traffic: a deque-page diff carries the arguments.
 //! * **Per-node deques.** Every workstation owns a ring-buffer deque in
 //!   its own page-aligned DSM region, guarded by a lock whose *manager is
-//!   the owning node* ([`deque_lock`]), so local push/pop/complete are
+//!   the owning node* (`deque_lock`), so local push/pop/complete are
 //!   message-free; a remote steal costs the usual small constant number of
 //!   messages (lock transfer + deque-page diff).
 //! * **Work stealing.** The owner pushes and pops LIFO (locality); thieves

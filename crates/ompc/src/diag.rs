@@ -1,52 +1,10 @@
 //! Spanned diagnostics: every front-end error points at a source line and
 //! column, mirroring the paper's translator reporting misuse of the
 //! directives rather than silently miscompiling.
+//!
+//! The types themselves live in [`nomp`] (the runtime's unified
+//! [`nomp::NowError`] boundary nests them, and a front-end crate cannot
+//! be below the runtime it targets); this module re-exports them under
+//! their historical home.
 
-use std::fmt;
-
-/// A source position (1-based line and column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct Span {
-    /// 1-based source line.
-    pub line: u32,
-    /// 1-based column.
-    pub col: u32,
-}
-
-impl Span {
-    pub(crate) fn new(line: u32, col: u32) -> Self {
-        Span { line, col }
-    }
-}
-
-impl fmt::Display for Span {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}", self.line, self.col)
-    }
-}
-
-/// A compile-time diagnostic with the source span it refers to.
-#[derive(Debug, Clone)]
-pub struct Diag {
-    /// Human-readable description of the problem.
-    pub msg: String,
-    /// Where in the source the problem is.
-    pub span: Span,
-}
-
-impl Diag {
-    pub(crate) fn new(span: Span, msg: impl Into<String>) -> Self {
-        Diag {
-            msg: msg.into(),
-            span,
-        }
-    }
-}
-
-impl fmt::Display for Diag {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.span, self.msg)
-    }
-}
-
-impl std::error::Error for Diag {}
+pub use nomp::{Diag, Span};

@@ -82,7 +82,7 @@ pub use diag::{Diag, Span};
 
 use interp::run_master;
 use ir::LProgram;
-use nomp::{OmpConfig, TmkStats};
+use nomp::{Cluster, Env, Job, NowProgram, OmpConfig, RunReport, TmkStats};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -99,11 +99,63 @@ pub struct Compiled {
 /// Parse, classify and lower an `.omp` source program.
 ///
 /// All front-end errors — lexical, syntactic and semantic — come back as
-/// a spanned [`Diag`]; this function never panics.
+/// a spanned [`Diag`]; this function never panics. A [`Diag`] converts
+/// into [`nomp::NowError::Compile`], so `?` composes compile + run on a
+/// [`Cluster`] end to end.
 pub fn compile(src: &str) -> Result<Compiled, Diag> {
     let ast = parse::parse(src)?;
     let l = sema::lower(&ast)?;
     Ok(Compiled { l: Arc::new(l) })
+}
+
+/// Final state of a translated program: one job's result payload on a
+/// [`Cluster`] (measurements — virtual time, traffic, DSM counters —
+/// ride in the enclosing [`RunReport`]).
+#[derive(Debug, Clone)]
+pub struct ProgramOutput {
+    /// `main`'s return value.
+    pub ret: f64,
+    /// Lines printed from sequential context (parallel-context prints go
+    /// to stdout with a `[t<id>]` prefix as they happen).
+    pub printed: Vec<String>,
+    /// Final values of all global scalars.
+    pub scalars: BTreeMap<String, f64>,
+    /// Final contents of all global arrays.
+    pub arrays: BTreeMap<String, Vec<f64>>,
+}
+
+/// A compiled program is a cluster job: `cluster.run(compiled)` executes
+/// it through the same session API as handwritten region closures.
+///
+/// Runtime errors in the translated program (out-of-bounds indexing,
+/// invalid array lengths, modulo by zero) panic with a spanned
+/// `ompc runtime error` message — the translated analogue of a segfault.
+impl NowProgram for Compiled {
+    type Output = ProgramOutput;
+
+    fn into_job(self) -> Job<ProgramOutput> {
+        let l = self.l;
+        Job::new(move |env: &mut Env| {
+            let m = run_master(&l, env);
+            ProgramOutput {
+                ret: m.ret,
+                printed: m.lines,
+                scalars: m.scalars,
+                arrays: m.arrays,
+            }
+        })
+    }
+}
+
+/// Run a compiled program without consuming it (it is cheaply cloneable,
+/// so the same `.omp` program can be submitted to a warm cluster again
+/// and again).
+impl NowProgram for &Compiled {
+    type Output = ProgramOutput;
+
+    fn into_job(self) -> Job<ProgramOutput> {
+        self.clone().into_job()
+    }
 }
 
 /// Result of executing a translated program.
@@ -135,28 +187,40 @@ impl OmpOutcome {
     }
 }
 
-/// Run a compiled program on the simulated network described by `cfg`.
-///
-/// Runtime errors in the translated program (out-of-bounds indexing,
-/// invalid array lengths, modulo by zero) panic with a spanned
-/// `ompc runtime error` message — the translated analogue of a segfault.
-pub fn run_compiled(prog: &Compiled, cfg: OmpConfig) -> OmpOutcome {
-    let l = prog.l.clone();
-    let out = nomp::run(cfg, move |env| run_master(&l, env));
-    let m = out.result;
-    OmpOutcome {
-        ret: m.ret,
-        printed: m.lines,
-        scalars: m.scalars,
-        arrays: m.arrays,
-        vt_ns: out.vt_ns,
-        msgs: out.net.total_msgs(),
-        bytes: out.net.total_bytes(),
-        dsm: out.dsm,
+impl OmpOutcome {
+    /// Repackage a cluster job's report as the historical outcome type.
+    fn from_report(report: RunReport<ProgramOutput>) -> OmpOutcome {
+        let msgs = report.msgs();
+        let bytes = report.bytes();
+        let m = report.result;
+        OmpOutcome {
+            ret: m.ret,
+            printed: m.printed,
+            scalars: m.scalars,
+            arrays: m.arrays,
+            vt_ns: report.vt_ns,
+            msgs,
+            bytes,
+            dsm: report.dsm,
+        }
     }
 }
 
-/// [`compile`] + [`run_compiled`] in one step.
+/// Run a compiled program on a fresh one-job cluster described by `cfg`.
+///
+/// Thin shim over the [`Cluster`] session API — pass the [`Compiled`]
+/// program to [`Cluster::run`] directly to reuse a warm cluster across
+/// programs.
+pub fn run_compiled(prog: &Compiled, cfg: OmpConfig) -> OmpOutcome {
+    let mut cluster = Cluster::from_config(cfg);
+    let report = cluster
+        .run(prog)
+        .expect("a freshly built cluster accepts a job");
+    cluster.shutdown(); // surface node-thread panics, as the one-shot runner always did
+    OmpOutcome::from_report(report)
+}
+
+/// [`compile`] + [`run_compiled`] in one step (one-job shim).
 pub fn run_source(src: &str, cfg: OmpConfig) -> Result<OmpOutcome, Diag> {
     let prog = compile(src)?;
     Ok(run_compiled(&prog, cfg))

@@ -118,6 +118,16 @@ pub mod channel {
             }
         }
 
+        /// Messages currently queued (diagnostics; racy by nature).
+        pub fn len(&self) -> usize {
+            self.0.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty (racy by nature).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.0.queue.lock().unwrap();

@@ -82,6 +82,15 @@ impl AllocTable {
         info
     }
 
+    /// Forget every allocation (warm-cluster job boundary): the next
+    /// job's regions start again at address 0, so same-seed job streams
+    /// see bit-identical page layouts. Callers must have reset every
+    /// node's page tables first — the cluster reset protocol orders this
+    /// after all per-node state resets.
+    pub fn reset(&self) {
+        *self.inner.write() = AllocInner::default();
+    }
+
     /// End of the allocated space (exclusive), page aligned.
     pub fn high_water(&self) -> u64 {
         self.inner.read().next

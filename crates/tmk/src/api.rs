@@ -131,6 +131,12 @@ pub struct Tmk {
     pub(crate) derived: bool,
     /// Cached [`crate::TmkConfig::smp_access_ns`].
     pub(crate) smp_access_ns: u64,
+    /// Cached [`crate::TmkConfig::watchdog`]: host-time deadline on
+    /// protocol reply waits (`None` = wait forever).
+    pub(crate) watchdog: Option<std::time::Duration>,
+    /// Cluster-wide diagnostic view for the watchdog dump (absent only
+    /// in hand-built unit-test handles).
+    pub(crate) diag: Option<Arc<crate::system::SystemDiag>>,
 }
 
 impl Tmk {
@@ -206,9 +212,40 @@ impl Tmk {
     }
 
     pub(crate) fn recv_reply(&self) -> Delivered<Msg> {
-        self.app_rx
-            .recv()
-            .expect("node service thread disconnected")
+        let Some(limit) = self.watchdog else {
+            return self
+                .app_rx
+                .recv()
+                .expect("node service thread disconnected");
+        };
+        use crossbeam::channel::RecvTimeoutError;
+        match self.app_rx.recv_timeout(limit) {
+            Ok(d) => d,
+            Err(RecvTimeoutError::Disconnected) => panic!("node service thread disconnected"),
+            Err(RecvTimeoutError::Timeout) => self.watchdog_abort(limit),
+        }
+    }
+
+    /// The protocol-wait watchdog fired: dump every node's channel/clock/
+    /// protocol state (the evidence a lost-wakeup hang would otherwise
+    /// destroy) and abort the run with a panic, which tears the cluster
+    /// down through the usual worker-panic path.
+    fn watchdog_abort(&self, limit: std::time::Duration) -> ! {
+        eprintln!(
+            "tmk watchdog: node {} waited > {limit:?} (host time) for a protocol reply \
+             ({} message(s) pending in its app channel); per-node state:",
+            self.id,
+            self.app_rx.len(),
+        );
+        match &self.diag {
+            Some(d) => eprint!("{}", d.render()),
+            None => eprintln!("  <no cluster-wide diagnostics on this handle>"),
+        }
+        panic!(
+            "tmk watchdog: node {} exceeded the {limit:?} protocol-reply deadline \
+             (suspected lost wakeup; see the state dump on stderr)",
+            self.id
+        );
     }
 
     // ------------------------------------------------------------------
@@ -780,6 +817,8 @@ impl Tmk {
             lane: Some(ThreadLane::register_at(&self.clock, lane)),
             derived: true,
             smp_access_ns: self.smp_access_ns,
+            watchdog: self.watchdog,
+            diag: self.diag.clone(),
         }
     }
 

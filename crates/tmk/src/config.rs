@@ -32,6 +32,21 @@ pub struct TmkConfig {
     /// thread's lane when several application threads share this DSM
     /// process. Irrelevant (never charged) with one thread per node.
     pub smp_access_ns: u64,
+    /// Deadline watchdog on the protocol reply channel (**host** time):
+    /// an application thread blocked longer than this on a protocol reply
+    /// dumps every node's channel/clock/protocol state to stderr and
+    /// panics, turning a silent lost-wakeup hang into a diagnosable
+    /// failure. `None` (the default) waits forever; the
+    /// `NOW_WATCHDOG_SECS` environment variable arms it process-wide
+    /// (used by the CI hang-hunt lane).
+    pub watchdog: Option<std::time::Duration>,
+}
+
+/// The process-wide watchdog default: `NOW_WATCHDOG_SECS=<secs>` in the
+/// environment arms every [`TmkConfig`] built afterwards.
+fn watchdog_from_env() -> Option<std::time::Duration> {
+    let secs: u64 = std::env::var("NOW_WATCHDOG_SECS").ok()?.parse().ok()?;
+    (secs > 0).then(|| std::time::Duration::from_secs(secs))
 }
 
 impl TmkConfig {
@@ -50,6 +65,7 @@ impl TmkConfig {
             gc_every_barrier: false,
             fork_payload_bytes: 128,
             smp_access_ns: 120,
+            watchdog: watchdog_from_env(),
         }
     }
 
@@ -66,6 +82,7 @@ impl TmkConfig {
             gc_every_barrier: false,
             fork_payload_bytes: 128,
             smp_access_ns: 1,
+            watchdog: watchdog_from_env(),
         }
     }
 

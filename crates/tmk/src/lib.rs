@@ -65,6 +65,7 @@ pub use config::TmkConfig;
 pub use diff::{Diff, DiffRun};
 pub use interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};
 pub use memory::{Shareable, SharedScalar, SharedVec};
+pub use now_net::StatsSnapshot;
 pub use page::PageState;
 pub use stats::TmkStats;
-pub use system::{run_system, RunOutcome};
+pub use system::{run_system, RunOutcome, System, SystemDown};

@@ -203,6 +203,25 @@ pub enum Msg {
         /// Barrier episode the GC runs under.
         epoch: u32,
     },
+    /// Warm-cluster job boundary: the master asks a slave's application
+    /// thread to reset its node's DSM state before the next job (routed
+    /// to the worker loop like a fork, so it runs strictly after every
+    /// preceding work item completes).
+    ResetReq,
+    /// Slave's reply to [`Msg::ResetReq`], carrying the node's protocol
+    /// counters for the job that just finished (its state is fresh again
+    /// when this is sent).
+    ResetDone {
+        /// The node's per-job protocol event counts.
+        stats: crate::stats::TmkStats,
+    },
+    /// Service-thread fence: the sender's inbox is FIFO, so the matching
+    /// [`Msg::SyncAck`] proves every message enqueued before this one has
+    /// been handled (the master uses it to quiesce its own service thread
+    /// before snapshotting and resetting node state between jobs).
+    SyncReq,
+    /// Reply to [`Msg::SyncReq`].
+    SyncAck,
     /// Tear down the node's service loop.
     Shutdown,
 }
@@ -231,6 +250,11 @@ impl Wire for Msg {
             Msg::FlushAck => 4,
             Msg::Fork { region, bundle } => region.payload_bytes + bundle.wire_bytes(),
             Msg::GcDone { .. } | Msg::GcComplete { .. } => 8,
+            // Control-plane messages of the warm-cluster job boundary;
+            // sent after a job's traffic snapshot and wiped by the
+            // statistics reset, so the sizes never reach a report.
+            Msg::ResetReq | Msg::SyncReq | Msg::SyncAck => 4,
+            Msg::ResetDone { .. } => 4 + std::mem::size_of::<crate::stats::TmkStats>(),
             Msg::Shutdown => 4,
         }
     }
@@ -258,6 +282,10 @@ impl Wire for Msg {
             Msg::Fork { .. } => "fork",
             Msg::GcDone { .. } => "gc_done",
             Msg::GcComplete { .. } => "gc_complete",
+            Msg::ResetReq => "reset_req",
+            Msg::ResetDone { .. } => "reset_done",
+            Msg::SyncReq => "sync_req",
+            Msg::SyncAck => "sync_ack",
             Msg::Shutdown => "shutdown",
         }
     }

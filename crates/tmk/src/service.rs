@@ -21,6 +21,9 @@ use std::time::Duration;
 pub enum WorkItem {
     /// Run one parallel region.
     Run(ForkJob),
+    /// Warm-cluster job boundary: reset this node's DSM state and report
+    /// the finished job's statistics back to the master.
+    Reset,
     /// Exit the worker loop (system shutdown).
     Stop,
 }
@@ -58,8 +61,23 @@ pub fn service_loop(
             | Msg::SemaAck { .. }
             | Msg::SemaGrant { .. }
             | Msg::FlushAck
+            | Msg::ResetDone { .. }
+            | Msg::SyncAck
             | Msg::GcComplete { .. } => {
                 let _ = to_app.send(d);
+            }
+            Msg::ResetReq => {
+                // Job boundary: handled on the application thread so it
+                // runs strictly after every preceding work item (and this
+                // inbox is FIFO, so every request sent before the reset
+                // has already been served above).
+                let _ = work_tx.send(WorkItem::Reset);
+            }
+            Msg::SyncReq => {
+                // Fence for the sender: by FIFO, everything it enqueued
+                // before this message has been handled once it sees the
+                // ack (the master quiesces its own service this way).
+                ep.send_service(d.src, Msg::SyncAck);
             }
             Msg::Fork { region, bundle } => {
                 let _ = work_tx.send(WorkItem::Run(ForkJob {

@@ -174,6 +174,19 @@ impl NodeState {
         }
     }
 
+    /// Wipe everything back to the just-built state (warm-cluster job
+    /// boundary): pages, twins, diffs, vector clocks, interval logs,
+    /// manager queues and statistics. The shared allocation table and
+    /// virtual clock are reset separately by the cluster reset protocol.
+    pub fn reset(&mut self) {
+        *self = NodeState::new(
+            self.id,
+            self.cfg.clone(),
+            self.alloc.clone(),
+            self.clock.clone(),
+        );
+    }
+
     /// Charge modeled CPU work in the caller's context (application `vt`
     /// or service `cpu` timeline).
     fn charge(&self, ns: u64) {

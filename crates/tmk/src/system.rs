@@ -1,8 +1,40 @@
-//! System bring-up: spawn the simulated workstations and run a program.
+//! System bring-up and the warm-cluster session: spawn the simulated
+//! workstations once and run a *stream* of jobs on them.
 //!
 //! Mirrors TreadMarks process structure: all node threads are created at
 //! startup; slaves block waiting for the next `Tmk_fork` from the master,
-//! which runs the program's sequential sections.
+//! which runs each job's sequential sections. A [`System`] keeps the
+//! whole cluster — host threads, network endpoints, DSM state — warm
+//! between jobs: [`System::run_job`] executes one master function,
+//! reports its exact per-job statistics, and resets every node's DSM
+//! state (pages, twins, diffs, vector clocks, manager queues, the shared
+//! allocation table, the virtual clocks and the traffic counters) behind
+//! the job's final quiescence point, so a following job starts from the
+//! bit-identical state a freshly built system would have. [`run_system`]
+//! remains as the one-job convenience wrapper.
+//!
+//! ## The job-boundary reset protocol
+//!
+//! After a job's master function returns, all application-level
+//! operations have completed (every region ends in the join barrier, and
+//! request/reply operations consume their replies), but *fire-and-forget*
+//! protocol messages — lock releases, manager-bound notices — may still
+//! sit in service inboxes. Per-node inboxes are FIFO and every such
+//! message was enqueued causally before the master finished, so:
+//!
+//! 1. the master sends [`Msg::ResetReq`] to every slave: routed to the
+//!    worker loop, it executes after all earlier work items, and after
+//!    the slave's service handled everything sent before it;
+//! 2. each slave snapshots its statistics, resets its node state, replies
+//!    [`Msg::ResetDone`] and zeroes its clock;
+//! 3. the master fences its *own* service thread with a self-addressed
+//!    [`Msg::SyncReq`]/[`Msg::SyncAck`] round trip (its own releases are
+//!    fire-and-forget too), then resets its state, the shared allocation
+//!    table, the traffic counters and its clock.
+//!
+//! The job's statistics snapshot is taken *before* step 1, so per-job
+//! [`TmkStats`] and traffic numbers are exact deltas, unpolluted by the
+//! control messages of the reset itself.
 
 use crate::addr::AllocTable;
 use crate::api::Tmk;
@@ -11,13 +43,15 @@ use crate::protocol::Msg;
 use crate::service::{service_loop, ForkJob, WorkItem};
 use crate::state::NodeState;
 use crate::stats::TmkStats;
-use crossbeam::channel::{unbounded, Receiver};
-use now_net::{ComputeMeter, Network, StatsSnapshot};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use now_net::{ComputeMeter, Network, StatsSnapshot, VirtualClock, Wire as _};
 use parking_lot::Mutex;
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread;
+use std::thread::{self, JoinHandle};
 
-/// Everything a finished run reports.
+/// Everything a finished run (or job) reports.
 #[derive(Debug)]
 pub struct RunOutcome<R> {
     /// The master function's return value.
@@ -37,153 +71,453 @@ impl<R> RunOutcome<R> {
     }
 }
 
+/// Error returned when a job is submitted to a [`System`] that has
+/// already been torn down (a previous job panicked, or it was shut down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemDown;
+
+impl std::fmt::Display for SystemDown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the DSM system is no longer running")
+    }
+}
+
+impl std::error::Error for SystemDown {}
+
+/// Watchdog/diagnostic view of the whole cluster (shared by every node's
+/// handle so a single stuck thread can report everyone's position).
+pub(crate) struct SystemDiag {
+    clocks: Vec<Arc<VirtualClock>>,
+    states: Vec<Arc<Mutex<NodeState>>>,
+}
+
+impl SystemDiag {
+    /// Render per-node channel/clock/protocol state without blocking:
+    /// busy state mutexes are reported as such rather than waited on.
+    pub(crate) fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for (id, clock) in self.clocks.iter().enumerate() {
+            let _ = write!(
+                s,
+                "  node {id}: vt={}ns cpu={}ns",
+                clock.now(),
+                clock.cpu_now()
+            );
+            match self.states[id].try_lock() {
+                None => {
+                    let _ = writeln!(s, " state=<locked (thread active in protocol)>");
+                }
+                Some(st) => {
+                    let _ = writeln!(
+                        s,
+                        " pvc={:?} vc={:?} held_locks={:?} dirty={} mgr{{epoch={} arrivals={} gc_in_progress={} locks_queued={}}}",
+                        st.processed_vc.0,
+                        st.vc.0,
+                        st.held_locks,
+                        st.dirty.len(),
+                        st.mgr.barrier_epoch,
+                        st.mgr.arrivals.len(),
+                        st.mgr.gc_in_progress,
+                        st.mgr.locks.values().map(|l| l.queue.len()).sum::<usize>(),
+                    );
+                }
+            }
+        }
+        s
+    }
+}
+
+/// A boxed job for the master application thread.
+type MasterJob = Box<dyn FnOnce(&mut Tmk) -> Box<dyn Any + Send> + Send>;
+
+enum MasterCmd {
+    Job(MasterJob),
+}
+
+struct JobDone {
+    result: Box<dyn Any + Send>,
+    vt_ns: u64,
+    net: StatsSnapshot,
+    dsm: TmkStats,
+}
+
+enum MasterReply {
+    Done(Box<JobDone>),
+    Panicked(Box<dyn Any + Send>),
+}
+
+/// A warm DSM cluster: `cfg.nodes()` simulated workstations whose host
+/// threads, network and DSM state persist across a stream of jobs.
+///
+/// Build once with [`System::build`], run any number of jobs with
+/// [`System::run_job`] (each gets exact per-job statistics and a clean,
+/// deterministic initial state), and tear down with [`System::shutdown`]
+/// or by dropping.
+pub struct System {
+    nodes: usize,
+    cmd_tx: Option<Sender<MasterCmd>>,
+    reply_rx: Receiver<MasterReply>,
+    master: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    services: Vec<JoinHandle<()>>,
+    dead: bool,
+}
+
+impl System {
+    /// Build a DSM system of `cfg.nodes()` workstations and leave it
+    /// idle, waiting for jobs.
+    pub fn build(cfg: TmkConfig) -> System {
+        let n = cfg.nodes();
+        let alloc = AllocTable::new(cfg.page_shift());
+        let eps = Network::build::<Msg>(cfg.net.clone());
+        let scale = cfg.net.compute_scale;
+        let watchdog = cfg.watchdog;
+
+        let mut states: Vec<Arc<Mutex<NodeState>>> = Vec::with_capacity(n);
+        let mut service_handles = Vec::with_capacity(n);
+        let mut tmks: Vec<Tmk> = Vec::with_capacity(n);
+        let mut work_rxs: Vec<Receiver<WorkItem>> = Vec::with_capacity(n);
+        let clocks: Vec<Arc<VirtualClock>> = eps.iter().map(|ep| ep.clock().clone()).collect();
+
+        for (id, ep) in eps.iter().enumerate() {
+            states.push(Arc::new(Mutex::new(NodeState::new(
+                id,
+                cfg.clone(),
+                alloc.clone(),
+                ep.clock().clone(),
+            ))));
+        }
+        let diag = Arc::new(SystemDiag {
+            clocks,
+            states: states.clone(),
+        });
+
+        for (id, ep) in eps.into_iter().enumerate() {
+            let state = states[id].clone();
+            let (to_app, app_rx) = unbounded();
+            let (work_tx, work_rx) = unbounded();
+            {
+                let (ep, state) = (ep.clone(), state.clone());
+                service_handles.push(
+                    thread::Builder::new()
+                        .name(format!("tmk-svc-{id}"))
+                        .spawn(move || service_loop(ep, state, to_app, work_tx))
+                        .expect("spawn service thread"),
+                );
+            }
+            tmks.push(Tmk {
+                id,
+                n,
+                clock: ep.clock().clone(),
+                ep,
+                state,
+                app_rx,
+                meter: ComputeMeter::new(scale),
+                alloc: alloc.clone(),
+                in_region: false,
+                barrier_epoch: 0,
+                gate: None,
+                lane: None,
+                derived: false,
+                smp_access_ns: 0,
+                watchdog,
+                diag: Some(diag.clone()),
+            });
+            work_rxs.push(work_rx);
+        }
+
+        // Slave application threads (nodes n-1 .. 1).
+        let mut worker_handles = Vec::with_capacity(n - 1);
+        let mut iter = tmks.into_iter();
+        let master_tmk = iter.next().expect("at least one node");
+        let mut work_iter = work_rxs.into_iter();
+        let _master_work = work_iter.next();
+        for (tmk, work_rx) in iter.zip(work_iter) {
+            let id = tmk.proc_id();
+            worker_handles.push(
+                thread::Builder::new()
+                    .name(format!("tmk-app-{id}"))
+                    .spawn(move || {
+                        // A panicking worker must not leave the rest of the
+                        // cluster blocked on it forever: tear everything down
+                        // (services forward Stop; blocked app threads see
+                        // their reply channels close) before re-raising.
+                        let ep = tmk.ep.clone();
+                        let n = tmk.nprocs();
+                        let r = catch_unwind(AssertUnwindSafe(move || worker_loop(tmk, work_rx)));
+                        if let Err(e) = r {
+                            for i in 0..n {
+                                ep.send_service(i, Msg::Shutdown);
+                            }
+                            resume_unwind(e);
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        // Master application thread: runs each job's sequential sections,
+        // then the job-boundary reset round; broadcasts Shutdown on exit.
+        let (cmd_tx, cmd_rx) = unbounded::<MasterCmd>();
+        let (reply_tx, reply_rx) = unbounded::<MasterReply>();
+        let master_handle = thread::Builder::new()
+            .name("tmk-app-0".into())
+            .spawn(move || {
+                let mut tmk = master_tmk;
+                while let Ok(MasterCmd::Job(f)) = cmd_rx.recv() {
+                    // The meter was created on the spawning thread (or ran
+                    // through the previous job); re-arm it on this job.
+                    tmk.meter.restart();
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        let result = f(&mut tmk);
+                        tmk.meter.charge(&tmk.clock.clone());
+                        let vt_ns = tmk.clock.now();
+                        // The job's traffic is complete here (all sends are
+                        // recorded at send time, before their effects are
+                        // observable): snapshot before the reset's own
+                        // control messages.
+                        let net = tmk.ep.stats();
+                        let dsm = job_boundary_reset(&mut tmk);
+                        (result, vt_ns, net, dsm)
+                    }));
+                    match r {
+                        Ok((result, vt_ns, net, dsm)) => {
+                            let _ = reply_tx.send(MasterReply::Done(Box::new(JobDone {
+                                result,
+                                vt_ns,
+                                net,
+                                dsm,
+                            })));
+                        }
+                        Err(e) => {
+                            for i in 0..tmk.nprocs() {
+                                tmk.ep.send(i, Msg::Shutdown);
+                            }
+                            let _ = reply_tx.send(MasterReply::Panicked(e));
+                            return;
+                        }
+                    }
+                }
+                // Command channel closed: graceful shutdown. Tear down every
+                // node's service loop (which in turn stops the worker loops).
+                for i in 0..tmk.nprocs() {
+                    tmk.ep.send(i, Msg::Shutdown);
+                }
+            })
+            .expect("spawn master thread");
+
+        System {
+            nodes: n,
+            cmd_tx: Some(cmd_tx),
+            reply_rx,
+            master: Some(master_handle),
+            workers: worker_handles,
+            services: service_handles,
+            dead: false,
+        }
+    }
+
+    /// Number of workstations in this system.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Whether the system can still accept jobs.
+    pub fn is_alive(&self) -> bool {
+        !self.dead && self.cmd_tx.is_some()
+    }
+
+    /// Run one job: execute `master_fn` on node 0 (forked regions run on
+    /// every node), report its result together with the job's exact
+    /// virtual run time, traffic and protocol statistics, and reset the
+    /// cluster for the next job.
+    ///
+    /// A panic inside the job propagates to the caller (preferring a
+    /// worker's root-cause panic over the master's secondary failure) and
+    /// leaves the system dead; later jobs return [`SystemDown`].
+    pub fn run_job<R, F>(&mut self, master_fn: F) -> Result<RunOutcome<R>, SystemDown>
+    where
+        R: Send + 'static,
+        F: FnOnce(&mut Tmk) -> R + Send + 'static,
+    {
+        if !self.is_alive() {
+            return Err(SystemDown);
+        }
+        let job: MasterJob = Box::new(move |t| Box::new(master_fn(t)) as Box<dyn Any + Send>);
+        if self
+            .cmd_tx
+            .as_ref()
+            .expect("alive system has a command channel")
+            .send(MasterCmd::Job(job))
+            .is_err()
+        {
+            self.fail(None);
+        }
+        match self.reply_rx.recv() {
+            Ok(MasterReply::Done(done)) => {
+                let JobDone {
+                    result,
+                    vt_ns,
+                    net,
+                    dsm,
+                } = *done;
+                let result = *result
+                    .downcast::<R>()
+                    .expect("job reply carries the job's result type");
+                Ok(RunOutcome {
+                    result,
+                    vt_ns,
+                    net,
+                    dsm,
+                })
+            }
+            Ok(MasterReply::Panicked(payload)) => self.fail(Some(payload)),
+            Err(_) => self.fail(None),
+        }
+    }
+
+    /// Tear the dead system down and re-raise the root-cause panic:
+    /// worker panics are preferred over the master's secondary failure
+    /// (a worker death closes the channels the master blocks on).
+    fn fail(&mut self, master_payload: Option<Box<dyn Any + Send>>) -> ! {
+        self.dead = true;
+        self.cmd_tx = None;
+        let mut worker_panic = None;
+        for h in self.workers.drain(..) {
+            if let Err(e) = h.join() {
+                worker_panic = Some(e);
+            }
+        }
+        let master_payload = match self.master.take() {
+            Some(m) => m.join().err().or(master_payload),
+            None => master_payload,
+        };
+        let mut service_panic = None;
+        for h in self.services.drain(..) {
+            if let Err(e) = h.join() {
+                service_panic = Some(e);
+            }
+        }
+        match worker_panic.or(master_payload).or(service_panic) {
+            Some(p) => resume_unwind(p),
+            None => panic!("DSM system died without a panic payload"),
+        }
+    }
+
+    /// Graceful teardown: stop the master loop, join every thread, and
+    /// re-raise any panic a thread died with.
+    pub fn shutdown(mut self) {
+        self.teardown(true);
+    }
+
+    fn teardown(&mut self, propagate: bool) {
+        if self.dead && self.master.is_none() {
+            return;
+        }
+        self.dead = true;
+        self.cmd_tx = None; // master loop exits and broadcasts Shutdown
+        let master_result = self.master.take().map(|h| h.join()).unwrap_or(Ok(()));
+        let mut worker_panic = None;
+        for h in self.workers.drain(..) {
+            if let Err(e) = h.join() {
+                worker_panic = Some(e);
+            }
+        }
+        let mut service_panic = None;
+        for h in self.services.drain(..) {
+            if let Err(e) = h.join() {
+                service_panic = Some(e);
+            }
+        }
+        if !propagate || thread::panicking() {
+            return;
+        }
+        // Prefer reporting the root-cause worker panic over the master's
+        // secondary "channel disconnected" failure; a service-thread
+        // panic (a protocol invariant tripping) must surface too.
+        if let Some(e) = worker_panic {
+            resume_unwind(e);
+        }
+        if let Err(e) = master_result {
+            resume_unwind(e);
+        }
+        if let Some(e) = service_panic {
+            resume_unwind(e);
+        }
+    }
+}
+
+impl Drop for System {
+    fn drop(&mut self) {
+        self.teardown(false);
+    }
+}
+
+/// The job-boundary reset round (see the module docs): returns the sum of
+/// every node's per-job protocol statistics and leaves the whole cluster
+/// in the state a freshly built system would have.
+fn job_boundary_reset(tmk: &mut Tmk) -> TmkStats {
+    let n = tmk.nprocs();
+    let mut total = TmkStats::default();
+    for i in 1..n {
+        tmk.ep.send(i, Msg::ResetReq);
+    }
+    // Fence our own service thread: our fire-and-forget releases (and any
+    // manager work addressed to node 0) are handled before this ack comes
+    // back, so the statistics snapshot below cannot race them.
+    tmk.ep.send(0, Msg::SyncReq);
+    let mut pending = n; // n-1 ResetDone + 1 SyncAck
+    while pending > 0 {
+        let d = tmk.recv_reply();
+        match d.msg {
+            Msg::ResetDone { stats } => total.merge(&stats),
+            Msg::SyncAck => {}
+            other => panic!("expected ResetDone/SyncAck, got {}", other.kind()),
+        }
+        pending -= 1;
+    }
+    {
+        let mut st = tmk.state.lock();
+        total.merge(&st.stats);
+        st.reset();
+    }
+    // Order matters for determinism: node states are all fresh, so the
+    // shared allocation table can restart at address 0; traffic counters
+    // drop the reset round's own control messages; the clock starts the
+    // next job at t = 0.
+    tmk.alloc.reset();
+    tmk.ep.reset_stats();
+    tmk.clock.reset();
+    tmk.barrier_epoch = 0;
+    tmk.in_region = false;
+    tmk.meter.restart();
+    total
+}
+
 /// Build a DSM system of `cfg.nodes()` workstations, run `master_fn` on
 /// node 0, and tear everything down.
 ///
 /// The master allocates shared memory, runs sequential sections, and
 /// spawns parallel regions with [`Tmk::parallel`]; slave nodes execute the
 /// shipped regions. Returns the result together with the virtual run time
-/// and traffic statistics.
+/// and traffic statistics. One-job convenience wrapper around [`System`]
+/// — a warm system amortizes this bring-up/tear-down over a job stream.
 pub fn run_system<R, F>(cfg: TmkConfig, master_fn: F) -> RunOutcome<R>
 where
     R: Send + 'static,
     F: FnOnce(&mut Tmk) -> R + Send + 'static,
 {
-    let n = cfg.nodes();
-    let alloc = AllocTable::new(cfg.page_shift());
-    let eps = Network::build::<Msg>(cfg.net.clone());
-    let scale = cfg.net.compute_scale;
-
-    let mut states: Vec<Arc<Mutex<NodeState>>> = Vec::with_capacity(n);
-    let mut service_handles = Vec::with_capacity(n);
-    let mut tmks: Vec<Tmk> = Vec::with_capacity(n);
-    let mut work_rxs: Vec<Receiver<WorkItem>> = Vec::with_capacity(n);
-
-    for (id, ep) in eps.into_iter().enumerate() {
-        let state = Arc::new(Mutex::new(NodeState::new(
-            id,
-            cfg.clone(),
-            alloc.clone(),
-            ep.clock().clone(),
-        )));
-        let (to_app, app_rx) = unbounded();
-        let (work_tx, work_rx) = unbounded();
-        {
-            let (ep, state) = (ep.clone(), state.clone());
-            service_handles.push(
-                thread::Builder::new()
-                    .name(format!("tmk-svc-{id}"))
-                    .spawn(move || service_loop(ep, state, to_app, work_tx))
-                    .expect("spawn service thread"),
-            );
-        }
-        tmks.push(Tmk {
-            id,
-            n,
-            clock: ep.clock().clone(),
-            ep,
-            state: state.clone(),
-            app_rx,
-            meter: ComputeMeter::new(scale),
-            alloc: alloc.clone(),
-            in_region: false,
-            barrier_epoch: 0,
-            gate: None,
-            lane: None,
-            derived: false,
-            smp_access_ns: 0,
-        });
-        states.push(state);
-        work_rxs.push(work_rx);
-    }
-
-    // Slave application threads (nodes n-1 .. 1).
-    let mut worker_handles = Vec::with_capacity(n - 1);
-    let mut iter = tmks.into_iter();
-    let master_tmk = iter.next().expect("at least one node");
-    let mut work_iter = work_rxs.into_iter();
-    let _master_work = work_iter.next();
-    for (tmk, work_rx) in iter.zip(work_iter) {
-        let id = tmk.proc_id();
-        worker_handles.push(
-            thread::Builder::new()
-                .name(format!("tmk-app-{id}"))
-                .spawn(move || {
-                    // A panicking worker must not leave the rest of the
-                    // cluster blocked on it forever: tear everything down
-                    // (services forward Stop; blocked app threads see
-                    // their reply channels close) before re-raising.
-                    let ep = tmk.ep.clone();
-                    let n = tmk.nprocs();
-                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                        worker_loop(tmk, work_rx)
-                    }));
-                    if let Err(e) = r {
-                        for i in 0..n {
-                            ep.send_service(i, Msg::Shutdown);
-                        }
-                        std::panic::resume_unwind(e);
-                    }
-                })
-                .expect("spawn worker thread"),
-        );
-    }
-
-    // Master application thread.
-    let master_handle = thread::Builder::new()
-        .name("tmk-app-0".into())
-        .spawn(move || {
-            let mut tmk = master_tmk;
-            // The meter was created on the spawning thread; re-arm it on
-            // the thread whose CPU clock it will read.
-            tmk.meter.restart();
-            let result = master_fn(&mut tmk);
-            tmk.meter.charge(&tmk.clock.clone());
-            let vt = tmk.clock.now();
-            // Tear down every node's service loop (which in turn stops the
-            // worker loops). The master's final barrier/join guarantees no
-            // application-level operation is still in flight.
-            for i in 0..tmk.nprocs() {
-                tmk.ep.send(i, Msg::Shutdown);
-            }
-            let net = tmk.ep.stats();
-            (result, vt, net)
-        })
-        .expect("spawn master thread");
-
-    let master_result = master_handle.join();
-    let mut worker_panic = None;
-    for h in worker_handles {
-        if let Err(e) = h.join() {
-            worker_panic = Some(e);
-        }
-    }
-    // Prefer reporting the root-cause worker panic over the master's
-    // secondary "channel disconnected" failure.
-    if let Some(e) = worker_panic {
-        std::panic::resume_unwind(e);
-    }
-    let (result, vt_ns, net) = match master_result {
-        Ok(r) => r,
-        Err(e) => std::panic::resume_unwind(e),
-    };
-    for h in service_handles {
-        h.join().expect("service thread panicked");
-    }
-
-    let mut dsm = TmkStats::default();
-    for st in &states {
-        dsm.merge(&st.lock().stats);
-    }
-    RunOutcome {
-        result,
-        vt_ns,
-        net,
-        dsm,
-    }
+    let mut sys = System::build(cfg);
+    let out = sys
+        .run_job(master_fn)
+        .expect("a freshly built system accepts a job");
+    sys.shutdown();
+    out
 }
 
-/// Slave node main loop: run forked regions until shutdown.
+/// Slave node main loop: run forked regions (and job-boundary resets)
+/// until shutdown.
 fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
     tmk.meter.restart();
     let handler_ns = tmk.ep.cfg().handler_ns;
@@ -207,6 +541,24 @@ fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
                 tmk.in_region = false;
                 tmk.barrier(); // implicit end-of-region barrier (Tmk_join)
             }
+            Ok(WorkItem::Reset) => {
+                // Job boundary: everything this node will ever do for the
+                // finished job is done (work items are processed in order
+                // and the service inbox is FIFO), so the counters are the
+                // job's exact per-node statistics.
+                let stats = {
+                    let mut st = tmk.state.lock();
+                    let stats = std::mem::take(&mut st.stats);
+                    st.reset();
+                    stats
+                };
+                tmk.ep.send(0, Msg::ResetDone { stats });
+                // Zero the clock *after* the send charged it: the next
+                // job finds this node at t = 0, exactly like a cold start.
+                tmk.clock.reset();
+                tmk.barrier_epoch = 0;
+                tmk.meter.restart();
+            }
         }
     }
 }
@@ -217,6 +569,18 @@ mod tests {
 
     fn cfg(n: usize) -> TmkConfig {
         TmkConfig::fast_test(n)
+    }
+
+    /// Configuration whose virtual times are deterministic: measured host
+    /// compute contributes nothing and per-message CPU costs are zero, so
+    /// every timestamp is a pure function of the modeled protocol costs.
+    fn det_cfg(n: usize) -> TmkConfig {
+        let mut c = TmkConfig::fast_test(n);
+        c.net.compute_scale = 0.0;
+        c.net.send_overhead_ns = 0;
+        c.net.handler_ns = 0;
+        c.net.local_delivery_ns = 0;
+        c
     }
 
     #[test]
@@ -465,5 +829,142 @@ mod tests {
         assert!(out.dsm.invalidations > 0);
         assert!(out.dsm.read_faults > 0);
         assert!(out.dsm.barriers >= 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Warm system: job streams on one cluster
+    // ------------------------------------------------------------------
+
+    /// A small deterministic job: parallel writes + a faulting reader.
+    fn job(tmk: &mut Tmk) -> Vec<u64> {
+        let v = tmk.malloc_vec::<u64>(256);
+        tmk.parallel(0, move |t| {
+            let me = t.proc_id();
+            let r = me * 64..(me + 1) * 64;
+            t.view_mut(&v, r, |c| {
+                for (i, x) in c.iter_mut().enumerate() {
+                    *x = i as u64 + 1;
+                }
+            });
+        });
+        tmk.read_slice(&v, 0..256)
+    }
+
+    #[test]
+    fn warm_system_runs_a_job_stream() {
+        let mut sys = System::build(cfg(4));
+        let a = sys.run_job(job).unwrap();
+        let b = sys.run_job(job).unwrap();
+        let c = sys.run_job(job).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(b.result, c.result);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn warm_jobs_get_exact_stat_deltas_and_deterministic_replays() {
+        // The second and third runs of the same job on one warm system
+        // must report identical statistics, virtual times and traffic —
+        // the reset leaves no residue and job streams replay
+        // deterministically.
+        let mut sys = System::build(det_cfg(4));
+        let a = sys.run_job(job).unwrap();
+        let b = sys.run_job(job).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.dsm, b.dsm, "per-job DSM stats must be exact deltas");
+        assert_eq!(a.net, b.net, "per-job traffic must be exact deltas");
+        assert_eq!(a.vt_ns, b.vt_ns, "virtual time restarts per job");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn warm_job_equals_cold_run() {
+        // Job N+1 on a warm system is bit-identical to a cold one-shot
+        // run of the same job (fresh state, clocks at zero).
+        let cold = run_system(det_cfg(3), job);
+        let mut sys = System::build(det_cfg(3));
+        let _first = sys.run_job(job).unwrap();
+        let warm = sys.run_job(job).unwrap();
+        assert_eq!(cold.result, warm.result);
+        assert_eq!(cold.dsm, warm.dsm);
+        assert_eq!(cold.net.total_msgs(), warm.net.total_msgs());
+        assert_eq!(cold.vt_ns, warm.vt_ns);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn warm_system_mixes_job_shapes() {
+        // Different result types and shapes on one system; allocations
+        // restart at address 0 every job.
+        let mut sys = System::build(cfg(2));
+        let a = sys.run_job(|t| {
+            let v = t.malloc_vec::<u64>(8);
+            t.write(&v, 0, 9);
+            t.read(&v, 0)
+        });
+        assert_eq!(a.unwrap().result, 9);
+        let b = sys.run_job(|t| {
+            let v = t.malloc_vec::<f64>(4);
+            t.write(&v, 3, 2.5);
+            format!("{}", t.read(&v, 3))
+        });
+        assert_eq!(b.unwrap().result, "2.5");
+        sys.shutdown();
+    }
+
+    #[test]
+    fn lock_state_does_not_leak_across_jobs() {
+        // Job 1 leaves semaphore counts and manager lock state behind;
+        // job 2 must see a pristine cluster (a leaked signal would
+        // satisfy the first wait and desynchronize the pipeline).
+        let pipeline = |tmk: &mut Tmk| {
+            let sum = tmk.malloc_scalar::<u64>(0);
+            let data = tmk.malloc_scalar::<u64>(0);
+            tmk.parallel(0, move |t| {
+                if t.proc_id() == 0 {
+                    for i in 1..=3u64 {
+                        data.set(t, i);
+                        t.sema_signal(0);
+                        t.sema_wait(1);
+                    }
+                } else {
+                    let mut acc = 0;
+                    for _ in 0..3 {
+                        t.sema_wait(0);
+                        acc += data.get(t);
+                        t.sema_signal(1);
+                    }
+                    sum.set(t, acc);
+                }
+            });
+            // Leave an unconsumed signal behind on purpose.
+            tmk.sema_signal(7);
+            sum.get(tmk)
+        };
+        let mut sys = System::build(cfg(2));
+        let a = sys.run_job(pipeline).unwrap();
+        let b = sys.run_job(pipeline).unwrap();
+        assert_eq!(a.result, 6);
+        assert_eq!(b.result, 6);
+        assert_eq!(a.dsm, b.dsm);
+        sys.shutdown();
+    }
+
+    #[test]
+    fn dead_system_reports_system_down() {
+        let mut sys = System::build(cfg(2));
+        sys.run_job(|t| {
+            let v = t.malloc_vec::<u64>(1);
+            t.write(&v, 0, 1);
+        })
+        .unwrap();
+        let sys_ref = &mut sys;
+        // Kill it via a panicking job.
+        let r = std::panic::catch_unwind(AssertUnwindSafe(move || {
+            let _ = sys_ref.run_job::<(), _>(|_| panic!("job dies"));
+        }));
+        assert!(r.is_err(), "job panic must propagate");
+        assert!(!sys.is_alive());
+        assert_eq!(sys.run_job(|_| 0u8).unwrap_err(), SystemDown);
     }
 }

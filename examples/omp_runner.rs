@@ -1,5 +1,7 @@
-//! Run `.omp` programs through the `ompc` front-end on the simulated
-//! workstation network.
+//! Run `.omp` programs through the `ompc` front-end on one warm
+//! simulated workstation cluster (the `Cluster` session API: every file
+//! and every repetition reuses the same simulated network and DSM
+//! system, spun up exactly once).
 //!
 //! ```text
 //! cargo run --release --example omp_runner                  # all bundled examples, 4 nodes
@@ -8,6 +10,7 @@
 //! cargo run --release --example omp_runner -- --schedule dynamic,64 dotprod.omp
 //! OMP_SCHEDULE=guided,8 cargo run --release --example omp_runner
 //! cargo run --release --example omp_runner -- my.omp        # one file
+//! cargo run --release --example omp_runner -- --repeat 5 pi.omp  # 5 warm runs
 //! # Heterogeneous / loaded clusters:
 //! cargo run --release --example omp_runner -- --nodes 4 --speeds 1.0,1.0,1.0,0.5
 //! cargo run --release --example omp_runner -- --load burst:40/10x3 --load-seed 7
@@ -20,11 +23,12 @@
 //! speed factors (`0.5` = a 2×-slow machine), `--load` a background-load
 //! trace spec (`none`, `step:<node>@<ms>x<factor>`,
 //! `phase:<period_ms>/<busy_ms>x<factor>`,
-//! `burst:<period_ms>/<busy_ms>x<factor>`), and `--load-seed` the seed
-//! driving burst placement. Malformed strings are rejected with a
-//! diagnostic and exit code 2.
+//! `burst:<period_ms>/<busy_ms>x<factor>`), `--load-seed` the seed
+//! driving burst placement, and `--repeat N` runs every program N times
+//! on the warm cluster (same seed ⇒ bit-identical repetitions).
+//! Malformed strings are rejected with a diagnostic and exit code 2.
 
-use nomp::{ClusterLoad, OmpConfig, Schedule};
+use nomp::Schedule;
 
 const BUNDLED: &[(&str, &str)] = &[
     ("pi.omp", include_str!("omp/pi.omp")),
@@ -42,26 +46,19 @@ fn bail(msg: &str) -> ! {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match openmp_now::cli::RunnerArgs::parse(&argv) {
+    let mut args = match openmp_now::cli::RunnerArgs::parse(&argv) {
         Ok(a) => a,
         Err(e) => bail(&e),
     };
-    let (nodes, tpn) = (args.nodes, args.tpn);
     // `OMP_SCHEDULE` exactly as in a real runtime; the CLI flag wins.
-    let schedule: Option<Schedule> = match args.schedule {
-        Some(s) => Some(s),
-        None => match std::env::var("OMP_SCHEDULE") {
-            Ok(env) => match Schedule::parse(&env) {
-                Ok(s) => Some(s),
+    if args.schedule.is_none() {
+        if let Ok(env) = std::env::var("OMP_SCHEDULE") {
+            match Schedule::parse(&env) {
+                Ok(s) => args.schedule = Some(s),
                 Err(e) => bail(&format!("invalid OMP_SCHEDULE schedule: {e}")),
-            },
-            Err(_) => None,
-        },
-    };
-    let load: ClusterLoad = match args.cluster_load() {
-        Ok(l) => l,
-        Err(e) => bail(&e),
-    };
+            }
+        }
+    }
 
     let programs: Vec<(String, String)> = if args.files.is_empty() {
         BUNDLED
@@ -79,40 +76,64 @@ fn main() {
             .collect()
     };
 
+    // One warm cluster for every file × repetition of this invocation.
+    let mut cluster = match args.cluster() {
+        Ok(c) => c,
+        Err(e) => bail(&e.to_string()),
+    };
+    let hetero_note = if cluster.config().tmk.net.load.is_uniform() {
+        ""
+    } else {
+        " (heterogeneous)"
+    };
+
     let mut failed = false;
     for (name, src) in &programs {
-        let hetero_note = if load.is_uniform() {
-            ""
-        } else {
-            " (heterogeneous)"
-        };
-        println!("== {name} on {nodes} simulated workstations x {tpn} threads{hetero_note} ==",);
-        let mut cfg = OmpConfig::paper_smp(nodes, tpn).with_load(load.clone());
-        if let Some(s) = schedule {
-            cfg.runtime_schedule = s;
-        }
-        match ompc::run_source(src, cfg) {
-            Ok(out) => {
-                for line in &out.printed {
-                    println!("  {line}");
-                }
-                println!(
-                    "  [exit {}; {:.3} virtual s; {} msgs; {:.2} MB]\n",
-                    out.ret,
-                    out.vt_seconds(),
-                    out.msgs,
-                    out.bytes as f64 / 1e6
-                );
-                if name == "qsort.omp" && out.ret != 0.0 {
-                    eprintln!("  ERROR: qsort reported {} inversions", out.ret);
-                    failed = true;
-                }
-            }
+        println!(
+            "== {name} on {} simulated workstations x {} threads{hetero_note} ==",
+            cluster.nodes(),
+            cluster.threads_per_node(),
+        );
+        let compiled = match ompc::compile(src) {
+            Ok(c) => c,
             Err(d) => {
                 eprintln!("  compile error: {d}");
                 failed = true;
+                continue;
+            }
+        };
+        for rep in 0..args.repeat {
+            let out = match cluster.run(&compiled) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("  cluster error: {e}");
+                    failed = true;
+                    break;
+                }
+            };
+            if rep == 0 {
+                for line in &out.result.printed {
+                    println!("  {line}");
+                }
+            }
+            let rep_note = if args.repeat > 1 {
+                format!(" (job {} on the warm cluster)", out.job)
+            } else {
+                String::new()
+            };
+            println!(
+                "  [exit {}; {:.3} virtual s; {} msgs; {:.2} MB]{rep_note}",
+                out.result.ret,
+                out.vt_seconds(),
+                out.msgs(),
+                out.bytes() as f64 / 1e6
+            );
+            if name.ends_with("qsort.omp") && out.result.ret != 0.0 {
+                eprintln!("  ERROR: qsort reported {} inversions", out.result.ret);
+                failed = true;
             }
         }
+        println!();
     }
     if failed {
         std::process::exit(1);

@@ -11,80 +11,89 @@ const HANDOFFS: u64 = 25;
 const AVAIL: u32 = 0;
 const DONE: u32 = 1;
 
-fn sema_version(nodes: usize) -> (u64, u64) {
-    let out = nomp::run(OmpConfig::paper(nodes), |omp| {
-        let data = omp.malloc_scalar::<u64>(0);
-        let sum = omp.malloc_scalar::<u64>(0);
-        omp.parallel(move |t| match t.thread_num() {
-            0 => {
-                for i in 1..=HANDOFFS {
-                    data.set(t, i);
-                    t.sema_signal(AVAIL);
-                    t.sema_wait(DONE);
+fn sema_version(cluster: &mut Cluster) -> (u64, u64) {
+    let out = cluster
+        .run(|omp: &mut Env| {
+            let data = omp.malloc_scalar::<u64>(0);
+            let sum = omp.malloc_scalar::<u64>(0);
+            omp.parallel(move |t| match t.thread_num() {
+                0 => {
+                    for i in 1..=HANDOFFS {
+                        data.set(t, i);
+                        t.sema_signal(AVAIL);
+                        t.sema_wait(DONE);
+                    }
                 }
-            }
-            1 => {
-                let mut acc = 0;
-                for _ in 0..HANDOFFS {
-                    t.sema_wait(AVAIL);
-                    acc += data.get(t);
-                    t.sema_signal(DONE);
+                1 => {
+                    let mut acc = 0;
+                    for _ in 0..HANDOFFS {
+                        t.sema_wait(AVAIL);
+                        acc += data.get(t);
+                        t.sema_signal(DONE);
+                    }
+                    sum.set(t, acc);
                 }
-                sum.set(t, acc);
-            }
-            _ => {}
-        });
-        sum.get(omp)
-    });
+                _ => {}
+            });
+            sum.get(omp)
+        })
+        .expect("cluster job");
     assert_eq!(out.result, HANDOFFS * (HANDOFFS + 1) / 2);
-    (out.vt_ns, out.net.total_msgs())
+    (out.vt_ns, out.msgs())
 }
 
-fn flush_version(nodes: usize) -> (u64, u64) {
-    let out = nomp::run(OmpConfig::paper(nodes), |omp| {
-        let data = omp.malloc_scalar::<u64>(0);
-        let available = omp.malloc_scalar::<u32>(0);
-        let done = omp.malloc_scalar::<u32>(0);
-        let sum = omp.malloc_scalar::<u64>(0);
-        omp.parallel(move |t| match t.thread_num() {
-            0 => {
-                for i in 1..=HANDOFFS {
-                    data.set(t, i);
-                    available.set(t, 1);
-                    t.flush();
-                    while done.get(t) == 0 {
-                        t.spin_hint();
+fn flush_version(cluster: &mut Cluster) -> (u64, u64) {
+    let out = cluster
+        .run(|omp: &mut Env| {
+            let data = omp.malloc_scalar::<u64>(0);
+            let available = omp.malloc_scalar::<u32>(0);
+            let done = omp.malloc_scalar::<u32>(0);
+            let sum = omp.malloc_scalar::<u64>(0);
+            omp.parallel(move |t| match t.thread_num() {
+                0 => {
+                    for i in 1..=HANDOFFS {
+                        data.set(t, i);
+                        available.set(t, 1);
+                        t.flush();
+                        while done.get(t) == 0 {
+                            t.spin_hint();
+                        }
+                        done.set(t, 0);
                     }
-                    done.set(t, 0);
                 }
-            }
-            1 => {
-                let mut acc = 0;
-                for _ in 0..HANDOFFS {
-                    while available.get(t) == 0 {
-                        t.spin_hint();
+                1 => {
+                    let mut acc = 0;
+                    for _ in 0..HANDOFFS {
+                        while available.get(t) == 0 {
+                            t.spin_hint();
+                        }
+                        available.set(t, 0);
+                        acc += data.get(t);
+                        done.set(t, 1);
+                        t.flush();
                     }
-                    available.set(t, 0);
-                    acc += data.get(t);
-                    done.set(t, 1);
-                    t.flush();
+                    sum.set(t, acc);
                 }
-                sum.set(t, acc);
-            }
-            _ => {}
-        });
-        sum.get(omp)
-    });
+                _ => {}
+            });
+            sum.get(omp)
+        })
+        .expect("cluster job");
     assert_eq!(out.result, HANDOFFS * (HANDOFFS + 1) / 2);
-    (out.vt_ns, out.net.total_msgs())
+    (out.vt_ns, out.msgs())
 }
 
 fn main() {
     println!("{HANDOFFS} pipeline handoffs between workstations 0 and 1:\n");
     println!("nodes  flush msgs  sema msgs   flush s   sema s");
     for nodes in [2usize, 4, 8] {
-        let (fv, fm) = flush_version(nodes);
-        let (sv, sm) = sema_version(nodes);
+        // Both versions run as jobs on one warm cluster per node count.
+        let mut cluster = Cluster::builder()
+            .nodes(nodes)
+            .build()
+            .expect("valid cluster");
+        let (fv, fm) = flush_version(&mut cluster);
+        let (sv, sm) = sema_version(&mut cluster);
         println!(
             "{nodes:>5}  {fm:>10}  {sm:>9}  {:>8.3}  {:>7.3}",
             fv as f64 / 1e9,

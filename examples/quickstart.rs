@@ -1,38 +1,41 @@
 //! Quickstart: an OpenMP program running on a simulated 4-workstation
 //! network — parallel initialization, a reduction, and the traffic the
-//! DSM needed to make it happen.
+//! DSM needed to make it happen, through the `Cluster` session API.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use openmp_now::prelude::*;
 
 fn main() {
-    let out = nomp::run(OmpConfig::paper(4), |omp| {
-        let n = 100_000;
-        // Shared data must be explicit (the paper's Modification 1)...
-        let a = omp.malloc_vec::<f64>(n);
-        // ...while anything captured by value is firstprivate:
-        let scale = 3.0f64;
+    let mut cluster = Cluster::builder().nodes(4).build().expect("valid cluster");
+    let out = cluster
+        .run(|omp: &mut Env| {
+            let n = 100_000;
+            // Shared data must be explicit (the paper's Modification 1)...
+            let a = omp.malloc_vec::<f64>(n);
+            // ...while anything captured by value is firstprivate:
+            let scale = 3.0f64;
 
-        // !$omp parallel do
-        omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
-            t.view_mut(&a, r.clone(), |chunk| {
-                for (k, x) in chunk.iter_mut().enumerate() {
-                    *x = scale * (r.start + k) as f64;
-                }
+            // !$omp parallel do
+            omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
+                t.view_mut(&a, r.clone(), |chunk| {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        *x = scale * (r.start + k) as f64;
+                    }
+                });
             });
-        });
 
-        // !$omp parallel do reduction(+: sum)
-        omp.parallel_reduce(
-            Schedule::Static,
-            0..n,
-            RedOp::Sum,
-            move |t, i, acc: &mut f64| {
-                *acc += t.read(&a, i);
-            },
-        )
-    });
+            // !$omp parallel do reduction(+: sum)
+            omp.parallel_reduce(
+                Schedule::Static,
+                0..n,
+                RedOp::Sum,
+                move |t, i, acc: &mut f64| {
+                    *acc += t.read(&a, i);
+                },
+            )
+        })
+        .expect("cluster job");
 
     let n = 100_000u64;
     let expect = 3.0 * (n * (n - 1) / 2) as f64;

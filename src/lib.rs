@@ -13,26 +13,42 @@
 //! * [`now_net`] — the simulated workstation network + virtual time
 //! * [`now_apps`] — the five evaluation applications
 //!
+//! The one public way in is the [`Cluster`](nomp::Cluster) session API:
+//! build a cluster once, run a stream of jobs — Rust closures and
+//! compiled `.omp` programs alike — on the same warm simulated network:
+//!
 //! ```
 //! use openmp_now::prelude::*;
 //!
-//! let out = nomp::run(OmpConfig::fast_test(2), |omp| {
+//! # fn main() -> Result<(), NowError> {
+//! let mut cluster = Cluster::builder().nodes(2).fast_test().build()?;
+//!
+//! // A handwritten region closure...
+//! let report = cluster.run(|omp: &mut Env| {
 //!     let v = omp.malloc_vec::<u64>(100);
 //!     omp.parallel_for(Schedule::Static, 0..100, move |t, i| {
 //!         t.write(&v, i, (i * i) as u64);
 //!     });
 //!     omp.read(&v, 9)
-//! });
-//! assert_eq!(out.result, 81);
+//! })?;
+//! assert_eq!(report.result, 81);
+//!
+//! // ...and a compiled `.omp` program share the warm cluster.
+//! let prog = ompc::compile(
+//!     "double x; int main() { x = 6 * 7; return 0; }",
+//! )?;
+//! let omp_report = cluster.run(&prog)?;
+//! assert_eq!(omp_report.result.scalars["x"], 42.0);
+//! # Ok(()) }
 //! ```
 
-pub use {nomp, now_apps, now_net, nowmpi, smp, tmk};
+pub use {nomp, now_apps, now_net, nowmpi, ompc, smp, tmk};
 
 /// Common imports for writing OpenMP-on-NOW programs.
 pub mod prelude {
     pub use nomp::{
-        critical_id, run, Env, OmpConfig, OmpThread, RedOp, Schedule, SharedScalar, SharedVec,
-        ThreadPrivate,
+        critical_id, run, Cluster, ClusterBuilder, Diag, Env, Job, NowError, NowProgram, OmpConfig,
+        OmpThread, RedOp, RunReport, Schedule, SharedScalar, SharedVec, ThreadPrivate,
     };
     pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
 }
@@ -41,7 +57,7 @@ pub mod prelude {
 /// the library so the CLI surface is unit-testable: malformed flags must
 /// produce a clear message, which the runner maps to exit code 2).
 pub mod cli {
-    use nomp::{ClusterLoad, LoadSpec, Schedule};
+    use nomp::{Cluster, ClusterBuilder, ClusterLoad, LoadSpec, NowError, Schedule};
 
     /// Parsed `omp_runner` arguments.
     #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +75,9 @@ pub mod cli {
         pub load: Option<LoadSpec>,
         /// Seed driving stochastic traces (`--load-seed`).
         pub load_seed: u64,
+        /// Run every program this many times on the warm cluster
+        /// (`--repeat`; default 1).
+        pub repeat: usize,
         /// `.omp` files to run (empty = the bundled examples).
         pub files: Vec<String>,
     }
@@ -72,6 +91,7 @@ pub mod cli {
                 speeds: None,
                 load: None,
                 load_seed: 0,
+                repeat: 1,
                 files: Vec::new(),
             }
         }
@@ -135,10 +155,18 @@ pub mod cli {
                             format!("--load-seed expects an unsigned integer, got `{v}`")
                         })?;
                     }
+                    "--repeat" => {
+                        let v = value_of(&mut it, "--repeat")?;
+                        a.repeat = v
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| format!("--repeat expects N >= 1, got `{v}`"))?;
+                    }
                     f if f.starts_with("--") => {
                         return Err(format!(
                             "unknown flag `{f}` (expected --nodes, --tpn, --schedule, \
-                             --speeds, --load, --load-seed, or a .omp file)"
+                             --speeds, --load, --load-seed, --repeat, or a .omp file)"
                         ));
                     }
                     f => a.files.push(f.to_string()),
@@ -171,6 +199,32 @@ pub mod cli {
             };
             load.validate()?;
             Ok(load)
+        }
+
+        /// The [`ClusterBuilder`] these arguments describe (paper cost
+        /// model, as the runner always used). `schedule` should already
+        /// have the `OMP_SCHEDULE` fallback applied by the caller.
+        pub fn cluster_builder(&self) -> ClusterBuilder {
+            let mut b = Cluster::builder()
+                .nodes(self.nodes)
+                .threads_per_node(self.tpn)
+                .load_seed(self.load_seed);
+            if let Some(s) = &self.speeds {
+                b = b.speeds(s.clone());
+            }
+            if let Some(l) = &self.load {
+                b = b.load(l.clone());
+            }
+            if let Some(s) = self.schedule {
+                b = b.runtime_schedule(s);
+            }
+            b
+        }
+
+        /// Bring up the warm cluster these arguments describe — the one
+        /// cluster every file × repetition of a runner invocation reuses.
+        pub fn cluster(&self) -> Result<Cluster, NowError> {
+            self.cluster_builder().build()
         }
     }
 }

@@ -2,7 +2,7 @@
 //! adaptive/affinity schedules through the whole stack, `.omp` program
 //! results invariant under heterogeneity, and the runner's CLI surface.
 
-use nomp::{ClusterLoad, LoadTrace, OmpConfig, Schedule, TmkStats};
+use nomp::{Cluster, ClusterLoad, Env, LoadTrace, OmpConfig, Schedule, TmkStats};
 use openmp_now::cli::RunnerArgs;
 
 // ----------------------------------------------------------------------
@@ -31,17 +31,19 @@ fn det_cfg(nodes: usize, tpn: usize, load: ClusterLoad) -> OmpConfig {
 /// everything back (sequenced faults).
 fn det_run(cfg: OmpConfig) -> (u64, TmkStats, u64, Vec<u64>) {
     const SLAB: usize = 512; // one 4 KiB page of u64s per thread
-    let out = nomp::run(cfg, |omp| {
-        let nthreads = omp.num_threads();
-        let data = omp.malloc_vec::<u64>(nthreads * SLAB);
-        omp.parallel(move |t| {
-            let me = t.thread_num();
-            let vals: Vec<u64> = (0..SLAB).map(|i| (me * SLAB + i) as u64).collect();
-            t.write_slice_push(&data, me * SLAB, &vals);
-        });
-        omp.read_slice(&data, 0..nthreads * SLAB)
-    });
-    (out.vt_ns, out.dsm, out.net.total_msgs(), out.result)
+    let out = Cluster::from_config(cfg)
+        .run(|omp: &mut Env| {
+            let nthreads = omp.num_threads();
+            let data = omp.malloc_vec::<u64>(nthreads * SLAB);
+            omp.parallel(move |t| {
+                let me = t.thread_num();
+                let vals: Vec<u64> = (0..SLAB).map(|i| (me * SLAB + i) as u64).collect();
+                t.write_slice_push(&data, me * SLAB, &vals);
+            });
+            omp.read_slice(&data, 0..nthreads * SLAB)
+        })
+        .expect("cluster job");
+    (out.vt_ns, out.dsm.clone(), out.msgs(), out.result)
 }
 
 #[test]
@@ -141,9 +143,15 @@ fn native_dot() -> f64 {
 fn ompc_accepts_adaptive_and_affinity_schedules() {
     for (name, src) in [("adaptive", DOT_ADAPTIVE), ("affinity", DOT_AFFINITY)] {
         for (nodes, tpn) in [(4usize, 1usize), (2, 2)] {
-            let out = ompc::run_source(src, OmpConfig::fast_test_smp(nodes, tpn))
-                .unwrap_or_else(|d| panic!("{name} must compile: {d}"));
-            let got = out.scalars["dot"];
+            let prog = ompc::compile(src).unwrap_or_else(|d| panic!("{name} must compile: {d}"));
+            let mut cluster = Cluster::builder()
+                .nodes(nodes)
+                .threads_per_node(tpn)
+                .fast_test()
+                .build()
+                .expect("valid cluster");
+            let out = cluster.run(prog).expect("cluster job");
+            let got = out.result.scalars["dot"];
             assert!(
                 (got - native_dot()).abs() < 1e-9,
                 "{name} on {nodes}x{tpn}: {got} != {}",
@@ -169,22 +177,34 @@ int main() {
 }
 "#;
     for sched in ["adaptive,4", "affinity"] {
-        let mut cfg = OmpConfig::fast_test(3);
-        cfg.runtime_schedule = Schedule::parse(sched).unwrap();
-        let out = ompc::run_source(RUNTIME_LOOP, cfg)
-            .unwrap_or_else(|d| panic!("{sched}: must compile: {d}"));
-        assert_eq!(out.ret, 499_500.0, "{sched}");
+        let mut cluster = Cluster::builder()
+            .nodes(3)
+            .fast_test()
+            .runtime_schedule_str(sched)
+            .build()
+            .expect("valid cluster");
+        let prog =
+            ompc::compile(RUNTIME_LOOP).unwrap_or_else(|d| panic!("{sched}: must compile: {d}"));
+        let out = cluster.run(prog).expect("cluster job");
+        assert_eq!(out.result.ret, 499_500.0, "{sched}");
     }
 }
 
 #[test]
 fn ompc_rejects_affinity_chunk() {
     let src = "int main() { #pragma omp for schedule(affinity, 4)\nfor (int i=0;i<3;i=i+1){} }";
-    let err = ompc::run_source(src, OmpConfig::fast_test(2)).unwrap_err();
+    let err = match ompc::compile(src) {
+        Err(d) => d,
+        Ok(_) => panic!("schedule(affinity, 4) must be rejected"),
+    };
     assert!(
         err.to_string().contains("affinity"),
         "diagnostic must name the clause: {err}"
     );
+    // The spanned Diag nests in the unified error type, so `?` composes
+    // compile + run end to end.
+    let unified: nomp::NowError = err.into();
+    assert!(matches!(unified, nomp::NowError::Compile(_)));
 }
 
 // ----------------------------------------------------------------------
@@ -205,11 +225,19 @@ fn bundled_omp_programs_unchanged_on_heterogeneous_clusters() {
         traces: vec![LoadTrace::Flat; 4],
         seed: 3,
     };
+    // Two warm clusters — uniform and loaded — each running all five
+    // programs as a job stream.
+    let mut uni_cluster = Cluster::builder().nodes(4).fast_test().build().unwrap();
+    let mut het_cluster = Cluster::builder()
+        .nodes(4)
+        .fast_test()
+        .load_model(load)
+        .build()
+        .unwrap();
     for (name, src) in programs {
-        let uni = ompc::run_source(src, OmpConfig::fast_test(4))
-            .unwrap_or_else(|d| panic!("{name} must compile: {d}"));
-        let het = ompc::run_source(src, OmpConfig::fast_test(4).with_load(load.clone()))
-            .unwrap_or_else(|d| panic!("{name} must compile: {d}"));
+        let prog = ompc::compile(src).unwrap_or_else(|d| panic!("{name} must compile: {d}"));
+        let uni = uni_cluster.run(&prog).expect("cluster job").result;
+        let het = het_cluster.run(&prog).expect("cluster job").result;
         assert_eq!(uni.ret, het.ret, "{name}: exit value changed under load");
         for (k, v) in &uni.scalars {
             let h = het.scalars[k];
@@ -260,10 +288,38 @@ fn runner_cli_parses_hetero_flags() {
     assert_eq!(load.traces.len(), 4);
     assert_eq!(load.seed, 7);
 
-    // Defaults: uniform, dedicated, 4 nodes.
+    // Defaults: uniform, dedicated, 4 nodes, one run per program.
     let d = RunnerArgs::parse(&[]).unwrap();
     assert_eq!(d.nodes, 4);
+    assert_eq!(d.repeat, 1);
     assert!(d.cluster_load().unwrap().is_uniform());
+}
+
+#[test]
+fn runner_cli_parses_repeat_and_builds_a_warm_cluster() {
+    let a = RunnerArgs::parse(&argv(&[
+        "--nodes",
+        "2",
+        "--repeat",
+        "3",
+        "--schedule",
+        "guided,8",
+        "x.omp",
+    ]))
+    .expect("valid args");
+    assert_eq!(a.repeat, 3);
+    // The arguments describe a buildable warm cluster, which then runs
+    // each file `repeat` times (exercised end to end below and by the
+    // omp_runner example itself).
+    let mut cluster = a.cluster().expect("valid cluster config");
+    assert_eq!(cluster.topology(), "2x1");
+    assert_eq!(cluster.config().runtime_schedule, Schedule::Guided(8));
+    let prog = ompc::compile("int main() { return 40 + 2; }").expect("compiles");
+    for rep in 0..a.repeat {
+        let out = cluster.run(&prog).expect("cluster job");
+        assert_eq!(out.result.ret, 42.0, "repetition {rep}");
+        assert_eq!(out.job, rep, "jobs are numbered on the warm cluster");
+    }
 }
 
 #[test]
@@ -281,6 +337,9 @@ fn runner_cli_rejects_malformed_specs_with_clear_messages() {
         (&["--load-seed", "seven"], "--load-seed"),
         (&["--nodes", "0"], "--nodes"),
         (&["--schedule", "fractal"], "--schedule"),
+        (&["--repeat", "0"], "--repeat"),
+        (&["--repeat", "three"], "--repeat"),
+        (&["--repeat"], "--repeat"),
         // Typos in flag names must be rejected, not treated as files.
         (&["--load-sed", "7", "prog.omp"], "--load-sed"),
         (&["--speeds=1.0,0.5"], "--speeds=1.0,0.5"),

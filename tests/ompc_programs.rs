@@ -8,8 +8,16 @@
 //! and the `smp_topologies` example); the grid/array references that
 //! must match bit-for-bit are computed by the helpers below.
 
-use nomp::{OmpConfig, Schedule};
+use nomp::{Cluster, OmpConfig, RunReport, Schedule};
 use now_bench::smp::native_reference;
+use ompc::ProgramOutput;
+
+/// Compile once and run as a job through the `Cluster` session API (the
+/// path every one-shot shim funnels into).
+fn run_omp(src: &str, cfg: OmpConfig) -> RunReport<ProgramOutput> {
+    let prog = ompc::compile(src).expect("bundled program must compile");
+    Cluster::from_config(cfg).run(prog).expect("cluster job")
+}
 
 const NODES: [usize; 4] = [1, 2, 4, 8];
 
@@ -65,8 +73,8 @@ fn qsort_reference_sorted() -> Vec<f64> {
 fn pi_matches_native_reference() {
     let expect = native_reference("pi");
     for nodes in NODES {
-        let out = ompc::run_source(PI, OmpConfig::fast_test(nodes)).unwrap();
-        let pi = out.scalars["pi"];
+        let out = run_omp(PI, OmpConfig::fast_test(nodes));
+        let pi = out.result.scalars["pi"];
         assert!(
             close(pi, expect, 1e-9),
             "{nodes} nodes: {pi} vs reference {expect}"
@@ -74,7 +82,7 @@ fn pi_matches_native_reference() {
         assert!((pi - std::f64::consts::PI).abs() < 1e-7);
         // The translated program paid real fork/barrier/page traffic.
         if nodes > 1 {
-            assert!(out.msgs > 0, "{nodes} nodes: no DSM traffic?");
+            assert!(out.msgs() > 0, "{nodes} nodes: no DSM traffic?");
         }
         assert!(out.vt_ns > 0);
     }
@@ -88,11 +96,11 @@ fn dotprod_matches_native_reference() {
         // configuration, which we point at dynamic chunking.
         let mut cfg = OmpConfig::fast_test(nodes);
         cfg.runtime_schedule = Schedule::Dynamic(256);
-        let out = ompc::run_source(DOTPROD, cfg).unwrap();
+        let out = run_omp(DOTPROD, cfg);
         assert!(
-            close(out.scalars["dot"], expect, 1e-9),
+            close(out.result.scalars["dot"], expect, 1e-9),
             "{nodes} nodes: {} vs {expect}",
-            out.scalars["dot"]
+            out.result.scalars["dot"]
         );
     }
 }
@@ -102,12 +110,12 @@ fn jacobi_matches_native_reference_exactly() {
     let u = jacobi_reference_grid();
     let resid = native_reference("jacobi");
     for nodes in NODES {
-        let out = ompc::run_source(JACOBI, OmpConfig::fast_test(nodes)).unwrap();
-        assert_eq!(out.arrays["u"], u, "{nodes} nodes: grid diverged");
+        let out = run_omp(JACOBI, OmpConfig::fast_test(nodes));
+        assert_eq!(out.result.arrays["u"], u, "{nodes} nodes: grid diverged");
         assert!(
-            close(out.scalars["resid"], resid, 1e-12),
+            close(out.result.scalars["resid"], resid, 1e-12),
             "{nodes} nodes: residual {} vs {resid}",
-            out.scalars["resid"]
+            out.result.scalars["resid"]
         );
     }
 }
@@ -116,8 +124,8 @@ fn jacobi_matches_native_reference_exactly() {
 fn fib_matches_native_reference() {
     let expect = fib(16) as f64;
     for nodes in NODES {
-        let out = ompc::run_source(FIB, OmpConfig::fast_test(nodes)).unwrap();
-        assert_eq!(out.scalars["count"], expect, "{nodes} nodes");
+        let out = run_omp(FIB, OmpConfig::fast_test(nodes));
+        assert_eq!(out.result.scalars["count"], expect, "{nodes} nodes");
         assert!(out.dsm.tasks_executed > 0, "{nodes} nodes: no tasks ran");
     }
 }
@@ -126,9 +134,12 @@ fn fib_matches_native_reference() {
 fn qsort_matches_native_reference() {
     let expect = qsort_reference_sorted();
     for nodes in NODES {
-        let out = ompc::run_source(QSORT, OmpConfig::fast_test(nodes)).unwrap();
-        assert_eq!(out.ret, 0.0, "{nodes} nodes: sort left inversions");
-        assert_eq!(out.arrays["a"], expect, "{nodes} nodes: wrong contents");
+        let out = run_omp(QSORT, OmpConfig::fast_test(nodes));
+        assert_eq!(out.result.ret, 0.0, "{nodes} nodes: sort left inversions");
+        assert_eq!(
+            out.result.arrays["a"], expect,
+            "{nodes} nodes: wrong contents"
+        );
     }
 }
 
@@ -147,35 +158,45 @@ fn all_programs_match_references_on_mixed_topologies() {
     for (nodes, tpn) in MIXED {
         let cfg = || OmpConfig::fast_test_smp(nodes, tpn);
 
-        let out = ompc::run_source(PI, cfg()).unwrap();
+        let out = run_omp(PI, cfg());
         assert!(
-            close(out.scalars["pi"], pi_ref, 1e-9),
+            close(out.result.scalars["pi"], pi_ref, 1e-9),
             "pi {nodes}x{tpn}: {} vs {pi_ref}",
-            out.scalars["pi"]
+            out.result.scalars["pi"]
         );
 
         let mut dcfg = cfg();
         dcfg.runtime_schedule = Schedule::Dynamic(256);
-        let out = ompc::run_source(DOTPROD, dcfg).unwrap();
+        let out = run_omp(DOTPROD, dcfg);
         assert!(
-            close(out.scalars["dot"], dot_ref, 1e-9),
+            close(out.result.scalars["dot"], dot_ref, 1e-9),
             "dotprod {nodes}x{tpn}: {} vs {dot_ref}",
-            out.scalars["dot"]
+            out.result.scalars["dot"]
         );
 
-        let out = ompc::run_source(JACOBI, cfg()).unwrap();
-        assert_eq!(out.arrays["u"], u, "jacobi {nodes}x{tpn}: grid diverged");
+        let out = run_omp(JACOBI, cfg());
+        assert_eq!(
+            out.result.arrays["u"], u,
+            "jacobi {nodes}x{tpn}: grid diverged"
+        );
 
-        let out = ompc::run_source(FIB, cfg()).unwrap();
-        assert_eq!(out.scalars["count"], fib(16) as f64, "fib {nodes}x{tpn}");
+        let out = run_omp(FIB, cfg());
+        assert_eq!(
+            out.result.scalars["count"],
+            fib(16) as f64,
+            "fib {nodes}x{tpn}"
+        );
         assert!(
             out.dsm.tasks_executed > 0,
             "fib {nodes}x{tpn}: no tasks ran"
         );
 
-        let out = ompc::run_source(QSORT, cfg()).unwrap();
-        assert_eq!(out.ret, 0.0, "qsort {nodes}x{tpn}: inversions");
-        assert_eq!(out.arrays["a"], sorted, "qsort {nodes}x{tpn}: contents");
+        let out = run_omp(QSORT, cfg());
+        assert_eq!(out.result.ret, 0.0, "qsort {nodes}x{tpn}: inversions");
+        assert_eq!(
+            out.result.arrays["a"], sorted,
+            "qsort {nodes}x{tpn}: contents"
+        );
     }
 }
 
@@ -186,12 +207,12 @@ fn pi_traffic_falls_as_threads_move_on_node() {
     let msgs: Vec<u64> = [(8, 1), (4, 2), (2, 4), (1, 8)]
         .into_iter()
         .map(|(nodes, tpn)| {
-            let out = ompc::run_source(PI, OmpConfig::fast_test_smp(nodes, tpn)).unwrap();
+            let out = run_omp(PI, OmpConfig::fast_test_smp(nodes, tpn));
             assert!(
-                (out.scalars["pi"] - std::f64::consts::PI).abs() < 1e-7,
+                (out.result.scalars["pi"] - std::f64::consts::PI).abs() < 1e-7,
                 "{nodes}x{tpn}"
             );
-            out.msgs
+            out.msgs()
         })
         .collect();
     assert!(
@@ -203,12 +224,16 @@ fn pi_traffic_falls_as_threads_move_on_node() {
 
 #[test]
 fn printed_output_is_captured_from_sequential_context() {
-    let out = ompc::run_source(PI, OmpConfig::fast_test(2)).unwrap();
-    assert_eq!(out.printed.len(), 2);
-    assert!(out.printed[0].starts_with("pi = 3.14"), "{:?}", out.printed);
+    let out = run_omp(PI, OmpConfig::fast_test(2));
+    assert_eq!(out.result.printed.len(), 2);
     assert!(
-        out.printed[1].starts_with("elapsed virtual seconds = "),
+        out.result.printed[0].starts_with("pi = 3.14"),
         "{:?}",
-        out.printed
+        out.result.printed
+    );
+    assert!(
+        out.result.printed[1].starts_with("elapsed virtual seconds = "),
+        "{:?}",
+        out.result.printed
     );
 }

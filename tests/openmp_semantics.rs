@@ -1,7 +1,18 @@
 //! Cross-crate semantics tests of the OpenMP layer over the DSM: the
 //! directive behaviours the paper's §2–3 define.
 
-use nomp::{run, OmpConfig, RedOp, Schedule, ThreadPrivate};
+use nomp::{Cluster, Env, Job, OmpConfig, RedOp, RunReport, Schedule, ThreadPrivate};
+
+/// One-job run through the `Cluster` session API (these tests each need
+/// a differently shaped cluster, so they build one per job).
+fn run<R: Send + 'static>(
+    cfg: OmpConfig,
+    f: impl FnOnce(&mut Env) -> R + Send + 'static,
+) -> RunReport<R> {
+    Cluster::from_config(cfg)
+        .run(Job::new(f))
+        .expect("cluster job")
+}
 
 #[test]
 fn default_private_shared_explicit() {
