@@ -94,6 +94,9 @@ pub struct HeteroRow {
     pub msgs: u64,
     /// The kernel's checked result scalar.
     pub result: f64,
+    /// Host wall-clock time of the cell in ms (simulator cost, not a
+    /// modeled quantity — it varies run to run).
+    pub host_ms: f64,
 }
 
 /// Kernel names, in sweep order.
@@ -200,6 +203,7 @@ pub fn run_cell(
     nodes: usize,
 ) -> HeteroRow {
     let cfg = OmpConfig::paper(nodes).with_load(scenario.load(nodes));
+    let host_t0 = std::time::Instant::now();
     let out = match kernel {
         "pi" => run(cfg, move |omp| {
             let step = 1.0 / (PI_N * PI_SUB) as f64;
@@ -275,6 +279,7 @@ pub fn run_cell(
         vt_ns: out.vt_ns,
         msgs: out.net.total_msgs(),
         result: out.result,
+        host_ms: host_t0.elapsed().as_secs_f64() * 1e3,
     }
 }
 
@@ -365,12 +370,20 @@ pub fn hetero_table(nodes: usize) -> Vec<HeteroRow> {
                     secs(r.vt_ns),
                     format!("{:.2}", r.vt_ns as f64 / base.vt_ns as f64),
                     r.msgs.to_string(),
+                    format!("{:.0}", r.host_ms),
                 ]
             })
             .collect();
         print_table(
             &format!("Heterogeneous NOW — {kernel} on {nodes} workstations"),
-            &["scenario", "schedule", "time (s)", "vs uniform", "msgs"],
+            &[
+                "scenario",
+                "schedule",
+                "time (s)",
+                "vs uniform",
+                "msgs",
+                "host (ms)",
+            ],
             &table,
         );
     }
@@ -388,7 +401,8 @@ pub fn rows_to_json(nodes: usize, rows: &[HeteroRow]) -> String {
         let slowdown = r.vt_ns as f64 / base.vt_ns as f64;
         s.push_str(&format!(
             "    {{\"kernel\": \"{}\", \"scenario\": \"{}\", \"schedule\": \"{}\", \
-             \"vt_ns\": {}, \"msgs\": {}, \"slowdown_vs_uniform\": {:.4}, \"result\": {:.12}}}{}\n",
+             \"vt_ns\": {}, \"msgs\": {}, \"slowdown_vs_uniform\": {:.4}, \
+             \"result\": {:.12}, \"host_ms\": {:.3}}}{}\n",
             r.kernel,
             r.scenario.name(),
             r.schedule,
@@ -396,6 +410,7 @@ pub fn rows_to_json(nodes: usize, rows: &[HeteroRow]) -> String {
             r.msgs,
             slowdown,
             r.result,
+            r.host_ms,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -470,6 +485,7 @@ mod tests {
                 vt_ns: 100,
                 msgs: 5,
                 result: 1.5,
+                host_ms: 12.5,
             },
             HeteroRow {
                 kernel: "pi",
@@ -478,12 +494,14 @@ mod tests {
                 vt_ns: 200,
                 msgs: 5,
                 result: 1.5,
+                host_ms: 20.0,
             },
         ];
         let j = rows_to_json(4, &rows);
         assert!(j.contains("\"nodes\": 4"));
         assert!(j.contains("\"scenario\": \"slow-2x\""));
         assert!(j.contains("\"slowdown_vs_uniform\": 2.0000"));
+        assert!(j.contains("\"host_ms\": 12.500"));
         // Trailing comma discipline: exactly one separator for two rows.
         assert_eq!(j.matches("},\n").count(), 1);
     }

@@ -10,7 +10,7 @@ use crate::config::{OmpConfig, Schedule};
 use crate::env::Env;
 use crate::error::NowError;
 use now_net::{ClusterLoad, LoadSpec};
-use tmk::{StatsSnapshot, System, TmkConfig, TmkStats};
+use tmk::{Profile, StatsSnapshot, System, TmkConfig, TmkStats, Trace, TraceConfig};
 
 /// Bound on simulated workstations (each node costs two host threads).
 const MAX_NODES: usize = 512;
@@ -91,6 +91,14 @@ pub struct RunReport<R> {
     pub threads_per_node: usize,
     /// 0-based index of this job on its cluster.
     pub job: usize,
+    /// The job's recorded event trace ([`ClusterBuilder::trace`];
+    /// exportable as Chrome trace-event JSON). `None` when tracing is
+    /// off — and recording never changes `result`/`vt_ns`/`dsm`/`net`.
+    pub trace: Option<Trace>,
+    /// Per-node compute/barrier/protocol/idle breakdown, hot-page table,
+    /// chunk-claim histograms and message timelines derived from the
+    /// trace. `None` when tracing is off.
+    pub profile: Option<Profile>,
 }
 
 impl<R> RunReport<R> {
@@ -124,6 +132,8 @@ impl<R> RunReport<R> {
             nodes: self.nodes,
             threads_per_node: self.threads_per_node,
             job: self.job,
+            trace: self.trace,
+            profile: self.profile,
         }
     }
 }
@@ -132,8 +142,9 @@ impl<R> RunReport<R> {
 // ClusterBuilder
 // ----------------------------------------------------------------------
 
-/// How a load trace was supplied to the builder (validated at build).
-enum TraceSpec {
+/// How a background-load trace was supplied to the builder (validated
+/// at build).
+enum LoadTraceSpec {
     Parsed(LoadSpec),
     Raw(String),
 }
@@ -151,7 +162,8 @@ pub struct ClusterBuilder {
     threads_per_node: Option<usize>,
     fast_test: bool,
     speeds: Option<Vec<f64>>,
-    trace: Option<TraceSpec>,
+    load_trace: Option<LoadTraceSpec>,
+    trace: Option<TraceConfig>,
     load_seed: u64,
     load_model: Option<ClusterLoad>,
     link_latency: Option<Vec<f64>>,
@@ -198,7 +210,7 @@ impl ClusterBuilder {
 
     /// Background-load trace specification.
     pub fn load(mut self, spec: LoadSpec) -> Self {
-        self.trace = Some(TraceSpec::Parsed(spec));
+        self.load_trace = Some(LoadTraceSpec::Parsed(spec));
         self
     }
 
@@ -206,7 +218,19 @@ impl ClusterBuilder {
     /// (`none`, `step:<node>@<ms>x<factor>`, `phase:…`, `burst:…`);
     /// parsed and validated at [`ClusterBuilder::build`].
     pub fn load_str(mut self, spec: impl Into<String>) -> Self {
-        self.trace = Some(TraceSpec::Raw(spec.into()));
+        self.load_trace = Some(LoadTraceSpec::Raw(spec.into()));
+        self
+    }
+
+    /// Arm `now-trace` event recording: every job's [`RunReport`] then
+    /// carries a [`Trace`] (exportable as Chrome trace-event JSON, one
+    /// track per node and thread lane on the virtual-time axis) and the
+    /// [`Profile`] derived from it. Off by default, and off is free:
+    /// every instrumentation hook is a single branch, and arming the
+    /// recorder never changes results, [`TmkStats`], or message counts —
+    /// it only reads clocks the runtime advances anyway.
+    pub fn trace(mut self, cfg: TraceConfig) -> Self {
+        self.trace = Some(cfg);
         self
     }
 
@@ -299,6 +323,12 @@ impl ClusterBuilder {
             cfg.default_dynamic_chunk = c;
         }
 
+        // Event tracing (an explicit builder choice overrides the
+        // NOW_TRACE_EVENTS environment default the constructors read).
+        if let Some(tc) = self.trace {
+            cfg.tmk.trace = Some(tc);
+        }
+
         // Heterogeneity model.
         let load = match &self.load_model {
             Some(l) => l.clone(),
@@ -315,13 +345,13 @@ impl ClusterBuilder {
                         s.clone()
                     }
                 };
-                let traces = match &self.trace {
+                let traces = match &self.load_trace {
                     None => Vec::new(),
-                    Some(TraceSpec::Parsed(spec)) => spec
+                    Some(LoadTraceSpec::Parsed(spec)) => spec
                         .clone()
                         .into_traces(nodes)
                         .map_err(NowError::InvalidLoad)?,
-                    Some(TraceSpec::Raw(raw)) => LoadSpec::parse(raw)
+                    Some(LoadTraceSpec::Raw(raw)) => LoadSpec::parse(raw)
                         .map_err(NowError::InvalidLoad)?
                         .into_traces(nodes)
                         .map_err(NowError::InvalidLoad)?,
@@ -496,6 +526,11 @@ impl Cluster {
             .map_err(|_| NowError::ClusterDown)?;
         let job_index = self.jobs;
         self.jobs += 1;
+        let trace = out.trace.map(|mut tr| {
+            tr.threads_per_node = self.cfg.threads_per_node();
+            tr
+        });
+        let profile = trace.as_ref().map(Profile::from_trace);
         Ok(RunReport {
             result: out.result,
             vt_ns: out.vt_ns,
@@ -504,6 +539,8 @@ impl Cluster {
             nodes: self.cfg.tmk.nodes(),
             threads_per_node: self.cfg.threads_per_node(),
             job: job_index,
+            trace,
+            profile,
         })
     }
 

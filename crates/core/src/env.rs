@@ -65,6 +65,7 @@ where
         vt_ns: report.vt_ns,
         net: report.net,
         dsm: report.dsm,
+        trace: report.trace,
     }
 }
 

@@ -281,11 +281,33 @@ impl LoopPlan {
         })
     }
 
+    /// This loop's trace/profile site id: the shared lock (or affinity
+    /// site) for dynamic policies, 0 for the traffic-free static ones.
+    fn site_id(&self) -> u64 {
+        match &self.0 {
+            Plan::Static { .. } | Plan::StaticChunk { .. } => 0,
+            Plan::Shared { lock, .. } | Plan::Adaptive { lock, .. } => *lock as u64,
+            Plan::Affinity { site, .. } => *site as u64,
+        }
+    }
+
     /// The next iteration chunk this thread should execute, or `None` when
     /// the thread's share of the loop is exhausted. `cursor` carries the
     /// thread's progress between calls and must start as
     /// [`LoopCursor::new`] for each execution of the loop.
     pub fn next_chunk(
+        &self,
+        th: &mut OmpThread<'_>,
+        cursor: &mut LoopCursor,
+    ) -> Option<Range<usize>> {
+        let r = self.next_chunk_inner(th, cursor);
+        if let Some(r) = &r {
+            th.trace_instant(tmk::EventKind::ChunkClaim, self.site_id(), r.len() as u64);
+        }
+        r
+    }
+
+    fn next_chunk_inner(
         &self,
         th: &mut OmpThread<'_>,
         cursor: &mut LoopCursor,

@@ -108,3 +108,8 @@ pub use now_net::{ClusterLoad, LoadSpec, LoadTrace};
 pub use tmk::{
     RunOutcome, Shareable, SharedScalar, SharedVec, StatsSnapshot, Tmk, TmkConfig, TmkStats,
 };
+
+// The observability surface: virtual-time event traces and per-job
+// profiles (see [`RunReport::trace`] / [`RunReport::profile`] and
+// [`ClusterBuilder::trace`]).
+pub use now_trace::{validate_chrome_json, EventKind, Profile, Trace, TraceConfig, TraceEvent};

@@ -332,10 +332,13 @@ impl TaskScope<'_, '_> {
                 s.tasks_spawned += 1;
                 s.task_overflows += 1;
             });
+            // b = 1 marks a deque-overflow spawn (ran undeferred).
+            self.th.trace_instant(tmk::EventKind::TaskSpawn, 0, 1);
             self.run_task(args, false, false);
             return;
         }
         self.th.bump_stats(|s| s.tasks_spawned += 1);
+        self.th.trace_instant(tmk::EventKind::TaskSpawn, 0, 0);
         // Recruit help: bump the local wake generation unconditionally (a
         // sibling mid-sweep must observe the push or it would park over
         // available work) — a shared-memory wake, message-free. Then, if
@@ -495,11 +498,27 @@ impl TaskScope<'_, '_> {
                 s.tasks_stolen += 1;
             }
         });
+        if stolen {
+            self.th.trace_instant(tmk::EventKind::TaskSteal, 0, 0);
+        }
         if counted {
             self.depth += 1;
         }
+        let tracing = self.th.trace_on();
+        let t0 = if tracing { self.th.trace_now() } else { 0 };
         let body = self.body.clone();
         body(self, args);
+        if tracing {
+            // A Marker-category span: task bodies are application compute
+            // in the profile, but the track shows task boundaries.
+            self.th.trace_span(
+                tmk::EventKind::TaskExec,
+                t0,
+                self.th.trace_now(),
+                self.depth,
+                stolen as u64,
+            );
+        }
         if counted {
             self.depth -= 1;
         }

@@ -143,6 +143,8 @@ impl<'t> OmpThread<'t> {
         let my_vt = self.t.now_ns();
         match ctx.team.gather(ctx.local_tid, my_vt) {
             Arrival::Representative(combined) => {
+                self.t
+                    .trace_span(tmk::EventKind::LocalBarrier, my_vt, combined, 0, 0);
                 self.t.lane_raise(combined);
                 self.t.lane_advance(ctx.team.cfg().local_barrier_ns);
                 self.t.barrier();
@@ -150,6 +152,10 @@ impl<'t> OmpThread<'t> {
                 ctx.team.release(depart);
             }
             Arrival::Departed(depart) => {
+                // The wait for the representative's release is local
+                // barrier time on this thread's track.
+                self.t
+                    .trace_span(tmk::EventKind::LocalBarrier, my_vt, depart, 0, 0);
                 self.t.lane_raise(depart);
             }
         }

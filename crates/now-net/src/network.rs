@@ -13,6 +13,7 @@ use crate::message::{Delivered, Envelope, Wire};
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::time::{NodeSpeed, VirtualClock};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use now_trace::{EventKind, TraceSink, Tracer, SERVICE_LANE};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -23,6 +24,17 @@ impl Network {
     /// Build a network of `cfg.nodes` workstations, returning one
     /// [`Endpoint`] per node.
     pub fn build<M: Wire>(cfg: NetworkConfig) -> Vec<Endpoint<M>> {
+        Self::build_with_trace(cfg, None)
+    }
+
+    /// Build a network whose endpoints record message send/receive
+    /// events on `sink` (per-node rings; `None` = tracing off, which is
+    /// the plain [`Network::build`]). Recording only *reads* the virtual
+    /// clocks — timing, stats, and delivery are bit-identical either way.
+    pub fn build_with_trace<M: Wire>(
+        cfg: NetworkConfig,
+        sink: Option<Arc<TraceSink>>,
+    ) -> Vec<Endpoint<M>> {
         let n = cfg.nodes;
         assert!(n >= 1, "network needs at least one node");
         let cfg = Arc::new(cfg);
@@ -48,6 +60,10 @@ impl Network {
                 senders: senders.clone(),
                 receiver,
                 stats: stats.clone(),
+                tracer: match &sink {
+                    Some(s) => Tracer::new(s.clone(), id),
+                    None => Tracer::off(),
+                },
             })
             .collect()
     }
@@ -65,6 +81,7 @@ pub struct Endpoint<M> {
     senders: Arc<[Sender<Envelope<M>>]>,
     receiver: Receiver<Envelope<M>>,
     stats: Arc<NetStats>,
+    tracer: Tracer,
 }
 
 impl<M> Clone for Endpoint<M> {
@@ -76,6 +93,7 @@ impl<M> Clone for Endpoint<M> {
             senders: self.senders.clone(),
             receiver: self.receiver.clone(),
             stats: self.stats.clone(),
+            tracer: self.tracer.clone(),
         }
     }
 }
@@ -105,6 +123,14 @@ impl<M: Wire> Endpoint<M> {
         &self.clock
     }
 
+    /// This node's event recorder (off unless the network was built with
+    /// [`Network::build_with_trace`]). Higher layers clone it to record
+    /// their own protocol events on the same per-node rings.
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// Shared traffic statistics for the whole network.
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
@@ -128,6 +154,17 @@ impl<M: Wire> Endpoint<M> {
             self.stats.record_send(self.id, msg.kind(), bytes);
             self.clock.advance(self.cfg.send_overhead_ns)
         };
+        if self.tracer.on() {
+            self.tracer.tagged(
+                EventKind::MsgSend,
+                0,
+                send_vt,
+                send_vt,
+                dst as u64,
+                bytes as u64,
+                msg.kind(),
+            );
+        }
         let env = Envelope {
             src: self.id,
             dst,
@@ -191,7 +228,19 @@ impl<M: Wire> Endpoint<M> {
         } else {
             self.cfg.handler_ns
         };
-        self.clock.advance(cost)
+        let after = self.clock.advance(cost);
+        if self.tracer.on() {
+            self.tracer.tagged(
+                EventKind::MsgRecv,
+                0,
+                after,
+                after,
+                d.src as u64,
+                d.wire_bytes as u64,
+                d.msg.kind(),
+            );
+        }
+        after
     }
 
     /// Service-context receive: the handler runs as soon as the CPU is
@@ -204,7 +253,19 @@ impl<M: Wire> Endpoint<M> {
         } else {
             self.cfg.handler_ns
         };
-        self.clock.service_advance(cost)
+        let after = self.clock.service_advance(cost);
+        if self.tracer.on() {
+            self.tracer.tagged(
+                EventKind::MsgRecv,
+                SERVICE_LANE,
+                after,
+                after,
+                d.src as u64,
+                d.wire_bytes as u64,
+                d.msg.kind(),
+            );
+        }
+        after
     }
 
     /// Service-context send (protocol replies): pays the send overhead on
@@ -218,6 +279,17 @@ impl<M: Wire> Endpoint<M> {
             self.stats.record_send(self.id, msg.kind(), bytes);
             self.clock.service_advance(self.cfg.send_overhead_ns)
         };
+        if self.tracer.on() {
+            self.tracer.tagged(
+                EventKind::MsgSend,
+                SERVICE_LANE,
+                send_vt,
+                send_vt,
+                dst as u64,
+                bytes as u64,
+                msg.kind(),
+            );
+        }
         let env = Envelope {
             src: self.id,
             dst,

@@ -196,6 +196,25 @@ impl VirtualClock {
         c.cpu
     }
 
+    /// Current service (`cpu`) timeline value without advancing it
+    /// (trace stamps around service-context work).
+    #[inline]
+    pub fn service_now(&self) -> u64 {
+        self.c.lock().cpu
+    }
+
+    /// Raise the service cursor to at least `ns` (no-op when already
+    /// past). Synchronization points use this to pin a reply that
+    /// logically waits on several requests — a barrier release, say —
+    /// after the *virtually latest* of them, which the backlog cap above
+    /// would otherwise let slip earlier when the requests were processed
+    /// out of virtual-time order.
+    #[inline]
+    pub fn service_raise_to(&self, ns: u64) {
+        let mut c = self.c.lock();
+        c.cpu = c.cpu.max(ns);
+    }
+
     /// Reset both timelines to zero (between benchmark repetitions). The
     /// speed model is kept — load traces replay from t = 0.
     pub fn reset(&self) {

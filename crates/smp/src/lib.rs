@@ -409,7 +409,15 @@ pub fn run_team(t: &mut Tmk, cfg: SmpConfig, f: impl Fn(&mut Tmk, &Team, usize) 
         return;
     }
     t.smp_enter();
+    let fork_t0 = t.trace_now();
     t.lane_advance(cfg.fork_thread_ns * (tpn as u64 - 1));
+    t.trace_span(
+        tmk::EventKind::TeamFork,
+        fork_t0,
+        t.trace_now(),
+        tpn as u64,
+        0,
+    );
     let siblings: Vec<Tmk> = (1..tpn).map(|_| t.smp_fork()).collect();
     std::thread::scope(|s| {
         for (i, mut st) in siblings.into_iter().enumerate() {

@@ -18,7 +18,9 @@ use crate::state::NodeState;
 use crossbeam::channel::Receiver;
 use now_net::Wire as _;
 use now_net::{ComputeMeter, Delivered, Endpoint, ThreadLane, VirtualClock};
+use now_trace::EventKind;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::ThreadId;
 
@@ -125,6 +127,12 @@ pub struct Tmk {
     pub(crate) gate: Option<Arc<NodeGate>>,
     /// SMP mode: this thread's virtual-time lane on the node clock.
     pub(crate) lane: Option<ThreadLane>,
+    /// Trace track id of this thread on its node (0 = the node's primary
+    /// application thread; [`Tmk::smp_fork`] siblings get 1, 2, …).
+    pub(crate) lane_tid: u32,
+    /// SMP mode: hands out sibling trace track ids ([`Tmk::smp_enter`]
+    /// resets it per region, so sibling tracks are stable across jobs).
+    pub(crate) lane_ctr: Option<Arc<AtomicU32>>,
     /// True for handles created by [`Tmk::smp_fork`] (never the node's
     /// region entry thread — those must not run node-level protocol
     /// operations like the DSM barrier).
@@ -192,6 +200,65 @@ impl Tmk {
         };
         self.meter.restart();
         r
+    }
+
+    /// This thread's virtual frontier without metering (trace stamps
+    /// only — reads the lane or node clock, never advances either).
+    #[inline]
+    fn thread_vt(&self) -> u64 {
+        match &self.lane {
+            Some(l) => l.now(),
+            None => self.clock.now(),
+        }
+    }
+
+    /// Whether `now-trace` event recording is armed on this cluster.
+    #[inline]
+    pub fn trace_on(&self) -> bool {
+        self.ep.tracer().on()
+    }
+
+    /// This thread's current virtual frontier for trace stamps. Unmetered
+    /// read; intended for runtime layers recording their own spans.
+    #[inline]
+    pub fn trace_now(&self) -> u64 {
+        self.thread_vt()
+    }
+
+    /// Record a trace span on this thread's track with explicit
+    /// endpoints. Bookkeeping only: reads no clock, advances nothing,
+    /// sends no messages; a no-op when tracing is off.
+    pub fn trace_span(&self, kind: EventKind, t0: u64, t1: u64, a: u64, b: u64) {
+        self.ep.tracer().span(kind, self.lane_tid, t0, t1, a, b);
+    }
+
+    /// Record an instantaneous trace event at this thread's frontier.
+    /// Bookkeeping only; a no-op when tracing is off.
+    pub fn trace_instant(&self, kind: EventKind, a: u64, b: u64) {
+        if self.ep.tracer().on() {
+            self.ep
+                .tracer()
+                .instant(kind, self.lane_tid, self.thread_vt(), a, b);
+        }
+    }
+
+    /// Run a network-touching protocol operation under the usual
+    /// meter/gate/wire brackets, recording a `kind` span around it when
+    /// tracing is armed. The recorder only reads this thread's frontier
+    /// before and after the operation, so arming it cannot change
+    /// virtual time, statistics, or traffic.
+    #[inline]
+    fn traced_op(&mut self, kind: EventKind, a: u64, f: impl FnOnce(&mut Self)) {
+        self.metered(|s| {
+            if !s.ep.tracer().on() {
+                s.on_wire(f);
+                return;
+            }
+            let t0 = s.thread_vt();
+            s.on_wire(f);
+            let t1 = s.thread_vt();
+            s.ep.tracer().span(kind, s.lane_tid, t0, t1, a, 0);
+        });
     }
 
     /// Bracket a network-touching protocol segment: the node clock (which
@@ -266,7 +333,21 @@ impl Tmk {
     /// overlaps (the request-aggregation effect of the compiler/runtime
     /// integration the paper cites as future work).
     pub(crate) fn fault_pages(&mut self, pids: &[PageId]) {
+        if !self.ep.tracer().on() {
+            self.on_wire(|s| s.fault_pages_inner(pids));
+            return;
+        }
+        let t0 = self.thread_vt();
         self.on_wire(|s| s.fault_pages_inner(pids));
+        let t1 = self.thread_vt();
+        self.ep.tracer().span(
+            EventKind::PageFault,
+            self.lane_tid,
+            t0,
+            t1,
+            pids.len() as u64,
+            0,
+        );
     }
 
     fn fault_pages_inner(&mut self, pids: &[PageId]) {
@@ -324,10 +405,22 @@ impl Tmk {
                     }
                     Msg::PageRep { page, epoch, bytes } => {
                         self.state.lock().install_page(page, epoch, &bytes);
+                        if self.ep.tracer().on() {
+                            // Per-page fault marker (b != 0) for the
+                            // profile's hot-page table.
+                            self.ep.tracer().instant(
+                                EventKind::PageFault,
+                                self.lane_tid,
+                                self.clock.now(),
+                                page as u64,
+                                1,
+                            );
+                        }
                     }
                     other => panic!("expected DiffRep/PageRep, got {}", other.kind()),
                 }
             }
+            let tracing = self.ep.tracer().on();
             let mut st = self.state.lock();
             for (page, fetched) in by_page {
                 st.stats.read_faults += 1;
@@ -345,7 +438,16 @@ impl Tmk {
                         )
                     })
                     .collect();
+                let ndiffs = items.len() as u64;
                 st.apply_fetched(page, items);
+                if tracing {
+                    let t = self.clock.now();
+                    let tr = self.ep.tracer();
+                    // Per-page fault marker (b != 0) for the hot-page
+                    // table, plus the diffs applied to satisfy it.
+                    tr.instant(EventKind::PageFault, self.lane_tid, t, page as u64, 1);
+                    tr.instant(EventKind::DiffApply, self.lane_tid, t, page as u64, ndiffs);
+                }
             }
         }
     }
@@ -362,7 +464,8 @@ impl Tmk {
             "DSM barrier from a non-representative SMP thread (use the \
              runtime's two-level barrier)"
         );
-        self.metered(|s| s.on_wire(|s| s.barrier_inner()));
+        let epoch = self.barrier_epoch;
+        self.traced_op(EventKind::BarrierWait, epoch as u64, |s| s.barrier_inner());
     }
 
     fn barrier_inner(&mut self) {
@@ -407,7 +510,16 @@ impl Tmk {
             // receives the identical clock and the GC round is scoped to
             // the same interval set cluster-wide — even if a manager
             // node's own log has already grown past it.
-            self.run_gc(epoch, &bundle.pvc);
+            if self.ep.tracer().on() {
+                let t0 = self.clock.now();
+                self.run_gc(epoch, &bundle.pvc);
+                let t1 = self.clock.now();
+                self.ep
+                    .tracer()
+                    .span(EventKind::Gc, self.lane_tid, t0, t1, epoch as u64, 0);
+            } else {
+                self.run_gc(epoch, &bundle.pvc);
+            }
         }
     }
 
@@ -444,7 +556,9 @@ impl Tmk {
     /// the requester lacks. A manager-local acquire costs no network
     /// messages (self-sends are free).
     pub fn lock_acquire(&mut self, lock: u32) {
-        self.metered(|s| s.on_wire(|s| s.lock_acquire_inner(lock)));
+        self.traced_op(EventKind::LockWait, lock as u64, |s| {
+            s.lock_acquire_inner(lock)
+        });
     }
 
     fn lock_acquire_inner(&mut self, lock: u32) {
@@ -486,7 +600,9 @@ impl Tmk {
     /// notifies the manager, which passes the lock (and our new write
     /// notices) to the earliest waiter.
     pub fn lock_release(&mut self, lock: u32) {
-        self.metered(|s| s.on_wire(|s| s.lock_release_inner(lock)));
+        self.traced_op(EventKind::LockRelease, lock as u64, |s| {
+            s.lock_release_inner(lock)
+        });
     }
 
     fn lock_release_inner(&mut self, lock: u32) {
@@ -521,7 +637,9 @@ impl Tmk {
     /// `sema_signal(S)`: release semantics; two messages (to the manager,
     /// plus its acknowledgment), independent of the node count.
     pub fn sema_signal(&mut self, sema: u32) {
-        self.metered(|s| s.on_wire(|s| s.sema_signal_inner(sema)));
+        self.traced_op(EventKind::SemaSignal, sema as u64, |s| {
+            s.sema_signal_inner(sema)
+        });
     }
 
     fn sema_signal_inner(&mut self, sema: u32) {
@@ -548,7 +666,9 @@ impl Tmk {
     /// until a signal is available, then applies the consistency
     /// information the manager forwards.
     pub fn sema_wait(&mut self, sema: u32) {
-        self.metered(|s| s.on_wire(|s| s.sema_wait_inner(sema)));
+        self.traced_op(EventKind::SemaWait, sema as u64, |s| {
+            s.sema_wait_inner(sema)
+        });
     }
 
     fn sema_wait_inner(&mut self, sema: u32) {
@@ -587,7 +707,9 @@ impl Tmk {
     /// `cond_wait(cond)` under `lock`: atomically release the lock and
     /// block until signaled; re-acquires the lock before returning.
     pub fn cond_wait(&mut self, lock: u32, cond: u32) {
-        self.metered(|s| s.on_wire(|s| s.cond_wait_inner(lock, cond)));
+        self.traced_op(EventKind::CondWait, cond as u64, |s| {
+            s.cond_wait_inner(lock, cond)
+        });
     }
 
     fn cond_wait_inner(&mut self, lock: u32, cond: u32) {
@@ -641,6 +763,15 @@ impl Tmk {
                 let mgr = s.state.lock().manager_of(lock);
                 let req_vt = s.clock.now();
                 s.ep.send(mgr, Msg::CondSignal { lock, cond, req_vt });
+                if s.ep.tracer().on() {
+                    s.ep.tracer().instant(
+                        EventKind::CondSignal,
+                        s.lane_tid,
+                        s.clock.now(),
+                        cond as u64,
+                        0,
+                    );
+                }
             })
         });
     }
@@ -657,6 +788,16 @@ impl Tmk {
                 let mgr = s.state.lock().manager_of(lock);
                 let req_vt = s.clock.now();
                 s.ep.send(mgr, Msg::CondBroadcast { lock, cond, req_vt });
+                if s.ep.tracer().on() {
+                    // b = 1 distinguishes a broadcast from a signal.
+                    s.ep.tracer().instant(
+                        EventKind::CondSignal,
+                        s.lane_tid,
+                        s.clock.now(),
+                        cond as u64,
+                        1,
+                    );
+                }
             })
         });
     }
@@ -669,7 +810,7 @@ impl Tmk {
     /// threads. Costs 2(n−1) messages — the expense that motivates the
     /// paper's semaphore/condition-variable proposal.
     pub fn flush(&mut self) {
-        self.metered(|s| s.on_wire(|s| s.flush_inner()));
+        self.traced_op(EventKind::Flush, 0, |s| s.flush_inner());
     }
 
     fn flush_inner(&mut self) {
@@ -741,6 +882,15 @@ impl Tmk {
                     },
                 );
             }
+            if s.ep.tracer().on() {
+                s.ep.tracer().instant(
+                    EventKind::Fork,
+                    s.lane_tid,
+                    s.clock.now(),
+                    (s.n - 1) as u64,
+                    0,
+                );
+            }
         });
         self.in_region = true;
         (region.f)(self);
@@ -769,6 +919,7 @@ impl Tmk {
         self.smp_access_ns = self.state.lock().cfg.smp_access_ns;
         self.lane = Some(ThreadLane::register(&self.clock));
         self.gate = Some(Arc::new(NodeGate::default()));
+        self.lane_ctr = Some(Arc::new(AtomicU32::new(1)));
         self.meter.restart();
     }
 
@@ -815,6 +966,11 @@ impl Tmk {
             barrier_epoch: self.barrier_epoch,
             gate: self.gate.clone(),
             lane: Some(ThreadLane::register_at(&self.clock, lane)),
+            lane_tid: self
+                .lane_ctr
+                .as_ref()
+                .map_or(0, |c| c.fetch_add(1, Ordering::Relaxed)),
+            lane_ctr: self.lane_ctr.clone(),
             derived: true,
             smp_access_ns: self.smp_access_ns,
             watchdog: self.watchdog,
@@ -832,6 +988,7 @@ impl Tmk {
         self.meter.charge_lane(&mut lane);
         let vt = lane.now();
         self.gate = None;
+        self.lane_ctr = None;
         self.meter.restart();
         vt
     }

@@ -1,6 +1,6 @@
 //! DSM-level configuration: page size, protocol cost constants, GC policy.
 
-use now_net::NetworkConfig;
+use now_net::{NetworkConfig, TraceConfig};
 
 /// Configuration for one TreadMarks system instance.
 #[derive(Debug, Clone)]
@@ -40,6 +40,16 @@ pub struct TmkConfig {
     /// `NOW_WATCHDOG_SECS` environment variable arms it process-wide
     /// (used by the CI hang-hunt lane).
     pub watchdog: Option<std::time::Duration>,
+    /// Event tracing (`now-trace`): `Some` arms per-node ring-buffer
+    /// recording of protocol/sync/message events for the job's
+    /// Chrome-trace export and `Profile`. `None` (the default) is
+    /// zero-overhead: every hook is a single branch, and enabling
+    /// tracing never changes virtual results, [`crate::TmkStats`], or
+    /// message counts. The `NOW_TRACE_EVENTS` environment variable
+    /// (ring capacity per node) arms it process-wide — the CI hang-hunt
+    /// lane uses this so a watchdog abort can dump each node's last
+    /// recorded events.
+    pub trace: Option<TraceConfig>,
 }
 
 /// The process-wide watchdog default: `NOW_WATCHDOG_SECS=<secs>` in the
@@ -66,6 +76,7 @@ impl TmkConfig {
             fork_payload_bytes: 128,
             smp_access_ns: 120,
             watchdog: watchdog_from_env(),
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -83,6 +94,7 @@ impl TmkConfig {
             fork_payload_bytes: 128,
             smp_access_ns: 1,
             watchdog: watchdog_from_env(),
+            trace: TraceConfig::from_env(),
         }
     }
 

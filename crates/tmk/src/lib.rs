@@ -66,6 +66,7 @@ pub use diff::{Diff, DiffRun};
 pub use interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};
 pub use memory::{Shareable, SharedScalar, SharedVec};
 pub use now_net::StatsSnapshot;
+pub use now_trace::{EventKind, Profile, Trace, TraceConfig, TraceEvent};
 pub use page::PageState;
 pub use stats::TmkStats;
 pub use system::{run_system, RunOutcome, System, SystemDown};

@@ -13,6 +13,7 @@ use crate::protocol::{Msg, Region};
 use crate::state::NodeState;
 use crossbeam::channel::Sender;
 use now_net::{Delivered, Endpoint, Wire as _};
+use now_trace::{EventKind, SERVICE_LANE};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -98,7 +99,7 @@ pub fn service_loop(
 }
 
 fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivered<Msg>) {
-    ep.service_rx(&d);
+    let svc_t0 = ep.service_rx(&d);
     let src = d.src;
     match d.msg {
         Msg::DiffReq { page, seqs } => {
@@ -109,6 +110,18 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
                 st.in_service = false;
                 r
             };
+            if ep.tracer().on() {
+                // Diff encodings materialize lazily while serving, so the
+                // creation cost shows up on the service track.
+                ep.tracer().span(
+                    EventKind::DiffCreate,
+                    SERVICE_LANE,
+                    svc_t0,
+                    ep.clock().service_now(),
+                    page as u64,
+                    diffs.len() as u64,
+                );
+            }
             ep.send_service(src, Msg::DiffRep { page, diffs });
         }
         Msg::PageReq { page } => {
@@ -146,6 +159,7 @@ fn handle_request(ep: &Endpoint<Msg>, state: &Arc<Mutex<NodeState>>, d: Delivere
             let arrival_vc = bundle.pvc.clone();
             st.apply_bundle(src, &bundle);
             st.mgr.arrivals.push((src, arrival_vc, diff_bytes));
+            st.mgr.barrier_last_arrive_vt = st.mgr.barrier_last_arrive_vt.max(d.arrival_vt);
             if st.mgr.arrivals.len() == st.n {
                 release_barrier(ep, &mut st, epoch);
             }
@@ -339,6 +353,12 @@ fn release_barrier(ep: &Endpoint<Msg>, st: &mut NodeState, epoch: u32) {
     }
     let arrivals = std::mem::take(&mut st.mgr.arrivals);
     st.mgr.barrier_epoch += 1;
+    // No node departs before the last one arrived: the backlog cap may
+    // have let the service cursor slip below a virtually-late arrival
+    // that was processed early in host order, and departure stamps must
+    // sit at or after every arrival.
+    ep.clock()
+        .service_raise_to(std::mem::take(&mut st.mgr.barrier_last_arrive_vt));
     let mut departures: Vec<(usize, NoticeBundle)> = arrivals
         .into_iter()
         .map(|(node, vc, _)| (node, st.bundle_for(&vc)))

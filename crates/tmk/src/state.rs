@@ -75,6 +75,10 @@ pub struct ManagerState {
     pub barrier_epoch: u32,
     /// Arrived nodes for the episode: (node, vector clock, diff bytes).
     pub arrivals: Vec<(usize, VectorClock, u64)>,
+    /// Virtually latest arrival of the episode: the release is pinned at
+    /// or after this instant, whatever host order the arrivals were
+    /// processed in.
+    pub barrier_last_arrive_vt: u64,
     /// Nodes that completed GC validation this episode.
     pub gc_done: usize,
     /// A GC round is in flight.

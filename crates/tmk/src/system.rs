@@ -44,7 +44,8 @@ use crate::service::{service_loop, ForkJob, WorkItem};
 use crate::state::NodeState;
 use crate::stats::TmkStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use now_net::{ComputeMeter, Network, StatsSnapshot, VirtualClock, Wire as _};
+use now_net::{ComputeMeter, Network, StatsSnapshot, TraceSink, Tracer, VirtualClock, Wire as _};
+use now_trace::{EventKind, Trace};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -62,6 +63,9 @@ pub struct RunOutcome<R> {
     pub net: StatsSnapshot,
     /// DSM protocol event counts summed over all nodes.
     pub dsm: TmkStats,
+    /// The job's drained event trace, when [`TmkConfig::trace`] armed
+    /// recording. Tracing never changes `result`/`vt_ns`/`net`/`dsm`.
+    pub trace: Option<Trace>,
 }
 
 impl<R> RunOutcome<R> {
@@ -89,9 +93,15 @@ impl std::error::Error for SystemDown {}
 pub(crate) struct SystemDiag {
     clocks: Vec<Arc<VirtualClock>>,
     states: Vec<Arc<Mutex<NodeState>>>,
+    /// The trace sink, when tracing is armed: a watchdog abort then
+    /// shows what each node was last *doing*, not just where it stands.
+    sink: Option<Arc<TraceSink>>,
 }
 
 impl SystemDiag {
+    /// How many trailing trace events per node a diagnostic dump shows.
+    const DUMP_EVENTS: usize = 8;
+
     /// Render per-node channel/clock/protocol state without blocking:
     /// busy state mutexes are reported as such rather than waited on.
     pub(crate) fn render(&self) -> String {
@@ -123,6 +133,21 @@ impl SystemDiag {
                     );
                 }
             }
+            if let Some(sink) = &self.sink {
+                for ev in sink.recent(id, Self::DUMP_EVENTS) {
+                    let _ = writeln!(
+                        s,
+                        "    last: {:<13} lane={} vt=[{}..{}]ns a={} b={} {}",
+                        ev.kind.name(),
+                        ev.lane,
+                        ev.t0,
+                        ev.t1,
+                        ev.a,
+                        ev.b,
+                        ev.tag,
+                    );
+                }
+            }
         }
         s
     }
@@ -140,6 +165,7 @@ struct JobDone {
     vt_ns: u64,
     net: StatsSnapshot,
     dsm: TmkStats,
+    trace: Option<Trace>,
 }
 
 enum MasterReply {
@@ -170,7 +196,10 @@ impl System {
     pub fn build(cfg: TmkConfig) -> System {
         let n = cfg.nodes();
         let alloc = AllocTable::new(cfg.page_shift());
-        let eps = Network::build::<Msg>(cfg.net.clone());
+        // Tracing (when armed) rides on the endpoints: every layer above
+        // reaches the per-node rings through its endpoint's tracer.
+        let sink = cfg.trace.map(|tc| TraceSink::new(n, tc));
+        let eps = Network::build_with_trace::<Msg>(cfg.net.clone(), sink.clone());
         let scale = cfg.net.compute_scale;
         let watchdog = cfg.watchdog;
 
@@ -191,6 +220,7 @@ impl System {
         let diag = Arc::new(SystemDiag {
             clocks,
             states: states.clone(),
+            sink,
         });
 
         for (id, ep) in eps.into_iter().enumerate() {
@@ -219,6 +249,8 @@ impl System {
                 barrier_epoch: 0,
                 gate: None,
                 lane: None,
+                lane_tid: 0,
+                lane_ctr: None,
                 derived: false,
                 smp_access_ns: 0,
                 watchdog,
@@ -278,16 +310,17 @@ impl System {
                         // observable): snapshot before the reset's own
                         // control messages.
                         let net = tmk.ep.stats();
-                        let dsm = job_boundary_reset(&mut tmk);
-                        (result, vt_ns, net, dsm)
+                        let (dsm, trace) = job_boundary_reset(&mut tmk, vt_ns);
+                        (result, vt_ns, net, dsm, trace)
                     }));
                     match r {
-                        Ok((result, vt_ns, net, dsm)) => {
+                        Ok((result, vt_ns, net, dsm, trace)) => {
                             let _ = reply_tx.send(MasterReply::Done(Box::new(JobDone {
                                 result,
                                 vt_ns,
                                 net,
                                 dsm,
+                                trace,
                             })));
                         }
                         Err(e) => {
@@ -361,6 +394,7 @@ impl System {
                     vt_ns,
                     net,
                     dsm,
+                    trace,
                 } = *done;
                 let result = *result
                     .downcast::<R>()
@@ -370,6 +404,7 @@ impl System {
                     vt_ns,
                     net,
                     dsm,
+                    trace,
                 })
             }
             Ok(MasterReply::Panicked(payload)) => self.fail(Some(payload)),
@@ -455,11 +490,18 @@ impl Drop for System {
 }
 
 /// The job-boundary reset round (see the module docs): returns the sum of
-/// every node's per-job protocol statistics and leaves the whole cluster
-/// in the state a freshly built system would have.
-fn job_boundary_reset(tmk: &mut Tmk) -> TmkStats {
+/// every node's per-job protocol statistics (plus the job's drained event
+/// trace, when tracing is armed) and leaves the whole cluster in the
+/// state a freshly built system would have.
+fn job_boundary_reset(tmk: &mut Tmk, vt_ns: u64) -> (TmkStats, Option<Trace>) {
     let n = tmk.nprocs();
     let mut total = TmkStats::default();
+    // Mark the job's end *before* the reset fan-out below records its own
+    // control-message events, so the master lane's markers stay in
+    // timestamp order (the reset round is stamped past `vt_ns` by design).
+    if tmk.ep.tracer().on() {
+        tmk.ep.tracer().instant(EventKind::JobEnd, 0, vt_ns, 0, 0);
+    }
     for i in 1..n {
         tmk.ep.send(i, Msg::ResetReq);
     }
@@ -477,6 +519,27 @@ fn job_boundary_reset(tmk: &mut Tmk) -> TmkStats {
         }
         pending -= 1;
     }
+    // Every node is quiescent (its reset events were recorded before its
+    // ResetDone was sent), so the rings hold exactly the finished job:
+    // drain them before anything below clears state for the next one.
+    let trace = if tmk.ep.tracer().on() {
+        let sink = tmk
+            .ep
+            .tracer()
+            .sink()
+            .expect("an armed tracer has a sink")
+            .clone();
+        let (events, dropped) = sink.drain();
+        Some(Trace {
+            nodes: n,
+            threads_per_node: 1, // the SMP layer overrides on n × tpn runs
+            total_ns: vt_ns,
+            events,
+            dropped,
+        })
+    } else {
+        None
+    };
     {
         let mut st = tmk.state.lock();
         total.merge(&st.stats);
@@ -492,7 +555,7 @@ fn job_boundary_reset(tmk: &mut Tmk) -> TmkStats {
     tmk.barrier_epoch = 0;
     tmk.in_region = false;
     tmk.meter.restart();
-    total
+    (total, trace)
 }
 
 /// Build a DSM system of `cfg.nodes()` workstations, run `master_fn` on
@@ -521,6 +584,7 @@ where
 fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
     tmk.meter.restart();
     let handler_ns = tmk.ep.cfg().handler_ns;
+    let tracer: Tracer = tmk.ep.tracer().clone();
     loop {
         match work_rx.recv() {
             Err(_) | Ok(WorkItem::Stop) => break,
@@ -530,11 +594,20 @@ fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
                 src,
                 arrival_vt,
             })) => {
+                if tracer.on() {
+                    // The wait for this fork: a slave's explicit idle
+                    // span, so its profile separates "parked between
+                    // regions" from compute.
+                    tracer.span(EventKind::Idle, 0, tmk.clock.now(), arrival_vt, 0, 0);
+                }
                 // Fork delivery: an acquire of the master's sequential
                 // updates.
                 tmk.clock.raise_to(arrival_vt);
                 tmk.clock.advance(handler_ns);
                 tmk.state.lock().apply_bundle(src, &bundle);
+                if tracer.on() {
+                    tracer.instant(EventKind::Fork, 0, tmk.clock.now(), src as u64, 0);
+                }
                 tmk.meter.restart();
                 tmk.in_region = true;
                 (region.f)(&mut tmk);
@@ -546,6 +619,11 @@ fn worker_loop(mut tmk: Tmk, work_rx: Receiver<WorkItem>) {
                 // finished job is done (work items are processed in order
                 // and the service inbox is FIFO), so the counters are the
                 // job's exact per-node statistics.
+                if tracer.on() {
+                    // Recorded before the ResetDone send below, so the
+                    // master's drain sees this node's full reset step.
+                    tracer.instant(EventKind::Reset, 0, tmk.clock.now(), 0, 0);
+                }
                 let stats = {
                     let mut st = tmk.state.lock();
                     let stats = std::mem::take(&mut st.stats);

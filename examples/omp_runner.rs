@@ -27,6 +27,18 @@
 //! driving burst placement, and `--repeat N` runs every program N times
 //! on the warm cluster (same seed ⇒ bit-identical repetitions).
 //! Malformed strings are rejected with a diagnostic and exit code 2.
+//!
+//! Observability: `--trace out.json` records virtual-time events and
+//! writes each job's Chrome-trace JSON (load in Perfetto /
+//! `chrome://tracing`; multi-job invocations get `.job<N>` suffixes),
+//! and `--profile` prints each program's per-node time breakdown, hot
+//! pages, chunk-claim histogram, and message timeline. Recording never
+//! changes results or virtual times.
+//!
+//! ```text
+//! cargo run --release --example omp_runner -- --trace jacobi.json --nodes 4 --tpn 2 jacobi.omp
+//! cargo run --release --example omp_runner -- --profile pi.omp
+//! ```
 
 use nomp::Schedule;
 
@@ -87,6 +99,7 @@ fn main() {
         " (heterogeneous)"
     };
 
+    let multi_job = programs.len() * args.repeat > 1;
     let mut failed = false;
     for (name, src) in &programs {
         println!(
@@ -113,6 +126,19 @@ fn main() {
             };
             if rep == 0 {
                 for line in &out.result.printed {
+                    println!("  {line}");
+                }
+            }
+            if let Some(path) = args.trace_path(out.job, multi_job) {
+                let tr = out.trace.as_ref().expect("--trace arms recording");
+                if let Err(e) = std::fs::write(&path, tr.to_chrome_json()) {
+                    bail(&format!("cannot write trace to {path}: {e}"));
+                }
+                println!("  [trace: {path}, {} events]", tr.event_count());
+            }
+            if args.profile && rep == 0 {
+                let p = out.profile.as_ref().expect("--profile arms recording");
+                for line in p.render().lines() {
                     println!("  {line}");
                 }
             }

@@ -3,11 +3,31 @@
 //! DSM needed to make it happen, through the `Cluster` session API.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! With `--trace <path>` the run also records virtual-time events and
+//! writes a Chrome-trace JSON (self-validated against the trace-event
+//! schema — the CI step that runs this example relies on that check).
 
 use openmp_now::prelude::*;
 
 fn main() {
-    let mut cluster = Cluster::builder().nodes(4).build().expect("valid cluster");
+    let trace_path = {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        match argv.as_slice() {
+            [] => None,
+            [flag, path] if flag == "--trace" => Some(path.clone()),
+            other => {
+                eprintln!("usage: quickstart [--trace <path>], got {other:?}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    let mut builder = Cluster::builder().nodes(4);
+    if trace_path.is_some() {
+        builder = builder.trace(TraceConfig::default());
+    }
+    let mut cluster = builder.build().expect("valid cluster");
     let out = cluster
         .run(|omp: &mut Env| {
             let n = 100_000;
@@ -57,4 +77,15 @@ fn main() {
         out.dsm.read_faults, out.dsm.diffs_created, out.dsm.twins_created
     );
     assert!((out.result - expect).abs() / expect < 1e-12);
+
+    if let Some(path) = trace_path {
+        let trace = out.trace.as_ref().expect("tracing was armed");
+        let json = trace.to_chrome_json();
+        openmp_now::nomp::validate_chrome_json(&json).expect("emitted trace validates");
+        std::fs::write(&path, &json).expect("trace file writable");
+        println!(
+            "trace          = {} events -> {path} (Chrome trace-event JSON, validated)",
+            trace.event_count()
+        );
+    }
 }

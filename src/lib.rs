@@ -48,7 +48,8 @@ pub use {nomp, now_apps, now_net, nowmpi, ompc, smp, tmk};
 pub mod prelude {
     pub use nomp::{
         critical_id, run, Cluster, ClusterBuilder, Diag, Env, Job, NowError, NowProgram, OmpConfig,
-        OmpThread, RedOp, RunReport, Schedule, SharedScalar, SharedVec, ThreadPrivate,
+        OmpThread, Profile, RedOp, RunReport, Schedule, SharedScalar, SharedVec, ThreadPrivate,
+        Trace, TraceConfig,
     };
     pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
 }
@@ -57,7 +58,7 @@ pub mod prelude {
 /// the library so the CLI surface is unit-testable: malformed flags must
 /// produce a clear message, which the runner maps to exit code 2).
 pub mod cli {
-    use nomp::{Cluster, ClusterBuilder, ClusterLoad, LoadSpec, NowError, Schedule};
+    use nomp::{Cluster, ClusterBuilder, ClusterLoad, LoadSpec, NowError, Schedule, TraceConfig};
 
     /// Parsed `omp_runner` arguments.
     #[derive(Debug, Clone, PartialEq)]
@@ -78,6 +79,13 @@ pub mod cli {
         /// Run every program this many times on the warm cluster
         /// (`--repeat`; default 1).
         pub repeat: usize,
+        /// Write each job's Chrome-trace JSON here (`--trace`); arms
+        /// event recording on the cluster. With `--repeat`/multiple
+        /// files, the job index is suffixed before the extension.
+        pub trace: Option<String>,
+        /// Print each job's per-node profile (`--profile`); arms event
+        /// recording on the cluster.
+        pub profile: bool,
         /// `.omp` files to run (empty = the bundled examples).
         pub files: Vec<String>,
     }
@@ -92,6 +100,8 @@ pub mod cli {
                 load: None,
                 load_seed: 0,
                 repeat: 1,
+                trace: None,
+                profile: false,
                 files: Vec::new(),
             }
         }
@@ -163,10 +173,24 @@ pub mod cli {
                             .filter(|&n: &usize| n >= 1)
                             .ok_or_else(|| format!("--repeat expects N >= 1, got `{v}`"))?;
                     }
+                    "--trace" => {
+                        let v = value_of(&mut it, "--trace")?;
+                        if v.is_empty() || v.starts_with("--") {
+                            return Err(format!("--trace expects an output file path, got `{v}`"));
+                        }
+                        if v.ends_with('/') || v.ends_with(std::path::MAIN_SEPARATOR) {
+                            return Err(format!(
+                                "--trace expects a file path, `{v}` is a directory"
+                            ));
+                        }
+                        a.trace = Some(v.to_string());
+                    }
+                    "--profile" => a.profile = true,
                     f if f.starts_with("--") => {
                         return Err(format!(
                             "unknown flag `{f}` (expected --nodes, --tpn, --schedule, \
-                             --speeds, --load, --load-seed, --repeat, or a .omp file)"
+                             --speeds, --load, --load-seed, --repeat, --trace, \
+                             --profile, or a .omp file)"
                         ));
                     }
                     f => a.files.push(f.to_string()),
@@ -201,6 +225,29 @@ pub mod cli {
             Ok(load)
         }
 
+        /// Whether these arguments arm event recording on the cluster
+        /// (`--trace` or `--profile`).
+        pub fn tracing(&self) -> bool {
+            self.trace.is_some() || self.profile
+        }
+
+        /// The Chrome-trace output path for job number `job`: the
+        /// `--trace` path itself when the invocation runs a single job,
+        /// otherwise the path with `.job<N>` spliced in before the
+        /// extension so repetitions don't overwrite each other.
+        pub fn trace_path(&self, job: usize, multi: bool) -> Option<String> {
+            let base = self.trace.as_deref()?;
+            if !multi {
+                return Some(base.to_string());
+            }
+            Some(match base.rfind('.') {
+                Some(dot) if dot > 0 && !base[dot..].contains('/') => {
+                    format!("{}.job{job}{}", &base[..dot], &base[dot..])
+                }
+                _ => format!("{base}.job{job}"),
+            })
+        }
+
         /// The [`ClusterBuilder`] these arguments describe (paper cost
         /// model, as the runner always used). `schedule` should already
         /// have the `OMP_SCHEDULE` fallback applied by the caller.
@@ -209,6 +256,9 @@ pub mod cli {
                 .nodes(self.nodes)
                 .threads_per_node(self.tpn)
                 .load_seed(self.load_seed);
+            if self.tracing() {
+                b = b.trace(TraceConfig::default());
+            }
             if let Some(s) = &self.speeds {
                 b = b.speeds(s.clone());
             }

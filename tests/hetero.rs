@@ -340,6 +340,11 @@ fn runner_cli_rejects_malformed_specs_with_clear_messages() {
         (&["--repeat", "0"], "--repeat"),
         (&["--repeat", "three"], "--repeat"),
         (&["--repeat"], "--repeat"),
+        // Observability flags: --trace needs a real file path.
+        (&["--trace"], "--trace"),
+        (&["--trace", ""], "--trace"),
+        (&["--trace", "--profile"], "--trace"),
+        (&["--trace", "out/"], "--trace"),
         // Typos in flag names must be rejected, not treated as files.
         (&["--load-sed", "7", "prog.omp"], "--load-sed"),
         (&["--speeds=1.0,0.5"], "--speeds=1.0,0.5"),
