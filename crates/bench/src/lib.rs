@@ -37,6 +37,7 @@ pub mod fmt;
 pub mod hetero;
 pub mod micro;
 pub mod ompc;
+pub mod regression;
 pub mod smp;
 pub mod tables;
 pub mod tasking;

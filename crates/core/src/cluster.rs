@@ -501,6 +501,27 @@ impl Cluster {
         self.sys.is_alive()
     }
 
+    /// A point-in-time snapshot of the cluster's always-on lifetime
+    /// metrics: protocol-op counters, latency histograms (virtual and
+    /// host), per-kind traffic and job aggregates accumulated since
+    /// [`ClusterBuilder::build`]. Never reset between jobs; safe to call
+    /// at any time — also while a job runs, since recording is lock-free
+    /// relaxed atomics that never touch the virtual clocks. Export with
+    /// [`MetricsSnapshot::to_prometheus`] / [`MetricsSnapshot::to_json`].
+    ///
+    /// [`MetricsSnapshot::to_prometheus`]: tmk::MetricsSnapshot::to_prometheus
+    /// [`MetricsSnapshot::to_json`]: tmk::MetricsSnapshot::to_json
+    pub fn metrics(&self) -> tmk::MetricsSnapshot {
+        self.sys.metrics().snapshot()
+    }
+
+    /// The live metrics registry itself (shared handle): hand it to a
+    /// monitoring thread that snapshots on its own cadence while jobs
+    /// run on the cluster.
+    pub fn metrics_handle(&self) -> std::sync::Arc<tmk::MetricsRegistry> {
+        self.sys.metrics().clone()
+    }
+
     /// Run one job on the warm cluster.
     ///
     /// Accepts anything implementing [`NowProgram`]: a Rust closure over

@@ -302,6 +302,10 @@ impl LoopPlan {
     ) -> Option<Range<usize>> {
         let r = self.next_chunk_inner(th, cursor);
         if let Some(r) = &r {
+            let m = th.metrics();
+            m.chunks_claimed.inc();
+            m.chunk_iters.add(r.len() as u64);
+            m.chunk_len.record(r.len() as u64);
             th.trace_instant(tmk::EventKind::ChunkClaim, self.site_id(), r.len() as u64);
         }
         r
@@ -593,7 +597,7 @@ fn affinity_claim(
             continue;
         }
         if let Some(c) = affinity_take(th, parts, site, total, k, true) {
-            th.bump_stats(|s| s.loop_steals += 1);
+            th.count_op(tmk::TmkOp::LoopSteals, 1);
             return Some(c);
         }
     }

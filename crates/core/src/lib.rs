@@ -111,5 +111,10 @@ pub use tmk::{
 
 // The observability surface: virtual-time event traces and per-job
 // profiles (see [`RunReport::trace`] / [`RunReport::profile`] and
-// [`ClusterBuilder::trace`]).
+// [`ClusterBuilder::trace`]), plus the always-on lifetime metrics
+// exported from [`Cluster::metrics`].
 pub use now_trace::{validate_chrome_json, EventKind, Profile, Trace, TraceConfig, TraceEvent};
+pub use tmk::{
+    validate_json as validate_metrics_json, validate_prometheus_text, HistogramSnapshot,
+    MetricsRegistry, MetricsSnapshot, NodeMetricsSnapshot, OpLat, TmkOp,
+};

@@ -328,16 +328,14 @@ impl TaskScope<'_, '_> {
             // skipped on purpose — the task is finished before this spawn
             // returns, so quiescence accounting never sees it (`counted:
             // false` keeps it out of the depth bookkeeping too).
-            self.th.bump_stats(|s| {
-                s.tasks_spawned += 1;
-                s.task_overflows += 1;
-            });
+            self.th.count_op(tmk::TmkOp::TasksSpawned, 1);
+            self.th.count_op(tmk::TmkOp::TaskOverflows, 1);
             // b = 1 marks a deque-overflow spawn (ran undeferred).
             self.th.trace_instant(tmk::EventKind::TaskSpawn, 0, 1);
             self.run_task(args, false, false);
             return;
         }
-        self.th.bump_stats(|s| s.tasks_spawned += 1);
+        self.th.count_op(tmk::TmkOp::TasksSpawned, 1);
         self.th.trace_instant(tmk::EventKind::TaskSpawn, 0, 0);
         // Recruit help: bump the local wake generation unconditionally (a
         // sibling mid-sweep must observe the push or it would park over
@@ -459,7 +457,7 @@ impl TaskScope<'_, '_> {
     /// propagates the wake-up to the next sleeper (see `woke`).
     fn take_from(&mut self, k: usize, mark: bool) -> Option<TaskArgs> {
         if self.is_steal(k) {
-            self.th.bump_stats(|s| s.steal_attempts += 1);
+            self.th.count_op(tmk::TmkOp::StealAttempts, 1);
         }
         let dq = self.rt.deques[k];
         let lock = deque_lock(self.rt.n, k);
@@ -492,12 +490,10 @@ impl TaskScope<'_, '_> {
     /// Execute one task body. `counted` marks deque-borne tasks (tracked
     /// by the spawn/complete counters and the depth bookkeeping).
     fn run_task(&mut self, args: TaskArgs, stolen: bool, counted: bool) {
-        self.th.bump_stats(|s| {
-            s.tasks_executed += 1;
-            if stolen {
-                s.tasks_stolen += 1;
-            }
-        });
+        self.th.count_op(tmk::TmkOp::TasksExecuted, 1);
+        if stolen {
+            self.th.count_op(tmk::TmkOp::TasksStolen, 1);
+        }
         if stolen {
             self.th.trace_instant(tmk::EventKind::TaskSteal, 0, 0);
         }
@@ -607,7 +603,7 @@ impl TaskScope<'_, '_> {
     /// for one deque.
     fn counter_take(&mut self, k: usize, totals: &mut (u64, u64, u64)) -> Option<(TaskArgs, u64)> {
         if self.is_steal(k) {
-            self.th.bump_stats(|s| s.steal_attempts += 1);
+            self.th.count_op(tmk::TmkOp::StealAttempts, 1);
         }
         let dq = self.rt.deques[k];
         let lock = deque_lock(self.rt.n, k);

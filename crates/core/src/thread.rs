@@ -141,6 +141,7 @@ impl<'t> OmpThread<'t> {
             return;
         };
         let my_vt = self.t.now_ns();
+        self.t.metrics().local_barriers.inc();
         match ctx.team.gather(ctx.local_tid, my_vt) {
             Arrival::Representative(combined) => {
                 self.t

@@ -1,0 +1,196 @@
+//! Lifetime network traffic metrics.
+//!
+//! `now-net` already keeps per-job `NetStats`, but those are reset at
+//! every warm-cluster job boundary. `NetMetrics` is the cluster-lifetime
+//! view: per-node send/recv message and byte counters plus per-kind
+//! slots indexed by the wire type's `kind_id` (with a catch-all slot
+//! for kinds outside the declared table). Recording is four relaxed
+//! atomic adds; the slot vectors are allocated once at construction.
+
+use crate::prim::Counter;
+
+struct Traffic {
+    msgs: Counter,
+    bytes: Counter,
+}
+
+impl Traffic {
+    fn new() -> Self {
+        Traffic {
+            msgs: Counter::new(),
+            bytes: Counter::new(),
+        }
+    }
+
+    fn record(&self, bytes: u64) {
+        self.msgs.inc();
+        self.bytes.add(bytes);
+    }
+}
+
+/// Cluster-lifetime traffic counters (never reset at job boundaries).
+///
+/// Only *remote* traffic is recorded, matching `NetStats`: loopback
+/// sends model no wire crossing. The reset/sync control round between
+/// warm jobs *is* counted here (it crosses the simulated wire), which
+/// is one deliberate way the lifetime view is richer than the sum of
+/// per-job deltas.
+pub struct NetMetrics {
+    kinds: &'static [&'static str],
+    node_send: Vec<Traffic>,
+    node_recv: Vec<Traffic>,
+    // kinds.len() + 1 entries; the last is the catch-all for kind ids
+    // outside the table (`Wire::kind_id`'s default).
+    kind_send: Vec<Traffic>,
+    kind_recv: Vec<Traffic>,
+}
+
+impl std::fmt::Debug for NetMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetMetrics")
+            .field("nodes", &self.node_send.len())
+            .field("kinds", &self.kinds.len())
+            .finish()
+    }
+}
+
+impl NetMetrics {
+    /// Counters for `nodes` nodes and the wire type's declared `kinds`
+    /// table (pass `Wire::kinds()`).
+    pub fn new(nodes: usize, kinds: &'static [&'static str]) -> Self {
+        NetMetrics {
+            kinds,
+            node_send: (0..nodes).map(|_| Traffic::new()).collect(),
+            node_recv: (0..nodes).map(|_| Traffic::new()).collect(),
+            kind_send: (0..=kinds.len()).map(|_| Traffic::new()).collect(),
+            kind_recv: (0..=kinds.len()).map(|_| Traffic::new()).collect(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, kind_id: usize) -> usize {
+        if kind_id < self.kinds.len() {
+            kind_id
+        } else {
+            self.kinds.len()
+        }
+    }
+
+    /// Record a remote send from `node` of `bytes` wire bytes.
+    #[inline]
+    pub fn record_send(&self, node: usize, kind_id: usize, bytes: u64) {
+        self.node_send[node].record(bytes);
+        self.kind_send[self.slot(kind_id)].record(bytes);
+    }
+
+    /// Record a remote receive at `node` of `bytes` wire bytes.
+    #[inline]
+    pub fn record_recv(&self, node: usize, kind_id: usize, bytes: u64) {
+        self.node_recv[node].record(bytes);
+        self.kind_recv[self.slot(kind_id)].record(bytes);
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> NetMetricsSnapshot {
+        let per_node = |v: &[Traffic]| v.iter().map(|t| (t.msgs.get(), t.bytes.get())).collect();
+        let mut per_kind: Vec<KindTraffic> = Vec::with_capacity(self.kinds.len() + 1);
+        for (i, kind) in self
+            .kinds
+            .iter()
+            .copied()
+            .chain(std::iter::once("_other"))
+            .enumerate()
+        {
+            per_kind.push(KindTraffic {
+                kind,
+                send_msgs: self.kind_send[i].msgs.get(),
+                send_bytes: self.kind_send[i].bytes.get(),
+                recv_msgs: self.kind_recv[i].msgs.get(),
+                recv_bytes: self.kind_recv[i].bytes.get(),
+            });
+        }
+        NetMetricsSnapshot {
+            send: per_node(&self.node_send),
+            recv: per_node(&self.node_recv),
+            per_kind,
+        }
+    }
+}
+
+/// Lifetime traffic of one message kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KindTraffic {
+    /// The wire kind string (or `"_other"` for the catch-all slot).
+    pub kind: &'static str,
+    /// Remote messages sent.
+    pub send_msgs: u64,
+    /// Wire bytes sent.
+    pub send_bytes: u64,
+    /// Remote messages received.
+    pub recv_msgs: u64,
+    /// Wire bytes received.
+    pub recv_bytes: u64,
+}
+
+/// Owned copy of a [`NetMetrics`] block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetMetricsSnapshot {
+    /// Per-node `(msgs, bytes)` sent to remote peers.
+    pub send: Vec<(u64, u64)>,
+    /// Per-node `(msgs, bytes)` received from remote peers.
+    pub recv: Vec<(u64, u64)>,
+    /// Per-kind traffic; the final entry is the `_other` catch-all.
+    pub per_kind: Vec<KindTraffic>,
+}
+
+impl NetMetricsSnapshot {
+    /// Total remote messages sent across all nodes.
+    pub fn total_send_msgs(&self) -> u64 {
+        self.send.iter().map(|(m, _)| m).sum()
+    }
+
+    /// Total wire bytes sent across all nodes.
+    pub fn total_send_bytes(&self) -> u64 {
+        self.send.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total remote messages received across all nodes.
+    pub fn total_recv_msgs(&self) -> u64 {
+        self.recv.iter().map(|(m, _)| m).sum()
+    }
+
+    /// Total wire bytes received across all nodes.
+    pub fn total_recv_bytes(&self) -> u64 {
+        self.recv.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Traffic for one kind string, if present in the table.
+    pub fn kind(&self, kind: &str) -> Option<&KindTraffic> {
+        self.per_kind.iter().find(|k| k.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: &[&str] = &["ping", "pong"];
+
+    #[test]
+    fn per_node_and_per_kind_accumulate() {
+        let m = NetMetrics::new(2, KINDS);
+        m.record_send(0, 0, 100);
+        m.record_send(0, 1, 10);
+        m.record_recv(1, 0, 100);
+        m.record_send(1, usize::MAX, 7); // unknown kind -> catch-all
+        let s = m.snapshot();
+        assert_eq!(s.send, vec![(2, 110), (1, 7)]);
+        assert_eq!(s.recv, vec![(0, 0), (1, 100)]);
+        assert_eq!(s.total_send_msgs(), 3);
+        assert_eq!(s.total_send_bytes(), 117);
+        assert_eq!(s.kind("ping").unwrap().send_msgs, 1);
+        assert_eq!(s.kind("ping").unwrap().recv_msgs, 1);
+        assert_eq!(s.kind("pong").unwrap().send_bytes, 10);
+        assert_eq!(s.kind("_other").unwrap().send_bytes, 7);
+    }
+}

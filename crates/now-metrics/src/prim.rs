@@ -1,0 +1,275 @@
+//! Lock-free metric primitives: `Counter`, `Gauge`, `Histogram`.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+///
+/// All operations are relaxed atomics: recording never blocks, never
+/// allocates, and imposes no ordering on surrounding code.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (e.g. jobs in flight).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `d` (which may be negative) to the gauge.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: bucket 0 holds the value 0 and
+/// bucket `k` (1..=64) holds values in `[2^(k-1), 2^k)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A fixed-bucket log₂ histogram of `u64` observations.
+///
+/// The bucket layout covers the full `u64` range with no configuration:
+/// bucket 0 is exactly the value 0, bucket `k` is `[2^(k-1), 2^k)`.
+/// Recording is two relaxed `fetch_add`s — no allocation, no locks, no
+/// floating point. The running sum wraps on overflow (by construction;
+/// practically unreachable for nanosecond-scale observations).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index for a value: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    pub const fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `i`, or `None` for the last
+    /// bucket (`+Inf` in Prometheus terms: it holds `[2^63, u64::MAX]`).
+    pub const fn bucket_le(i: usize) -> Option<u64> {
+        match i {
+            0 => Some(0),
+            1..=63 => Some((1u64 << i) - 1),
+            _ => None,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned, mergeable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`HISTOGRAM_BUCKETS`] entries).
+    pub buckets: Vec<u64>,
+    /// Wrapping sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations (wrapping sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().fold(0u64, |a, &b| a.wrapping_add(b))
+    }
+
+    /// Element-wise merge of `other` into `self`. Associative and
+    /// commutative, so per-node snapshots fold into cluster totals in
+    /// any order.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a = a.wrapping_add(*b);
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
+
+    /// Mean observed value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(3);
+        g.add(-5);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn bucket_boundaries_0_1_and_max() {
+        // The issue's boundary cases: 0, 1, u64::MAX — plus every
+        // power-of-two edge, where off-by-one bugs live.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for k in 1..64 {
+            let lo = 1u64 << (k - 1);
+            let hi = (1u64 << k) - 1;
+            assert_eq!(
+                Histogram::bucket_index(lo),
+                k as usize,
+                "low edge 2^{}",
+                k - 1
+            );
+            assert_eq!(Histogram::bucket_index(hi), k as usize, "high edge 2^{k}-1");
+        }
+        assert_eq!(Histogram::bucket_index(1u64 << 63), 64);
+        // le bounds are the inclusive upper edges of those ranges.
+        assert_eq!(Histogram::bucket_le(0), Some(0));
+        assert_eq!(Histogram::bucket_le(1), Some(1));
+        assert_eq!(Histogram::bucket_le(2), Some(3));
+        assert_eq!(Histogram::bucket_le(63), Some((1u64 << 63) - 1));
+        assert_eq!(Histogram::bucket_le(64), None);
+    }
+
+    #[test]
+    fn histogram_record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0, 0, 1, 2, 3, 1024, u64::MAX] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[2], 2);
+        assert_eq!(s.buckets[11], 1); // 1024 = 2^10 -> [2^10, 2^11)
+        assert_eq!(s.buckets[64], 1);
+        assert_eq!(
+            s.sum,
+            0u64.wrapping_add(1 + 2 + 3 + 1024).wrapping_add(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let a = mk(&[0, 1, 7, 9000]);
+        let b = mk(&[1, 1, u64::MAX]);
+        let c = mk(&[0, 2, 2, 1 << 40]);
+
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+
+        // a ⊕ b == b ⊕ a
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        assert_eq!(ab_c.count(), 11);
+    }
+}

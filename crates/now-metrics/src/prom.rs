@@ -1,0 +1,466 @@
+//! Prometheus text exposition format: a small writer and a validator.
+//!
+//! The validator mirrors `validate_chrome_json` in now-trace: a
+//! hand-rolled structural checker so CI can gate emitted artifacts
+//! without pulling in a Prometheus client crate. It checks the
+//! format-level rules that actually catch emitter bugs: metric/label
+//! name grammar, `# TYPE`/`# HELP` placement, duplicate series, and —
+//! for histogram families — `le` monotonicity, cumulative bucket
+//! counts, a `+Inf` bucket, and `_count` == the `+Inf` bucket.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::prim::HistogramSnapshot;
+use crate::Histogram;
+
+/// Incremental writer for the Prometheus text exposition format.
+///
+/// Families are declared once (`# HELP` + `# TYPE`), then any number of
+/// samples follow. The writer escapes label values and renders
+/// histogram snapshots with cumulative buckets, `+Inf`, `_sum` and
+/// `_count` per the format.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition document.
+    pub fn new() -> Self {
+        PromText { out: String::new() }
+    }
+
+    /// Declare a metric family: one `# HELP` and one `# TYPE` line.
+    pub fn family(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(help);
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one sample line with an integer value.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample_str(name, labels, &value.to_string());
+    }
+
+    /// Emit one sample line with a float value.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample_str(name, labels, &format!("{value}"));
+    }
+
+    fn sample_str(&mut self, name: &str, labels: &[(&str, &str)], value: &str) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                for c in v.chars() {
+                    match c {
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\n' => self.out.push_str("\\n"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(value);
+        self.out.push('\n');
+    }
+
+    /// Emit the `_bucket`/`_sum`/`_count` samples of one histogram
+    /// series. The family must have been declared with type
+    /// `histogram`; `labels` are the series labels (without `le`).
+    /// Empty buckets are skipped except the mandatory `+Inf`.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &HistogramSnapshot) {
+        let bucket = format!("{name}_bucket");
+        let mut cum = 0u64;
+        for (i, &n) in h.buckets.iter().enumerate() {
+            cum = cum.wrapping_add(n);
+            if n == 0 {
+                continue;
+            }
+            if let Some(le) = Histogram::bucket_le(i) {
+                let le = le.to_string();
+                let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+                with_le.push(("le", &le));
+                self.sample(&bucket, &with_le, cum);
+            }
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket, &with_le, cum);
+        self.sample(&format!("{name}_sum"), labels, h.sum);
+        self.sample(&format!("{name}_count"), labels, cum);
+    }
+
+    /// Finish the document. Ends with a newline as the format requires.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// One parsed sample line.
+struct Sample {
+    name: String,
+    /// Label pairs in source order (kept sorted for series identity).
+    labels: Vec<(String, String)>,
+    value: f64,
+    line: usize,
+}
+
+fn parse_sample(line: &str, lineno: usize) -> Result<Sample, String> {
+    let err = |m: &str| format!("line {lineno}: {m}: {line:?}");
+    let (name_part, rest) = match line.find(['{', ' ']) {
+        Some(i) => (&line[..i], &line[i..]),
+        None => return Err(err("sample has no value")),
+    };
+    if !valid_metric_name(name_part) {
+        return Err(err("invalid metric name"));
+    }
+    let mut labels = Vec::new();
+    let rest = if let Some(body) = rest.strip_prefix('{') {
+        let close = body
+            .rfind('}')
+            .ok_or_else(|| err("unterminated label set"))?;
+        let (inner, tail) = (&body[..close], &body[close + 1..]);
+        let mut s = inner;
+        while !s.is_empty() {
+            let eq = s.find('=').ok_or_else(|| err("label without '='"))?;
+            let lname = &s[..eq];
+            if !valid_label_name(lname) {
+                return Err(err("invalid label name"));
+            }
+            s = &s[eq + 1..];
+            if !s.starts_with('"') {
+                return Err(err("label value must be quoted"));
+            }
+            s = &s[1..];
+            let mut val = String::new();
+            let mut bytes = s.char_indices();
+            let mut end = None;
+            while let Some((i, c)) = bytes.next() {
+                match c {
+                    '\\' => match bytes.next() {
+                        Some((_, '\\')) => val.push('\\'),
+                        Some((_, '"')) => val.push('"'),
+                        Some((_, 'n')) => val.push('\n'),
+                        _ => return Err(err("bad escape in label value")),
+                    },
+                    '"' => {
+                        end = Some(i);
+                        break;
+                    }
+                    c => val.push(c),
+                }
+            }
+            let end = end.ok_or_else(|| err("unterminated label value"))?;
+            labels.push((lname.to_string(), val));
+            s = &s[end + 1..];
+            if let Some(r) = s.strip_prefix(',') {
+                s = r;
+            } else if !s.is_empty() {
+                return Err(err("expected ',' between labels"));
+            }
+        }
+        tail
+    } else {
+        rest
+    };
+    let value_txt = rest.trim();
+    if value_txt.is_empty() || value_txt.contains(' ') {
+        // A second token would be a timestamp; our emitters never write
+        // one, so treat it as malformed rather than silently accept.
+        return Err(err("expected exactly one value token"));
+    }
+    let value = match value_txt {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        "NaN" => f64::NAN,
+        t => t.parse::<f64>().map_err(|_| err("invalid sample value"))?,
+    };
+    labels.sort();
+    Ok(Sample {
+        name: name_part.to_string(),
+        labels,
+        value,
+        line: lineno,
+    })
+}
+
+/// Validate a Prometheus text exposition document.
+///
+/// Checks: trailing newline; comment-line grammar (`# HELP`, `# TYPE`
+/// with a known type, at most one each per family, `# TYPE` before any
+/// sample of that family); metric/label name grammar; no duplicate
+/// series; histogram families have only `_bucket`/`_sum`/`_count`
+/// samples, every `_bucket` carries `le`, buckets are cumulative with
+/// ascending `le`, end in `le="+Inf"`, and `_count` equals the `+Inf`
+/// bucket.
+pub fn validate_prometheus_text(s: &str) -> Result<(), String> {
+    if s.is_empty() {
+        return Err("empty document".into());
+    }
+    if !s.ends_with('\n') {
+        return Err("document must end with a newline".into());
+    }
+
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut seen_series: BTreeSet<String> = BTreeSet::new();
+    let mut samples: Vec<Sample> = Vec::new();
+
+    for (i, line) in s.lines().enumerate() {
+        let lineno = i + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut parts = rest.splitn(2, ' ');
+                let name = parts.next().unwrap_or("");
+                let kind = parts.next().unwrap_or("").trim();
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: TYPE for invalid name {name:?}"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {lineno}: unknown metric type {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {lineno}: duplicate TYPE for {name}"));
+                }
+                // TYPE must precede every sample of its family.
+                let is_fam = |n: &str| {
+                    n == name
+                        || (types[name] == "histogram"
+                            && [
+                                format!("{name}_bucket"),
+                                format!("{name}_sum"),
+                                format!("{name}_count"),
+                            ]
+                            .iter()
+                            .any(|f| f == n))
+                };
+                if samples.iter().any(|smp| is_fam(&smp.name)) {
+                    return Err(format!("line {lineno}: TYPE for {name} after its samples"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {lineno}: HELP for invalid name {name:?}"));
+                }
+                if !helps.insert(name.to_string()) {
+                    return Err(format!("line {lineno}: duplicate HELP for {name}"));
+                }
+            }
+            // Other comments are allowed and ignored.
+            continue;
+        }
+        let smp = parse_sample(line, lineno)?;
+        let series_id = format!("{}|{:?}", smp.name, smp.labels);
+        if !seen_series.insert(series_id) {
+            return Err(format!(
+                "line {lineno}: duplicate series {}{:?}",
+                smp.name, smp.labels
+            ));
+        }
+        samples.push(smp);
+    }
+
+    // Histogram family structure.
+    for (fam, kind) in &types {
+        if kind != "histogram" {
+            continue;
+        }
+        let bucket_name = format!("{fam}_bucket");
+        let sum_name = format!("{fam}_sum");
+        let count_name = format!("{fam}_count");
+        // series key (labels minus le) -> [(le, cumulative count, line)]
+        let mut series: BTreeMap<String, Vec<(f64, f64, usize)>> = BTreeMap::new();
+        let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+        for smp in &samples {
+            if smp.name == *fam {
+                return Err(format!(
+                    "line {}: histogram family {fam} has a bare sample; only \
+                     _bucket/_sum/_count are allowed",
+                    smp.line
+                ));
+            }
+            if smp.name == bucket_name {
+                let le = smp
+                    .labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("line {}: _bucket without le label", smp.line))?;
+                let le_v = match le.1.as_str() {
+                    "+Inf" => f64::INFINITY,
+                    t => t
+                        .parse::<f64>()
+                        .map_err(|_| format!("line {}: bad le value {t:?}", smp.line))?,
+                };
+                let key: Vec<_> = smp.labels.iter().filter(|(k, _)| k != "le").collect();
+                series
+                    .entry(format!("{key:?}"))
+                    .or_default()
+                    .push((le_v, smp.value, smp.line));
+            } else if smp.name == count_name {
+                counts.insert(
+                    format!("{:?}", smp.labels.iter().collect::<Vec<_>>()),
+                    smp.value,
+                );
+            }
+        }
+        let _ = sum_name; // _sum needs no structural check beyond series parsing
+        for (key, rows) in &series {
+            let mut last_le = f64::NEG_INFINITY;
+            let mut last_cum = -1.0;
+            for (le, cum, line) in rows {
+                if *le <= last_le {
+                    return Err(format!("line {line}: {fam} le not strictly ascending"));
+                }
+                if *cum < last_cum {
+                    return Err(format!("line {line}: {fam} bucket counts not cumulative"));
+                }
+                last_le = *le;
+                last_cum = *cum;
+            }
+            let (inf_le, inf_cum, _) = rows.last().unwrap();
+            if !inf_le.is_infinite() {
+                return Err(format!(
+                    "histogram {fam}{key} is missing an le=\"+Inf\" bucket"
+                ));
+            }
+            if let Some(count) = counts.get(key) {
+                if count != inf_cum {
+                    return Err(format!(
+                        "histogram {fam}{key}: _count {count} != +Inf bucket {inf_cum}"
+                    ));
+                }
+            } else {
+                return Err(format!("histogram {fam}{key} is missing _count"));
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Histogram;
+
+    fn demo_doc() -> String {
+        let h = Histogram::new();
+        for v in [0, 1, 900, 4096] {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.family("now_jobs_total", "Jobs by final status.", "counter");
+        p.sample("now_jobs_total", &[("status", "completed")], 3);
+        p.sample("now_jobs_total", &[("status", "failed")], 0);
+        p.family("now_jobs_in_flight", "Jobs currently running.", "gauge");
+        p.sample("now_jobs_in_flight", &[], 0);
+        p.family("now_op_vt_ns", "Virtual-time op latency.", "histogram");
+        p.histogram("now_op_vt_ns", &[("op", "barrier")], &h.snapshot());
+        p.finish()
+    }
+
+    #[test]
+    fn writer_output_validates() {
+        let doc = demo_doc();
+        validate_prometheus_text(&doc).expect("writer emits valid exposition text");
+        assert!(doc.contains("now_op_vt_ns_bucket{op=\"barrier\",le=\"+Inf\"} 4"));
+        assert!(doc.contains("now_op_vt_ns_count{op=\"barrier\"} 4"));
+    }
+
+    #[test]
+    fn rejects_structural_errors() {
+        // No trailing newline.
+        assert!(validate_prometheus_text("a 1").is_err());
+        // Bad metric name.
+        assert!(validate_prometheus_text("1bad 1\n").is_err());
+        // Bad label name.
+        assert!(validate_prometheus_text("a{1x=\"y\"} 1\n").is_err());
+        // Duplicate series.
+        assert!(validate_prometheus_text("a 1\na 2\n").is_err());
+        // Unknown type.
+        assert!(validate_prometheus_text("# TYPE a widget\n").is_err());
+        // TYPE after samples of the family.
+        assert!(validate_prometheus_text("a 1\n# TYPE a counter\n").is_err());
+        // Duplicate TYPE.
+        assert!(validate_prometheus_text("# TYPE a counter\n# TYPE a counter\n").is_err());
+        // Missing value.
+        assert!(validate_prometheus_text("a{x=\"y\"}\n").is_err());
+    }
+
+    #[test]
+    fn rejects_histogram_violations() {
+        // _bucket without le.
+        let d = "# TYPE h histogram\nh_bucket 1\nh_sum 0\nh_count 1\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // Missing +Inf.
+        let d = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 0\nh_count 1\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // Non-cumulative buckets.
+        let d = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 0\nh_count 3\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // le not ascending.
+        let d = "# TYPE h histogram\nh_bucket{le=\"3\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 2\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // _count disagrees with +Inf bucket.
+        let d = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 0\nh_count 3\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // Bare sample of a histogram family.
+        let d = "# TYPE h histogram\nh 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 0\nh_count 1\n";
+        assert!(validate_prometheus_text(d).is_err());
+        // A correct one passes.
+        let d = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 9\nh_count 2\n";
+        validate_prometheus_text(d).expect("valid histogram accepted");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut p = PromText::new();
+        p.family("m", "help", "counter");
+        p.sample("m", &[("k", "a\"b\\c\nd")], 1);
+        let doc = p.finish();
+        validate_prometheus_text(&doc).expect("escaped labels parse back");
+        assert!(doc.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+}

@@ -59,6 +59,7 @@ pub use config::NetworkConfig;
 pub use hetero::{ClusterLoad, LoadSpec, LoadTrace};
 pub use message::{Delivered, Envelope, Wire};
 pub use network::{Endpoint, Network};
+pub use now_metrics::{NetMetrics, NetMetricsSnapshot};
 pub use now_trace::{TraceConfig, TraceSink, Tracer};
 pub use pod::Pod;
 pub use stats::{NetStats, StatsSnapshot};

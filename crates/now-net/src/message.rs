@@ -16,6 +16,24 @@ pub trait Wire: Send + 'static {
     fn kind(&self) -> &'static str {
         "msg"
     }
+
+    /// The full table of [`Wire::kind`] strings this type can produce,
+    /// used to size the lock-free per-kind metric slots. The default
+    /// (empty) table routes every message to the catch-all slot; a
+    /// protocol that wants per-kind lifetime metrics lists its kinds
+    /// here and implements [`Wire::kind_id`] as the matching index.
+    fn kinds() -> &'static [&'static str]
+    where
+        Self: Sized,
+    {
+        &[]
+    }
+
+    /// Index of this message's kind in [`Wire::kinds`]. Values outside
+    /// the table (the default) land in the catch-all slot.
+    fn kind_id(&self) -> usize {
+        usize::MAX
+    }
 }
 
 /// A message in flight: payload plus simulation metadata.

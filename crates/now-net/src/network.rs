@@ -13,6 +13,7 @@ use crate::message::{Delivered, Envelope, Wire};
 use crate::stats::{NetStats, StatsSnapshot};
 use crate::time::{NodeSpeed, VirtualClock};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use now_metrics::NetMetrics;
 use now_trace::{EventKind, TraceSink, Tracer, SERVICE_LANE};
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +35,19 @@ impl Network {
     pub fn build_with_trace<M: Wire>(
         cfg: NetworkConfig,
         sink: Option<Arc<TraceSink>>,
+    ) -> Vec<Endpoint<M>> {
+        Self::build_instrumented(cfg, sink, None)
+    }
+
+    /// Build a network whose endpoints additionally feed cluster-lifetime
+    /// traffic counters (never reset at job boundaries, unlike the
+    /// per-job [`NetStats`]). Recording is a few relaxed atomic adds per
+    /// remote message and never touches the virtual clocks; `None`
+    /// disables it with a single branch per send/receive.
+    pub fn build_instrumented<M: Wire>(
+        cfg: NetworkConfig,
+        sink: Option<Arc<TraceSink>>,
+        metrics: Option<Arc<NetMetrics>>,
     ) -> Vec<Endpoint<M>> {
         let n = cfg.nodes;
         assert!(n >= 1, "network needs at least one node");
@@ -64,6 +78,7 @@ impl Network {
                     Some(s) => Tracer::new(s.clone(), id),
                     None => Tracer::off(),
                 },
+                metrics: metrics.clone(),
             })
             .collect()
     }
@@ -82,6 +97,7 @@ pub struct Endpoint<M> {
     receiver: Receiver<Envelope<M>>,
     stats: Arc<NetStats>,
     tracer: Tracer,
+    metrics: Option<Arc<NetMetrics>>,
 }
 
 impl<M> Clone for Endpoint<M> {
@@ -94,6 +110,7 @@ impl<M> Clone for Endpoint<M> {
             receiver: self.receiver.clone(),
             stats: self.stats.clone(),
             tracer: self.tracer.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 }
@@ -152,6 +169,9 @@ impl<M: Wire> Endpoint<M> {
             self.clock.advance(self.cfg.local_delivery_ns)
         } else {
             self.stats.record_send(self.id, msg.kind(), bytes);
+            if let Some(m) = &self.metrics {
+                m.record_send(self.id, msg.kind_id(), bytes as u64);
+            }
             self.clock.advance(self.cfg.send_overhead_ns)
         };
         if self.tracer.on() {
@@ -226,6 +246,9 @@ impl<M: Wire> Endpoint<M> {
         let cost = if d.src == self.id {
             self.cfg.local_delivery_ns
         } else {
+            if let Some(m) = &self.metrics {
+                m.record_recv(self.id, d.msg.kind_id(), d.wire_bytes as u64);
+            }
             self.cfg.handler_ns
         };
         let after = self.clock.advance(cost);
@@ -251,6 +274,9 @@ impl<M: Wire> Endpoint<M> {
         let cost = if d.src == self.id {
             self.cfg.local_delivery_ns
         } else {
+            if let Some(m) = &self.metrics {
+                m.record_recv(self.id, d.msg.kind_id(), d.wire_bytes as u64);
+            }
             self.cfg.handler_ns
         };
         let after = self.clock.service_advance(cost);
@@ -277,6 +303,9 @@ impl<M: Wire> Endpoint<M> {
             self.clock.service_advance(self.cfg.local_delivery_ns)
         } else {
             self.stats.record_send(self.id, msg.kind(), bytes);
+            if let Some(m) = &self.metrics {
+                m.record_send(self.id, msg.kind_id(), bytes as u64);
+            }
             self.clock.service_advance(self.cfg.send_overhead_ns)
         };
         if self.tracer.on() {

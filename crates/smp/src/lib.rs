@@ -409,6 +409,7 @@ pub fn run_team(t: &mut Tmk, cfg: SmpConfig, f: impl Fn(&mut Tmk, &Team, usize) 
         return;
     }
     t.smp_enter();
+    t.metrics().team_forks.inc();
     let fork_t0 = t.trace_now();
     t.lane_advance(cfg.fork_thread_ns * (tpn as u64 - 1));
     t.trace_span(

@@ -13,6 +13,7 @@
 
 use crate::addr::{AllocTable, PageId};
 use crate::interval::IntervalId;
+use crate::metrics::{NodeMetrics, OpLat, TmkOp};
 use crate::protocol::{Msg, Region};
 use crate::state::NodeState;
 use crossbeam::channel::Receiver;
@@ -145,6 +146,9 @@ pub struct Tmk {
     /// Cluster-wide diagnostic view for the watchdog dump (absent only
     /// in hand-built unit-test handles).
     pub(crate) diag: Option<Arc<crate::system::SystemDiag>>,
+    /// This node's cluster-lifetime metrics block (always armed; shared
+    /// with the node state and every SMP sibling handle).
+    pub(crate) metrics: Arc<NodeMetrics>,
 }
 
 impl Tmk {
@@ -243,21 +247,27 @@ impl Tmk {
     }
 
     /// Run a network-touching protocol operation under the usual
-    /// meter/gate/wire brackets, recording a `kind` span around it when
-    /// tracing is armed. The recorder only reads this thread's frontier
-    /// before and after the operation, so arming it cannot change
-    /// virtual time, statistics, or traffic.
+    /// meter/gate/wire brackets, always recording its latency (virtual
+    /// and host) into the node's lifetime histograms for `lat`, and
+    /// additionally a `kind` trace span when tracing is armed. The
+    /// recorder only *reads* this thread's frontier before and after
+    /// the operation — it advances no clock — so neither metrics nor
+    /// tracing can change virtual time, statistics, or traffic.
     #[inline]
-    fn traced_op(&mut self, kind: EventKind, a: u64, f: impl FnOnce(&mut Self)) {
+    fn traced_op(&mut self, kind: EventKind, lat: OpLat, a: u64, f: impl FnOnce(&mut Self)) {
         self.metered(|s| {
-            if !s.ep.tracer().on() {
-                s.on_wire(f);
-                return;
-            }
+            let host0 = std::time::Instant::now();
             let t0 = s.thread_vt();
             s.on_wire(f);
             let t1 = s.thread_vt();
-            s.ep.tracer().span(kind, s.lane_tid, t0, t1, a, 0);
+            s.metrics.observe(
+                lat,
+                t1.saturating_sub(t0),
+                host0.elapsed().as_nanos() as u64,
+            );
+            if s.ep.tracer().on() {
+                s.ep.tracer().span(kind, s.lane_tid, t0, t1, a, 0);
+            }
         });
     }
 
@@ -333,21 +343,25 @@ impl Tmk {
     /// overlaps (the request-aggregation effect of the compiler/runtime
     /// integration the paper cites as future work).
     pub(crate) fn fault_pages(&mut self, pids: &[PageId]) {
-        if !self.ep.tracer().on() {
-            self.on_wire(|s| s.fault_pages_inner(pids));
-            return;
-        }
+        let host0 = std::time::Instant::now();
         let t0 = self.thread_vt();
         self.on_wire(|s| s.fault_pages_inner(pids));
         let t1 = self.thread_vt();
-        self.ep.tracer().span(
-            EventKind::PageFault,
-            self.lane_tid,
-            t0,
-            t1,
-            pids.len() as u64,
-            0,
+        self.metrics.observe(
+            OpLat::PageFault,
+            t1.saturating_sub(t0),
+            host0.elapsed().as_nanos() as u64,
         );
+        if self.ep.tracer().on() {
+            self.ep.tracer().span(
+                EventKind::PageFault,
+                self.lane_tid,
+                t0,
+                t1,
+                pids.len() as u64,
+                0,
+            );
+        }
     }
 
     fn fault_pages_inner(&mut self, pids: &[PageId]) {
@@ -423,7 +437,7 @@ impl Tmk {
             let tracing = self.ep.tracer().on();
             let mut st = self.state.lock();
             for (page, fetched) in by_page {
-                st.stats.read_faults += 1;
+                st.count(TmkOp::ReadFaults, 1);
                 let items: Vec<(IntervalId, u64, Arc<crate::diff::Diff>)> = fetched
                     .iter()
                     .map(|(node, seq, diff)| {
@@ -465,7 +479,9 @@ impl Tmk {
              runtime's two-level barrier)"
         );
         let epoch = self.barrier_epoch;
-        self.traced_op(EventKind::BarrierWait, epoch as u64, |s| s.barrier_inner());
+        self.traced_op(EventKind::BarrierWait, OpLat::Barrier, epoch as u64, |s| {
+            s.barrier_inner()
+        });
     }
 
     fn barrier_inner(&mut self) {
@@ -502,7 +518,7 @@ impl Tmk {
         {
             let mut st = self.state.lock();
             st.apply_bundle(src, &bundle);
-            st.stats.barriers += 1;
+            st.count(TmkOp::Barriers, 1);
         }
         if gc {
             // The departure bundle's clock is the GC snapshot: it is built
@@ -510,15 +526,19 @@ impl Tmk {
             // receives the identical clock and the GC round is scoped to
             // the same interval set cluster-wide — even if a manager
             // node's own log has already grown past it.
+            let host0 = std::time::Instant::now();
+            let t0 = self.clock.now();
+            self.run_gc(epoch, &bundle.pvc);
+            let t1 = self.clock.now();
+            self.metrics.observe(
+                OpLat::Gc,
+                t1.saturating_sub(t0),
+                host0.elapsed().as_nanos() as u64,
+            );
             if self.ep.tracer().on() {
-                let t0 = self.clock.now();
-                self.run_gc(epoch, &bundle.pvc);
-                let t1 = self.clock.now();
                 self.ep
                     .tracer()
                     .span(EventKind::Gc, self.lane_tid, t0, t1, epoch as u64, 0);
-            } else {
-                self.run_gc(epoch, &bundle.pvc);
             }
         }
     }
@@ -556,7 +576,7 @@ impl Tmk {
     /// the requester lacks. A manager-local acquire costs no network
     /// messages (self-sends are free).
     pub fn lock_acquire(&mut self, lock: u32) {
-        self.traced_op(EventKind::LockWait, lock as u64, |s| {
+        self.traced_op(EventKind::LockWait, OpLat::LockAcquire, lock as u64, |s| {
             s.lock_acquire_inner(lock)
         });
     }
@@ -568,9 +588,9 @@ impl Tmk {
                 !st.held_locks.contains(&lock),
                 "recursive lock_acquire({lock})"
             );
-            st.stats.lock_acquires += 1;
+            st.count(TmkOp::LockAcquires, 1);
             if st.manager_of(lock) == st.id {
-                st.stats.lock_acquires_local += 1;
+                st.count(TmkOp::LockAcquiresLocal, 1);
             }
             (st.manager_of(lock), st.processed_vc.clone())
         };
@@ -600,9 +620,12 @@ impl Tmk {
     /// notifies the manager, which passes the lock (and our new write
     /// notices) to the earliest waiter.
     pub fn lock_release(&mut self, lock: u32) {
-        self.traced_op(EventKind::LockRelease, lock as u64, |s| {
-            s.lock_release_inner(lock)
-        });
+        self.traced_op(
+            EventKind::LockRelease,
+            OpLat::LockRelease,
+            lock as u64,
+            |s| s.lock_release_inner(lock),
+        );
     }
 
     fn lock_release_inner(&mut self, lock: u32) {
@@ -637,7 +660,7 @@ impl Tmk {
     /// `sema_signal(S)`: release semantics; two messages (to the manager,
     /// plus its acknowledgment), independent of the node count.
     pub fn sema_signal(&mut self, sema: u32) {
-        self.traced_op(EventKind::SemaSignal, sema as u64, |s| {
+        self.traced_op(EventKind::SemaSignal, OpLat::SemaSignal, sema as u64, |s| {
             s.sema_signal_inner(sema)
         });
     }
@@ -650,7 +673,7 @@ impl Tmk {
             let bundle = st.bundle_for(&st.known_vc[mgr]);
             let pvc = st.processed_vc.clone();
             st.note_sent_vc(mgr, &pvc);
-            st.stats.sema_signals += 1;
+            st.count(TmkOp::SemaSignals, 1);
             bundle
         };
         self.ep.send(mgr, Msg::SemaSignal { sema, bundle });
@@ -666,7 +689,7 @@ impl Tmk {
     /// until a signal is available, then applies the consistency
     /// information the manager forwards.
     pub fn sema_wait(&mut self, sema: u32) {
-        self.traced_op(EventKind::SemaWait, sema as u64, |s| {
+        self.traced_op(EventKind::SemaWait, OpLat::SemaWait, sema as u64, |s| {
             s.sema_wait_inner(sema)
         });
     }
@@ -697,7 +720,7 @@ impl Tmk {
         debug_assert_eq!(granted, sema, "semaphore grant mismatch");
         let mut st = self.state.lock();
         st.apply_bundle(src, &bundle);
-        st.stats.sema_waits += 1;
+        st.count(TmkOp::SemaWaits, 1);
     }
 
     // ------------------------------------------------------------------
@@ -707,7 +730,7 @@ impl Tmk {
     /// `cond_wait(cond)` under `lock`: atomically release the lock and
     /// block until signaled; re-acquires the lock before returning.
     pub fn cond_wait(&mut self, lock: u32, cond: u32) {
-        self.traced_op(EventKind::CondWait, cond as u64, |s| {
+        self.traced_op(EventKind::CondWait, OpLat::CondWait, cond as u64, |s| {
             s.cond_wait_inner(lock, cond)
         });
     }
@@ -724,7 +747,7 @@ impl Tmk {
             let bundle = st.bundle_for(&st.known_vc[mgr]);
             let pvc = st.processed_vc.clone();
             st.note_sent_vc(mgr, &pvc);
-            st.stats.cond_waits += 1;
+            st.count(TmkOp::CondWaits, 1);
             (mgr, bundle)
         };
         let req_vt = self.clock.now();
@@ -759,7 +782,7 @@ impl Tmk {
                     s.state.lock().held_locks.contains(&lock),
                     "cond_signal outside critical section {lock}"
                 );
-                s.state.lock().stats.cond_signals += 1;
+                s.state.lock().count(TmkOp::CondSignals, 1);
                 let mgr = s.state.lock().manager_of(lock);
                 let req_vt = s.clock.now();
                 s.ep.send(mgr, Msg::CondSignal { lock, cond, req_vt });
@@ -784,7 +807,7 @@ impl Tmk {
                     s.state.lock().held_locks.contains(&lock),
                     "cond_broadcast outside critical section {lock}"
                 );
-                s.state.lock().stats.cond_broadcasts += 1;
+                s.state.lock().count(TmkOp::CondBroadcasts, 1);
                 let mgr = s.state.lock().manager_of(lock);
                 let req_vt = s.clock.now();
                 s.ep.send(mgr, Msg::CondBroadcast { lock, cond, req_vt });
@@ -810,7 +833,7 @@ impl Tmk {
     /// threads. Costs 2(n−1) messages — the expense that motivates the
     /// paper's semaphore/condition-variable proposal.
     pub fn flush(&mut self) {
-        self.traced_op(EventKind::Flush, 0, |s| s.flush_inner());
+        self.traced_op(EventKind::Flush, OpLat::Flush, 0, |s| s.flush_inner());
     }
 
     fn flush_inner(&mut self) {
@@ -818,7 +841,7 @@ impl Tmk {
         let bundles: Vec<(usize, crate::interval::NoticeBundle)> = {
             let mut st = self.state.lock();
             st.close_interval();
-            st.stats.flushes += 1;
+            st.count(TmkOp::Flushes, 1);
             let pvc = st.processed_vc.clone();
             (0..self.n)
                 .filter(|&p| p != me)
@@ -862,7 +885,7 @@ impl Tmk {
             // The fork is a release of the master's sequential section...
             let mut st = s.state.lock();
             st.close_interval();
-            st.stats.forks += 1;
+            st.count(TmkOp::Forks, 1);
             let pvc = st.processed_vc.clone();
             let bundles: Vec<(usize, crate::interval::NoticeBundle)> = (1..s.n)
                 .map(|p| {
@@ -975,6 +998,7 @@ impl Tmk {
             smp_access_ns: self.smp_access_ns,
             watchdog: self.watchdog,
             diag: self.diag.clone(),
+            metrics: self.metrics.clone(),
         }
     }
 
@@ -1029,12 +1053,20 @@ impl Tmk {
         self.lane.is_some()
     }
 
-    /// Mutate this node's protocol statistics (for runtime layers built on
-    /// top of the DSM — e.g. the OpenMP tasking scheduler — that surface
-    /// their own event counters through [`crate::TmkStats`]). Bookkeeping
-    /// only: runs off the compute meter and touches no protocol state.
-    pub fn bump_stats(&mut self, f: impl FnOnce(&mut crate::TmkStats)) {
-        f(&mut self.state.lock().stats);
+    /// Bump a protocol statistic (for runtime layers built on top of the
+    /// DSM — e.g. the OpenMP tasking scheduler — that surface their own
+    /// event counters through [`crate::TmkStats`]). Increments both the
+    /// per-job stats field and the node's lifetime metrics counter, so the
+    /// two views stay exactly reconciled. Bookkeeping only: runs off the
+    /// compute meter and touches no protocol state.
+    pub fn count_op(&mut self, op: TmkOp, n: u64) {
+        self.state.lock().count(op, n);
+    }
+
+    /// This node's lifetime metrics block (shared with the
+    /// [`crate::MetricsRegistry`]; survives job-boundary resets).
+    pub fn metrics(&self) -> &NodeMetrics {
+        &self.metrics
     }
 
     /// `node`'s current effective speed under the configured

@@ -52,6 +52,7 @@ mod config;
 mod diff;
 mod interval;
 mod memory;
+mod metrics;
 mod page;
 mod protocol;
 mod service;
@@ -65,6 +66,13 @@ pub use config::TmkConfig;
 pub use diff::{Diff, DiffRun};
 pub use interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};
 pub use memory::{Shareable, SharedScalar, SharedVec};
+pub use metrics::{
+    MetricsRegistry, MetricsSnapshot, NodeMetrics, NodeMetricsSnapshot, OpLat, TmkOp,
+};
+pub use now_metrics::{
+    validate_json, validate_prometheus_text, Counter, Gauge, Histogram, HistogramSnapshot,
+    NetMetricsSnapshot,
+};
 pub use now_net::StatsSnapshot;
 pub use now_trace::{EventKind, Profile, Trace, TraceConfig, TraceEvent};
 pub use page::PageState;

@@ -1,0 +1,811 @@
+//! Always-on cluster metrics: per-node blocks, the cluster-wide
+//! registry owned by [`System`](crate::system::System), and snapshots
+//! with Prometheus / JSON export.
+//!
+//! Where `TmkStats` is a per-job delta (snapshotted and reset at every
+//! warm-cluster job boundary), the metrics here are *cluster-lifetime*
+//! aggregates: they accumulate across the whole job stream and add
+//! dimensions the per-job counters cannot express — latency
+//! distributions per op kind (virtual and host), jobs completed/failed,
+//! warm-reset durations, cumulative traffic, uptime.
+//!
+//! Recording-path invariants (see DESIGN.md):
+//!
+//! - never advances a virtual clock, sends a message, or takes a lock;
+//! - no allocation: everything is preallocated at registry build;
+//! - every `TmkStats` increment goes through [`NodeState::count`]
+//!   (crate::state::NodeState::count), which bumps the stats field and
+//!   the matching lifetime counter in the same call — so lifetime
+//!   per-op counters reconcile *exactly* with the sum of per-job
+//!   `TmkStats` deltas, by construction.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use now_metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, NetMetrics, NetMetricsSnapshot, PromText,
+};
+
+use crate::stats::TmkStats;
+
+macro_rules! tmk_ops {
+    ($(($variant:ident, $field:ident)),* $(,)?) => {
+        /// One countable DSM/runtime protocol event, mirroring the
+        /// fields of [`TmkStats`] one-for-one. Every increment of a
+        /// stats field is paired with the same-named lifetime counter,
+        /// which is what makes snapshot/delta reconciliation exact.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum TmkOp {
+            $(
+                #[doc = concat!("Counter for [`TmkStats::", stringify!($field), "`].")]
+                $variant,
+            )*
+        }
+
+        impl TmkOp {
+            /// Every op, in [`TmkStats`] field order.
+            pub const ALL: &'static [TmkOp] = &[$(TmkOp::$variant),*];
+
+            /// Number of ops.
+            pub const COUNT: usize = TmkOp::ALL.len();
+
+            /// The snake_case stats-field name (used as the `op` label).
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(TmkOp::$variant => stringify!($field)),*
+                }
+            }
+
+            /// Read the matching field of a [`TmkStats`].
+            pub fn read(self, s: &TmkStats) -> u64 {
+                match self {
+                    $(TmkOp::$variant => s.$field),*
+                }
+            }
+
+            /// Add `n` to the matching field of a [`TmkStats`].
+            pub fn add_to(self, s: &mut TmkStats, n: u64) {
+                match self {
+                    $(TmkOp::$variant => s.$field += n),*
+                }
+            }
+        }
+    };
+}
+
+tmk_ops! {
+    (ReadFaults, read_faults),
+    (TwinsCreated, twins_created),
+    (DiffsCreated, diffs_created),
+    (DiffBytesCreated, diff_bytes_created),
+    (DiffsApplied, diffs_applied),
+    (Invalidations, invalidations),
+    (IntervalsClosed, intervals_closed),
+    (PageFetches, page_fetches),
+    (PageServes, page_serves),
+    (Barriers, barriers),
+    (LockAcquires, lock_acquires),
+    (LockAcquiresLocal, lock_acquires_local),
+    (SemaSignals, sema_signals),
+    (SemaWaits, sema_waits),
+    (CondWaits, cond_waits),
+    (CondSignals, cond_signals),
+    (CondBroadcasts, cond_broadcasts),
+    (Flushes, flushes),
+    (Forks, forks),
+    (GcRuns, gc_runs),
+    (PushWrites, push_writes),
+    (TasksSpawned, tasks_spawned),
+    (TasksExecuted, tasks_executed),
+    (TasksStolen, tasks_stolen),
+    (StealAttempts, steal_attempts),
+    (TaskOverflows, task_overflows),
+    (LoopSteals, loop_steals),
+}
+
+/// A blocking protocol operation whose latency is tracked as a pair of
+/// histograms (virtual nanoseconds and host nanoseconds) per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpLat {
+    /// A page fault, from trap to data installed (may cover a batch).
+    PageFault,
+    /// A DSM barrier episode, arrival to departure.
+    Barrier,
+    /// A lock acquire, request to grant (or local fast path).
+    LockAcquire,
+    /// A lock release, including diff/interval bookkeeping.
+    LockRelease,
+    /// A semaphore signal round trip to the manager.
+    SemaSignal,
+    /// A semaphore wait, request to grant.
+    SemaWait,
+    /// A condition-variable wait, release to wakeup.
+    CondWait,
+    /// An OpenMP flush round.
+    Flush,
+    /// A diff garbage-collection round (inside a barrier).
+    Gc,
+}
+
+impl OpLat {
+    /// Every latency-tracked op.
+    pub const ALL: &'static [OpLat] = &[
+        OpLat::PageFault,
+        OpLat::Barrier,
+        OpLat::LockAcquire,
+        OpLat::LockRelease,
+        OpLat::SemaSignal,
+        OpLat::SemaWait,
+        OpLat::CondWait,
+        OpLat::Flush,
+        OpLat::Gc,
+    ];
+
+    /// Number of latency-tracked ops.
+    pub const COUNT: usize = OpLat::ALL.len();
+
+    /// The `op` label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpLat::PageFault => "page_fault",
+            OpLat::Barrier => "barrier",
+            OpLat::LockAcquire => "lock_acquire",
+            OpLat::LockRelease => "lock_release",
+            OpLat::SemaSignal => "sema_signal",
+            OpLat::SemaWait => "sema_wait",
+            OpLat::CondWait => "cond_wait",
+            OpLat::Flush => "flush",
+            OpLat::Gc => "gc",
+        }
+    }
+}
+
+/// One node's lifetime metrics block. Shared (`Arc`) between the
+/// node's `NodeState`, its `Tmk` handle and any SMP sibling handles;
+/// survives job-boundary resets.
+#[derive(Debug)]
+pub struct NodeMetrics {
+    ops: [Counter; TmkOp::COUNT],
+    lat_vt: [Histogram; OpLat::COUNT],
+    lat_host: [Histogram; OpLat::COUNT],
+    /// SMP teams forked on this node (multi-thread regions only).
+    pub team_forks: Counter,
+    /// Node-local (SMP two-level) barrier episodes, one per thread.
+    pub local_barriers: Counter,
+    /// Loop chunks claimed by this node's threads.
+    pub chunks_claimed: Counter,
+    /// Total iterations across claimed chunks.
+    pub chunk_iters: Counter,
+    /// Distribution of claimed chunk lengths.
+    pub chunk_len: Histogram,
+}
+
+impl Default for NodeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodeMetrics {
+    /// A zeroed block.
+    pub fn new() -> Self {
+        NodeMetrics {
+            ops: std::array::from_fn(|_| Counter::new()),
+            lat_vt: std::array::from_fn(|_| Histogram::new()),
+            lat_host: std::array::from_fn(|_| Histogram::new()),
+            team_forks: Counter::new(),
+            local_barriers: Counter::new(),
+            chunks_claimed: Counter::new(),
+            chunk_iters: Counter::new(),
+            chunk_len: Histogram::new(),
+        }
+    }
+
+    /// The lifetime counter for one op.
+    #[inline]
+    pub fn op(&self, op: TmkOp) -> &Counter {
+        &self.ops[op as usize]
+    }
+
+    /// Record one completed blocking op's latency (virtual + host ns).
+    #[inline]
+    pub fn observe(&self, op: OpLat, vt_ns: u64, host_ns: u64) {
+        self.lat_vt[op as usize].record(vt_ns);
+        self.lat_host[op as usize].record(host_ns);
+    }
+
+    /// A point-in-time copy of this block.
+    pub fn snapshot(&self, node: usize) -> NodeMetricsSnapshot {
+        NodeMetricsSnapshot {
+            node,
+            ops: self.ops.iter().map(|c| c.get()).collect(),
+            lat_vt: self.lat_vt.iter().map(|h| h.snapshot()).collect(),
+            lat_host: self.lat_host.iter().map(|h| h.snapshot()).collect(),
+            team_forks: self.team_forks.get(),
+            local_barriers: self.local_barriers.get(),
+            chunks_claimed: self.chunks_claimed.get(),
+            chunk_iters: self.chunk_iters.get(),
+            chunk_len: self.chunk_len.snapshot(),
+        }
+    }
+}
+
+/// Owned copy of one node's [`NodeMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMetricsSnapshot {
+    /// The node id.
+    pub node: usize,
+    /// Lifetime op counters, indexed by `TmkOp as usize`.
+    pub ops: Vec<u64>,
+    /// Virtual-time latency histograms, indexed by `OpLat as usize`.
+    pub lat_vt: Vec<HistogramSnapshot>,
+    /// Host-time latency histograms, indexed by `OpLat as usize`.
+    pub lat_host: Vec<HistogramSnapshot>,
+    /// SMP teams forked.
+    pub team_forks: u64,
+    /// Node-local barrier episodes.
+    pub local_barriers: u64,
+    /// Loop chunks claimed.
+    pub chunks_claimed: u64,
+    /// Iterations across claimed chunks.
+    pub chunk_iters: u64,
+    /// Claimed chunk-length distribution.
+    pub chunk_len: HistogramSnapshot,
+}
+
+impl NodeMetricsSnapshot {
+    /// This node's lifetime count for one op.
+    pub fn op(&self, op: TmkOp) -> u64 {
+        self.ops[op as usize]
+    }
+}
+
+/// Cluster-wide metrics registry, owned by `System` and surfaced
+/// through `Cluster::metrics()`. Built once per cluster; every block
+/// lives for the cluster's lifetime (job-boundary resets do not touch
+/// it).
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    nodes: Vec<Arc<NodeMetrics>>,
+    net: Arc<NetMetrics>,
+    /// Jobs that ran to completion.
+    pub jobs_completed: Counter,
+    /// Jobs that panicked.
+    pub jobs_failed: Counter,
+    /// 1 while a job is executing on the cluster, else 0.
+    pub jobs_in_flight: Gauge,
+    /// Host-time duration of each warm job-boundary reset round.
+    pub reset_host_ns: Histogram,
+    /// Virtual-time duration of each completed job.
+    pub job_vt_ns: Histogram,
+    start: Instant,
+}
+
+impl MetricsRegistry {
+    /// A registry for `nodes` nodes whose wire type declares `kinds`.
+    pub fn new(nodes: usize, kinds: &'static [&'static str]) -> Self {
+        MetricsRegistry {
+            nodes: (0..nodes).map(|_| Arc::new(NodeMetrics::new())).collect(),
+            net: Arc::new(NetMetrics::new(nodes, kinds)),
+            jobs_completed: Counter::new(),
+            jobs_failed: Counter::new(),
+            jobs_in_flight: Gauge::new(),
+            reset_host_ns: Histogram::new(),
+            job_vt_ns: Histogram::new(),
+            start: Instant::now(),
+        }
+    }
+
+    /// One node's block (shared with that node's state and handles).
+    pub fn node(&self, id: usize) -> &Arc<NodeMetrics> {
+        &self.nodes[id]
+    }
+
+    /// The lifetime traffic block (shared with the network endpoints).
+    pub fn net(&self) -> &Arc<NetMetrics> {
+        &self.net
+    }
+
+    /// A consistent point-in-time copy of every metric.
+    ///
+    /// Safe to call between and during jobs: recording is relaxed
+    /// atomics, so each cell is individually exact and monotonic across
+    /// snapshots, but cells recorded mid-snapshot may or may not be
+    /// included (no cross-cell linearization).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(id, m)| m.snapshot(id))
+                .collect(),
+            net: self.net.snapshot(),
+            jobs_completed: self.jobs_completed.get(),
+            jobs_failed: self.jobs_failed.get(),
+            jobs_in_flight: self.jobs_in_flight.get(),
+            reset_host_ns: self.reset_host_ns.snapshot(),
+            job_vt_ns: self.job_vt_ns.snapshot(),
+            uptime_host_ns: self.start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// An owned, exportable copy of the whole cluster's metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-node blocks, indexed by node id.
+    pub nodes: Vec<NodeMetricsSnapshot>,
+    /// Lifetime traffic.
+    pub net: NetMetricsSnapshot,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Jobs that panicked.
+    pub jobs_failed: u64,
+    /// 1 while a job is executing, else 0.
+    pub jobs_in_flight: i64,
+    /// Warm-reset host-duration distribution.
+    pub reset_host_ns: HistogramSnapshot,
+    /// Completed-job virtual-time distribution.
+    pub job_vt_ns: HistogramSnapshot,
+    /// Host nanoseconds since the cluster was built.
+    pub uptime_host_ns: u64,
+}
+
+impl MetricsSnapshot {
+    /// Cluster-total lifetime count for one op.
+    pub fn op_total(&self, op: TmkOp) -> u64 {
+        self.nodes.iter().map(|n| n.op(op)).sum()
+    }
+
+    /// The cluster-total op counters reassembled as a [`TmkStats`].
+    ///
+    /// Because every stats increment also bumps the lifetime counter,
+    /// this equals the sum of all per-job `TmkStats` deltas over the
+    /// cluster's job stream (plus any ops of a job currently running).
+    pub fn ops_as_stats(&self) -> TmkStats {
+        let mut s = TmkStats::default();
+        for op in TmkOp::ALL {
+            op.add_to(&mut s, self.op_total(*op));
+        }
+        s
+    }
+
+    /// Cluster-merged virtual-time latency histogram for one op.
+    pub fn lat_vt_total(&self, op: OpLat) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for n in &self.nodes {
+            h.merge(&n.lat_vt[op as usize]);
+        }
+        h
+    }
+
+    /// Cluster-merged host-time latency histogram for one op.
+    pub fn lat_host_total(&self, op: OpLat) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for n in &self.nodes {
+            h.merge(&n.lat_host[op as usize]);
+        }
+        h
+    }
+
+    /// Render as Prometheus text exposition format. The output always
+    /// passes [`now_metrics::validate_prometheus_text`].
+    pub fn to_prometheus(&self) -> String {
+        let mut p = PromText::new();
+
+        p.family(
+            "now_uptime_host_seconds",
+            "Host seconds since the cluster was built.",
+            "gauge",
+        );
+        p.sample_f64(
+            "now_uptime_host_seconds",
+            &[],
+            self.uptime_host_ns as f64 / 1e9,
+        );
+
+        p.family("now_jobs_total", "Jobs by final status.", "counter");
+        p.sample(
+            "now_jobs_total",
+            &[("status", "completed")],
+            self.jobs_completed,
+        );
+        p.sample("now_jobs_total", &[("status", "failed")], self.jobs_failed);
+
+        p.family("now_jobs_in_flight", "Jobs currently executing.", "gauge");
+        p.sample_f64("now_jobs_in_flight", &[], self.jobs_in_flight as f64);
+
+        p.family(
+            "now_reset_duration_host_ns",
+            "Host-time duration of warm job-boundary resets.",
+            "histogram",
+        );
+        p.histogram("now_reset_duration_host_ns", &[], &self.reset_host_ns);
+
+        p.family(
+            "now_job_vt_ns",
+            "Virtual-time duration of completed jobs.",
+            "histogram",
+        );
+        p.histogram("now_job_vt_ns", &[], &self.job_vt_ns);
+
+        p.family(
+            "now_dsm_ops_total",
+            "Lifetime DSM/runtime protocol op counts per node.",
+            "counter",
+        );
+        for n in &self.nodes {
+            let node = n.node.to_string();
+            for op in TmkOp::ALL {
+                p.sample(
+                    "now_dsm_ops_total",
+                    &[("node", &node), ("op", op.name())],
+                    n.op(*op),
+                );
+            }
+        }
+
+        p.family(
+            "now_op_vt_ns",
+            "Virtual-time latency of blocking protocol ops (cluster-merged).",
+            "histogram",
+        );
+        for op in OpLat::ALL {
+            p.histogram(
+                "now_op_vt_ns",
+                &[("op", op.name())],
+                &self.lat_vt_total(*op),
+            );
+        }
+        p.family(
+            "now_op_host_ns",
+            "Host-time latency of blocking protocol ops (cluster-merged).",
+            "histogram",
+        );
+        for op in OpLat::ALL {
+            p.histogram(
+                "now_op_host_ns",
+                &[("op", op.name())],
+                &self.lat_host_total(*op),
+            );
+        }
+
+        p.family(
+            "now_smp_team_forks_total",
+            "SMP teams forked per node.",
+            "counter",
+        );
+        p.family(
+            "now_smp_local_barriers_total",
+            "Node-local two-level barrier episodes per node (one per thread).",
+            "counter",
+        );
+        p.family(
+            "now_loop_chunks_total",
+            "Loop chunks claimed per node.",
+            "counter",
+        );
+        p.family(
+            "now_loop_chunk_iters_total",
+            "Loop iterations across claimed chunks per node.",
+            "counter",
+        );
+        for n in &self.nodes {
+            let node = n.node.to_string();
+            let l = [("node", node.as_str())];
+            p.sample("now_smp_team_forks_total", &l, n.team_forks);
+            p.sample("now_smp_local_barriers_total", &l, n.local_barriers);
+            p.sample("now_loop_chunks_total", &l, n.chunks_claimed);
+            p.sample("now_loop_chunk_iters_total", &l, n.chunk_iters);
+        }
+        p.family(
+            "now_loop_chunk_len",
+            "Distribution of claimed chunk lengths (cluster-merged).",
+            "histogram",
+        );
+        let mut chunk_len = HistogramSnapshot::default();
+        for n in &self.nodes {
+            chunk_len.merge(&n.chunk_len);
+        }
+        p.histogram("now_loop_chunk_len", &[], &chunk_len);
+
+        p.family(
+            "now_net_send_msgs_total",
+            "Lifetime remote messages sent per node.",
+            "counter",
+        );
+        p.family(
+            "now_net_send_bytes_total",
+            "Lifetime wire bytes sent per node.",
+            "counter",
+        );
+        p.family(
+            "now_net_recv_msgs_total",
+            "Lifetime remote messages received per node.",
+            "counter",
+        );
+        p.family(
+            "now_net_recv_bytes_total",
+            "Lifetime wire bytes received per node.",
+            "counter",
+        );
+        for (id, ((sm, sb), (rm, rb))) in self.net.send.iter().zip(self.net.recv.iter()).enumerate()
+        {
+            let node = id.to_string();
+            let l = [("node", node.as_str())];
+            p.sample("now_net_send_msgs_total", &l, *sm);
+            p.sample("now_net_send_bytes_total", &l, *sb);
+            p.sample("now_net_recv_msgs_total", &l, *rm);
+            p.sample("now_net_recv_bytes_total", &l, *rb);
+        }
+
+        p.family(
+            "now_net_kind_msgs_total",
+            "Lifetime remote messages by wire kind and direction.",
+            "counter",
+        );
+        p.family(
+            "now_net_kind_bytes_total",
+            "Lifetime wire bytes by wire kind and direction.",
+            "counter",
+        );
+        for k in &self.net.per_kind {
+            if k.kind == "_other" && k.send_msgs == 0 && k.recv_msgs == 0 {
+                continue;
+            }
+            p.sample(
+                "now_net_kind_msgs_total",
+                &[("kind", k.kind), ("dir", "send")],
+                k.send_msgs,
+            );
+            p.sample(
+                "now_net_kind_msgs_total",
+                &[("kind", k.kind), ("dir", "recv")],
+                k.recv_msgs,
+            );
+            p.sample(
+                "now_net_kind_bytes_total",
+                &[("kind", k.kind), ("dir", "send")],
+                k.send_bytes,
+            );
+            p.sample(
+                "now_net_kind_bytes_total",
+                &[("kind", k.kind), ("dir", "recv")],
+                k.recv_bytes,
+            );
+        }
+
+        p.finish()
+    }
+
+    /// Render as a JSON document (validated by
+    /// [`now_metrics::validate_json`]).
+    pub fn to_json(&self) -> String {
+        fn hist(h: &HistogramSnapshot) -> String {
+            let nonzero: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c != 0)
+                .map(|(i, &c)| format!("[{i},{c}]"))
+                .collect();
+            format!(
+                "{{\"count\":{},\"sum\":{},\"nonzero\":[{}]}}",
+                h.count(),
+                h.sum,
+                nonzero.join(",")
+            )
+        }
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!("\"uptime_host_ns\":{},", self.uptime_host_ns));
+        out.push_str(&format!(
+            "\"jobs\":{{\"completed\":{},\"failed\":{},\"in_flight\":{}}},",
+            self.jobs_completed, self.jobs_failed, self.jobs_in_flight
+        ));
+        out.push_str(&format!("\"reset_host_ns\":{},", hist(&self.reset_host_ns)));
+        out.push_str(&format!("\"job_vt_ns\":{},", hist(&self.job_vt_ns)));
+
+        let totals: Vec<String> = TmkOp::ALL
+            .iter()
+            .map(|op| format!("\"{}\":{}", op.name(), self.op_total(*op)))
+            .collect();
+        out.push_str(&format!("\"ops_total\":{{{}}},", totals.join(",")));
+
+        let nodes: Vec<String> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                let ops: Vec<String> = TmkOp::ALL
+                    .iter()
+                    .map(|op| format!("\"{}\":{}", op.name(), n.op(*op)))
+                    .collect();
+                format!(
+                    "{{\"node\":{},\"ops\":{{{}}},\"team_forks\":{},\"local_barriers\":{},\
+                     \"chunks_claimed\":{},\"chunk_iters\":{},\"chunk_len\":{}}}",
+                    n.node,
+                    ops.join(","),
+                    n.team_forks,
+                    n.local_barriers,
+                    n.chunks_claimed,
+                    n.chunk_iters,
+                    hist(&n.chunk_len)
+                )
+            })
+            .collect();
+        out.push_str(&format!("\"per_node\":[{}],", nodes.join(",")));
+
+        let lat = |label: &str, pick: &dyn Fn(OpLat) -> HistogramSnapshot| {
+            let entries: Vec<String> = OpLat::ALL
+                .iter()
+                .map(|op| format!("\"{}\":{}", op.name(), hist(&pick(*op))))
+                .collect();
+            format!("\"{}\":{{{}}},", label, entries.join(","))
+        };
+        out.push_str(&lat("latency_vt_ns", &|op| self.lat_vt_total(op)));
+        out.push_str(&lat("latency_host_ns", &|op| self.lat_host_total(op)));
+
+        let per_node_net: Vec<String> = self
+            .net
+            .send
+            .iter()
+            .zip(self.net.recv.iter())
+            .enumerate()
+            .map(|(id, ((sm, sb), (rm, rb)))| {
+                format!(
+                    "{{\"node\":{id},\"send_msgs\":{sm},\"send_bytes\":{sb},\
+                     \"recv_msgs\":{rm},\"recv_bytes\":{rb}}}"
+                )
+            })
+            .collect();
+        let per_kind: Vec<String> = self
+            .net
+            .per_kind
+            .iter()
+            .filter(|k| k.kind != "_other" || k.send_msgs != 0 || k.recv_msgs != 0)
+            .map(|k| {
+                format!(
+                    "{{\"kind\":\"{}\",\"send_msgs\":{},\"send_bytes\":{},\
+                     \"recv_msgs\":{},\"recv_bytes\":{}}}",
+                    now_metrics::json::escape(k.kind),
+                    k.send_msgs,
+                    k.send_bytes,
+                    k.recv_msgs,
+                    k.recv_bytes
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "\"net\":{{\"per_node\":[{}],\"per_kind\":[{}]}}",
+            per_node_net.join(","),
+            per_kind.join(",")
+        ));
+        out.push('}');
+        out
+    }
+
+    /// A compact human-readable rendering for diagnostics (watchdog
+    /// dumps): jobs, nonzero cluster op totals, traffic.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "jobs: {} completed, {} failed, {} in flight; uptime {:.3}s\n",
+            self.jobs_completed,
+            self.jobs_failed,
+            self.jobs_in_flight,
+            self.uptime_host_ns as f64 / 1e9
+        ));
+        s.push_str("ops:");
+        let mut any = false;
+        for op in TmkOp::ALL {
+            let v = self.op_total(*op);
+            if v != 0 {
+                s.push_str(&format!(" {}={v}", op.name()));
+                any = true;
+            }
+        }
+        if !any {
+            s.push_str(" (none)");
+        }
+        s.push('\n');
+        s.push_str(&format!(
+            "net: sent {} msgs / {} B, received {} msgs / {} B\n",
+            self.net.total_send_msgs(),
+            self.net.total_send_bytes(),
+            self.net.total_recv_msgs(),
+            self.net.total_recv_bytes()
+        ));
+        let mut kinds: Vec<_> = self
+            .net
+            .per_kind
+            .iter()
+            .filter(|k| k.send_msgs > 0)
+            .collect();
+        kinds.sort_by_key(|k| std::cmp::Reverse(k.send_msgs));
+        if !kinds.is_empty() {
+            s.push_str("top kinds:");
+            for k in kinds.iter().take(6) {
+                s.push_str(&format!(" {}={}", k.kind, k.send_msgs));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use now_metrics::{validate_json, validate_prometheus_text};
+
+    #[test]
+    fn ops_mirror_tmkstats_exactly() {
+        // Every op maps to a distinct field, add_to/read round-trip,
+        // and a stats struct built from all ops merges like TmkStats.
+        let mut names = std::collections::BTreeSet::new();
+        let mut s = TmkStats::default();
+        for (i, op) in TmkOp::ALL.iter().enumerate() {
+            assert!(names.insert(op.name()), "duplicate op name {}", op.name());
+            op.add_to(&mut s, (i + 1) as u64);
+            assert_eq!(op.read(&s), (i + 1) as u64);
+        }
+        assert_eq!(TmkOp::COUNT, 27, "op table tracks TmkStats fields");
+        // A merged copy doubles every field — i.e. the enum covers all
+        // fields that merge() touches (a new TmkStats field without a
+        // TmkOp would make the reconciliation tests fail instead).
+        let mut doubled = s.clone();
+        doubled.merge(&s);
+        for op in TmkOp::ALL {
+            assert_eq!(op.read(&doubled), 2 * op.read(&s));
+        }
+    }
+
+    #[test]
+    fn registry_snapshot_exports_validate() {
+        let reg = MetricsRegistry::new(2, &["ping", "pong"]);
+        reg.node(0).op(TmkOp::Barriers).add(3);
+        reg.node(1).op(TmkOp::ReadFaults).add(7);
+        reg.node(0).observe(OpLat::Barrier, 1500, 9000);
+        reg.node(1).chunk_len.record(64);
+        reg.node(1).chunks_claimed.inc();
+        reg.net().record_send(0, 1, 40);
+        reg.net().record_recv(1, 1, 40);
+        reg.jobs_completed.inc();
+        reg.job_vt_ns.record(123_456);
+        reg.reset_host_ns.record(2_000);
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.op_total(TmkOp::Barriers), 3);
+        assert_eq!(snap.op_total(TmkOp::ReadFaults), 7);
+        assert_eq!(snap.ops_as_stats().barriers, 3);
+        assert_eq!(snap.lat_vt_total(OpLat::Barrier).count(), 1);
+        assert_eq!(snap.net.kind("pong").unwrap().send_msgs, 1);
+
+        let prom = snap.to_prometheus();
+        validate_prometheus_text(&prom).expect("prometheus output validates");
+        assert!(prom.contains("now_dsm_ops_total{node=\"0\",op=\"barriers\"} 3"));
+        assert!(prom.contains("now_jobs_total{status=\"completed\"} 1"));
+        assert!(prom.contains("now_op_vt_ns_count{op=\"barrier\"} 1"));
+
+        let json = snap.to_json();
+        validate_json(&json).expect("json output validates");
+        let doc = now_metrics::json::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("jobs").unwrap().get("completed").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(
+            doc.get("ops_total")
+                .unwrap()
+                .get("read_faults")
+                .unwrap()
+                .as_u64(),
+            Some(7)
+        );
+
+        let rendered = snap.render();
+        assert!(rendered.contains("1 completed"));
+        assert!(rendered.contains("barriers=3"));
+    }
+}

@@ -289,6 +289,71 @@ impl Wire for Msg {
             Msg::Shutdown => "shutdown",
         }
     }
+
+    fn kinds() -> &'static [&'static str] {
+        // Must stay in sync with `kind`/`kind_id`: `kinds()[m.kind_id()]
+        // == m.kind()` for every message (asserted in tests). Sizes the
+        // lock-free per-kind slots of the lifetime traffic metrics.
+        &[
+            "diff_req",
+            "diff_rep",
+            "page_req",
+            "page_rep",
+            "lock_acq",
+            "lock_rel",
+            "lock_grant",
+            "barrier_arrive",
+            "barrier_depart",
+            "sema_signal",
+            "sema_ack",
+            "sema_wait",
+            "sema_grant",
+            "cond_wait",
+            "cond_signal",
+            "cond_broadcast",
+            "flush_notice",
+            "flush_ack",
+            "fork",
+            "gc_done",
+            "gc_complete",
+            "reset_req",
+            "reset_done",
+            "sync_req",
+            "sync_ack",
+            "shutdown",
+        ]
+    }
+
+    fn kind_id(&self) -> usize {
+        match self {
+            Msg::DiffReq { .. } => 0,
+            Msg::DiffRep { .. } => 1,
+            Msg::PageReq { .. } => 2,
+            Msg::PageRep { .. } => 3,
+            Msg::LockAcq { .. } => 4,
+            Msg::LockRelease { .. } => 5,
+            Msg::LockGrant { .. } => 6,
+            Msg::BarrierArrive { .. } => 7,
+            Msg::BarrierDepart { .. } => 8,
+            Msg::SemaSignal { .. } => 9,
+            Msg::SemaAck { .. } => 10,
+            Msg::SemaWait { .. } => 11,
+            Msg::SemaGrant { .. } => 12,
+            Msg::CondWait { .. } => 13,
+            Msg::CondSignal { .. } => 14,
+            Msg::CondBroadcast { .. } => 15,
+            Msg::FlushNotice { .. } => 16,
+            Msg::FlushAck => 17,
+            Msg::Fork { .. } => 18,
+            Msg::GcDone { .. } => 19,
+            Msg::GcComplete { .. } => 20,
+            Msg::ResetReq => 21,
+            Msg::ResetDone { .. } => 22,
+            Msg::SyncReq => 23,
+            Msg::SyncAck => 24,
+            Msg::Shutdown => 25,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +406,26 @@ mod tests {
             diffs: vec![],
         };
         assert_ne!(a.kind(), b.kind());
+    }
+
+    #[test]
+    fn kind_id_indexes_the_kinds_table() {
+        let table = <Msg as Wire>::kinds();
+        let uniq: std::collections::BTreeSet<_> = table.iter().collect();
+        assert_eq!(uniq.len(), table.len(), "kind strings are distinct");
+        for m in [
+            Msg::DiffReq {
+                page: 1,
+                seqs: vec![],
+            },
+            Msg::FlushAck,
+            Msg::ResetReq,
+            Msg::SyncReq,
+            Msg::SyncAck,
+            Msg::Shutdown,
+        ] {
+            assert_eq!(table[m.kind_id()], m.kind(), "table row mismatch");
+        }
     }
 
     #[test]

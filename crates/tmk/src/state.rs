@@ -10,6 +10,7 @@ use crate::addr::{AllocTable, PageId};
 use crate::config::TmkConfig;
 use crate::diff::Diff;
 use crate::interval::{IntervalId, IntervalInfo, NoticeBundle, VectorClock};
+use crate::metrics::{NodeMetrics, TmkOp};
 use crate::page::{NoticeRec, PageMeta, PageState};
 use crate::stats::TmkStats;
 use now_net::VirtualClock;
@@ -138,8 +139,13 @@ pub struct NodeState {
     pub held_locks: std::collections::HashSet<u32>,
     /// Manager-role state.
     pub mgr: ManagerState,
-    /// Protocol event counters.
+    /// Protocol event counters (per-job; snapshotted and zeroed at warm
+    /// job boundaries).
     pub stats: TmkStats,
+    /// Cluster-lifetime metrics block (survives job-boundary resets).
+    /// Every stats increment goes through [`NodeState::count`], which
+    /// also bumps the matching lifetime counter here.
+    pub metrics: Arc<NodeMetrics>,
     /// Whether the caller currently mutating this state is the protocol
     /// service thread (charges CPU-timeline) or the application thread.
     pub in_service: bool,
@@ -152,6 +158,7 @@ impl NodeState {
         cfg: TmkConfig,
         alloc: Arc<AllocTable>,
         clock: Arc<VirtualClock>,
+        metrics: Arc<NodeMetrics>,
     ) -> Self {
         let n = cfg.nodes();
         NodeState {
@@ -174,6 +181,7 @@ impl NodeState {
             held_locks: std::collections::HashSet::new(),
             mgr: ManagerState::default(),
             stats: TmkStats::default(),
+            metrics,
             in_service: false,
         }
     }
@@ -188,7 +196,19 @@ impl NodeState {
             self.cfg.clone(),
             self.alloc.clone(),
             self.clock.clone(),
+            self.metrics.clone(),
         );
+    }
+
+    /// Count `n` protocol events of kind `op`: bumps both the per-job
+    /// stats field and the same-named cluster-lifetime counter in one
+    /// call, so the lifetime counters reconcile exactly with the sum of
+    /// per-job stats deltas. Pure relaxed atomics on the metrics side —
+    /// no clocks, no locks, no allocation.
+    #[inline]
+    pub fn count(&mut self, op: TmkOp, n: u64) {
+        op.add_to(&mut self.stats, n);
+        self.metrics.op(op).add(n);
     }
 
     /// Charge modeled CPU work in the caller's context (application `vt`
@@ -272,7 +292,7 @@ impl NodeState {
                 pages: dirty,
             },
         );
-        self.stats.intervals_closed += 1;
+        self.count(TmkOp::IntervalsClosed, 1);
     }
 
     /// Build the write-notice bundle for a receiver whose clock is
@@ -347,9 +367,9 @@ impl NodeState {
 
     /// Record a write notice against a page and invalidate the local copy.
     fn invalidate(&mut self, pid: PageId, rec: NoticeRec) {
+        self.count(TmkOp::Invalidations, 1);
         let meta = &mut self.pages[pid];
         meta.unapplied.push(rec);
-        self.stats.invalidations += 1;
         match meta.state {
             PageState::ReadOnly => meta.state = PageState::Invalid,
             PageState::Write => {
@@ -391,9 +411,10 @@ impl NodeState {
         };
         let diff = Arc::new(Diff::create(&twin, current));
         self.diff_store_bytes += diff.wire_bytes() as u64;
-        self.stats.diffs_created += 1;
-        self.stats.diff_bytes_created += diff.data_bytes() as u64;
+        let data_bytes = diff.data_bytes() as u64;
         meta.diffs.insert(seq, diff);
+        self.count(TmkOp::DiffsCreated, 1);
+        self.count(TmkOp::DiffBytesCreated, data_bytes);
         self.charge(self.cfg.diff_create_ns);
     }
 
@@ -455,17 +476,19 @@ impl NodeState {
         let mut cost = 0u64;
         for (id, _, diff) in &fetched {
             diff.apply(&mut self.mem[range.clone()]);
-            let meta = &mut self.pages[pid];
-            if let Some(twin) = meta.twin.as_deref_mut() {
-                diff.apply(twin);
-            }
-            if let Some((_, twin)) = meta.pending.as_mut() {
-                diff.apply(twin);
+            {
+                let meta = &mut self.pages[pid];
+                if let Some(twin) = meta.twin.as_deref_mut() {
+                    diff.apply(twin);
+                }
+                if let Some((_, twin)) = meta.pending.as_mut() {
+                    diff.apply(twin);
+                }
+                meta.unapplied.retain(|r| r.id != *id);
             }
             cost += self.cfg.diff_apply_base_ns
                 + self.cfg.diff_apply_per_byte_ns * diff.data_bytes() as u64;
-            self.stats.diffs_applied += 1;
-            meta.unapplied.retain(|r| r.id != *id);
+            self.count(TmkOp::DiffsApplied, 1);
         }
         if cost > 0 {
             self.charge(cost);
@@ -514,7 +537,7 @@ impl NodeState {
         let target = if meta.unapplied.is_empty() && meta.readable() {
             PageState::Write
         } else {
-            self.stats.push_writes += 1;
+            self.count(TmkOp::PushWrites, 1);
             PageState::WritePush
         };
         self.twin_page(pid, target);
@@ -527,7 +550,7 @@ impl NodeState {
         meta.twin = Some(self.mem[range].to_vec().into_boxed_slice());
         meta.state = state;
         self.dirty.push(pid);
-        self.stats.twins_created += 1;
+        self.count(TmkOp::TwinsCreated, 1);
         self.charge(self.cfg.twin_ns);
     }
 
@@ -549,7 +572,7 @@ impl NodeState {
             "a page owner cannot have lost its own base"
         );
         self.charge(self.cfg.twin_ns); // one page copy
-        self.stats.page_serves += 1;
+        self.count(TmkOp::PageServes, 1);
         (self.gc_epoch, Arc::from(&self.mem[range]))
     }
 
@@ -560,7 +583,7 @@ impl NodeState {
         let meta = &mut self.pages[pid];
         meta.epoch = epoch;
         meta.base_lost = false;
-        self.stats.page_fetches += 1;
+        self.count(TmkOp::PageFetches, 1);
     }
 
     /// Whether `pid` needs a full-copy fetch before diffs can be applied
@@ -672,7 +695,7 @@ impl NodeState {
             .iter()
             .map(|m| m.diff_storage_bytes() as u64)
             .sum();
-        self.stats.gc_runs += 1;
+        self.count(TmkOp::GcRuns, 1);
     }
 }
 
@@ -684,7 +707,7 @@ mod tests {
         let cfg = TmkConfig::fast_test(nodes);
         let alloc = AllocTable::new(cfg.page_shift());
         let _ = alloc.alloc(4 * cfg.page_size); // pages 0..=3
-        let mut st = NodeState::new(id, cfg, alloc, VirtualClock::new());
+        let mut st = NodeState::new(id, cfg, alloc, VirtualClock::new(), Default::default());
         st.sync_alloc();
         st
     }

@@ -39,12 +39,13 @@
 use crate::addr::AllocTable;
 use crate::api::Tmk;
 use crate::config::TmkConfig;
+use crate::metrics::MetricsRegistry;
 use crate::protocol::Msg;
 use crate::service::{service_loop, ForkJob, WorkItem};
 use crate::state::NodeState;
 use crate::stats::TmkStats;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use now_net::{ComputeMeter, Network, StatsSnapshot, TraceSink, Tracer, VirtualClock, Wire as _};
+use now_net::{ComputeMeter, Network, StatsSnapshot, TraceSink, Tracer, VirtualClock, Wire};
 use now_trace::{EventKind, Trace};
 use parking_lot::Mutex;
 use std::any::Any;
@@ -96,6 +97,9 @@ pub(crate) struct SystemDiag {
     /// The trace sink, when tracing is armed: a watchdog abort then
     /// shows what each node was last *doing*, not just where it stands.
     sink: Option<Arc<TraceSink>>,
+    /// Always-on lifetime metrics: a watchdog dump includes the cluster's
+    /// aggregate counters (jobs, protocol ops, traffic) at abort time.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl SystemDiag {
@@ -149,6 +153,9 @@ impl SystemDiag {
                 }
             }
         }
+        for line in self.metrics.snapshot().render().lines() {
+            let _ = writeln!(s, "  {line}");
+        }
         s
     }
 }
@@ -188,6 +195,7 @@ pub struct System {
     workers: Vec<JoinHandle<()>>,
     services: Vec<JoinHandle<()>>,
     dead: bool,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl System {
@@ -199,7 +207,14 @@ impl System {
         // Tracing (when armed) rides on the endpoints: every layer above
         // reaches the per-node rings through its endpoint's tracer.
         let sink = cfg.trace.map(|tc| TraceSink::new(n, tc));
-        let eps = Network::build_with_trace::<Msg>(cfg.net.clone(), sink.clone());
+        // Lifetime metrics: one registry for the whole session, fed by
+        // relaxed atomics from every layer. Never reset between jobs.
+        let metrics = Arc::new(MetricsRegistry::new(n, <Msg as Wire>::kinds()));
+        let eps = Network::build_instrumented::<Msg>(
+            cfg.net.clone(),
+            sink.clone(),
+            Some(metrics.net().clone()),
+        );
         let scale = cfg.net.compute_scale;
         let watchdog = cfg.watchdog;
 
@@ -215,12 +230,14 @@ impl System {
                 cfg.clone(),
                 alloc.clone(),
                 ep.clock().clone(),
+                metrics.node(id).clone(),
             ))));
         }
         let diag = Arc::new(SystemDiag {
             clocks,
             states: states.clone(),
             sink,
+            metrics: metrics.clone(),
         });
 
         for (id, ep) in eps.into_iter().enumerate() {
@@ -255,6 +272,7 @@ impl System {
                 smp_access_ns: 0,
                 watchdog,
                 diag: Some(diag.clone()),
+                metrics: metrics.node(id).clone(),
             });
             work_rxs.push(work_rx);
         }
@@ -293,6 +311,7 @@ impl System {
         // then the job-boundary reset round; broadcasts Shutdown on exit.
         let (cmd_tx, cmd_rx) = unbounded::<MasterCmd>();
         let (reply_tx, reply_rx) = unbounded::<MasterReply>();
+        let registry = metrics.clone();
         let master_handle = thread::Builder::new()
             .name("tmk-app-0".into())
             .spawn(move || {
@@ -301,6 +320,7 @@ impl System {
                     // The meter was created on the spawning thread (or ran
                     // through the previous job); re-arm it on this job.
                     tmk.meter.restart();
+                    registry.jobs_in_flight.set(1);
                     let r = catch_unwind(AssertUnwindSafe(|| {
                         let result = f(&mut tmk);
                         tmk.meter.charge(&tmk.clock.clone());
@@ -310,9 +330,10 @@ impl System {
                         // observable): snapshot before the reset's own
                         // control messages.
                         let net = tmk.ep.stats();
-                        let (dsm, trace) = job_boundary_reset(&mut tmk, vt_ns);
+                        let (dsm, trace) = job_boundary_reset(&mut tmk, vt_ns, &registry);
                         (result, vt_ns, net, dsm, trace)
                     }));
+                    registry.jobs_in_flight.set(0);
                     match r {
                         Ok((result, vt_ns, net, dsm, trace)) => {
                             let _ = reply_tx.send(MasterReply::Done(Box::new(JobDone {
@@ -324,6 +345,7 @@ impl System {
                             })));
                         }
                         Err(e) => {
+                            registry.jobs_failed.inc();
                             for i in 0..tmk.nprocs() {
                                 tmk.ep.send(i, Msg::Shutdown);
                             }
@@ -348,7 +370,17 @@ impl System {
             workers: worker_handles,
             services: service_handles,
             dead: false,
+            metrics,
         }
+    }
+
+    /// The session's always-on metrics registry: lifetime counters,
+    /// latency histograms and traffic totals accumulated since
+    /// [`System::build`]. Never reset by the job-boundary protocol — call
+    /// [`MetricsRegistry::snapshot`] at any time, including while a job
+    /// runs (recording is lock-free relaxed atomics).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Number of workstations in this system.
@@ -493,7 +525,12 @@ impl Drop for System {
 /// every node's per-job protocol statistics (plus the job's drained event
 /// trace, when tracing is armed) and leaves the whole cluster in the
 /// state a freshly built system would have.
-fn job_boundary_reset(tmk: &mut Tmk, vt_ns: u64) -> (TmkStats, Option<Trace>) {
+fn job_boundary_reset(
+    tmk: &mut Tmk,
+    vt_ns: u64,
+    registry: &MetricsRegistry,
+) -> (TmkStats, Option<Trace>) {
+    let host0 = std::time::Instant::now();
     let n = tmk.nprocs();
     let mut total = TmkStats::default();
     // Mark the job's end *before* the reset fan-out below records its own
@@ -555,6 +592,13 @@ fn job_boundary_reset(tmk: &mut Tmk, vt_ns: u64) -> (TmkStats, Option<Trace>) {
     tmk.barrier_epoch = 0;
     tmk.in_region = false;
     tmk.meter.restart();
+    // Lifetime accounting (never reset): the finished job and the host
+    // cost of this warm-reset round.
+    registry.jobs_completed.inc();
+    registry.job_vt_ns.record(vt_ns);
+    registry
+        .reset_host_ns
+        .record(host0.elapsed().as_nanos() as u64);
     (total, trace)
 }
 

@@ -39,6 +39,16 @@
 //! cargo run --release --example omp_runner -- --trace jacobi.json --nodes 4 --tpn 2 jacobi.omp
 //! cargo run --release --example omp_runner -- --profile pi.omp
 //! ```
+//!
+//! Metrics: the cluster always records lifetime counters and histograms
+//! (lock-free, never perturbing virtual time). `--metrics out.prom`
+//! writes the cumulative snapshot — covering *all* jobs of the
+//! invocation — in Prometheus text exposition format after the last job
+//! finishes; `--metrics-json out.json` writes the same snapshot as JSON.
+//!
+//! ```text
+//! cargo run --release --example omp_runner -- --metrics now.prom --metrics-json now.json pi.omp
+//! ```
 
 use nomp::Schedule;
 
@@ -160,6 +170,23 @@ fn main() {
             }
         }
         println!();
+    }
+    // Cumulative lifetime metrics: one snapshot covering every file ×
+    // repetition the warm cluster just ran.
+    if args.metrics.is_some() || args.metrics_json.is_some() {
+        let snap = cluster.metrics();
+        if let Some(path) = &args.metrics {
+            if let Err(e) = std::fs::write(path, snap.to_prometheus()) {
+                bail(&format!("cannot write metrics to {path}: {e}"));
+            }
+            println!("[metrics: {path}]");
+        }
+        if let Some(path) = &args.metrics_json {
+            if let Err(e) = std::fs::write(path, snap.to_json()) {
+                bail(&format!("cannot write metrics to {path}: {e}"));
+            }
+            println!("[metrics-json: {path}]");
+        }
     }
     if failed {
         std::process::exit(1);

@@ -7,21 +7,39 @@
 //! With `--trace <path>` the run also records virtual-time events and
 //! writes a Chrome-trace JSON (self-validated against the trace-event
 //! schema — the CI step that runs this example relies on that check).
+//! With `--metrics <path>` / `--metrics-json <path>` it exports the
+//! cluster's always-on lifetime metrics (self-validated against the
+//! Prometheus text format / JSON grammar, again for CI).
 
 use openmp_now::prelude::*;
 
 fn main() {
-    let trace_path = {
+    let (mut trace_path, mut metrics_path, mut metrics_json_path) = (None, None, None);
+    {
         let argv: Vec<String> = std::env::args().skip(1).collect();
-        match argv.as_slice() {
-            [] => None,
-            [flag, path] if flag == "--trace" => Some(path.clone()),
-            other => {
-                eprintln!("usage: quickstart [--trace <path>], got {other:?}");
-                std::process::exit(2);
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let slot = match flag.as_str() {
+                "--trace" => &mut trace_path,
+                "--metrics" => &mut metrics_path,
+                "--metrics-json" => &mut metrics_json_path,
+                other => {
+                    eprintln!(
+                        "usage: quickstart [--trace <path>] [--metrics <path>] \
+                         [--metrics-json <path>], got `{other}`"
+                    );
+                    std::process::exit(2);
+                }
+            };
+            match it.next() {
+                Some(path) => *slot = Some(path.clone()),
+                None => {
+                    eprintln!("{flag} requires a path");
+                    std::process::exit(2);
+                }
             }
         }
-    };
+    }
 
     let mut builder = Cluster::builder().nodes(4);
     if trace_path.is_some() {
@@ -87,5 +105,20 @@ fn main() {
             "trace          = {} events -> {path} (Chrome trace-event JSON, validated)",
             trace.event_count()
         );
+    }
+    if metrics_path.is_some() || metrics_json_path.is_some() {
+        let snap = cluster.metrics();
+        if let Some(path) = metrics_path {
+            let text = snap.to_prometheus();
+            openmp_now::nomp::validate_prometheus_text(&text).expect("emitted metrics validate");
+            std::fs::write(&path, &text).expect("metrics file writable");
+            println!("metrics        = {path} (Prometheus text format, validated)");
+        }
+        if let Some(path) = metrics_json_path {
+            let json = snap.to_json();
+            openmp_now::nomp::validate_metrics_json(&json).expect("emitted metrics JSON validates");
+            std::fs::write(&path, &json).expect("metrics file writable");
+            println!("metrics json   = {path} (validated)");
+        }
     }
 }

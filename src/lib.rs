@@ -47,9 +47,9 @@ pub use {nomp, now_apps, now_net, nowmpi, ompc, smp, tmk};
 /// Common imports for writing OpenMP-on-NOW programs.
 pub mod prelude {
     pub use nomp::{
-        critical_id, run, Cluster, ClusterBuilder, Diag, Env, Job, NowError, NowProgram, OmpConfig,
-        OmpThread, Profile, RedOp, RunReport, Schedule, SharedScalar, SharedVec, ThreadPrivate,
-        Trace, TraceConfig,
+        critical_id, run, Cluster, ClusterBuilder, Diag, Env, Job, MetricsSnapshot, NowError,
+        NowProgram, OmpConfig, OmpThread, Profile, RedOp, RunReport, Schedule, SharedScalar,
+        SharedVec, ThreadPrivate, Trace, TraceConfig,
     };
     pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
 }
@@ -86,6 +86,14 @@ pub mod cli {
         /// Print each job's per-node profile (`--profile`); arms event
         /// recording on the cluster.
         pub profile: bool,
+        /// Write the cluster's cumulative lifetime metrics here in
+        /// Prometheus text exposition format after all jobs finish
+        /// (`--metrics`). Metrics recording is always on; this only
+        /// controls export.
+        pub metrics: Option<String>,
+        /// Write the same cumulative metrics snapshot as JSON
+        /// (`--metrics-json`).
+        pub metrics_json: Option<String>,
         /// `.omp` files to run (empty = the bundled examples).
         pub files: Vec<String>,
     }
@@ -102,6 +110,8 @@ pub mod cli {
                 repeat: 1,
                 trace: None,
                 profile: false,
+                metrics: None,
+                metrics_json: None,
                 files: Vec::new(),
             }
         }
@@ -114,6 +124,22 @@ pub mod cli {
         it.next()
             .map(|s| s.as_str())
             .ok_or_else(|| format!("{flag} requires a value"))
+    }
+
+    /// Consume and validate an output-file value for `flag`: must exist,
+    /// not look like another flag, and not name a directory.
+    fn out_path<'a>(
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> Result<String, String> {
+        let v = value_of(it, flag)?;
+        if v.is_empty() || v.starts_with("--") {
+            return Err(format!("{flag} expects an output file path, got `{v}`"));
+        }
+        if v.ends_with('/') || v.ends_with(std::path::MAIN_SEPARATOR) {
+            return Err(format!("{flag} expects a file path, `{v}` is a directory"));
+        }
+        Ok(v.to_string())
     }
 
     impl RunnerArgs {
@@ -174,23 +200,20 @@ pub mod cli {
                             .ok_or_else(|| format!("--repeat expects N >= 1, got `{v}`"))?;
                     }
                     "--trace" => {
-                        let v = value_of(&mut it, "--trace")?;
-                        if v.is_empty() || v.starts_with("--") {
-                            return Err(format!("--trace expects an output file path, got `{v}`"));
-                        }
-                        if v.ends_with('/') || v.ends_with(std::path::MAIN_SEPARATOR) {
-                            return Err(format!(
-                                "--trace expects a file path, `{v}` is a directory"
-                            ));
-                        }
-                        a.trace = Some(v.to_string());
+                        a.trace = Some(out_path(&mut it, "--trace")?);
                     }
                     "--profile" => a.profile = true,
+                    "--metrics" => {
+                        a.metrics = Some(out_path(&mut it, "--metrics")?);
+                    }
+                    "--metrics-json" => {
+                        a.metrics_json = Some(out_path(&mut it, "--metrics-json")?);
+                    }
                     f if f.starts_with("--") => {
                         return Err(format!(
                             "unknown flag `{f}` (expected --nodes, --tpn, --schedule, \
                              --speeds, --load, --load-seed, --repeat, --trace, \
-                             --profile, or a .omp file)"
+                             --profile, --metrics, --metrics-json, or a .omp file)"
                         ));
                     }
                     f => a.files.push(f.to_string()),

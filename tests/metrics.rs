@@ -1,0 +1,279 @@
+//! Always-on cluster metrics: recording must be invisible to the
+//! simulation (results, per-job statistics, traffic and virtual times
+//! identical whether or not anyone ever looks at the metrics), lifetime
+//! per-op counters must reconcile *exactly* with the sum of per-job
+//! [`TmkStats`] deltas, snapshots must be monotone across a warm job
+//! stream and safe to take while a job runs, and both export formats
+//! must validate.
+
+use openmp_now::cli::RunnerArgs;
+use openmp_now::nomp::{
+    validate_metrics_json, validate_prometheus_text, Cluster, Env, MetricsSnapshot, RunReport,
+    Schedule, TmkOp, TmkStats,
+};
+use openmp_now::ompc;
+
+/// A host-timing-independent workload (same shape as the trace suite's):
+/// a static-schedule fill, a barrier-only region, and a bulk read-back.
+fn det_workload(omp: &mut Env) -> f64 {
+    let n = 4096;
+    let a = omp.malloc_vec::<f64>(n);
+    omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
+        t.view_mut(&a, r.clone(), |chunk| {
+            for (k, x) in chunk.iter_mut().enumerate() {
+                *x = (r.start + k) as f64;
+            }
+        });
+    });
+    omp.parallel(|t| t.barrier());
+    omp.read_slice(&a, 0..n).iter().sum()
+}
+
+fn cluster(nodes: usize, tpn: usize) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .threads_per_node(tpn)
+        .build()
+        .expect("valid cluster")
+}
+
+/// Observing the metrics must have zero behavioral impact: a run whose
+/// metrics are snapshotted before, between and (from another thread)
+/// *during* jobs reports bit-identical results, DSM statistics and
+/// traffic to a run nobody observes.
+fn assert_observation_invisible(nodes: usize, tpn: usize) {
+    let quiet: Vec<RunReport<f64>> = {
+        let mut c = cluster(nodes, tpn);
+        (0..2)
+            .map(|_| c.run(det_workload).expect("job runs"))
+            .collect()
+    };
+    let observed: Vec<RunReport<f64>> = {
+        let mut c = cluster(nodes, tpn);
+        let handle = c.metrics_handle();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hammer = {
+            let (handle, stop) = (handle.clone(), stop.clone());
+            std::thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let s = handle.snapshot();
+                    assert!(s.jobs_failed == 0);
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        let _ = c.metrics(); // before any job
+        let out = (0..2)
+            .map(|_| {
+                let r = c.run(det_workload).expect("job runs");
+                let _ = c.metrics(); // between jobs
+                r
+            })
+            .collect();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let snaps = hammer.join().expect("snapshot thread lives");
+        assert!(snaps > 0, "the observer thread actually snapshotted");
+        out
+    };
+    for (q, o) in quiet.iter().zip(&observed) {
+        assert_eq!(q.result, o.result, "{nodes}x{tpn}: results diverged");
+        assert_eq!(q.dsm, o.dsm, "{nodes}x{tpn}: TmkStats diverged");
+        assert_eq!(q.net, o.net, "{nodes}x{tpn}: traffic diverged");
+    }
+}
+
+#[test]
+fn observing_metrics_is_bit_invisible_on_4x1() {
+    assert_observation_invisible(4, 1);
+}
+
+#[test]
+fn observing_metrics_is_bit_invisible_on_2x2() {
+    assert_observation_invisible(2, 2);
+}
+
+/// The acceptance bar: lifetime per-op counters reconcile *exactly* with
+/// the sum of per-job `TmkStats` deltas — both views are incremented by
+/// the same call, so not even one event may leak between them.
+#[test]
+fn lifetime_op_counters_reconcile_with_per_job_deltas() {
+    let mut c = cluster(4, 1);
+    let mut summed = TmkStats::default();
+    for _ in 0..3 {
+        let out = c.run(det_workload).expect("job runs");
+        summed.merge(&out.dsm);
+    }
+    let snap = c.metrics();
+    assert_eq!(
+        snap.ops_as_stats(),
+        summed,
+        "lifetime counters must equal the sum of per-job deltas"
+    );
+    for op in TmkOp::ALL {
+        assert_eq!(
+            snap.op_total(*op),
+            op.read(&summed),
+            "op {} diverged",
+            op.name()
+        );
+    }
+    // The workload exercises the protocol: the reconciliation above must
+    // not be comparing zeros.
+    assert!(snap.op_total(TmkOp::Barriers) > 0);
+    assert!(snap.op_total(TmkOp::ReadFaults) > 0);
+    assert!(snap.op_total(TmkOp::DiffsCreated) > 0);
+}
+
+/// Warm-cluster snapshots are monotone: counters never decrease across a
+/// job stream, the job counter tracks jobs run, and per-job virtual
+/// times land in the job-duration histogram.
+#[test]
+fn snapshots_are_monotone_across_a_warm_job_stream() {
+    let mut c = cluster(2, 1);
+    let mut snaps: Vec<MetricsSnapshot> = vec![c.metrics()];
+    for _ in 0..3 {
+        c.run(det_workload).expect("job runs");
+        snaps.push(c.metrics());
+    }
+    for (k, pair) in snaps.windows(2).enumerate() {
+        let (prev, cur) = (&pair[0], &pair[1]);
+        assert_eq!(cur.jobs_completed, prev.jobs_completed + 1);
+        for op in TmkOp::ALL {
+            assert!(
+                cur.op_total(*op) >= prev.op_total(*op),
+                "op {} decreased after job {k}",
+                op.name()
+            );
+        }
+        assert!(cur.net.total_send_msgs() >= prev.net.total_send_msgs());
+        assert!(cur.net.total_send_bytes() >= prev.net.total_send_bytes());
+        assert!(cur.uptime_host_ns >= prev.uptime_host_ns);
+    }
+    let last = snaps.last().unwrap();
+    assert_eq!(last.jobs_completed, c.jobs_run() as u64);
+    assert_eq!(last.jobs_failed, 0);
+    assert_eq!(last.jobs_in_flight, 0, "no job is running between jobs");
+    assert_eq!(last.job_vt_ns.count(), 3, "one histogram entry per job");
+    assert_eq!(last.reset_host_ns.count(), 3, "one warm reset per job");
+}
+
+/// The lifetime traffic view is richer than the per-job deltas: it also
+/// counts the job-boundary reset round's control messages, which the
+/// per-job snapshot is deliberately taken before. Exactly `n - 1`
+/// `reset_req` fan-out messages per job.
+#[test]
+fn lifetime_traffic_covers_per_job_deltas_plus_reset_rounds() {
+    let nodes = 4;
+    let jobs = 3u64;
+    let mut c = cluster(nodes, 1);
+    let mut per_job_msgs = 0u64;
+    for _ in 0..jobs {
+        per_job_msgs += c.run(det_workload).expect("job runs").net.total_msgs();
+    }
+    let net = c.metrics().net;
+    assert!(
+        net.total_send_msgs() >= per_job_msgs,
+        "lifetime sends ({}) must cover the per-job deltas ({per_job_msgs})",
+        net.total_send_msgs()
+    );
+    let reset = net.kind("reset_req").expect("reset_req is a wire kind");
+    assert_eq!(
+        reset.send_msgs,
+        (nodes as u64 - 1) * jobs,
+        "one reset_req per slave per job"
+    );
+    let done = net.kind("reset_done").expect("reset_done is a wire kind");
+    assert_eq!(done.send_msgs, (nodes as u64 - 1) * jobs);
+    // Application traffic dominates: page/diff kinds show up too.
+    assert!(net.kind("diff_req").map_or(0, |k| k.send_msgs) > 0);
+}
+
+/// The issue's export acceptance bar: `jacobi.omp` on a 4×2 SMP cluster
+/// produces a snapshot whose Prometheus rendering passes the validator
+/// and whose JSON parses, with the expected metric families present.
+#[test]
+fn jacobi_4x2_exports_validate() {
+    let prog = ompc::compile(include_str!("../examples/omp/jacobi.omp")).expect("jacobi compiles");
+    let mut c = cluster(4, 2);
+    c.run(&prog).expect("jacobi runs");
+    let snap = c.metrics();
+
+    let prom = snap.to_prometheus();
+    validate_prometheus_text(&prom).unwrap_or_else(|e| panic!("invalid Prometheus text: {e}"));
+    for family in [
+        "now_jobs_total",
+        "now_dsm_ops_total",
+        "now_op_vt_ns",
+        "now_op_host_ns",
+        "now_net_send_msgs_total",
+        "now_net_kind_msgs_total",
+        "now_smp_team_forks_total",
+        "now_loop_chunk_len",
+        "now_job_vt_ns",
+    ] {
+        assert!(prom.contains(family), "family {family} missing");
+    }
+    // 4 nodes × 2 threads fork one team per node per region.
+    assert!(snap.nodes.iter().all(|n| n.team_forks > 0));
+    assert!(snap.nodes.iter().any(|n| n.local_barriers > 0));
+    assert!(snap.nodes.iter().any(|n| n.chunks_claimed > 0));
+
+    let json = snap.to_json();
+    validate_metrics_json(&json).unwrap_or_else(|e| panic!("invalid metrics JSON: {e}"));
+    assert!(json.contains("\"jobs\""));
+    assert!(json.contains("\"ops_total\""));
+    assert!(json.contains("\"net\""));
+}
+
+#[test]
+fn runner_cli_metrics_flags_round_trip() {
+    let argv: Vec<String> = [
+        "--nodes",
+        "2",
+        "--metrics",
+        "out.prom",
+        "--metrics-json",
+        "out.json",
+        "x.omp",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let a = RunnerArgs::parse(&argv).expect("valid args");
+    assert_eq!(a.metrics.as_deref(), Some("out.prom"));
+    assert_eq!(a.metrics_json.as_deref(), Some("out.json"));
+    assert_eq!(a.files, vec!["x.omp"]);
+    // Metrics are always on: the flags never arm tracing.
+    assert!(!a.tracing());
+    assert!(a.cluster().expect("buildable").config().tmk.trace.is_none());
+
+    // Defaults: no export paths.
+    let d = RunnerArgs::parse(&[]).unwrap();
+    assert_eq!(d.metrics, None);
+    assert_eq!(d.metrics_json, None);
+
+    // Malformed paths are rejected with a one-line diagnostic.
+    let cases: &[&[&str]] = &[
+        &["--metrics"],
+        &["--metrics", "--nodes"],
+        &["--metrics", ""],
+        &["--metrics", "out/"],
+        &["--metrics-json"],
+        &["--metrics-json", "--profile"],
+        &["--metrics-json", "dir/"],
+    ];
+    for case in cases {
+        let argv: Vec<String> = case.iter().map(|s| s.to_string()).collect();
+        let err = RunnerArgs::parse(&argv).expect_err(&format!("{case:?} must be rejected"));
+        assert!(
+            err.contains("--metrics"),
+            "{case:?}: diagnostic names the flag, got `{err}`"
+        );
+    }
+    // The unknown-flag message advertises the new flags.
+    let err = RunnerArgs::parse(&["--bogus".to_string()]).unwrap_err();
+    assert!(err.contains("--metrics"), "{err}");
+    assert!(err.contains("--metrics-json"), "{err}");
+}
