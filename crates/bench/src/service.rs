@@ -1,0 +1,261 @@
+//! Cluster-pool service throughput: push a large mixed job batch
+//! (trivial closures + periodic `.omp` programs, two weighted tenants)
+//! through `now-service` pools of increasing size and measure sustained
+//! jobs/second plus p50/p99 host service latency per pool size.
+//!
+//! Two kinds of measurement land in `BENCH_service.json`:
+//!
+//! * **deterministic** — `jobs` (completed per tenant: every admitted
+//!   job completes) and `rejected` (the saturation cell overfills a
+//!   held queue by a fixed amount, so the typed `queue_full` reject
+//!   count is exact). The regression gate
+//!   ([`crate::regression`]) watches these: completed jobs must not
+//!   shrink, rejects must not grow.
+//! * **host-dependent** — `jobs_per_sec`, `p50_host_ns`, `p99_host_ns`
+//!   from the per-tenant service-time histograms. Reported for the
+//!   table, ignored by the gate.
+
+use nomp::{Cluster, ClusterBuilder, Env};
+use now_service::{JobRequest, JobValue, ServiceConfig, Ticket};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The two bench tenants and their fair-share weights (2:1).
+pub const TENANTS: [(&str, u64); 2] = [("alice", 2), ("bob", 1)];
+
+/// Every `OMP_EVERY`-th job is a compiled `.omp` program instead of a
+/// closure, so the sweep exercises both submission paths.
+pub const OMP_EVERY: usize = 64;
+
+/// How far past the queue bound the saturation cell submits (the exact
+/// number of deterministic `queue_full` rejects it produces).
+pub const OVERFLOW: u64 = 32;
+
+/// Queue bound of the saturation cell.
+pub const SATURATION_BOUND: u64 = 64;
+
+const PI_SRC: &str = r#"
+double pi;
+int main() {
+    int n = 200;
+    double step = 1.0 / n;
+    #pragma omp parallel for reduction(+:pi) schedule(static)
+    for (int i = 0; i < n; i = i + 1) {
+        double x = (i + 0.5) * step;
+        pi = pi + 4.0 / (1.0 + x * x);
+    }
+    pi = pi * step;
+    return 0;
+}
+"#;
+
+/// One measured cell: a (pool size, tenant) pair.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Pool size (number of warm clusters).
+    pub pool: usize,
+    /// Tenant name (`alice`/`bob`, or `burst` for the saturation cell).
+    pub tenant: String,
+    /// Completed jobs — deterministic.
+    pub jobs: u64,
+    /// Typed admission rejects — deterministic.
+    pub rejected: u64,
+    /// Sustained completed jobs per host second — machine-dependent.
+    pub jobs_per_sec: f64,
+    /// Median host service time — machine-dependent.
+    pub p50_host_ns: u64,
+    /// 99th-percentile host service time — machine-dependent.
+    pub p99_host_ns: u64,
+}
+
+fn pool_builder() -> ClusterBuilder {
+    Cluster::builder().nodes(2).fast_test()
+}
+
+fn trivial(omp: &mut Env) -> JobValue {
+    JobValue::Num(omp.num_threads() as f64)
+}
+
+/// Throughput cell: `total_jobs` mixed jobs (2:1 offered load across
+/// [`TENANTS`]) queued against a held pool of `pool` clusters, then
+/// released at once — the sustained drain rate under saturation.
+pub fn throughput_cell(total_jobs: usize, pool: usize) -> Vec<ServiceRow> {
+    let pi = Arc::new(ompc::compile(PI_SRC).expect("bench pi program compiles"));
+    let mut cfg = ServiceConfig::new()
+        .pool(pool)
+        .queue_bound(total_jobs + 16)
+        .cluster(pool_builder())
+        .hold();
+    for (name, weight) in TENANTS {
+        cfg = cfg.tenant(name, weight);
+    }
+    let service = cfg.build().expect("bench service");
+
+    let tickets: Vec<Ticket> = (0..total_jobs)
+        .map(|i| {
+            // 2:1 offered load, matching the 2:1 weights.
+            let tenant = if i % 3 < 2 { "alice" } else { "bob" };
+            let req = if i % OMP_EVERY == 0 {
+                JobRequest::omp_shared(pi.clone())
+            } else {
+                JobRequest::closure(trivial)
+            };
+            service
+                .submit(req.tenant(tenant))
+                .expect("bench job admitted")
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    service.open();
+    for t in tickets {
+        t.wait().outcome.expect("bench job completed");
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+
+    let snap = service.metrics();
+    let rows = snap
+        .tenants
+        .iter()
+        .map(|t| ServiceRow {
+            pool,
+            tenant: t.name.clone(),
+            jobs: t.completed,
+            rejected: t.rejected(),
+            jobs_per_sec: t.completed as f64 / elapsed,
+            p50_host_ns: t.service_host_ns.quantile(0.50),
+            p99_host_ns: t.service_host_ns.quantile(0.99),
+        })
+        .collect();
+    service.drain();
+    rows
+}
+
+/// Saturation cell: overfill a held queue by [`OVERFLOW`] jobs so the
+/// `queue_full` reject count is exact, then release and drain.
+pub fn saturation_cell(pool: usize) -> ServiceRow {
+    let service = ServiceConfig::new()
+        .pool(pool)
+        .queue_bound(SATURATION_BOUND as usize)
+        .cluster(pool_builder())
+        .tenant("burst", 1)
+        .hold()
+        .build()
+        .expect("saturation service");
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for _ in 0..SATURATION_BOUND + OVERFLOW {
+        match service.submit(JobRequest::closure(trivial).tenant("burst")) {
+            Ok(t) => tickets.push(t),
+            Err(_) => rejected += 1,
+        }
+    }
+    let t0 = Instant::now();
+    service.open();
+    for t in tickets {
+        t.wait().outcome.expect("saturation job completed");
+    }
+    let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+    let snap = service.metrics();
+    let t = &snap.tenants[0];
+    let row = ServiceRow {
+        pool,
+        tenant: "burst".to_string(),
+        jobs: t.completed,
+        rejected: t.rejected(),
+        jobs_per_sec: t.completed as f64 / elapsed,
+        p50_host_ns: t.service_host_ns.quantile(0.50),
+        p99_host_ns: t.service_host_ns.quantile(0.99),
+    };
+    assert_eq!(
+        row.rejected, rejected,
+        "service metrics disagree with the submit loop"
+    );
+    assert_eq!(
+        row.rejected, OVERFLOW,
+        "overfull held queue rejects exactly the overflow"
+    );
+    service.drain();
+    row
+}
+
+/// The full sweep: a throughput cell and a saturation cell per pool
+/// size. Prints one table row per cell.
+pub fn service_sweep(total_jobs: usize, pools: &[usize]) -> Vec<ServiceRow> {
+    let mut rows = Vec::new();
+    println!(
+        "service sweep: {total_jobs} jobs, tenants {}:{} = {}:{}",
+        TENANTS[0].0, TENANTS[1].0, TENANTS[0].1, TENANTS[1].1
+    );
+    println!(
+        "{:>5} {:>8} {:>8} {:>9} {:>12} {:>12} {:>12}",
+        "pool", "tenant", "jobs", "rejected", "jobs/s", "p50 µs", "p99 µs"
+    );
+    for &pool in pools {
+        for row in throughput_cell(total_jobs, pool)
+            .into_iter()
+            .chain([saturation_cell(pool)])
+        {
+            println!(
+                "{:>5} {:>8} {:>8} {:>9} {:>12.0} {:>12.1} {:>12.1}",
+                row.pool,
+                row.tenant,
+                row.jobs,
+                row.rejected,
+                row.jobs_per_sec,
+                row.p50_host_ns as f64 / 1e3,
+                row.p99_host_ns as f64 / 1e3,
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Render the sweep as the machine-readable `BENCH_service.json`
+/// document the regression gate consumes.
+pub fn rows_to_json(total_jobs: usize, rows: &[ServiceRow]) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{{\n  \"schema\": \"now-service-bench-v1\",\n  \"total_jobs\": {total_jobs},\n  \"rows\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"pool\": {}, \"tenant\": \"{}\", \"jobs\": {}, \"rejected\": {}, \
+             \"jobs_per_sec\": {:.1}, \"p50_host_ns\": {}, \"p99_host_ns\": {}}}{}\n",
+            r.pool,
+            r.tenant,
+            r.jobs,
+            r.rejected,
+            r.jobs_per_sec,
+            r.p50_host_ns,
+            r.p99_host_ns,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep: the full 10k-job table is CI's job
+    /// (`examples/service_bench.rs`); the test pins determinism of the
+    /// gated columns on a small batch.
+    #[test]
+    fn small_sweep_has_deterministic_gated_columns() {
+        let rows = service_sweep(90, &[2]);
+        assert_eq!(rows.len(), 3, "alice + bob + burst");
+        let by = |name: &str| rows.iter().find(|r| r.tenant == name).unwrap();
+        assert_eq!(by("alice").jobs, 60);
+        assert_eq!(by("bob").jobs, 30);
+        assert_eq!(by("alice").rejected + by("bob").rejected, 0);
+        assert_eq!(by("burst").jobs, SATURATION_BOUND);
+        assert_eq!(by("burst").rejected, OVERFLOW);
+        let json = rows_to_json(90, &rows);
+        let parsed = crate::regression::parse_service_rows(&json).expect("emitted doc parses");
+        assert_eq!(parsed.len(), 3);
+    }
+}

@@ -96,6 +96,10 @@ pub enum NowError {
     /// A DSM cost-model knob is invalid (e.g. a `.tmk(…)` tweak set a
     /// page size that is not a power of two).
     InvalidConfig(String),
+    /// A cluster-pool service configuration is invalid (zero/oversized
+    /// pool, zero queue bound, bad tenant weight, junk deadline — see
+    /// `now-service`'s `ServiceConfig`).
+    InvalidService(String),
     /// The `.omp` front-end rejected a program (spanned diagnostic).
     Compile(Diag),
     /// A job was submitted to a cluster that is no longer running (a
@@ -126,6 +130,7 @@ impl fmt::Display for NowError {
             NowError::InvalidSchedule(m) => write!(f, "invalid schedule: {m}"),
             NowError::InvalidLinkLatency(m) => write!(f, "invalid link latency factors: {m}"),
             NowError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            NowError::InvalidService(m) => write!(f, "invalid service configuration: {m}"),
             NowError::Compile(d) => write!(f, "compile error: {d}"),
             NowError::ClusterDown => write!(f, "the cluster is no longer running"),
         }

@@ -50,6 +50,18 @@ impl Gauge {
         self.0.store(v, Ordering::Relaxed);
     }
 
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
     /// Add `d` (which may be negative) to the gauge.
     #[inline]
     pub fn add(&self, d: i64) {
@@ -174,6 +186,30 @@ impl HistogramSnapshot {
             self.sum as f64 / n as f64
         }
     }
+
+    /// Approximate `q`-quantile (`q` clamped to `0.0..=1.0`): the
+    /// inclusive upper bound of the bucket holding the ⌈q·n⌉-th smallest
+    /// observation. With the log₂ layout the estimate is exact for 0,
+    /// within 2× above it, and `u64::MAX` when the rank lands in the
+    /// open-ended last bucket. Returns 0 on an empty histogram.
+    ///
+    /// This is what turns a lock-free latency histogram into the p50/p99
+    /// columns of a bench table without recording individual samples.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.wrapping_add(c);
+            if seen >= rank {
+                return Histogram::bucket_le(i).unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +275,37 @@ mod tests {
             s.sum,
             0u64.wrapping_add(1 + 2 + 3 + 1024).wrapping_add(u64::MAX)
         );
+    }
+
+    #[test]
+    fn quantiles_walk_the_bucket_bounds() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), 0, "empty histogram");
+        // 90 observations of ~1µs, 10 of ~1ms: p50 stays in the small
+        // bucket, p99 lands in the big one.
+        for _ in 0..90 {
+            h.record(1_000);
+        }
+        for _ in 0..10 {
+            h.record(1_000_000);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.50);
+        let p99 = s.quantile(0.99);
+        assert!(
+            (1_000..2_048).contains(&p50),
+            "p50 {p50} should bound the 1µs bucket"
+        );
+        assert!(
+            (1_000_000..2_097_152).contains(&p99),
+            "p99 {p99} should bound the 1ms bucket"
+        );
+        // q clamping + extremes.
+        assert_eq!(s.quantile(-1.0), s.quantile(0.0));
+        assert_eq!(s.quantile(2.0), s.quantile(1.0));
+        let top = Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.snapshot().quantile(1.0), u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! `ServiceConfig`: the one validated way to bring a cluster pool up.
+//!
+//! Mirrors the `ClusterBuilder` contract: all setters are infallible,
+//! [`ServiceConfig::build`] validates everything at once, and every
+//! rejection is a typed [`NowError`] — junk pool sizes, tenant weights,
+//! queue bounds and deadlines come back as
+//! [`NowError::InvalidService`], never a panic. Cluster topology checks
+//! are delegated to [`ClusterBuilder::validate`], so the service
+//! inherits every invariant of the session API.
+
+use crate::service::{JobValue, Service};
+use nomp::{Cluster, ClusterBuilder, Env, NowError, OmpConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on pool size (each pool slot is a full warm cluster).
+pub(crate) const MAX_POOL: usize = 64;
+/// Upper bound on the admission queue bound.
+pub(crate) const MAX_QUEUE: usize = 1 << 20;
+/// Upper bound on registered tenants.
+pub(crate) const MAX_TENANTS: usize = 256;
+/// Upper bound on a tenant's fair-share weight.
+pub(crate) const MAX_WEIGHT: u64 = 1_000_000;
+/// Upper bound on `pool × nodes × threads_per_node` (host threads are
+/// real; a service must not fork-bomb the host).
+pub(crate) const MAX_POOL_THREADS: usize = 2048;
+
+/// A boxed closure job as the service runs it: a master function over
+/// [`Env`] returning a [`JobValue`].
+pub type ClosureJob = Box<dyn FnOnce(&mut Env) -> JobValue + Send>;
+
+/// A factory producing fresh [`ClosureJob`]s — how named closure
+/// workloads are registered so external (TCP) clients can run them.
+pub type ClosureFactory = Arc<dyn Fn() -> ClosureJob + Send + Sync>;
+
+/// Validated configuration surface for a [`Service`].
+///
+/// Defaults: a pool of 2 clusters built from the default
+/// [`Cluster::builder`] (the paper's 8-workstation platform), a queue
+/// bound of 1024, a single implicit tenant `"default"` with weight 1,
+/// no default deadline, dispatch starting immediately.
+pub struct ServiceConfig {
+    pub(crate) pool: usize,
+    pub(crate) queue_bound: usize,
+    pub(crate) tenants: Vec<(String, u64)>,
+    pub(crate) default_deadline_ms: Option<f64>,
+    pub(crate) hold: bool,
+    pub(crate) record_dispatch: bool,
+    pub(crate) cluster: ClusterBuilder,
+    pub(crate) programs: Vec<(String, ClosureFactory)>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceConfig {
+    /// Start configuring a service with the defaults above.
+    pub fn new() -> Self {
+        ServiceConfig {
+            pool: 2,
+            queue_bound: 1024,
+            tenants: Vec::new(),
+            default_deadline_ms: None,
+            hold: false,
+            record_dispatch: false,
+            cluster: Cluster::builder(),
+            programs: Vec::new(),
+        }
+    }
+
+    /// Number of warm clusters in the pool (default 2, max
+    /// [`MAX_POOL`](crate::ServiceConfig::validate)-checked).
+    pub fn pool(mut self, n: usize) -> Self {
+        self.pool = n;
+        self
+    }
+
+    /// Admission-queue bound: submissions beyond this many queued jobs
+    /// are rejected with `Rejected::QueueFull` (default 1024).
+    pub fn queue_bound(mut self, n: usize) -> Self {
+        self.queue_bound = n;
+        self
+    }
+
+    /// Register a tenant with a fair-share weight. Completed-job
+    /// throughput under saturation is proportional to the weights
+    /// (deficit round-robin). When no tenant is registered, a single
+    /// `"default"` tenant with weight 1 is implied.
+    pub fn tenant(mut self, name: impl Into<String>, weight: u64) -> Self {
+        self.tenants.push((name.into(), weight));
+        self
+    }
+
+    /// The cluster every pool slot runs: one topology/cost-model
+    /// configuration, validated once, cloned into each warm cluster.
+    pub fn cluster(mut self, builder: ClusterBuilder) -> Self {
+        self.cluster = builder;
+        self
+    }
+
+    /// Register a named closure workload. TCP clients (which cannot
+    /// ship Rust closures over the wire) submit `{"closure": "<name>"}`
+    /// and the service runs a fresh job from this factory.
+    pub fn closure(
+        mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> ClosureJob + Send + Sync + 'static,
+    ) -> Self {
+        self.programs.push((name.into(), Arc::new(factory)));
+        self
+    }
+
+    /// Default host-time deadline applied to jobs submitted without one
+    /// (milliseconds; must be finite and positive).
+    pub fn default_deadline_ms(mut self, ms: f64) -> Self {
+        self.default_deadline_ms = Some(ms);
+        self
+    }
+
+    /// Start the service *held*: jobs are admitted and queued but not
+    /// dispatched until [`Service::open`] is called. With a held
+    /// service, queue-full rejections and the deficit-round-robin
+    /// dispatch order are deterministic — the deterministic backbone of
+    /// the fair-share tests and the service bench.
+    pub fn hold(mut self) -> Self {
+        self.hold = true;
+        self
+    }
+
+    /// Record the dispatch order (tenant, job id) for later inspection
+    /// via [`Service::dispatch_log`]. Off by default.
+    pub fn record_dispatch(mut self, on: bool) -> Self {
+        self.record_dispatch = on;
+        self
+    }
+
+    /// Validate this configuration without spawning anything.
+    ///
+    /// Never panics: every junk input — zero or oversized pool, zero or
+    /// absurd queue bound, zero/overflowing tenant weights, duplicate
+    /// or empty tenant names, non-finite deadlines — comes back as
+    /// [`NowError::InvalidService`]; cluster problems come back as the
+    /// session API's own typed errors.
+    pub fn validate(&self) -> Result<(), NowError> {
+        self.check().map(|_| ())
+    }
+
+    /// Validate and bring the service up: build the pool of warm
+    /// clusters and start dispatching (unless [`hold`](Self::hold)).
+    pub fn build(self) -> Result<Service, NowError> {
+        let cluster = self.check()?;
+        Ok(Service::start(self, cluster))
+    }
+
+    /// All validation in one place, returning the per-slot cluster
+    /// configuration a build would use.
+    pub(crate) fn check(&self) -> Result<OmpConfig, NowError> {
+        let bad = |m: String| Err(NowError::InvalidService(m));
+        if self.pool == 0 {
+            return bad("a pool needs at least one cluster".into());
+        }
+        if self.pool > MAX_POOL {
+            return bad(format!(
+                "pool of {} clusters exceeds the bound {MAX_POOL}",
+                self.pool
+            ));
+        }
+        if self.queue_bound == 0 {
+            return bad("queue bound must be at least 1".into());
+        }
+        if self.queue_bound > MAX_QUEUE {
+            return bad(format!(
+                "queue bound {} exceeds the bound {MAX_QUEUE}",
+                self.queue_bound
+            ));
+        }
+        if self.tenants.len() > MAX_TENANTS {
+            return bad(format!(
+                "{} tenants exceed the bound {MAX_TENANTS}",
+                self.tenants.len()
+            ));
+        }
+        for (i, (name, weight)) in self.tenants.iter().enumerate() {
+            if name.is_empty() {
+                return bad(format!("tenant {i} has an empty name"));
+            }
+            if *weight == 0 {
+                return bad(format!("tenant {name:?} has weight 0 (it could never run)"));
+            }
+            if *weight > MAX_WEIGHT {
+                return bad(format!(
+                    "tenant {name:?} weight {weight} exceeds the bound {MAX_WEIGHT}"
+                ));
+            }
+            if self.tenants[..i].iter().any(|(n, _)| n == name) {
+                return bad(format!("duplicate tenant {name:?}"));
+            }
+        }
+        if let Some(ms) = self.default_deadline_ms {
+            if !ms.is_finite() || ms <= 0.0 {
+                return bad(format!(
+                    "default deadline {ms} ms (expected a finite positive duration)"
+                ));
+            }
+        }
+        for (i, (name, _)) in self.programs.iter().enumerate() {
+            if name.is_empty() {
+                return bad(format!("registered closure {i} has an empty name"));
+            }
+            if self.programs[..i].iter().any(|(n, _)| n == name) {
+                return bad(format!("duplicate registered closure {name:?}"));
+            }
+        }
+        let cfg = self.cluster.validate()?;
+        let threads = cfg.threads().saturating_mul(self.pool);
+        if threads > MAX_POOL_THREADS {
+            return bad(format!(
+                "pool of {} × {} topology needs {threads} host application threads \
+                 (bound {MAX_POOL_THREADS})",
+                self.pool,
+                cfg.topology()
+            ));
+        }
+        Ok(cfg)
+    }
+
+    /// Tenant table the service will run with: the registered tenants,
+    /// or the single implicit `"default"` tenant.
+    pub(crate) fn tenant_table(&self) -> Vec<(String, u64)> {
+        if self.tenants.is_empty() {
+            vec![("default".to_string(), 1)]
+        } else {
+            self.tenants.clone()
+        }
+    }
+
+    /// The default deadline as a `Duration`, if configured (validated
+    /// finite and positive by [`check`](Self::check)).
+    pub(crate) fn default_deadline(&self) -> Option<Duration> {
+        self.default_deadline_ms
+            .map(|ms| Duration::from_secs_f64(ms / 1e3))
+    }
+}

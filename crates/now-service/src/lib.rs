@@ -1,0 +1,75 @@
+//! # now-service — the cluster-pool job service
+//!
+//! Turns the warm [`Cluster`](nomp::Cluster) session (one caller, one
+//! cluster, one job at a time) into a long-running *service* that runs
+//! many concurrent job streams at once: a [`Service`] owns a pool of
+//! warm clusters — all built from one validated [`ServiceConfig`] —
+//! behind an asynchronous front door.
+//!
+//! * **Front door** — [`ServiceHandle::submit`] enqueues a
+//!   [`JobRequest`] (a Rust closure over `Env`, a compiled `.omp`
+//!   program, or a registered named workload) and returns a [`Ticket`]
+//!   immediately; the job's [`ServiceReport`] (carrying the usual
+//!   [`RunReport`](nomp::RunReport)) arrives on the ticket when a pool
+//!   cluster finishes it. A small line-delimited-JSON TCP endpoint
+//!   ([`TcpFront`]) exposes the same `submit`/`status`/`drain` verbs to
+//!   external clients.
+//! * **Admission control** — the dispatch queue is bounded; oversubmission
+//!   comes back as typed [`Rejected`] backpressure (`QueueFull`,
+//!   `Draining`, `DeadlineUnmeetable`) instead of unbounded buffering.
+//! * **Fair share** — jobs are queued per tenant and dispatched by
+//!   deficit round-robin weighted by the tenant's configured share, so a
+//!   flood from one tenant cannot starve another. Within a tenant,
+//!   higher-priority jobs run first.
+//! * **Deadlines** — a job whose host-time deadline expires while it
+//!   waits fails fast with a diagnostic outcome instead of occupying a
+//!   cluster; hopeless deadlines are rejected at admission.
+//! * **Graceful drain** — [`Service::drain`] stops admitting, finishes
+//!   every admitted job, joins every pool thread and shuts every cluster
+//!   down. A drained-then-restarted pool serves bit-identical results
+//!   (the warm-vs-cold invariant of the session API extends to the
+//!   service).
+//!
+//! Everything is instrumented with `now-metrics` primitives
+//! ([`ServiceMetrics`]): queue-depth and in-flight gauges, per-tenant
+//! admitted/completed/rejected/expired counters, queue-wait and
+//! service-time histograms, with Prometheus and JSON export.
+//!
+//! ```
+//! use now_service::{JobRequest, JobValue, ServiceConfig};
+//! use nomp::{Cluster, Env};
+//!
+//! # fn main() -> Result<(), nomp::NowError> {
+//! let service = ServiceConfig::new()
+//!     .pool(2)
+//!     .cluster(Cluster::builder().nodes(2).fast_test())
+//!     .tenant("alice", 2)
+//!     .tenant("bob", 1)
+//!     .build()?;
+//! let ticket = service
+//!     .handle()
+//!     .submit(
+//!         JobRequest::closure(|omp: &mut Env| JobValue::Num(omp.num_threads() as f64))
+//!             .tenant("alice"),
+//!     )
+//!     .expect("admitted");
+//! let report = ticket.wait();
+//! assert_eq!(report.outcome.unwrap().result, JobValue::Num(2.0));
+//! service.drain();
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod metrics;
+mod service;
+mod tcp;
+
+pub use config::{ClosureFactory, ClosureJob, ServiceConfig};
+pub use metrics::{ServiceMetrics, ServiceMetricsSnapshot, TenantMetricsSnapshot};
+pub use service::{
+    DrainSummary, JobError, JobRequest, JobValue, Rejected, Service, ServiceHandle, ServiceReport,
+    ServiceStatus, TenantStatus, Ticket,
+};
+pub use tcp::TcpFront;

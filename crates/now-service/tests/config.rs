@@ -1,0 +1,95 @@
+//! `ServiceConfig` validation never panics: junk pool sizes, tenant
+//! weights, queue bounds and deadlines must come back as a typed
+//! [`NowError`], mirroring the `Cluster::builder` never-panics property
+//! (`tests/cluster_api.rs` at the workspace root).
+
+use nomp::{Cluster, NowError};
+use now_service::ServiceConfig;
+use proptest::prelude::*;
+
+/// Every validation failure is a typed `InvalidService` whose message
+/// names the offending field — spot-check the deterministic cases the
+/// fuzz below can't pin messages for.
+#[test]
+fn every_config_validation_failure_is_typed() {
+    let cases: Vec<(ServiceConfig, &str)> = vec![
+        (ServiceConfig::new().pool(0), "pool"),
+        (ServiceConfig::new().pool(10_000), "pool"),
+        (ServiceConfig::new().queue_bound(0), "queue bound"),
+        (ServiceConfig::new().queue_bound(1 << 30), "queue bound"),
+        (ServiceConfig::new().tenant("", 1), "tenant"),
+        (ServiceConfig::new().tenant("a", 0), "weight"),
+        (ServiceConfig::new().tenant("a", u64::MAX), "weight"),
+        (
+            ServiceConfig::new().tenant("a", 1).tenant("a", 2),
+            "duplicate",
+        ),
+        (ServiceConfig::new().default_deadline_ms(0.0), "deadline"),
+        (ServiceConfig::new().default_deadline_ms(-5.0), "deadline"),
+        (
+            ServiceConfig::new().default_deadline_ms(f64::NAN),
+            "deadline",
+        ),
+        (
+            ServiceConfig::new().cluster(Cluster::builder().nodes(0)),
+            "",
+        ),
+        // Pool x per-cluster threads capped: 64 clusters x 64 threads.
+        (
+            ServiceConfig::new()
+                .pool(64)
+                .cluster(Cluster::builder().nodes(16).threads_per_node(4)),
+            "threads",
+        ),
+    ];
+    for (cfg, needle) in cases {
+        let err = cfg.validate().expect_err("config must be rejected");
+        if let NowError::InvalidService(msg) = &err {
+            assert!(
+                msg.contains(needle),
+                "diagnostic must name the field: wanted {needle:?} in {msg:?}"
+            );
+        } // Cluster-level failures surface as their own typed variants.
+    }
+}
+
+// Validation is pure: arbitrary junk never panics, it returns Err or a
+// config within the service's documented bounds.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+    #[test]
+    fn config_never_panics_on_arbitrary_inputs(
+        pool in 0usize..100_000,
+        queue in 0usize..(1usize << 24),
+        nodes in 0usize..4_096,
+        tpn in 0usize..512,
+        name_picks in proptest::collection::vec(0usize..6, 0..6),
+        weights in proptest::collection::vec(proptest::num::u64::ANY, 6),
+        deadline in proptest::num::f64::ANY,
+        with_deadline in 0usize..2,
+    ) {
+        // Duplicate and empty names are part of the junk space.
+        const NAMES: [&str; 6] = ["", "a", "b", "alice", "a", "x y"];
+        let mut cfg = ServiceConfig::new()
+            .pool(pool)
+            .queue_bound(queue)
+            .cluster(Cluster::builder().nodes(nodes).threads_per_node(tpn).fast_test());
+        let tenants: Vec<(&str, u64)> = name_picks
+            .iter()
+            .zip(&weights)
+            .map(|(&p, &w)| (NAMES[p], w))
+            .collect();
+        for (name, weight) in &tenants {
+            cfg = cfg.tenant(*name, *weight);
+        }
+        if with_deadline == 1 {
+            cfg = cfg.default_deadline_ms(deadline);
+        }
+        let result = cfg.validate();
+        if result.is_ok() {
+            prop_assert!((1..=64).contains(&pool));
+            prop_assert!(queue >= 1);
+            prop_assert!(tenants.iter().all(|(n, w)| !n.is_empty() && *w >= 1));
+        }
+    }
+}

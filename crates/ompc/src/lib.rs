@@ -111,7 +111,7 @@ pub fn compile(src: &str) -> Result<Compiled, Diag> {
 /// Final state of a translated program: one job's result payload on a
 /// [`Cluster`] (measurements — virtual time, traffic, DSM counters —
 /// ride in the enclosing [`RunReport`]).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProgramOutput {
     /// `main`'s return value.
     pub ret: f64,

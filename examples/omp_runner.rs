@@ -45,6 +45,11 @@
 //! writes the cumulative snapshot — covering *all* jobs of the
 //! invocation — in Prometheus text exposition format after the last job
 //! finishes; `--metrics-json out.json` writes the same snapshot as JSON.
+//! The out-path semantics deliberately differ from `--trace`: a trace
+//! is a per-job artifact (multi-job invocations get one file per job,
+//! `.job<N>` spliced before the extension), while metrics are one
+//! lifetime snapshot — each metrics flag writes exactly one file, at
+//! the path given verbatim, no matter how many jobs ran.
 //!
 //! ```text
 //! cargo run --release --example omp_runner -- --metrics now.prom --metrics-json now.json pi.omp

@@ -1,0 +1,50 @@
+//! Cluster-pool service throughput sweep: queue a large mixed job batch
+//! (trivial closures + periodic `.omp` programs, tenants `alice`/`bob`
+//! at 2:1 weights) against held `now-service` pools, release, and
+//! measure sustained jobs/second plus p50/p99 host service latency per
+//! pool size. A saturation cell per pool overfills a held queue by a
+//! fixed amount, so its `queue_full` reject count is exact. Emits the
+//! machine-readable `BENCH_service.json` the regression gate consumes.
+//!
+//! ```text
+//! cargo run --release --example service_bench                 # 10k jobs, pools 2 and 4
+//! cargo run --release --example service_bench -- --jobs 30000 --pools 2,4,8
+//! cargo run --release --example service_bench -- --out /tmp/s.json
+//! ```
+
+use now_bench::service;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 10_002usize; // divisible by 3: exact 2:1 offered load
+    let mut pools = vec![2usize, 4];
+    let mut out_path = "BENCH_service.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v| v >= 3)
+                    .expect("--jobs N (N >= 3)");
+            }
+            "--pools" => {
+                pools = it
+                    .next()
+                    .expect("--pools P1,P2,...")
+                    .split(',')
+                    .map(|p| p.parse().expect("--pools takes positive integers"))
+                    .collect();
+            }
+            "--out" => {
+                out_path = it.next().expect("--out PATH").clone();
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    let rows = service::service_sweep(jobs, &pools);
+    let json = service::rows_to_json(jobs, &rows);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {} rows to {out_path}", rows.len());
+}

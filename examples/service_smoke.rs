@@ -1,0 +1,143 @@
+//! CI smoke test for the cluster-pool service: bring up a pool behind
+//! the TCP front door, push a mixed closure/`.omp` batch from a real
+//! socket client as two weighted tenants, drain over the wire, and
+//! assert the end-to-end contracts:
+//!
+//! * every admitted job completes (drain reply totals balance);
+//! * weighted fair share: with both tenants backlogged at 2:1 weights,
+//!   alice's share of the first dispatch window is 2/3 (asserted with
+//!   wide margins — this is a smoke, the exact-window test lives in
+//!   `tests/service.rs`);
+//! * the service metrics families export clean Prometheus text and
+//!   JSON (validated in-process).
+//!
+//! CI runs this under `NOW_WATCHDOG_SECS` so a drain that stops making
+//! progress aborts with a state dump instead of hanging the lane:
+//!
+//! ```text
+//! NOW_WATCHDOG_SECS=30 cargo run --release --example service_smoke
+//! ```
+
+use openmp_now::nomp::{validate_metrics_json, validate_prometheus_text, Cluster, Env};
+use openmp_now::now_service::{JobValue, ServiceConfig, TcpFront};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+const PI_SRC: &str = r#"
+double pi;
+int main() {
+    int n = 100;
+    double step = 1.0 / n;
+    #pragma omp parallel for reduction(+:pi) schedule(static)
+    for (int i = 0; i < n; i = i + 1) {
+        double x = (i + 0.5) * step;
+        pi = pi + 4.0 / (1.0 + x * x);
+    }
+    pi = pi * step;
+    return 0;
+}
+"#;
+
+const BATCH: usize = 120;
+
+fn main() {
+    // Held + dispatch-recording: jobs queue until the drain verb
+    // releases them, so both tenants are saturated when dispatch starts
+    // and the fair-share window is observable.
+    let service = ServiceConfig::new()
+        .pool(2)
+        .queue_bound(BATCH + 8)
+        .cluster(Cluster::builder().nodes(2).fast_test())
+        .tenant("alice", 2)
+        .tenant("bob", 1)
+        .closure("touch", || {
+            Box::new(|omp: &mut Env| JobValue::Num(omp.num_threads() as f64))
+        })
+        .hold()
+        .record_dispatch(true)
+        .build()
+        .expect("service comes up");
+    let front = TcpFront::bind(service.handle(), "127.0.0.1:0").expect("tcp front binds");
+    println!("service_smoke: pool 2 on {}", front.addr());
+
+    let sock = TcpStream::connect(front.addr()).expect("client connects");
+    let mut reader = BufReader::new(sock.try_clone().expect("clone socket"));
+    let mut out = sock;
+    let mut send = |line: &str| -> String {
+        out.write_all(line.as_bytes()).expect("send");
+        out.write_all(b"\n").expect("send newline");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("reply");
+        reply
+    };
+
+    // Mixed batch over the wire: even jobs to alice, odd to bob (equal
+    // offered load; the *weights* decide the dispatch shares), and every
+    // 8th job a compiled-on-the-server .omp program instead of the
+    // registered closure.
+    // Escape the newlines for the wire: pragmas are line-based, so the
+    // server must see the source with its line structure intact.
+    let pi_line = PI_SRC.replace('\n', "\\n");
+    for i in 0..BATCH {
+        let tenant = if i % 2 == 0 { "alice" } else { "bob" };
+        let line = if i % 8 == 0 {
+            format!("{{\"op\":\"submit\",\"omp\":\"{pi_line}\",\"tenant\":\"{tenant}\"}}")
+        } else {
+            format!("{{\"op\":\"submit\",\"closure\":\"touch\",\"tenant\":\"{tenant}\"}}")
+        };
+        let reply = send(&line);
+        assert!(reply.contains("\"ok\":true"), "job {i} admitted: {reply}");
+    }
+
+    let status = send("{\"op\":\"status\"}");
+    assert!(
+        status.contains("\"queue_depth\":120"),
+        "held queue: {status}"
+    );
+
+    // Drain over the wire: releases the held queue, finishes every job.
+    let drained = send("{\"op\":\"drain\"}");
+    assert!(drained.contains("\"drained\":true"), "{drained}");
+    assert!(drained.contains("\"completed\":120"), "{drained}");
+    assert!(drained.contains("\"rejected\":0"), "{drained}");
+    println!("service_smoke: drained 120/120 over TCP");
+
+    // Weighted fair share, wide margins: alice (weight 2) must own
+    // about 2/3 of the first 90 dispatches while both backlogs last.
+    let log = service.dispatch_log();
+    let alice_early = log
+        .iter()
+        .take(90)
+        .filter(|(tenant, _)| tenant == "alice")
+        .count();
+    let share = alice_early as f64 / 90.0;
+    assert!(
+        (0.60..=0.733).contains(&share),
+        "alice's early dispatch share {share:.3} strays from 2:1 weighting"
+    );
+    println!("service_smoke: alice early-window share {share:.3} (2:1 weights)");
+
+    // The new service metrics families validate in both export formats.
+    let snap = service.metrics();
+    let prom = snap.to_prometheus();
+    validate_prometheus_text(&prom).expect("Prometheus exposition validates");
+    for family in [
+        "now_service_queue_depth",
+        "now_service_jobs_total",
+        "now_service_rejected_total",
+        "now_service_queue_wait_host_ns",
+        "now_service_time_host_ns",
+        "now_service_e2e_host_ns",
+    ] {
+        assert!(prom.contains(family), "missing family {family}");
+    }
+    let json = snap.to_json();
+    validate_metrics_json(&json).expect("JSON export validates");
+    println!("service_smoke: metrics exports validate");
+
+    drop(out);
+    drop(reader);
+    front.shutdown();
+    service.drain();
+    println!("service_smoke: ok");
+}

@@ -12,6 +12,9 @@
 //! * [`nowmpi`] — the MPI baseline
 //! * [`now_net`] — the simulated workstation network + virtual time
 //! * [`now_apps`] — the five evaluation applications
+//! * [`now_service`] — the cluster-pool job service: a pool of warm
+//!   clusters behind an async front door with weighted fair-share
+//!   scheduling, admission control and graceful drain
 //!
 //! The one public way in is the [`Cluster`](nomp::Cluster) session API:
 //! build a cluster once, run a stream of jobs — Rust closures and
@@ -42,7 +45,7 @@
 //! # Ok(()) }
 //! ```
 
-pub use {nomp, now_apps, now_net, nowmpi, ompc, smp, tmk};
+pub use {nomp, now_apps, now_net, now_service, nowmpi, ompc, smp, tmk};
 
 /// Common imports for writing OpenMP-on-NOW programs.
 pub mod prelude {
@@ -52,6 +55,11 @@ pub mod prelude {
         SharedVec, ThreadPrivate, Trace, TraceConfig,
     };
     pub use tmk::{RunOutcome, Shareable, Tmk, TmkConfig};
+
+    pub use now_service::{
+        JobRequest, JobValue, Rejected, Service, ServiceConfig, ServiceHandle, ServiceReport,
+        Ticket,
+    };
 }
 
 /// Command-line argument parsing for the `omp_runner` example (kept in

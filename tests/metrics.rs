@@ -277,3 +277,52 @@ fn runner_cli_metrics_flags_round_trip() {
     assert!(err.contains("--metrics"), "{err}");
     assert!(err.contains("--metrics-json"), "{err}");
 }
+
+/// The runner's out-path contract, `--metrics` vs `--trace`: a trace is
+/// a *per-job* artifact — multi-job invocations splice `.job<N>` before
+/// the extension so repetitions don't overwrite each other — while
+/// metrics are *one cumulative lifetime snapshot* covering every job,
+/// written once to the path given verbatim. There is deliberately no
+/// per-job metrics path.
+#[test]
+fn metrics_path_is_one_lifetime_snapshot_unlike_per_job_trace_paths() {
+    let argv: Vec<String> = [
+        "--repeat",
+        "3",
+        "--trace",
+        "t.json",
+        "--metrics",
+        "m.prom",
+        "--metrics-json",
+        "m.json",
+        "x.omp",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let a = RunnerArgs::parse(&argv).expect("valid args");
+
+    // Three jobs -> three distinct trace files.
+    assert_eq!(a.trace_path(0, true).as_deref(), Some("t.job0.json"));
+    assert_eq!(a.trace_path(1, true).as_deref(), Some("t.job1.json"));
+    assert_eq!(a.trace_path(2, true).as_deref(), Some("t.job2.json"));
+    // A single-job invocation writes the trace path verbatim.
+    assert_eq!(a.trace_path(0, false).as_deref(), Some("t.json"));
+
+    // Three jobs -> still exactly one metrics path per flag, verbatim:
+    // the snapshot is cumulative over the warm cluster's lifetime, so a
+    // job suffix would be meaningless.
+    assert_eq!(a.metrics.as_deref(), Some("m.prom"));
+    assert_eq!(a.metrics_json.as_deref(), Some("m.json"));
+
+    // And the snapshot really is cumulative: three warm jobs triple the
+    // parallel-region count relative to one job.
+    let mut c = cluster(2, 1);
+    c.run(det_workload).expect("job 1");
+    let after_one = c.metrics().op_total(TmkOp::Barriers);
+    c.run(det_workload).expect("job 2");
+    c.run(det_workload).expect("job 3");
+    let after_three = c.metrics().op_total(TmkOp::Barriers);
+    assert_eq!(after_three, 3 * after_one, "snapshot covers all jobs");
+    c.shutdown();
+}

@@ -1,0 +1,135 @@
+//! Graceful drain, in its own test binary: these tests count host
+//! threads via `/proc/self/status`, a measurement the other service
+//! tests would race if they shared the process.
+//!
+//! Proves the two drain acceptance criteria:
+//! * no leaked threads — after `Service::drain` (and `TcpFront`
+//!   shutdown) the process is back to its pre-service thread count;
+//! * a drained-then-restarted pool is bit-identical to a fresh cold
+//!   run — the warm-vs-cold invariant of the session API survives the
+//!   service lifecycle.
+
+use nomp::{Cluster, ClusterBuilder, Env};
+use now_service::{JobRequest, JobValue, ServiceConfig};
+
+fn det_builder(nodes: usize) -> ClusterBuilder {
+    Cluster::builder().nodes(nodes).fast_test().tmk(|t| {
+        t.net.compute_scale = 0.0;
+        t.net.send_overhead_ns = 0;
+        t.net.handler_ns = 0;
+        t.net.local_delivery_ns = 0;
+    })
+}
+
+fn det_body(omp: &mut Env) -> JobValue {
+    const SLAB: usize = 256;
+    let nthreads = omp.num_threads();
+    let data = omp.malloc_vec::<u64>(nthreads * SLAB);
+    omp.parallel(move |t| {
+        let me = t.thread_num();
+        let vals: Vec<u64> = (0..SLAB).map(|i| (me * SLAB + i) as u64).collect();
+        t.write_slice_push(&data, me * SLAB, &vals);
+    });
+    JobValue::Nums(
+        omp.read_slice(&data, 0..nthreads * SLAB)
+            .into_iter()
+            .map(|v| v as f64)
+            .collect(),
+    )
+}
+
+/// Host threads in this process (Linux; `None` elsewhere, where the
+/// leak assertion is skipped and the bit-identity half still runs).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+#[test]
+fn drain_joins_every_thread_and_a_restarted_pool_is_bit_identical() {
+    // Cold reference, torn down before the baseline is measured.
+    let reference = det_builder(2)
+        .build()
+        .expect("cold cluster")
+        .run(det_body)
+        .expect("cold job");
+
+    let baseline = thread_count();
+
+    // Round 1: a full service lifecycle — pool, TCP endpoint, jobs.
+    let service = ServiceConfig::new()
+        .pool(2)
+        .cluster(det_builder(2))
+        .build()
+        .expect("service");
+    let front = now_service::TcpFront::bind(service.handle(), "127.0.0.1:0").expect("bind");
+    let tickets: Vec<_> = (0..4)
+        .map(|_| {
+            service
+                .submit(JobRequest::closure(det_body))
+                .expect("admit")
+        })
+        .collect();
+    let first: Vec<_> = tickets
+        .into_iter()
+        .map(|t| t.wait().outcome.expect("job completed"))
+        .collect();
+    front.shutdown();
+    let summary = service.drain();
+    assert_eq!(summary.completed, 4);
+
+    // No leaked threads: pool workers, their clusters' node threads and
+    // the TCP acceptor are all joined.
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert_eq!(
+            after, before,
+            "drain leaked threads: {before} before, {after} after"
+        );
+    }
+
+    // Round 2: a fresh pool from a fresh config. Bit-identical to both
+    // round 1 and the cold direct run.
+    let service = ServiceConfig::new()
+        .pool(2)
+        .cluster(det_builder(2))
+        .build()
+        .expect("restarted service");
+    let again = service
+        .submit(JobRequest::closure(det_body))
+        .expect("admit")
+        .wait()
+        .outcome
+        .expect("job completed");
+    let expect = reference.result.clone();
+    for run in first.iter().chain([&again]) {
+        assert_eq!(run.result, expect, "results diverged across restart");
+        assert_eq!(run.vt_ns, reference.vt_ns, "virtual time diverged");
+        assert_eq!(run.dsm, reference.dsm, "DSM stats diverged");
+    }
+    service.drain();
+
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert_eq!(after, before, "second drain leaked threads");
+    }
+
+    // Round 3: dropping a service (no explicit drain) runs the same
+    // protocol. One test body throughout — thread counts must not race
+    // a sibling test.
+    {
+        let service = ServiceConfig::new()
+            .pool(1)
+            .cluster(det_builder(1))
+            .build()
+            .expect("service");
+        let t = service
+            .submit(JobRequest::closure(|_: &mut Env| JobValue::Num(1.0)))
+            .expect("admit");
+        assert!(t.wait().outcome.is_ok());
+    }
+    if let (Some(before), Some(after)) = (baseline, thread_count()) {
+        assert_eq!(after, before, "drop-drain leaked threads");
+    }
+}
