@@ -246,7 +246,7 @@ pub fn run_cell(
             // bulk reads plus a metered stencil, so nodes pay virtual
             // time proportional to the rows they execute.
             let sweep =
-                |omp: &mut nomp::Env, src: tmk::SharedVec<f64>, dst: tmk::SharedVec<f64>| {
+                |omp: &mut nomp::Env<'_>, src: tmk::SharedVec<f64>, dst: tmk::SharedVec<f64>| {
                     omp.parallel_for_chunks(schedule, 1..r - 1, move |t, rows| {
                         for i in rows {
                             let up = t.read_slice(&src, (i - 1) * c..i * c);

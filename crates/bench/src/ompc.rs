@@ -61,7 +61,7 @@ pub fn translated_once(cluster: &mut Cluster) -> (f64, u64, u64) {
 /// Run the hand-written kernel as a job on the same warm cluster.
 pub fn native_once(cluster: &mut Cluster) -> (f64, u64, u64) {
     let out = cluster
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let step = 1.0 / N as f64;
             let sum = omp.parallel_reduce(
                 Schedule::Static,

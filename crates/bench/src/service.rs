@@ -72,7 +72,7 @@ fn pool_builder() -> ClusterBuilder {
     Cluster::builder().nodes(2).fast_test()
 }
 
-fn trivial(omp: &mut Env) -> JobValue {
+fn trivial(omp: &mut Env<'_>) -> JobValue {
     JobValue::Num(omp.num_threads() as f64)
 }
 

@@ -23,7 +23,7 @@ use std::time::Instant;
 /// virtual time and the manager's host-order arrival would pick the
 /// first holder nondeterministically.
 fn kernel() -> impl NowProgram<Output = u64> {
-    |omp: &mut Env| {
+    |omp: &mut Env<'_>| {
         let n = 4096usize;
         let v = omp.malloc_vec::<u64>(n);
         omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {

@@ -28,12 +28,12 @@ const MAX_THREADS: usize = 1024;
 /// inference needs help), or pass anything implementing [`NowProgram`]
 /// straight to [`Cluster::run`].
 pub struct Job<R> {
-    f: Box<dyn FnOnce(&mut Env) -> R + Send>,
+    f: Box<dyn FnOnce(&mut Env<'_>) -> R + Send>,
 }
 
 impl<R: Send + 'static> Job<R> {
     /// A job from a master closure (today's `nomp::run` body).
-    pub fn new(f: impl FnOnce(&mut Env) -> R + Send + 'static) -> Self {
+    pub fn new(f: impl FnOnce(&mut Env<'_>) -> R + Send + 'static) -> Self {
         Job { f: Box::new(f) }
     }
 }
@@ -58,7 +58,7 @@ impl<R: Send + 'static> NowProgram for Job<R> {
 impl<R, F> NowProgram for F
 where
     R: Send + 'static,
-    F: FnOnce(&mut Env) -> R + Send + 'static,
+    F: FnOnce(&mut Env<'_>) -> R + Send + 'static,
 {
     type Output = R;
     fn into_job(self) -> Job<R> {
@@ -433,7 +433,7 @@ impl ClusterBuilder {
 ///
 /// # fn main() -> Result<(), nomp::NowError> {
 /// let mut cluster = Cluster::builder().nodes(2).fast_test().build()?;
-/// let report = cluster.run(|omp: &mut Env| {
+/// let report = cluster.run(|omp: &mut Env<'_>| {
 ///     let v = omp.malloc_vec::<u64>(100);
 ///     omp.parallel_for(Schedule::Static, 0..100, move |t, i| {
 ///         t.write(&v, i, (i * i) as u64);
@@ -443,7 +443,7 @@ impl ClusterBuilder {
 /// assert_eq!(report.result, 81);
 /// // The same warm cluster runs the next job without re-spawning the
 /// // simulated workstations; per-job stats are exact deltas.
-/// let again = cluster.run(|omp: &mut Env| omp.num_threads())?;
+/// let again = cluster.run(|omp: &mut Env<'_>| omp.num_threads())?;
 /// assert_eq!(again.result, 2);
 /// # Ok(()) }
 /// ```
@@ -525,7 +525,7 @@ impl Cluster {
     /// Run one job on the warm cluster.
     ///
     /// Accepts anything implementing [`NowProgram`]: a Rust closure over
-    /// [`Env`] (annotate the parameter, `|omp: &mut Env| …`, or wrap in
+    /// [`Env`] (annotate the parameter, `|omp: &mut Env<'_>| …`, or wrap in
     /// [`Job::new`]), or a compiled `.omp` program. Between jobs the
     /// cluster resets DSM/tasking/statistics state behind the job's
     /// final quiescence point, so the [`RunReport`]'s measurements are
@@ -594,7 +594,7 @@ mod tests {
             .fast_test()
             .build()
             .expect("valid cluster");
-        let r = c.run(|omp: &mut Env| omp.num_threads()).unwrap();
+        let r = c.run(|omp: &mut Env<'_>| omp.num_threads()).unwrap();
         assert_eq!(r.result, 3);
         assert_eq!((r.nodes, r.threads_per_node), (3, 1));
         assert_eq!(r.job, 0);
@@ -618,7 +618,7 @@ mod tests {
     fn report_map_keeps_measurements() {
         let mut c = Cluster::builder().nodes(2).fast_test().build().unwrap();
         let r = c
-            .run(|omp: &mut Env| omp.num_nodes())
+            .run(|omp: &mut Env<'_>| omp.num_nodes())
             .unwrap()
             .map(|n| n * 10);
         assert_eq!(r.result, 20);

@@ -51,7 +51,7 @@ impl<'t> Env<'t> {
 pub fn run<R, F>(cfg: OmpConfig, f: F) -> RunOutcome<R>
 where
     R: Send + 'static,
-    F: FnOnce(&mut Env) -> R + Send + 'static,
+    F: FnOnce(&mut Env<'_>) -> R + Send + 'static,
 {
     let mut cluster = crate::cluster::Cluster::from_config(cfg);
     let report = cluster

@@ -27,7 +27,7 @@ pub(crate) const MAX_POOL_THREADS: usize = 2048;
 
 /// A boxed closure job as the service runs it: a master function over
 /// [`Env`] returning a [`JobValue`].
-pub type ClosureJob = Box<dyn FnOnce(&mut Env) -> JobValue + Send>;
+pub type ClosureJob = Box<dyn FnOnce(&mut Env<'_>) -> JobValue + Send>;
 
 /// A factory producing fresh [`ClosureJob`]s — how named closure
 /// workloads are registered so external (TCP) clients can run them.
@@ -46,6 +46,7 @@ pub struct ServiceConfig {
     pub(crate) default_deadline_ms: Option<f64>,
     pub(crate) hold: bool,
     pub(crate) record_dispatch: bool,
+    pub(crate) deny_races: bool,
     pub(crate) cluster: ClusterBuilder,
     pub(crate) programs: Vec<(String, ClosureFactory)>,
 }
@@ -66,6 +67,7 @@ impl ServiceConfig {
             default_deadline_ms: None,
             hold: false,
             record_dispatch: false,
+            deny_races: false,
             cluster: Cluster::builder(),
             programs: Vec::new(),
         }
@@ -134,6 +136,17 @@ impl ServiceConfig {
     /// via [`Service::dispatch_log`]. Off by default.
     pub fn record_dispatch(mut self, on: bool) -> Self {
         self.record_dispatch = on;
+        self
+    }
+
+    /// Run the static race analyzer on every submitted `.omp` program
+    /// and reject racy ones at admission with
+    /// [`Rejected::Lint`](crate::Rejected::Lint) (race-class findings
+    /// `OMP201`..`OMP204` promoted to errors; structural warnings do
+    /// not reject). Off by default — analysis costs one pass over the
+    /// program's IR per submission.
+    pub fn deny_races(mut self, on: bool) -> Self {
+        self.deny_races = on;
         self
     }
 

@@ -24,6 +24,7 @@ pub(crate) struct TenantMetrics {
     pub(crate) rejected_draining: Counter,
     pub(crate) rejected_deadline: Counter,
     pub(crate) rejected_unknown: Counter,
+    pub(crate) rejected_lint: Counter,
     pub(crate) queue_wait_host_ns: Histogram,
     pub(crate) service_host_ns: Histogram,
 }
@@ -41,6 +42,7 @@ impl TenantMetrics {
             rejected_draining: Counter::new(),
             rejected_deadline: Counter::new(),
             rejected_unknown: Counter::new(),
+            rejected_lint: Counter::new(),
             queue_wait_host_ns: Histogram::new(),
             service_host_ns: Histogram::new(),
         }
@@ -58,6 +60,7 @@ impl TenantMetrics {
             rejected_draining: self.rejected_draining.get(),
             rejected_deadline: self.rejected_deadline.get(),
             rejected_unknown: self.rejected_unknown.get(),
+            rejected_lint: self.rejected_lint.get(),
             queue_wait_host_ns: self.queue_wait_host_ns.snapshot(),
             service_host_ns: self.service_host_ns.snapshot(),
         }
@@ -134,6 +137,9 @@ pub struct TenantMetricsSnapshot {
     pub rejected_deadline: u64,
     /// Submissions rejected for an unknown registered-closure name.
     pub rejected_unknown: u64,
+    /// Submissions rejected because the static analyzer denied the
+    /// program (`deny_races` admission policy).
+    pub rejected_lint: u64,
     /// Host nanoseconds from admission to dispatch.
     pub queue_wait_host_ns: HistogramSnapshot,
     /// Host nanoseconds a job spent running on its cluster.
@@ -147,6 +153,7 @@ impl TenantMetricsSnapshot {
             + self.rejected_draining
             + self.rejected_deadline
             + self.rejected_unknown
+            + self.rejected_lint
     }
 }
 
@@ -270,6 +277,7 @@ impl ServiceMetricsSnapshot {
                 ("draining", t.rejected_draining),
                 ("deadline_unmeetable", t.rejected_deadline),
                 ("unknown_program", t.rejected_unknown),
+                ("lint", t.rejected_lint),
             ] {
                 p.sample(
                     "now_service_rejected_total",
@@ -346,8 +354,12 @@ impl ServiceMetricsSnapshot {
             out.push_str(&format!("\"failed\":{},", t.failed));
             out.push_str(&format!(
                 "\"rejected\":{{\"queue_full\":{},\"draining\":{},\
-                 \"deadline_unmeetable\":{},\"unknown_program\":{}}},",
-                t.rejected_queue_full, t.rejected_draining, t.rejected_deadline, t.rejected_unknown
+                 \"deadline_unmeetable\":{},\"unknown_program\":{},\"lint\":{}}},",
+                t.rejected_queue_full,
+                t.rejected_draining,
+                t.rejected_deadline,
+                t.rejected_unknown,
+                t.rejected_lint
             ));
             out.push_str("\"queue_wait_host_ns\":");
             hist(&mut out, &t.queue_wait_host_ns);

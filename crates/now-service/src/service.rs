@@ -78,7 +78,7 @@ pub struct JobRequest {
 
 impl JobRequest {
     /// A job from a Rust master closure over [`Env`].
-    pub fn closure(f: impl FnOnce(&mut Env) -> JobValue + Send + 'static) -> Self {
+    pub fn closure(f: impl FnOnce(&mut Env<'_>) -> JobValue + Send + 'static) -> Self {
         JobRequest {
             tenant: None,
             priority: 0,
@@ -163,6 +163,10 @@ pub enum Rejected {
     UnknownTenant(String),
     /// The named closure workload is not registered.
     UnknownProgram(String),
+    /// The static analyzer denied the `.omp` program at admission
+    /// ([`ServiceConfig::deny_races`](crate::ServiceConfig::deny_races)):
+    /// the denied findings, sorted by source position.
+    Lint(Vec<ompc::Lint>),
 }
 
 impl Rejected {
@@ -174,6 +178,7 @@ impl Rejected {
             Rejected::DeadlineUnmeetable { .. } => "deadline_unmeetable",
             Rejected::UnknownTenant(_) => "unknown_tenant",
             Rejected::UnknownProgram(_) => "unknown_program",
+            Rejected::Lint(_) => "lint",
         }
     }
 }
@@ -194,6 +199,16 @@ impl std::fmt::Display for Rejected {
             ),
             Rejected::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
             Rejected::UnknownProgram(p) => write!(f, "unknown registered closure {p:?}"),
+            Rejected::Lint(lints) => {
+                write!(f, "static analyzer denied the program: ")?;
+                for (i, l) in lints.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -384,6 +399,7 @@ struct Shared {
     queue_bound: usize,
     pool: usize,
     default_deadline: Option<Duration>,
+    deny_races: bool,
     state: Mutex<DispatchState>,
     /// Wakes workers: new work, an open, or a drain.
     work_ready: Condvar,
@@ -420,6 +436,19 @@ impl Shared {
     fn submit(&self, req: JobRequest) -> Result<Ticket, Rejected> {
         let tenant = self.tenant_index(req.tenant.as_deref())?;
         let tm = self.metrics.tenant(tenant);
+        // Admission-time static analysis: under `deny_races`, a `.omp`
+        // program with a provable race never reaches a cluster.
+        if self.deny_races {
+            if let WorkSpec::Omp(prog) = &req.work {
+                let mut lints = prog.lints();
+                ompc::promote_races(&mut lints);
+                lints.retain(|l| l.level == ompc::LintLevel::Deny);
+                if !lints.is_empty() {
+                    tm.rejected_lint.inc();
+                    return Err(Rejected::Lint(lints));
+                }
+            }
+        }
         let work = match self.resolve(req.work) {
             Ok(w) => w,
             Err(r) => {
@@ -849,6 +878,7 @@ impl Service {
             queue_bound: cfg.queue_bound,
             pool: cfg.pool,
             default_deadline,
+            deny_races: cfg.deny_races,
             state: Mutex::new(DispatchState {
                 queues: (0..n).map(|_| BinaryHeap::new()).collect(),
                 credits: vec![0; n],

@@ -1,0 +1,418 @@
+//! Dynamic happens-before race checker (`Compiled::check_races`).
+//!
+//! Opt-in runtime confirmation for the static analyzer: every shared
+//! load/store the interpreter performs is tagged with the executing
+//! thread's *vector clock*, and two accesses to the same location race
+//! when neither clock dominates the other's stamp and at least one is a
+//! write. Detected pairs come back as concrete [`DataRace`]s — thread,
+//! workstation, source span and virtual time of both accesses — in
+//! [`crate::ProgramOutput::races`], so tests can label static findings
+//! *confirmed* by an actual interleaving.
+//!
+//! The happens-before edges mirror the runtime's synchronization:
+//!
+//! - **fork**: region entry seeds every thread from the master's clock;
+//! - **join**: region exit merges all threads (and finished tasks) back;
+//! - **barrier**: two-phase — arrivals merge into a per-epoch clock
+//!   before the real barrier, departures adopt it after (the real
+//!   barrier guarantees the merge is complete before anyone departs);
+//! - **critical**: lock-release clocks carry edges to later acquirers;
+//! - **task**: spawn clocks merge into a scope-wide spawn clock adopted
+//!   by every starting task, finished tasks merge into a scope-wide done
+//!   clock adopted at `taskwait`/region join. Scope-wide (rather than
+//!   per-instance) clocks over-synchronize, so tasking can only produce
+//!   false *negatives*, never false positives.
+//!
+//! `single` needs no extra edge beyond its implied barrier: the body
+//! runs on thread 0 whose program order covers consecutive singles.
+//!
+//! Reduction combines are runtime-internal (lock-serialized by
+//! construction) and are not instrumented.
+
+use crate::diag::Span;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Mutex;
+
+/// Cap on distinct races reported per run — enough to confirm findings,
+/// bounded so a hot racy loop cannot balloon the report.
+const MAX_RACES: usize = 64;
+
+/// One side of a detected race.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RaceAccess {
+    /// Global thread id of the access.
+    pub thread: usize,
+    /// Workstation the thread runs on.
+    pub node: usize,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+    /// Source location of the access.
+    pub span: Span,
+    /// Virtual time of the access in nanoseconds.
+    pub vt_ns: u64,
+}
+
+/// A concrete racing pair observed at runtime: two accesses to the same
+/// shared location, at least one a write, with no happens-before edge
+/// between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataRace {
+    /// Name of the raced global.
+    pub var: String,
+    /// Element index for array globals (`None` for scalars).
+    pub idx: Option<usize>,
+    /// The earlier access (by detection order).
+    pub first: RaceAccess,
+    /// The later access — the one whose clock failed to cover `first`.
+    pub second: RaceAccess,
+}
+
+impl fmt::Display for DataRace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let loc = match self.idx {
+            Some(i) => format!("{}[{i}]", self.var),
+            None => self.var.clone(),
+        };
+        let kind = |w: bool| if w { "write" } else { "read" };
+        write!(
+            f,
+            "race on `{loc}`: {} by t{} (node {}) at line {} vs {} by t{} (node {}) at line {}",
+            kind(self.first.write),
+            self.first.thread,
+            self.first.node,
+            self.first.span,
+            kind(self.second.write),
+            self.second.thread,
+            self.second.node,
+            self.second.span,
+        )
+    }
+}
+
+/// Scalar cell key: arrays key per element.
+const SCALAR: u64 = u64::MAX;
+
+#[derive(Clone)]
+struct Prev {
+    thread: usize,
+    stamp: u32,
+    span: Span,
+    vt_ns: u64,
+}
+
+#[derive(Default)]
+struct Cell {
+    last_write: Option<Prev>,
+    /// Most recent read per thread since the last write.
+    reads: HashMap<usize, Prev>,
+}
+
+#[derive(Default)]
+struct BarEpoch {
+    vc: Vec<u32>,
+    departed: usize,
+}
+
+/// Dedup key for a reported pair: cell plus the ordered span pair.
+type SeenKey = (u16, u64, (u32, u32), (u32, u32));
+
+struct Inner {
+    /// Per-thread vector clocks (`c[t][u]` = latest event of `u` that
+    /// `t` has a happens-before edge from).
+    c: Vec<Vec<u32>>,
+    /// Release clocks per critical-section lock id.
+    locks: HashMap<u32, Vec<u32>>,
+    /// In-flight barrier epochs (keyed by per-thread barrier count).
+    bars: HashMap<u64, BarEpoch>,
+    bar_count: Vec<u64>,
+    /// Scope-wide task clocks for the current region (reset at fork).
+    task_spawn: Vec<u32>,
+    task_done: Vec<u32>,
+    cells: HashMap<(u16, u64), Cell>,
+    races: Vec<DataRace>,
+    seen: HashSet<SeenKey>,
+}
+
+/// The shared race monitor for one run (one lock; the checker is a
+/// correctness tool, not a perf path).
+pub(crate) struct Monitor {
+    names: Vec<String>,
+    tpn: usize,
+    inner: Mutex<Inner>,
+}
+
+fn merge(into: &mut Vec<u32>, from: &[u32]) {
+    if into.len() < from.len() {
+        into.resize(from.len(), 0);
+    }
+    for (a, b) in into.iter_mut().zip(from) {
+        *a = (*a).max(*b);
+    }
+}
+
+impl Monitor {
+    pub(crate) fn new(n_threads: usize, tpn: usize, names: Vec<String>) -> Self {
+        Monitor {
+            names,
+            tpn: tpn.max(1),
+            inner: Mutex::new(Inner {
+                c: vec![vec![0; n_threads]; n_threads],
+                locks: HashMap::new(),
+                bars: HashMap::new(),
+                bar_count: vec![0; n_threads],
+                task_spawn: vec![0; n_threads],
+                task_done: vec![0; n_threads],
+                cells: HashMap::new(),
+                races: Vec::new(),
+                seen: HashSet::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A worker that panicked mid-access (translated runtime error)
+        // may poison the lock; the clocks stay usable for reporting.
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Region fork: seed every thread from the master's clock, then give
+    /// each thread a fresh local component so post-fork events of
+    /// different threads are unordered.
+    pub(crate) fn fork(&self) {
+        let mut g = self.lock();
+        g.c[0][0] += 1;
+        let base = g.c[0].clone();
+        let n = g.c.len();
+        for t in 0..n {
+            g.c[t] = base.clone();
+            g.c[t][t] += 1;
+        }
+        // Task scopes are per-region.
+        g.task_spawn = vec![0; n];
+        g.task_done = vec![0; n];
+    }
+
+    /// Region join: the master's clock absorbs every thread and every
+    /// finished task.
+    pub(crate) fn join(&self) {
+        let mut g = self.lock();
+        let mut m = vec![0u32; g.c.len()];
+        for t in 0..g.c.len() {
+            let row = g.c[t].clone();
+            merge(&mut m, &row);
+        }
+        let done = g.task_done.clone();
+        merge(&mut m, &done);
+        g.c[0] = m;
+        g.c[0][0] += 1;
+    }
+
+    /// First barrier phase: contribute this thread's clock to the
+    /// current epoch (call *before* the runtime barrier).
+    pub(crate) fn barrier_arrive(&self, t: usize) {
+        let mut g = self.lock();
+        let e = g.bar_count[t];
+        let row = g.c[t].clone();
+        merge(&mut g.bars.entry(e).or_default().vc, &row);
+    }
+
+    /// Second barrier phase: adopt the epoch's merged clock (call
+    /// *after* the runtime barrier, which guarantees every participant
+    /// has arrived).
+    pub(crate) fn barrier_depart(&self, t: usize) {
+        let mut g = self.lock();
+        let e = g.bar_count[t];
+        let n = g.c.len();
+        let ep = g.bars.get_mut(&e).expect("barrier depart without arrive");
+        let vc = ep.vc.clone();
+        ep.departed += 1;
+        if ep.departed == n {
+            g.bars.remove(&e);
+        }
+        merge(&mut g.c[t], &vc);
+        g.c[t][t] += 1;
+        g.bar_count[t] += 1;
+    }
+
+    /// Critical-section entry: acquire the lock's release clock.
+    pub(crate) fn acquire(&self, t: usize, lock: u32) {
+        let mut g = self.lock();
+        if let Some(lv) = g.locks.get(&lock) {
+            let lv = lv.clone();
+            merge(&mut g.c[t], &lv);
+        }
+    }
+
+    /// Critical-section exit: publish this thread's clock to the lock.
+    pub(crate) fn release(&self, t: usize, lock: u32) {
+        let mut g = self.lock();
+        let row = g.c[t].clone();
+        g.locks.insert(lock, row);
+        g.c[t][t] += 1;
+    }
+
+    /// A `task` construct spawned an instance.
+    pub(crate) fn task_spawned(&self, t: usize) {
+        let mut g = self.lock();
+        let row = g.c[t].clone();
+        merge(&mut g.task_spawn, &row);
+        g.c[t][t] += 1;
+    }
+
+    /// A task instance begins executing on thread `t`.
+    pub(crate) fn task_started(&self, t: usize) {
+        let mut g = self.lock();
+        let sp = g.task_spawn.clone();
+        merge(&mut g.c[t], &sp);
+    }
+
+    /// A task instance finished on thread `t`.
+    pub(crate) fn task_finished(&self, t: usize) {
+        let mut g = self.lock();
+        let row = g.c[t].clone();
+        merge(&mut g.task_done, &row);
+        g.c[t][t] += 1;
+    }
+
+    /// `taskwait` returned: all previously spawned tasks are done.
+    pub(crate) fn taskwait(&self, t: usize) {
+        let mut g = self.lock();
+        let done = g.task_done.clone();
+        merge(&mut g.c[t], &done);
+    }
+
+    /// One shared access: check against remembered accesses, remember it.
+    pub(crate) fn access(
+        &self,
+        t: usize,
+        gid: u16,
+        idx: Option<usize>,
+        write: bool,
+        span: Span,
+        vt_ns: u64,
+    ) {
+        let mut g = self.lock();
+        let stamp = g.c[t][t];
+        let key = (gid, idx.map_or(SCALAR, |i| i as u64));
+        let cell = g.cells.entry(key).or_default();
+        let cur = Prev {
+            thread: t,
+            stamp,
+            span,
+            vt_ns,
+        };
+        let mut hits: Vec<(Prev, bool)> = Vec::new();
+        if let Some(w) = &cell.last_write {
+            if w.thread != t {
+                hits.push((w.clone(), true));
+            }
+        }
+        if write {
+            for r in cell.reads.values() {
+                if r.thread != t {
+                    hits.push((r.clone(), false));
+                }
+            }
+            cell.reads.clear();
+            cell.last_write = Some(cur.clone());
+        } else {
+            cell.reads.insert(t, cur.clone());
+        }
+        let unordered: Vec<(Prev, bool)> = hits
+            .into_iter()
+            .filter(|(p, _)| g.c[t][p.thread] < p.stamp)
+            .collect();
+        for (p, p_write) in unordered {
+            if !(p_write || write) {
+                continue;
+            }
+            let sk = |s: Span| (s.line, s.col);
+            let (a, b) = if sk(p.span) <= sk(span) {
+                (sk(p.span), sk(span))
+            } else {
+                (sk(span), sk(p.span))
+            };
+            if g.races.len() >= MAX_RACES || !g.seen.insert((key.0, key.1, a, b)) {
+                continue;
+            }
+            let acc = |p: &Prev, w: bool| RaceAccess {
+                thread: p.thread,
+                node: p.thread / self.tpn,
+                write: w,
+                span: p.span,
+                vt_ns: p.vt_ns,
+            };
+            let race = DataRace {
+                var: self.names[gid as usize].clone(),
+                idx,
+                first: acc(&p, p_write),
+                second: acc(&cur, write),
+            };
+            g.races.push(race);
+        }
+    }
+
+    /// Drain the detected races (sorted by first-access virtual time).
+    pub(crate) fn take_races(&self) -> Vec<DataRace> {
+        let mut r = self.lock().races.drain(..).collect::<Vec<_>>();
+        r.sort_by_key(|d| (d.first.vt_ns, d.second.vt_ns, d.first.span.line));
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sp(l: u32) -> Span {
+        Span::new(l, 1)
+    }
+
+    #[test]
+    fn unsynced_writes_race_and_locked_ones_do_not() {
+        let m = Monitor::new(2, 1, vec!["g".into()]);
+        m.fork();
+        m.access(0, 0, None, true, sp(1), 10);
+        m.access(1, 0, None, true, sp(2), 20);
+        assert_eq!(m.lock().races.len(), 1);
+
+        let m = Monitor::new(2, 1, vec!["g".into()]);
+        m.fork();
+        m.acquire(0, 7);
+        m.access(0, 0, None, true, sp(1), 10);
+        m.release(0, 7);
+        m.acquire(1, 7);
+        m.access(1, 0, None, true, sp(2), 20);
+        m.release(1, 7);
+        assert!(m.lock().races.is_empty());
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        let m = Monitor::new(2, 1, vec!["g".into()]);
+        m.fork();
+        m.access(0, 0, None, true, sp(1), 10);
+        m.barrier_arrive(0);
+        m.barrier_arrive(1);
+        m.barrier_depart(0);
+        m.barrier_depart(1);
+        m.access(1, 0, None, false, sp(2), 20);
+        assert!(m.lock().races.is_empty());
+    }
+
+    #[test]
+    fn write_read_race_detected_per_element() {
+        let m = Monitor::new(2, 1, vec!["a".into()]);
+        m.fork();
+        m.access(0, 0, Some(3), true, sp(1), 10);
+        m.access(1, 0, Some(4), false, sp(2), 20); // different element
+        m.access(1, 0, Some(3), false, sp(3), 30); // same element: races
+        let g = m.lock();
+        assert_eq!(g.races.len(), 1);
+        assert_eq!(g.races[0].idx, Some(3));
+    }
+}

@@ -21,6 +21,8 @@
 //! `ompc runtime error` message, the translated analogue of a segfault.
 
 use crate::ast::{BinOp, SchedKind, UnOp};
+use crate::diag::Span;
+use crate::dynrace::{DataRace, Monitor};
 use crate::ir::*;
 use nomp::{
     Env, LoopCursor, LoopPlan, LoopShared, OmpThread, Reduce, Schedule, SharedScalar, SharedVec,
@@ -130,6 +132,37 @@ struct Icx<'x> {
     /// Current translated-program call depth (bounded by
     /// [`MAX_CALL_DEPTH`]).
     depth: u32,
+    /// Dynamic happens-before race monitor (`Compiled::check_races`).
+    mon: Option<Arc<Monitor>>,
+}
+
+/// Record one shared access with the race monitor, if it is on.
+fn note_access(
+    cx: &Icx<'_>,
+    ex: &mut Exec<'_, '_, '_>,
+    gid: u16,
+    idx: Option<usize>,
+    write: bool,
+    span: Span,
+) {
+    if let Some(m) = &cx.mon {
+        let t = ex.thread_id();
+        let vt = ex.tmk().now_ns();
+        m.access(t, gid, idx, write, span, vt);
+    }
+}
+
+/// A runtime barrier, bracketed by the monitor's two clock phases: every
+/// participant contributes its clock before the real barrier and adopts
+/// the merged clock after (the real barrier guarantees completeness).
+fn mon_barrier(cx: &Icx<'_>, ex: &mut Exec<'_, '_, '_>) {
+    if let Some(m) = &cx.mon {
+        m.barrier_arrive(ex.thread_id());
+    }
+    ex.th().barrier();
+    if let Some(m) = &cx.mon {
+        m.barrier_depart(ex.thread_id());
+    }
 }
 
 enum Flow {
@@ -147,11 +180,19 @@ pub(crate) struct MasterOut {
     pub lines: Vec<String>,
     pub scalars: BTreeMap<String, f64>,
     pub arrays: BTreeMap<String, Vec<f64>>,
+    pub races: Vec<DataRace>,
 }
 
-pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
+pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>, check_races: bool) -> MasterOut {
     let mut globals: Vec<GSlot> = Vec::with_capacity(prog.globals.len());
     let mut lines: Vec<String> = Vec::new();
+    let mon = check_races.then(|| {
+        Arc::new(Monitor::new(
+            env.num_threads(),
+            env.threads_per_node(),
+            prog.globals.iter().map(|g| g.name.clone()).collect(),
+        ))
+    });
 
     for g in &prog.globals {
         match &g.kind {
@@ -166,6 +207,7 @@ pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
                             loops: &[],
                             lines: &mut lines,
                             depth: 0,
+                            mon: mon.clone(),
                         };
                         eval(&mut cx, &mut ex, &mut frame, e)
                     }
@@ -183,6 +225,7 @@ pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
                     loops: &[],
                     lines: &mut lines,
                     depth: 0,
+                    mon: mon.clone(),
                 };
                 let n = eval(&mut cx, &mut ex, &mut frame, len).trunc();
                 if !(1.0..=1e8).contains(&n) {
@@ -206,6 +249,7 @@ pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
             loops: &[],
             lines: &mut lines,
             depth: 0,
+            mon: mon.clone(),
         };
         exec_stmts(&mut cx, &mut ex, &mut frame, &f.body)
     };
@@ -231,6 +275,7 @@ pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
         lines,
         scalars,
         arrays,
+        races: mon.as_ref().map(|m| m.take_races()).unwrap_or_default(),
     }
 }
 
@@ -238,7 +283,7 @@ pub(crate) fn run_master(prog: &Arc<LProgram>, env: &mut Env<'_>) -> MasterOut {
 // Region + task execution
 // ----------------------------------------------------------------------
 
-fn fork_region(cx: &mut Icx, ex: &mut Exec, frame: &mut [f64], rid: usize) {
+fn fork_region(cx: &mut Icx<'_>, ex: &mut Exec<'_, '_, '_>, frame: &mut [f64], rid: usize) {
     let env = ex.env();
     let reg = &cx.prog.regions[rid];
     let default_chunk = env.default_dynamic_chunk();
@@ -257,9 +302,15 @@ fn fork_region(cx: &mut Icx, ex: &mut Exec, frame: &mut [f64], rid: usize) {
     let payload = snapshot.len() * 8;
     let prog = cx.prog.clone();
     let globals: Vec<GSlot> = cx.globals.to_vec();
+    let mon = cx.mon.clone();
+    if let Some(m) = &mon {
+        m.fork();
+    }
     if reg.uses_tasks {
         let prog2 = prog.clone();
         let globals2 = globals.clone();
+        let mon2 = mon.clone();
+        let mon3 = mon.clone();
         env.task_scope(
             TaskScopeConfig {
                 fork_payload_bytes: payload,
@@ -267,18 +318,22 @@ fn fork_region(cx: &mut Icx, ex: &mut Exec, frame: &mut [f64], rid: usize) {
             },
             move |s| {
                 let mut ex = Exec::Tasks(s);
-                run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mut ex);
+                run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mon2, &mut ex);
             },
             move |s, args| {
                 let mut ex = Exec::Tasks(s);
-                run_task_site(&prog2, &globals2, args, &mut ex);
+                run_task_site(&prog2, &globals2, args, &mon3, &mut ex);
             },
         );
     } else {
+        let mon2 = mon.clone();
         env.parallel_sized(payload, move |t| {
             let mut ex = Exec::Thread(t);
-            run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mut ex);
+            run_region_thread(&prog, &globals, &loops, rid, &snapshot, &mon2, &mut ex);
         });
+    }
+    if let Some(m) = &mon {
+        m.join();
     }
 }
 
@@ -288,7 +343,8 @@ fn run_region_thread(
     loops: &[LoopRt],
     rid: usize,
     snapshot: &[f64],
-    ex: &mut Exec,
+    mon: &Option<Arc<Monitor>>,
+    ex: &mut Exec<'_, '_, '_>,
 ) {
     let reg = &prog.regions[rid];
     let mut frame = snapshot.to_vec();
@@ -304,6 +360,7 @@ fn run_region_thread(
             loops,
             lines: &mut lines,
             depth: 0,
+            mon: mon.clone(),
         };
         exec_stmts(&mut cx, ex, &mut frame, &reg.body)
     };
@@ -314,12 +371,21 @@ fn run_region_thread(
     flush_lines(ex, lines);
 }
 
-fn run_task_site(prog: &Arc<LProgram>, globals: &[GSlot], args: TaskArgs, ex: &mut Exec) {
+fn run_task_site(
+    prog: &Arc<LProgram>,
+    globals: &[GSlot],
+    args: TaskArgs,
+    mon: &Option<Arc<Monitor>>,
+    ex: &mut Exec<'_, '_, '_>,
+) {
     let site = &prog.tasks[args.a as usize];
     let mut frame = vec![0.0; site.frame];
     let words = [args.b, args.c, args.d];
     for (i, &slot) in site.caps.iter().enumerate() {
         frame[slot as usize] = f64::from_bits(words[i]);
+    }
+    if let Some(m) = mon {
+        m.task_started(ex.thread_id());
     }
     let mut lines = Vec::new();
     let flow = {
@@ -329,14 +395,18 @@ fn run_task_site(prog: &Arc<LProgram>, globals: &[GSlot], args: TaskArgs, ex: &m
             loops: &[],
             lines: &mut lines,
             depth: 0,
+            mon: mon.clone(),
         };
         exec_stmts(&mut cx, ex, &mut frame, &site.body)
     };
     debug_assert!(matches!(flow, Flow::Normal), "return escaped a task");
+    if let Some(m) = mon {
+        m.task_finished(ex.thread_id());
+    }
     flush_lines(ex, lines);
 }
 
-fn flush_lines(ex: &mut Exec, lines: Vec<String>) {
+fn flush_lines(ex: &mut Exec<'_, '_, '_>, lines: Vec<String>) {
     if lines.is_empty() {
         return;
     }
@@ -350,7 +420,12 @@ fn flush_lines(ex: &mut Exec, lines: Vec<String>) {
 // Statements
 // ----------------------------------------------------------------------
 
-fn exec_stmts(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, stmts: &[LStmt]) -> Flow {
+fn exec_stmts(
+    cx: &mut Icx<'_>,
+    ex: &mut Exec<'_, '_, '_>,
+    frame: &mut Vec<f64>,
+    stmts: &[LStmt],
+) -> Flow {
     for s in stmts {
         match exec_stmt(cx, ex, frame, s) {
             Flow::Normal => {}
@@ -360,19 +435,27 @@ fn exec_stmts(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, stmts: &[LStmt]
     Flow::Normal
 }
 
-fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Flow {
+fn exec_stmt(cx: &mut Icx<'_>, ex: &mut Exec<'_, '_, '_>, frame: &mut Vec<f64>, s: &LStmt) -> Flow {
     match s {
-        LStmt::SetLocal { slot, trunc, val } => {
+        LStmt::SetLocal {
+            slot, trunc, val, ..
+        } => {
             let v = eval(cx, ex, frame, val);
             frame[*slot as usize] = if *trunc { v.trunc() } else { v };
         }
-        LStmt::SetGlobal { gid, trunc, val } => {
+        LStmt::SetGlobal {
+            gid,
+            trunc,
+            val,
+            span,
+        } => {
             let v = eval(cx, ex, frame, val);
             let v = if *trunc { v.trunc() } else { v };
             let GSlot::Scalar(s) = cx.globals[*gid as usize] else {
                 unreachable!("SetGlobal on array");
             };
             s.set(ex.tmk(), v);
+            note_access(cx, ex, *gid, None, true, *span);
         }
         LStmt::SetElem {
             gid,
@@ -389,6 +472,7 @@ fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Fl
             };
             let i = check_index(cx, *gid, i, a.len(), *span);
             ex.tmk().write(&a, i, v);
+            note_access(cx, ex, *gid, Some(i), true, *span);
         }
         LStmt::If { cond, then_, else_ } => {
             let c = eval(cx, ex, frame, cond);
@@ -427,34 +511,47 @@ fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Fl
             fork_region(cx, ex, frame, *region as usize);
         }
         LStmt::WsFor(w) => exec_ws_for(cx, ex, frame, w),
-        LStmt::Single(body) => {
+        LStmt::Single { body, .. } => {
             if ex.thread_id() == 0 {
                 let flow = exec_stmts(cx, ex, frame, body);
                 debug_assert!(matches!(flow, Flow::Normal));
             }
             // Implied barrier (two-level on SMP topologies).
-            ex.th().barrier();
+            mon_barrier(cx, ex);
         }
-        LStmt::Critical { lock, body } => {
+        LStmt::Critical { lock, body, .. } => {
             // In a sequential section only the master runs — no
             // contention is possible, so the lock is elided. The guard
             // frees the node gate on unwind, so a translated-program
             // runtime panic inside the section cannot wedge an SMP node.
             let seq = ex.is_master_seq();
             let txn = (!seq).then(|| ex.th().enter_critical(*lock));
+            if !seq {
+                if let Some(m) = &cx.mon {
+                    m.acquire(ex.thread_id(), *lock);
+                }
+            }
             let flow = exec_stmts(cx, ex, frame, body);
             if !seq {
+                if let Some(m) = &cx.mon {
+                    m.release(ex.thread_id(), *lock);
+                }
                 ex.th().exit_critical(*lock);
             }
             drop(txn);
             debug_assert!(matches!(flow, Flow::Normal));
         }
-        LStmt::Barrier => ex.th().barrier(),
+        LStmt::Barrier(_) => mon_barrier(cx, ex),
         LStmt::Task { site } => {
             let t = &cx.prog.tasks[*site as usize];
             let mut words = [0u64; 3];
             for (i, &slot) in t.caps.iter().enumerate() {
                 words[i] = frame[slot as usize].to_bits();
+            }
+            // The spawn edge must be published before the task can start
+            // on another thread.
+            if let Some(m) = &cx.mon {
+                m.task_spawned(ex.thread_id());
             }
             ex.spawn(TaskArgs {
                 a: *site as u64,
@@ -463,12 +560,17 @@ fn exec_stmt(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, s: &LStmt) -> Fl
                 d: words[2],
             });
         }
-        LStmt::Taskwait => ex.taskwait(),
+        LStmt::Taskwait => {
+            ex.taskwait();
+            if let Some(m) = &cx.mon {
+                m.taskwait(ex.thread_id());
+            }
+        }
     }
     Flow::Normal
 }
 
-fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
+fn exec_ws_for(cx: &mut Icx<'_>, ex: &mut Exec<'_, '_, '_>, frame: &mut Vec<f64>, w: &WsFor) {
     // Copy the slice reference out of `cx` so the loop-site borrow does
     // not pin `cx` across the bound evaluations below.
     let loops = cx.loops;
@@ -477,7 +579,10 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
     let lo = eval(cx, ex, frame, &w.lo).trunc();
     let hi = eval(cx, ex, frame, &w.hi).trunc();
     if !(lo >= 0.0 && hi <= 1e15 && hi.is_finite()) {
-        panic!("ompc runtime error: work-shared loop bounds out of range ({lo}..{hi})");
+        panic!(
+            "ompc runtime error at line {}: work-shared loop bounds out of range ({lo}..{hi})",
+            w.span
+        );
     }
     let lo = lo as usize;
     let hi = (hi.max(0.0) as usize).max(lo);
@@ -498,7 +603,7 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
     }
     if w.barrier_after {
         // The implied end-of-worksharing barrier (two-level on SMP).
-        ex.th().barrier();
+        mon_barrier(cx, ex);
     }
     if w.reset_after {
         if let Some(sh) = shared {
@@ -510,12 +615,12 @@ fn exec_ws_for(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, w: &WsFor) {
             if ex.thread_id() == 0 {
                 sh.reset(ex.tmk());
             }
-            ex.th().barrier();
+            mon_barrier(cx, ex);
         }
     }
 }
 
-fn combine_red(ex: &mut Exec, globals: &[GSlot], red: &RedSite, local: f64) {
+fn combine_red(ex: &mut Exec<'_, '_, '_>, globals: &[GSlot], red: &RedSite, local: f64) {
     let GSlot::Scalar(s) = globals[red.gid as usize] else {
         unreachable!("reduction on array global");
     };
@@ -537,15 +642,17 @@ fn combine_red(ex: &mut Exec, globals: &[GSlot], red: &RedSite, local: f64) {
 // Expressions
 // ----------------------------------------------------------------------
 
-fn eval(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
+fn eval(cx: &mut Icx<'_>, ex: &mut Exec<'_, '_, '_>, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
     match e {
         LExpr::Num(v) => *v,
         LExpr::Local(slot) => frame[*slot as usize],
-        LExpr::Global(gid) => {
+        LExpr::Global(gid, span) => {
             let GSlot::Scalar(s) = cx.globals[*gid as usize] else {
                 unreachable!("scalar read of array");
             };
-            s.get(ex.tmk())
+            let v = s.get(ex.tmk());
+            note_access(cx, ex, *gid, None, false, *span);
+            v
         }
         LExpr::Elem(gid, idx, span) => {
             let i = eval(cx, ex, frame, idx);
@@ -553,7 +660,9 @@ fn eval(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
                 unreachable!("indexed read of scalar");
             };
             let i = check_index(cx, *gid, i, a.len(), *span);
-            ex.tmk().read(&a, i)
+            let v = ex.tmk().read(&a, i);
+            note_access(cx, ex, *gid, Some(i), false, *span);
+            v
         }
         LExpr::Un(op, a) => {
             let v = eval(cx, ex, frame, a);
@@ -658,7 +767,7 @@ fn eval(cx: &mut Icx, ex: &mut Exec, frame: &mut Vec<f64>, e: &LExpr) -> f64 {
     }
 }
 
-fn check_index(cx: &Icx, gid: u16, i: f64, len: usize, span: crate::diag::Span) -> usize {
+fn check_index(cx: &Icx<'_>, gid: u16, i: f64, len: usize, span: crate::diag::Span) -> usize {
     let ii = i.trunc();
     // NB: the comparison is written so NaN fails it too.
     if !(ii >= 0.0 && ii < len as f64) {

@@ -35,6 +35,8 @@ pub(crate) enum LGlobalKind {
 
 #[derive(Debug)]
 pub(crate) struct LFunc {
+    /// Source name (diagnostics from the analyzer name functions).
+    pub name: String,
     /// Private frame slots (params + all locals).
     pub frame: usize,
     /// Parameter slots are 0..params.len(); `trunc` per parameter.
@@ -58,6 +60,14 @@ pub(crate) struct LRegion {
     /// A `task`/`taskwait` is reachable from this region (lexically or
     /// through called functions): run it as a distributed task scope.
     pub uses_tasks: bool,
+    /// Span of the `#pragma omp parallel [for]` directive.
+    pub span: Span,
+    /// Frame slots rebound from shared globals by `private`/
+    /// `firstprivate` clauses anywhere in this region — each thread's
+    /// copy diverges, so a value flowing from one of these slots back
+    /// into shared storage is thread-dependent (the analyzer's
+    /// private-escape check).
+    pub privatized: Vec<u16>,
 }
 
 /// An outlined `task` construct.
@@ -69,6 +79,8 @@ pub(crate) struct LTask {
     pub caps: Vec<u16>,
     /// Frame size of the enclosing function.
     pub frame: usize,
+    /// Span of the `#pragma omp task` directive.
+    pub span: Span,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -88,13 +100,15 @@ pub(crate) struct RedSite {
     pub slot: u16,
     pub trunc: bool,
     pub lock: u32,
+    /// Span of the variable in the `reduction(op:v)` clause.
+    pub span: Span,
 }
 
 #[derive(Debug)]
 pub(crate) enum LExpr {
     Num(f64),
     Local(u16),
-    Global(u16),
+    Global(u16, Span),
     Elem(u16, Box<LExpr>, Span),
     Un(UnOp, Box<LExpr>),
     Bin(BinOp, Box<LExpr>, Box<LExpr>),
@@ -122,11 +136,13 @@ pub(crate) enum LStmt {
         slot: u16,
         trunc: bool,
         val: LExpr,
+        span: Span,
     },
     SetGlobal {
         gid: u16,
         trunc: bool,
         val: LExpr,
+        span: Span,
     },
     SetElem {
         gid: u16,
@@ -153,12 +169,18 @@ pub(crate) enum LStmt {
     },
     /// A work-shared loop inside a region.
     WsFor(Box<WsFor>),
-    Single(Vec<LStmt>),
+    Single {
+        body: Vec<LStmt>,
+        span: Span,
+    },
     Critical {
         lock: u32,
         body: Vec<LStmt>,
+        /// Source name of the named critical (`None` = the unnamed one).
+        name: Option<String>,
+        span: Span,
     },
-    Barrier,
+    Barrier(Span),
     /// Spawn task `site`, capturing the listed frame slots by value.
     Task {
         site: u16,
@@ -176,6 +198,8 @@ pub(crate) enum LPrint {
 pub(crate) struct WsFor {
     /// Index into the owning region's `loops` table.
     pub loop_idx: u16,
+    /// Span of the loop header.
+    pub span: Span,
     /// Private loop-variable slot.
     pub var: u16,
     pub lo: LExpr,

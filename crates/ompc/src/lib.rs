@@ -70,15 +70,20 @@
 
 #![warn(missing_docs)]
 
+mod analyze;
 mod ast;
 mod diag;
+mod dynrace;
 mod interp;
 mod ir;
 mod lex;
+mod lints;
 mod parse;
 mod sema;
 
 pub use diag::{Diag, Span};
+pub use dynrace::{DataRace, RaceAccess};
+pub use lints::{lints_to_json, Lint, LintCode, LintLevel};
 
 use interp::run_master;
 use ir::LProgram;
@@ -94,6 +99,9 @@ pub const MAX_TASK_CAPTURES: usize = 3;
 #[derive(Clone)]
 pub struct Compiled {
     l: Arc<LProgram>,
+    /// Run the dynamic happens-before race checker during execution
+    /// (see [`Compiled::check_races`]).
+    dynamic_races: bool,
 }
 
 /// Parse, classify and lower an `.omp` source program.
@@ -105,7 +113,65 @@ pub struct Compiled {
 pub fn compile(src: &str) -> Result<Compiled, Diag> {
     let ast = parse::parse(src)?;
     let l = sema::lower(&ast)?;
-    Ok(Compiled { l: Arc::new(l) })
+    Ok(Compiled {
+        l: Arc::new(l),
+        dynamic_races: false,
+    })
+}
+
+/// A compiled program together with its analyzer findings.
+///
+/// [`compile_report`] is [`compile`] plus the static race/sync analyzer
+/// in one step — the form `now-service` uses at admission and
+/// `omp_runner --analyze` prints.
+#[derive(Clone)]
+pub struct CompileReport {
+    /// The runnable program.
+    pub program: Compiled,
+    /// Analyzer findings, sorted by source position. Levels are `Warn`;
+    /// callers that deny races promote with [`promote_races`].
+    pub lints: Vec<Lint>,
+}
+
+/// Compile and statically analyze a `.omp` program.
+pub fn compile_report(src: &str) -> Result<CompileReport, Diag> {
+    let program = compile(src)?;
+    let lints = analyze::analyze(&program.l);
+    Ok(CompileReport { program, lints })
+}
+
+/// Promote every race-class lint (`OMP201`..`OMP204`) to
+/// [`LintLevel::Deny`] — the `--deny-races` / service-admission policy.
+pub fn promote_races(lints: &mut [Lint]) {
+    for l in lints {
+        if l.code.is_race_class() {
+            l.level = lints::LintLevel::Deny;
+        }
+    }
+}
+
+impl Compiled {
+    /// Run the static race/sync analyzer over this program.
+    ///
+    /// Findings come back sorted by source position with stable codes
+    /// (`OMP201` shared-write race … `OMP206` dead sync); see the crate
+    /// README's lint catalog. The analyzer only reports *provable*
+    /// findings, so clean programs — including every shipped example —
+    /// produce an empty list.
+    pub fn lints(&self) -> Vec<Lint> {
+        analyze::analyze(&self.l)
+    }
+
+    /// Enable (or disable) the dynamic happens-before race checker for
+    /// subsequent runs of this program: every shared load/store is
+    /// tagged with its thread's vector clock and concrete racing pairs
+    /// are reported in [`ProgramOutput::races`] at the end of the run.
+    ///
+    /// Off by default — checking costs per-access bookkeeping.
+    pub fn check_races(mut self, on: bool) -> Self {
+        self.dynamic_races = on;
+        self
+    }
 }
 
 /// Final state of a translated program: one job's result payload on a
@@ -122,6 +188,10 @@ pub struct ProgramOutput {
     pub scalars: BTreeMap<String, f64>,
     /// Final contents of all global arrays.
     pub arrays: BTreeMap<String, Vec<f64>>,
+    /// Concrete racing access pairs observed by the dynamic
+    /// happens-before checker — always empty unless the program was
+    /// prepared with [`Compiled::check_races`].
+    pub races: Vec<DataRace>,
 }
 
 /// A compiled program is a cluster job: `cluster.run(compiled)` executes
@@ -135,13 +205,15 @@ impl NowProgram for Compiled {
 
     fn into_job(self) -> Job<ProgramOutput> {
         let l = self.l;
-        Job::new(move |env: &mut Env| {
-            let m = run_master(&l, env);
+        let check = self.dynamic_races;
+        Job::new(move |env: &mut Env<'_>| {
+            let m = run_master(&l, env, check);
             ProgramOutput {
                 ret: m.ret,
                 printed: m.lines,
                 scalars: m.scalars,
                 arrays: m.arrays,
+                races: m.races,
             }
         })
     }
@@ -170,6 +242,9 @@ pub struct OmpOutcome {
     pub scalars: BTreeMap<String, f64>,
     /// Final contents of all global arrays.
     pub arrays: BTreeMap<String, Vec<f64>>,
+    /// Racing pairs from the dynamic checker (empty unless the program
+    /// was prepared with [`Compiled::check_races`]).
+    pub races: Vec<DataRace>,
     /// Modeled run time in virtual nanoseconds.
     pub vt_ns: u64,
     /// Remote messages the program's DSM traffic needed.
@@ -198,6 +273,7 @@ impl OmpOutcome {
             printed: m.printed,
             scalars: m.scalars,
             arrays: m.arrays,
+            races: m.races,
             vt_ns: report.vt_ns,
             msgs,
             bytes,

@@ -126,6 +126,10 @@ struct FnCx {
     region_tasky: bool,
     /// Functions called from inside the region being lowered.
     region_calls: Vec<usize>,
+    /// Slots rebound from globals by `private`/`firstprivate` clauses
+    /// inside the region being lowered (drained into
+    /// [`LRegion::privatized`]).
+    region_privs: Vec<u16>,
     /// When lowering a global initializer: only globals with gid below
     /// this limit exist yet, and function calls are banned.
     global_limit: Option<u16>,
@@ -145,6 +149,7 @@ impl FnCx {
             sync_ctx: None,
             region_tasky: false,
             region_calls: Vec::new(),
+            region_privs: Vec::new(),
             global_limit: None,
         }
     }
@@ -304,6 +309,7 @@ impl<'p> Sema<'p> {
                 t.frame = cx.next_slot;
             }
             funcs.push(LFunc {
+                name: f.name.clone(),
                 frame: cx.next_slot,
                 param_trunc,
                 body,
@@ -498,7 +504,12 @@ impl<'p> Sema<'p> {
                     .unwrap_or(LExpr::Num(0.0));
                 let trunc = *ty == Ty::Int;
                 let slot = cx.declare(name, trunc, *span)?;
-                out.push(LStmt::SetLocal { slot, trunc, val });
+                out.push(LStmt::SetLocal {
+                    slot,
+                    trunc,
+                    val,
+                    span: *span,
+                });
             }
             Stmt::Assign { target, value } => {
                 let val = self.lower_expr(cx, value)?;
@@ -508,11 +519,13 @@ impl<'p> Sema<'p> {
                             slot: v.slot,
                             trunc: v.trunc,
                             val,
+                            span: *span,
                         }),
                         Resolved::GlobalScalar(g) => out.push(LStmt::SetGlobal {
                             gid: g.gid,
                             trunc: g.trunc,
                             val,
+                            span: *span,
                         }),
                         Resolved::GlobalArray(_) => {
                             return Err(Diag::new(
@@ -644,6 +657,8 @@ impl<'p> Sema<'p> {
                         loops,
                         reds,
                         uses_tasks: false,
+                        span,
+                        privatized: Vec::new(),
                     },
                     cx,
                 );
@@ -670,6 +685,8 @@ impl<'p> Sema<'p> {
                         loops: vec![sched],
                         reds: Vec::new(),
                         uses_tasks: false,
+                        span,
+                        privatized: Vec::new(),
                     },
                     cx,
                 );
@@ -730,14 +747,19 @@ impl<'p> Sema<'p> {
                 let saved_ctx = cx.sync_ctx.replace("a `single` construct");
                 let body = self.lower_scoped(cx, body);
                 cx.sync_ctx = saved_ctx;
-                out.push(LStmt::Single(body?));
+                out.push(LStmt::Single { body: body?, span });
             }
             Dir::Critical { name, body } => {
                 let lock = nomp::critical_id(name.as_deref().unwrap_or("<ompc>"));
                 let saved_ctx = cx.sync_ctx.replace(CRITICAL_CTX);
                 let body = self.lower_scoped(cx, body);
                 cx.sync_ctx = saved_ctx;
-                out.push(LStmt::Critical { lock, body: body? });
+                out.push(LStmt::Critical {
+                    lock,
+                    body: body?,
+                    name: name.clone(),
+                    span,
+                });
             }
             Dir::Barrier => {
                 if cx.in_task {
@@ -755,7 +777,7 @@ impl<'p> Sema<'p> {
                 if !cx.in_parallel {
                     self.fninfos[cx.fid].seq_directives.push((span, "barrier"));
                 }
-                out.push(LStmt::Barrier);
+                out.push(LStmt::Barrier(span));
             }
             Dir::Task { clauses, body } => {
                 self.fninfos[cx.fid].has_task_like = true;
@@ -796,6 +818,7 @@ impl<'p> Sema<'p> {
                     body,
                     caps,
                     frame: 0,
+                    span,
                 });
                 out.push(LStmt::Task { site: site as u16 });
             }
@@ -835,8 +858,9 @@ impl<'p> Sema<'p> {
     /// Record an outlined region plus its task-reachability inputs (the
     /// lexical task flag and the region's call sites, drained from `cx`);
     /// `uses_tasks` is resolved after every function body is lowered.
-    fn push_region(&mut self, r: LRegion, cx: &mut FnCx) -> u16 {
+    fn push_region(&mut self, mut r: LRegion, cx: &mut FnCx) -> u16 {
         let idx = self.regions.len();
+        r.privatized = std::mem::take(&mut cx.region_privs);
         self.regions.push(r);
         self.region_aux
             .push((cx.region_tasky, std::mem::take(&mut cx.region_calls)));
@@ -954,6 +978,7 @@ impl<'p> Sema<'p> {
         let body = body?;
         Ok(WsFor {
             loop_idx,
+            span: fl.span,
             var,
             lo,
             hi,
@@ -1086,13 +1111,15 @@ impl<'p> Sema<'p> {
                                         slot: v.slot,
                                         trunc: v.trunc,
                                         val: LExpr::Num(0.0),
+                                        span: *vspan,
                                     });
                                 }
                             }
                             Resolved::GlobalScalar(g) => {
                                 let slot = rebind(cx, g, *vspan)?;
+                                cx.region_privs.push(slot);
                                 let val = if first {
-                                    LExpr::Global(g.gid)
+                                    LExpr::Global(g.gid, *vspan)
                                 } else {
                                     LExpr::Num(0.0)
                                 };
@@ -1100,6 +1127,7 @@ impl<'p> Sema<'p> {
                                     slot,
                                     trunc: g.trunc,
                                     val,
+                                    span: *vspan,
                                 });
                             }
                             Resolved::GlobalArray(_) => {
@@ -1135,6 +1163,7 @@ impl<'p> Sema<'p> {
                             slot,
                             trunc: g.trunc,
                             lock: 0, // patched below (borrow order)
+                            span: *vspan,
                         });
                     }
                     Resolved::Local(_) => {
@@ -1204,7 +1233,7 @@ impl<'p> Sema<'p> {
             Expr::Num(v, _) => LExpr::Num(*v),
             Expr::Var(name, span) => match self.resolve(cx, name, *span)? {
                 Resolved::Local(v) => LExpr::Local(v.slot),
-                Resolved::GlobalScalar(g) => LExpr::Global(g.gid),
+                Resolved::GlobalScalar(g) => LExpr::Global(g.gid, *span),
                 Resolved::GlobalArray(_) => {
                     return Err(Diag::new(
                         *span,
@@ -1318,7 +1347,7 @@ impl<'p> Sema<'p> {
                     }
                 }
             }
-            LStmt::Single(body) | LStmt::Critical { body, .. } => {
+            LStmt::Single { body, .. } | LStmt::Critical { body, .. } => {
                 self.collect_free_locals(body, limit, out);
             }
             LStmt::WsFor(w) => {
@@ -1333,13 +1362,13 @@ impl<'p> Sema<'p> {
                     cap(slot);
                 }
             }
-            LStmt::Parallel { .. } | LStmt::Barrier | LStmt::Taskwait => {}
+            LStmt::Parallel { .. } | LStmt::Barrier(_) | LStmt::Taskwait => {}
         }
     }
 
     fn collect_expr(&self, e: &LExpr, limit: u16, out: &mut Vec<u16>) {
         match e {
-            LExpr::Num(_) | LExpr::Global(_) => {}
+            LExpr::Num(_) | LExpr::Global(..) => {}
             LExpr::Local(slot) => {
                 if *slot < limit {
                     out.push(*slot);

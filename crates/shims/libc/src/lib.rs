@@ -50,6 +50,8 @@ mod tests {
     #[test]
     fn thread_cpu_clock_works_and_advances() {
         let mut a = timespec::default();
+        // SAFETY: `a` is a valid, writable timespec for the duration of
+        // the call.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut a) };
         assert_eq!(rc, 0);
         let mut x = 0u64;
@@ -58,6 +60,7 @@ mod tests {
         }
         std::hint::black_box(x);
         let mut b = timespec::default();
+        // SAFETY: same as above — `b` is a valid, writable timespec.
         let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut b) };
         assert_eq!(rc, 0);
         let ns = |t: &timespec| t.tv_sec as u64 * 1_000_000_000 + t.tv_nsec as u64;

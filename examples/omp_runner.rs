@@ -54,6 +54,22 @@
 //! ```text
 //! cargo run --release --example omp_runner -- --metrics now.prom --metrics-json now.json pi.omp
 //! ```
+//!
+//! Analysis: `--analyze` runs the static race/sync analyzer instead of
+//! executing — findings (`OMP201`..`OMP206`, see the README's lint
+//! catalog) print one per line with source spans; `--analyze=json`
+//! renders them as one JSON array per program. `--deny-races` promotes
+//! the race-class findings (`OMP201`..`OMP204`) to errors and makes the
+//! runner exit 1 if any program has one — the CI gate over
+//! `examples/omp/`. `--race-check` executes under the dynamic
+//! happens-before checker and prints every concrete racing pair
+//! observed (with `--deny-races`, observed races also fail the run).
+//!
+//! ```text
+//! cargo run --release --example omp_runner -- --analyze --deny-races examples/omp/*.omp
+//! cargo run --release --example omp_runner -- --analyze=json my.omp
+//! cargo run --release --example omp_runner -- --race-check my.omp
+//! ```
 
 use nomp::Schedule;
 
@@ -103,6 +119,40 @@ fn main() {
             .collect()
     };
 
+    // Analysis mode: compile + lint every program, no cluster at all.
+    if args.analyze {
+        let mut denied = false;
+        let mut bad = false;
+        for (name, src) in &programs {
+            let report = match ompc::compile_report(src) {
+                Ok(r) => r,
+                Err(d) => {
+                    eprintln!("{name}: compile error: {d}");
+                    bad = true;
+                    continue;
+                }
+            };
+            let mut lints = report.lints;
+            if args.deny_races {
+                ompc::promote_races(&mut lints);
+            }
+            denied |= lints.iter().any(|l| l.level == ompc::LintLevel::Deny);
+            if args.analyze_json {
+                println!("{name}: {}", ompc::lints_to_json(&lints));
+            } else if lints.is_empty() {
+                println!("{name}: clean");
+            } else {
+                for l in &lints {
+                    println!("{name}: {l}");
+                }
+            }
+        }
+        if bad {
+            std::process::exit(2);
+        }
+        std::process::exit(if denied { 1 } else { 0 });
+    }
+
     // One warm cluster for every file × repetition of this invocation.
     let mut cluster = match args.cluster() {
         Ok(c) => c,
@@ -123,7 +173,7 @@ fn main() {
             cluster.threads_per_node(),
         );
         let compiled = match ompc::compile(src) {
-            Ok(c) => c,
+            Ok(c) => c.check_races(args.race_check),
             Err(d) => {
                 eprintln!("  compile error: {d}");
                 failed = true;
@@ -142,6 +192,19 @@ fn main() {
             if rep == 0 {
                 for line in &out.result.printed {
                     println!("  {line}");
+                }
+            }
+            if args.race_check && rep == 0 {
+                if out.result.races.is_empty() {
+                    println!("  [race-check: no races observed]");
+                } else {
+                    for r in &out.result.races {
+                        println!("  [race-check] {r}");
+                    }
+                    if args.deny_races {
+                        eprintln!("  ERROR: {} data race(s) observed", out.result.races.len());
+                        failed = true;
+                    }
                 }
             }
             if let Some(path) = args.trace_path(out.job, multi_job) {

@@ -13,7 +13,7 @@ const DONE: u32 = 1;
 
 fn sema_version(cluster: &mut Cluster) -> (u64, u64) {
     let out = cluster
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let data = omp.malloc_scalar::<u64>(0);
             let sum = omp.malloc_scalar::<u64>(0);
             omp.parallel(move |t| match t.thread_num() {
@@ -44,7 +44,7 @@ fn sema_version(cluster: &mut Cluster) -> (u64, u64) {
 
 fn flush_version(cluster: &mut Cluster) -> (u64, u64) {
     let out = cluster
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let data = omp.malloc_scalar::<u64>(0);
             let available = omp.malloc_scalar::<u32>(0);
             let done = omp.malloc_scalar::<u32>(0);

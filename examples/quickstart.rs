@@ -47,7 +47,7 @@ fn main() {
     }
     let mut cluster = builder.build().expect("valid cluster");
     let out = cluster
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let n = 100_000;
             // Shared data must be explicit (the paper's Modification 1)...
             let a = omp.malloc_vec::<f64>(n);

@@ -51,7 +51,7 @@ fn main() {
         .tenant("alice", 2)
         .tenant("bob", 1)
         .closure("touch", || {
-            Box::new(|omp: &mut Env| JobValue::Num(omp.num_threads() as f64))
+            Box::new(|omp: &mut Env<'_>| JobValue::Num(omp.num_threads() as f64))
         })
         .hold()
         .record_dispatch(true)

@@ -102,6 +102,19 @@ pub mod cli {
         /// Write the same cumulative metrics snapshot as JSON
         /// (`--metrics-json`).
         pub metrics_json: Option<String>,
+        /// Statically analyze the programs instead of running them
+        /// (`--analyze`); findings print one per line.
+        pub analyze: bool,
+        /// Render analyzer findings as a JSON array (`--analyze=json`;
+        /// implies `analyze`).
+        pub analyze_json: bool,
+        /// Promote race-class findings (`OMP201`..`OMP204`) to errors
+        /// (`--deny-races`; implies `analyze` when no run is requested —
+        /// the runner exits 1 if any program has a denied finding).
+        pub deny_races: bool,
+        /// Run programs under the dynamic happens-before race checker
+        /// (`--race-check`); concrete racing pairs print after each run.
+        pub race_check: bool,
         /// `.omp` files to run (empty = the bundled examples).
         pub files: Vec<String>,
     }
@@ -120,6 +133,10 @@ pub mod cli {
                 profile: false,
                 metrics: None,
                 metrics_json: None,
+                analyze: false,
+                analyze_json: false,
+                deny_races: false,
+                race_check: false,
                 files: Vec::new(),
             }
         }
@@ -217,11 +234,25 @@ pub mod cli {
                     "--metrics-json" => {
                         a.metrics_json = Some(out_path(&mut it, "--metrics-json")?);
                     }
+                    "--analyze" => a.analyze = true,
+                    "--analyze=json" => {
+                        a.analyze = true;
+                        a.analyze_json = true;
+                    }
+                    f if f.starts_with("--analyze=") => {
+                        return Err(format!(
+                            "--analyze accepts only `json` as a value, got `{}`",
+                            &f["--analyze=".len()..]
+                        ));
+                    }
+                    "--deny-races" => a.deny_races = true,
+                    "--race-check" => a.race_check = true,
                     f if f.starts_with("--") => {
                         return Err(format!(
                             "unknown flag `{f}` (expected --nodes, --tpn, --schedule, \
                              --speeds, --load, --load-seed, --repeat, --trace, \
-                             --profile, --metrics, --metrics-json, or a .omp file)"
+                             --profile, --metrics, --metrics-json, --analyze[=json], \
+                             --deny-races, --race-check, or a .omp file)"
                         ));
                     }
                     f => a.files.push(f.to_string()),

@@ -169,7 +169,7 @@ fn det_builder(nodes: usize, tpn: usize) -> ClusterBuilder {
 /// heterogeneity determinism tests established): every thread
 /// push-writes a page-disjoint slab, the master reads it all back.
 fn det_job() -> Job<Vec<u64>> {
-    Job::new(|omp: &mut Env| {
+    Job::new(|omp: &mut Env<'_>| {
         const SLAB: usize = 512;
         let nthreads = omp.num_threads();
         let data = omp.malloc_vec::<u64>(nthreads * SLAB);
@@ -231,7 +231,7 @@ fn shim_run_equals_cluster_session_path() {
         omp.read_slice(&v, 0..3)
     });
     let via_cluster = Cluster::from_config(cfg)
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let v = omp.malloc_vec::<u64>(3);
             omp.parallel(move |t| {
                 let me = t.thread_num();
@@ -261,7 +261,7 @@ fn closure_job_then_omp_job_share_the_cluster() {
 
         // Job 0: a handwritten closure region.
         let closure_report = cluster
-            .run(|omp: &mut Env| {
+            .run(|omp: &mut Env<'_>| {
                 let n = 1000usize;
                 let v = omp.malloc_vec::<f64>(n);
                 omp.parallel_for(Schedule::Static, 0..n, move |t, i| {
@@ -302,7 +302,7 @@ fn closure_job_then_omp_job_share_the_cluster() {
         // Job 2: the closure shape again — the `.omp` job left no
         // residue (fresh allocations, fresh counters).
         let again = cluster
-            .run(|omp: &mut Env| {
+            .run(|omp: &mut Env<'_>| {
                 let v = omp.malloc_vec::<u64>(8);
                 omp.parallel(move |t| {
                     if t.thread_num() == 0 {

@@ -32,7 +32,7 @@ fn det_cfg(nodes: usize, tpn: usize, load: ClusterLoad) -> OmpConfig {
 fn det_run(cfg: OmpConfig) -> (u64, TmkStats, u64, Vec<u64>) {
     const SLAB: usize = 512; // one 4 KiB page of u64s per thread
     let out = Cluster::from_config(cfg)
-        .run(|omp: &mut Env| {
+        .run(|omp: &mut Env<'_>| {
             let nthreads = omp.num_threads();
             let data = omp.malloc_vec::<u64>(nthreads * SLAB);
             omp.parallel(move |t| {

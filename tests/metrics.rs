@@ -15,7 +15,7 @@ use openmp_now::ompc;
 
 /// A host-timing-independent workload (same shape as the trace suite's):
 /// a static-schedule fill, a barrier-only region, and a bulk read-back.
-fn det_workload(omp: &mut Env) -> f64 {
+fn det_workload(omp: &mut Env<'_>) -> f64 {
     let n = 4096;
     let a = omp.malloc_vec::<f64>(n);
     omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {

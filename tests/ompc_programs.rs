@@ -237,3 +237,29 @@ fn printed_output_is_captured_from_sequential_context() {
         out.result.printed
     );
 }
+
+#[test]
+fn runner_cli_analyzer_flags_parse() {
+    use openmp_now::cli::RunnerArgs;
+    let argv: Vec<String> = ["--analyze=json", "--deny-races", "x.omp"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let a = RunnerArgs::parse(&argv).expect("valid args");
+    assert!(a.analyze && a.analyze_json && a.deny_races);
+    assert!(!a.race_check);
+
+    let b = RunnerArgs::parse(&["--analyze".into(), "--race-check".into()]).unwrap();
+    assert!(b.analyze && !b.analyze_json && b.race_check);
+
+    // Defaults: everything off.
+    let d = RunnerArgs::parse(&[]).unwrap();
+    assert!(!d.analyze && !d.analyze_json && !d.deny_races && !d.race_check);
+
+    // Junk --analyze values and unknown flags get one-line messages
+    // that name the analyzer flags.
+    let e = RunnerArgs::parse(&["--analyze=yaml".into()]).expect_err("bad value");
+    assert!(e.contains("json"), "{e}");
+    let e = RunnerArgs::parse(&["--races".into()]).expect_err("unknown flag");
+    assert!(e.contains("--deny-races"), "{e}");
+}

@@ -7,7 +7,7 @@ use nomp::{Cluster, Env, Job, OmpConfig, RedOp, RunReport, Schedule, ThreadPriva
 /// a differently shaped cluster, so they build one per job).
 fn run<R: Send + 'static>(
     cfg: OmpConfig,
-    f: impl FnOnce(&mut Env) -> R + Send + 'static,
+    f: impl FnOnce(&mut Env<'_>) -> R + Send + 'static,
 ) -> RunReport<R> {
     Cluster::from_config(cfg)
         .run(Job::new(f))

@@ -24,7 +24,7 @@ fn det_builder(nodes: usize) -> ClusterBuilder {
 }
 
 /// Barrier-structured deterministic job body (page-disjoint slabs).
-fn det_body(omp: &mut Env) -> JobValue {
+fn det_body(omp: &mut Env<'_>) -> JobValue {
     const SLAB: usize = 256;
     let nthreads = omp.num_threads();
     let data = omp.malloc_vec::<u64>(nthreads * SLAB);
@@ -118,6 +118,85 @@ fn omp_programs_run_through_the_service() {
 }
 
 // ----------------------------------------------------------------------
+// Admission-time static analysis: a `deny_races` service rejects racy
+// .omp programs with the typed lint rejection and never runs them;
+// clean programs are unaffected.
+// ----------------------------------------------------------------------
+
+#[test]
+fn deny_races_rejects_racy_omp_programs_at_admission() {
+    let racy = ompc::compile(
+        r#"
+        double g;
+        int main() {
+            #pragma omp parallel
+            {
+                g = g + 1.0;
+            }
+            return 0;
+        }
+        "#,
+    )
+    .expect("racy program compiles");
+    let clean = ompc::compile(
+        r#"
+        double g;
+        int main() {
+            #pragma omp parallel reduction(+:g)
+            {
+                g = g + 1.0;
+            }
+            return 0;
+        }
+        "#,
+    )
+    .expect("clean program compiles");
+
+    let service = ServiceConfig::new()
+        .pool(1)
+        .cluster(det_builder(2))
+        .deny_races(true)
+        .build()
+        .expect("service");
+
+    let err = match service.submit(JobRequest::omp(racy)) {
+        Err(e) => e,
+        Ok(_) => panic!("racy program must be rejected"),
+    };
+    assert_eq!(err.kind(), "lint");
+    match &err {
+        Rejected::Lint(lints) => {
+            assert!(!lints.is_empty());
+            assert!(
+                lints.iter().any(|l| l.code.code() == "OMP201"),
+                "expected a shared-write-race finding, got {lints:?}"
+            );
+            for l in lints {
+                assert_eq!(l.level, ompc::LintLevel::Deny, "{l}");
+            }
+        }
+        other => panic!("expected Rejected::Lint, got {other:?}"),
+    }
+    assert!(err.to_string().contains("OMP201"), "{err}");
+
+    let t = service
+        .submit(JobRequest::omp(clean))
+        .expect("clean program admitted");
+    let run = t.wait().outcome.expect("clean program completed");
+    // Each of the 2 threads adds 1.0 into the reduction.
+    match run.result {
+        JobValue::Program(p) => assert_eq!(p.scalars["g"], 2.0),
+        other => panic!("unexpected payload {other:?}"),
+    }
+
+    let snap = service.metrics();
+    assert_eq!(snap.tenants[0].rejected_lint, 1);
+    assert_eq!(snap.tenants[0].admitted, 1);
+    let summary = service.drain();
+    assert_eq!(summary.completed, 1);
+}
+
+// ----------------------------------------------------------------------
 // Fair share: deficit round-robin is weight-proportional — exactly so
 // with one worker and a held (deterministic) service.
 // ----------------------------------------------------------------------
@@ -141,12 +220,12 @@ fn fair_share_dispatch_is_weight_proportional() {
     for _ in 0..90 {
         tickets.push(
             service
-                .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("alice"))
+                .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("alice"))
                 .expect("admit alice"),
         );
         tickets.push(
             service
-                .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("bob"))
+                .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("bob"))
                 .expect("admit bob"),
         );
     }
@@ -201,12 +280,12 @@ fn priorities_jump_the_tenant_queue() {
     let low: Vec<_> = (0..3)
         .map(|_| {
             service
-                .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit))
+                .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit))
                 .expect("admit")
         })
         .collect();
     let urgent = service
-        .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).priority(5))
+        .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).priority(5))
         .expect("admit urgent");
     let urgent_id = urgent.id();
     service.open();
@@ -237,7 +316,7 @@ fn admission_rejections_are_typed_and_deterministic() {
 
     let mut tickets = Vec::new();
     for i in 0..11 {
-        match service.submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("a")) {
+        match service.submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("a")) {
             Ok(t) => {
                 assert!(i < 8, "job {i} must have been rejected");
                 tickets.push(t);
@@ -252,7 +331,7 @@ fn admission_rejections_are_typed_and_deterministic() {
 
     // Unknown tenant / unknown registered closure are their own kinds.
     assert!(matches!(
-        service.submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("ghost")),
+        service.submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("ghost")),
         Err(Rejected::UnknownTenant(t)) if t == "ghost"
     ));
     assert!(matches!(
@@ -263,7 +342,7 @@ fn admission_rejections_are_typed_and_deterministic() {
     // A zero deadline is unmeetable by definition.
     assert!(matches!(
         service.submit(
-            JobRequest::closure(|_: &mut Env| JobValue::Unit)
+            JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit)
                 .tenant("a")
                 .deadline(Duration::ZERO)
         ),
@@ -274,7 +353,7 @@ fn admission_rejections_are_typed_and_deterministic() {
     service.open();
     service.begin_drain();
     assert!(matches!(
-        service.submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("a")),
+        service.submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("a")),
         Err(Rejected::Draining)
     ));
     for t in tickets {
@@ -302,11 +381,12 @@ fn expired_deadlines_fail_fast_with_a_diagnostic() {
         .expect("service");
     let doomed = service
         .submit(
-            JobRequest::closure(|_: &mut Env| JobValue::Unit).deadline(Duration::from_millis(1)),
+            JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit)
+                .deadline(Duration::from_millis(1)),
         )
         .expect("admitted: the service has no completion estimate yet");
     let healthy = service
-        .submit(JobRequest::closure(|_: &mut Env| JobValue::Num(7.0)))
+        .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Num(7.0)))
         .expect("admit");
     // Let the deadline lapse while held, then open.
     std::thread::sleep(Duration::from_millis(30));
@@ -352,7 +432,7 @@ fn job_panics_are_contained_and_the_pool_self_heals() {
         .build()
         .expect("service");
     let bad = service
-        .submit(JobRequest::closure(|_: &mut Env| -> JobValue {
+        .submit(JobRequest::closure(|_: &mut Env<'_>| -> JobValue {
             panic!("boom in job body")
         }))
         .expect("admit");
@@ -388,13 +468,13 @@ fn service_metrics_export_validates_and_balances() {
     for tenant in ["a", "a", "a", "b"] {
         tickets.push(
             service
-                .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant(tenant))
+                .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant(tenant))
                 .expect("admit"),
         );
     }
     // One deterministic queue-full reject.
     assert!(service
-        .submit(JobRequest::closure(|_: &mut Env| JobValue::Unit).tenant("b"))
+        .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Unit).tenant("b"))
         .is_err());
     service.open();
     for t in tickets {
@@ -442,7 +522,7 @@ fn tcp_front_door_serves_submit_status_drain() {
         .cluster(det_builder(1))
         .tenant("a", 2)
         .tenant("b", 1)
-        .closure("answer", || Box::new(|_: &mut Env| JobValue::Num(42.0)))
+        .closure("answer", || Box::new(|_: &mut Env<'_>| JobValue::Num(42.0)))
         .build()
         .expect("service");
     let front = now_service::TcpFront::bind(service.handle(), "127.0.0.1:0").expect("bind");

@@ -21,7 +21,7 @@ fn det_builder(nodes: usize) -> ClusterBuilder {
     })
 }
 
-fn det_body(omp: &mut Env) -> JobValue {
+fn det_body(omp: &mut Env<'_>) -> JobValue {
     const SLAB: usize = 256;
     let nthreads = omp.num_threads();
     let data = omp.malloc_vec::<u64>(nthreads * SLAB);
@@ -125,7 +125,7 @@ fn drain_joins_every_thread_and_a_restarted_pool_is_bit_identical() {
             .build()
             .expect("service");
         let t = service
-            .submit(JobRequest::closure(|_: &mut Env| JobValue::Num(1.0)))
+            .submit(JobRequest::closure(|_: &mut Env<'_>| JobValue::Num(1.0)))
             .expect("admit");
         assert!(t.wait().outcome.is_ok());
     }

@@ -24,7 +24,7 @@ use openmp_now::ompc;
 /// A host-timing-independent workload: a static-schedule fill (fork,
 /// chunk claims, region barriers), a barrier-only region, and a bulk
 /// master read-back (page faults + diff fetches with a fixed pattern).
-fn det_workload(omp: &mut Env) -> f64 {
+fn det_workload(omp: &mut Env<'_>) -> f64 {
     let n = 4096;
     let a = omp.malloc_vec::<f64>(n);
     omp.parallel_for_chunks(Schedule::Static, 0..n, move |t, r| {
@@ -40,7 +40,7 @@ fn det_workload(omp: &mut Env) -> f64 {
 
 /// A richer workload for the intra-run tests: dynamic chunk claims, a
 /// named critical section, and a reduction.
-fn rich_workload(omp: &mut Env) -> (f64, u64) {
+fn rich_workload(omp: &mut Env<'_>) -> (f64, u64) {
     let n = 4096;
     let a = omp.malloc_vec::<f64>(n);
     omp.parallel_for_chunks(Schedule::Dynamic(64), 0..n, move |t, r| {
